@@ -1,0 +1,43 @@
+//! E10 (wall clock) — collectives: the native Technique-1 schedules vs the
+//! generic Technique-2 emulation, confirming the ~3× step-count gap of
+//! experiment E9 shows up in wall time too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_core::collectives::{allreduce, broadcast, reduce};
+use dc_core::emulate::emulated_allreduce;
+use dc_core::ops::Sum;
+use dc_topology::{DualCube, RecDualCube, Topology};
+use std::hint::black_box;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    for n in [4u32, 6] {
+        let d = DualCube::new(n);
+        let rec = RecDualCube::new(n);
+        let values: Vec<Sum> = (0..d.num_nodes() as i64).map(Sum).collect();
+        group.bench_with_input(
+            BenchmarkId::new("broadcast", d.num_nodes()),
+            &values,
+            |b, _| b.iter(|| broadcast(&d, 0, black_box(42u64))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reduce", d.num_nodes()),
+            &values,
+            |b, v| b.iter(|| reduce(&d, 0, black_box(v))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("allreduce_native", d.num_nodes()),
+            &values,
+            |b, v| b.iter(|| allreduce(&d, black_box(v))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("allreduce_emulated", d.num_nodes()),
+            &values,
+            |b, v| b.iter(|| emulated_allreduce(&rec, black_box(v.clone()))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

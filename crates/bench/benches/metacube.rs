@@ -1,0 +1,46 @@
+//! E10 (wall clock) — the metacube generalisation: prefix and sort across
+//! the degree-4 ladder Q_4 = MC(0,4) → D_4 = MC(1,3) → MC(2,2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dc_core::ops::Sum;
+use dc_core::prefix::metacube::mc_prefix;
+use dc_core::prefix::PrefixKind;
+use dc_core::sort::metacube::mc_sort;
+use dc_core::sort::SortOrder;
+use dc_topology::{Metacube, Topology};
+use std::hint::black_box;
+
+fn bench_mc_prefix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metacube/prefix");
+    for (k, m) in [(0u32, 4u32), (1, 3), (2, 2)] {
+        let mc = Metacube::new(k, m);
+        let input: Vec<Sum> = (0..mc.num_nodes() as i64).map(Sum).collect();
+        group.throughput(Throughput::Elements(mc.num_nodes() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("MC({k},{m})")),
+            &input,
+            |b, inp| b.iter(|| mc_prefix(&mc, black_box(inp), PrefixKind::Inclusive)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mc_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metacube/sort");
+    for (k, m) in [(0u32, 4u32), (1, 3), (2, 2)] {
+        let mc = Metacube::new(k, m);
+        let keys: Vec<u64> = (0..mc.num_nodes() as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 20)
+            .collect();
+        group.throughput(Throughput::Elements(keys.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("MC({k},{m})")),
+            &keys,
+            |b, kk| b.iter(|| mc_sort(&mc, black_box(kk), SortOrder::Ascending)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc_prefix, bench_mc_sort);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E10 (wall clock) — the traffic subsystem: permutation routing and
+//! radix-sort passes across machine sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dc_core::apps::radix_sort;
+use dc_simulator::router::{route_batch, Packet};
+use dc_topology::{DualCube, Hypercube, Routed, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn permutation(nodes: usize, seed: u64) -> Vec<Packet> {
+    let mut dsts: Vec<usize> = (0..nodes).collect();
+    dsts.shuffle(&mut StdRng::seed_from_u64(seed));
+    dsts.into_iter()
+        .enumerate()
+        .map(|(src, dst)| Packet { src, dst })
+        .collect()
+}
+
+fn bench_permutation_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/permutation");
+    for n in [3u32, 5] {
+        let d = DualCube::new(n);
+        let q = Hypercube::new(2 * n - 1);
+        let batch = permutation(d.num_nodes(), 99);
+        group.throughput(Throughput::Elements(batch.len() as u64));
+        group.bench_with_input(BenchmarkId::new("D", d.num_nodes()), &batch, |b, batch| {
+            b.iter(|| route_batch(&d, black_box(batch), |x, y| d.route(x, y)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("Q", q.num_nodes()), &batch, |b, batch| {
+            b.iter(|| route_batch(&q, black_box(batch), |x, y| q.route(x, y)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_radix_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/radix-sort");
+    for n in [3u32, 4] {
+        let d = DualCube::new(n);
+        let keys: Vec<u64> = (0..d.num_nodes() as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) % 256)
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(d.num_nodes()), &keys, |b, k| {
+            b.iter(|| radix_sort(&d, black_box(k), 8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_permutation_routing, bench_radix_sort);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Prints every experiment report in index order — the source of
+//! EXPERIMENTS.md's measured sections.
+fn main() {
+    for (id, title, report) in dc_bench::experiments::all() {
+        println!("## {id} — {title}\n");
+        println!("{}", report());
+        println!();
+    }
+}

@@ -1,0 +1,4 @@
+//! Prints the E1 report (see dc_bench::experiments::e01).
+fn main() {
+    print!("{}", dc_bench::experiments::e01::report());
+}

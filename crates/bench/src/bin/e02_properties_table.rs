@@ -1,0 +1,4 @@
+//! Prints the E2 report (see dc_bench::experiments::e02).
+fn main() {
+    print!("{}", dc_bench::experiments::e02::report());
+}

@@ -1,0 +1,4 @@
+//! Prints the E3 report (see dc_bench::experiments::e03).
+fn main() {
+    print!("{}", dc_bench::experiments::e03::report());
+}

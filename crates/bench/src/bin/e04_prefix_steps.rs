@@ -1,0 +1,4 @@
+//! Prints the E4 report (see dc_bench::experiments::e04).
+fn main() {
+    print!("{}", dc_bench::experiments::e04::report());
+}

@@ -1,0 +1,4 @@
+//! Prints the E5 report (see dc_bench::experiments::e05).
+fn main() {
+    print!("{}", dc_bench::experiments::e05::report());
+}

@@ -1,0 +1,4 @@
+//! Prints the E6 report (see dc_bench::experiments::e06).
+fn main() {
+    print!("{}", dc_bench::experiments::e06::report());
+}

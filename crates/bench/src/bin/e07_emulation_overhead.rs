@@ -1,0 +1,4 @@
+//! Prints the E7 report (see dc_bench::experiments::e07).
+fn main() {
+    print!("{}", dc_bench::experiments::e07::report());
+}

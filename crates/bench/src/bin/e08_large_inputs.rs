@@ -1,0 +1,4 @@
+//! Prints the E8 report (see dc_bench::experiments::e08).
+fn main() {
+    print!("{}", dc_bench::experiments::e08::report());
+}

@@ -1,0 +1,4 @@
+//! Prints the E9 report (see dc_bench::experiments::e09).
+fn main() {
+    print!("{}", dc_bench::experiments::e09::report());
+}

@@ -1,0 +1,4 @@
+//! Prints the E12 report (see dc_bench::experiments::e12).
+fn main() {
+    print!("{}", dc_bench::experiments::e12::report());
+}

@@ -1,0 +1,4 @@
+//! Prints the E13 report (see dc_bench::experiments::e13).
+fn main() {
+    print!("{}", dc_bench::experiments::e13::report());
+}

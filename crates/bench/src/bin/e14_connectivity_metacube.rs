@@ -1,0 +1,4 @@
+//! Prints the E14 report (see dc_bench::experiments::e14).
+fn main() {
+    print!("{}", dc_bench::experiments::e14::report());
+}

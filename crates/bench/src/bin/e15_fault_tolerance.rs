@@ -1,0 +1,4 @@
+//! Prints the E15 report (see dc_bench::experiments::e15).
+fn main() {
+    print!("{}", dc_bench::experiments::e15::report());
+}

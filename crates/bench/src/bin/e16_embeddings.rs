@@ -1,0 +1,4 @@
+//! Prints the E16 report (see dc_bench::experiments::e16).
+fn main() {
+    print!("{}", dc_bench::experiments::e16::report());
+}

@@ -1,0 +1,4 @@
+//! Prints the E17 report (see dc_bench::experiments::e17).
+fn main() {
+    print!("{}", dc_bench::experiments::e17::report());
+}

@@ -1,0 +1,4 @@
+//! Prints the E18 report (see dc_bench::experiments::e18).
+fn main() {
+    print!("{}", dc_bench::experiments::e18::report());
+}

@@ -1,0 +1,4 @@
+//! Prints the E19 report (see dc_bench::experiments::e19).
+fn main() {
+    print!("{}", dc_bench::experiments::e19::report());
+}

@@ -1,0 +1,4 @@
+//! Prints the E20 report (see dc_bench::experiments::e20).
+fn main() {
+    print!("{}", dc_bench::experiments::e20::report());
+}

@@ -1,0 +1,4 @@
+//! Prints the E21 report (see dc_bench::experiments::e21).
+fn main() {
+    print!("{}", dc_bench::experiments::e21::report());
+}

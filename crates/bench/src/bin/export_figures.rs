@@ -1,0 +1,31 @@
+//! Writes Graphviz sources for the paper's topology figures to
+//! `docs/figures/` (Figure 1 = `D_2`, Figure 2 = `D_3`), classes coloured
+//! as in the paper's layout. Render with e.g.
+//! `dot -Kneato -Tsvg docs/figures/d2.dot -o d2.svg`.
+
+use dc_topology::{graph, Class, DualCube};
+use std::fs;
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let out_dir = Path::new("docs/figures");
+    fs::create_dir_all(out_dir)?;
+    for (n, file) in [(2u32, "d2.dot"), (3, "d3.dot")] {
+        let d = DualCube::new(n);
+        let dot = graph::to_dot(&d, |u| {
+            let fill = match d.class_of(u) {
+                Class::Zero => "lightblue",
+                Class::One => "lightsalmon",
+            };
+            format!(
+                "label=\"{u}\\nc{} n{}\", style=filled, fillcolor={fill}",
+                d.cluster_id(u),
+                d.node_id(u)
+            )
+        });
+        let path = out_dir.join(file);
+        fs::write(&path, dot)?;
+        println!("wrote {} (Figure {} of the paper)", path.display(), n - 1);
+    }
+    Ok(())
+}

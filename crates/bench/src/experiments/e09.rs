@@ -1,0 +1,117 @@
+//! E9 — future work 3: collective communication built from the paper's
+//! techniques. Native (Technique-1) broadcast/reduce/all-reduce at
+//! diameter cost, vs reduce+broadcast composition, vs the generic
+//! Technique-2 hypercube emulation.
+
+use crate::table::Table;
+use dc_core::collectives::alltoall::{all_to_all, all_to_all_comm};
+use dc_core::collectives::gather::{all_gather, gather};
+use dc_core::collectives::scatter::scatter;
+use dc_core::collectives::{allreduce, broadcast, reduce};
+use dc_core::emulate::emulated_allreduce;
+use dc_core::ops::Sum;
+use dc_core::theory;
+use dc_topology::{DualCube, RecDualCube, Topology};
+
+/// Renders the E9 report.
+pub fn report() -> String {
+    let mut out =
+        String::from("### Collectives on D_n: communication steps (all results verified)\n\n");
+    let mut t = Table::new([
+        "n",
+        "nodes",
+        "broadcast",
+        "reduce",
+        "allreduce (native)",
+        "reduce+broadcast",
+        "allreduce (emulated Q)",
+        "diameter 2n",
+    ]);
+    for n in 1..=7u32 {
+        let d = DualCube::new(n);
+        let rec = RecDualCube::new(n);
+        let values: Vec<Sum> = (0..d.num_nodes() as i64).map(|x| Sum(x % 101)).collect();
+        let expected: i64 = values.iter().map(|s| s.0).sum();
+
+        let b = broadcast(&d, 1 % d.num_nodes(), 7u8);
+        assert!(b.values.iter().all(|&v| v == 7));
+        let r = reduce(&d, 0, &values);
+        assert_eq!(r.result.0, expected);
+        let a = allreduce(&d, &values);
+        assert!(a.values.iter().all(|v| v.0 == expected));
+        let (em, em_metrics) = emulated_allreduce(&rec, values.clone());
+        assert!(em.iter().all(|v| v.0 == expected));
+
+        t.row([
+            n.to_string(),
+            d.num_nodes().to_string(),
+            b.metrics.comm_steps.to_string(),
+            r.metrics.comm_steps.to_string(),
+            a.metrics.comm_steps.to_string(),
+            (r.metrics.comm_steps + b.metrics.comm_steps).to_string(),
+            em_metrics.comm_steps.to_string(),
+            theory::collective_comm(n).to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nAll three native collectives run at the diameter (2n) — matching the \
+         structure of D_prefix itself (Technique 1). The same all-reduce through \
+         the generic hypercube-emulation layer (Technique 2) costs 6n−5 steps: \
+         the per-algorithm technique beats the generic emulation by ~3×, which is \
+         the paper's own comparison of its two techniques.\n",
+    );
+
+    out.push_str("\n### Vector collectives: steps stay fixed, payloads carry the cost\n\n");
+    let mut t = Table::new([
+        "n",
+        "nodes",
+        "gather steps/words",
+        "all-gather steps/words",
+        "scatter steps/words",
+        "all-to-all steps/words",
+    ]);
+    for n in [2u32, 3, 4] {
+        let d = DualCube::new(n);
+        let rec = RecDualCube::new(n);
+        let nodes = d.num_nodes();
+        let values: Vec<u32> = (0..nodes as u32).collect();
+        let g = gather(&d, 0, &values);
+        let ag = all_gather(&d, &values);
+        let sc = scatter(&d, 0, &values);
+        let matrix: Vec<Vec<u32>> = (0..nodes)
+            .map(|s| (0..nodes).map(|r| (s * nodes + r) as u32).collect())
+            .collect();
+        let a2a = all_to_all(&rec, &matrix);
+        assert_eq!(a2a.metrics.comm_steps, all_to_all_comm(n));
+        let cell = |m: &dc_simulator::Metrics| format!("{} / {}", m.comm_steps, m.message_words);
+        t.row([
+            n.to_string(),
+            nodes.to_string(),
+            cell(&g.metrics),
+            cell(&ag.metrics),
+            cell(&sc.metrics),
+            cell(&a2a.metrics),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nGather/scatter move N words through 2n steps; all-gather replicates \
+         everything everywhere (≈N·2^(n-1)·… words through the same 2n steps); \
+         total exchange pays ~N²·(2n−1)/2 words over its 6n−5-step sweep — the \
+         step model plus word accounting separates latency-bound from \
+         bandwidth-bound collectives, exactly what future work 2 asks a \
+         simulation to reveal.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn native_at_diameter_and_emulated_costlier() {
+        let r = super::report().replace(' ', "");
+        // n = 7 row: diameter 14, emulated 6·7−5 = 37.
+        assert!(r.contains("|7|8192|14|14|14|28|37|14|"), "{r}");
+    }
+}

@@ -1,0 +1,123 @@
+//! E14 — structural guarantees behind the paper's positioning: vertex
+//! connectivity (`κ(D_n) = n`, the fault-tolerance budget) verified by
+//! max-flow, and the metacube family `MC(k, m)` the dual-cube generalises
+//! to (`MC(1, m) = D_(m+1)`).
+
+use crate::table::Table;
+use dc_topology::connectivity::{max_node_disjoint_paths, vertex_connectivity};
+use dc_topology::{CubeConnectedCycles, DualCube, Hypercube, Metacube, Topology};
+
+/// Renders the E14 report.
+pub fn report() -> String {
+    let mut out = String::from("### Vertex connectivity by max-flow (Menger)\n\n");
+    let mut t = Table::new(["network", "nodes", "degree", "κ (measured)", "κ = degree?"]);
+    let nets: Vec<(String, usize, usize, usize)> = vec![
+        {
+            let g = Hypercube::new(4);
+            (
+                g.name(),
+                g.num_nodes(),
+                g.degree(0),
+                vertex_connectivity(&g),
+            )
+        },
+        {
+            let g = DualCube::new(2);
+            (
+                g.name(),
+                g.num_nodes(),
+                g.degree(0),
+                vertex_connectivity(&g),
+            )
+        },
+        {
+            let g = DualCube::new(3);
+            (
+                g.name(),
+                g.num_nodes(),
+                g.degree(0),
+                vertex_connectivity(&g),
+            )
+        },
+        {
+            let g = CubeConnectedCycles::new(3);
+            (
+                g.name(),
+                g.num_nodes(),
+                g.degree(0),
+                vertex_connectivity(&g),
+            )
+        },
+        {
+            let g = Metacube::new(2, 1);
+            (
+                g.name(),
+                g.num_nodes(),
+                g.degree(0),
+                vertex_connectivity(&g),
+            )
+        },
+    ];
+    for (name, nodes, deg, kappa) in nets {
+        t.row([
+            name,
+            nodes.to_string(),
+            deg.to_string(),
+            kappa.to_string(),
+            (kappa == deg).to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nEvery network is maximally connected (κ equals the degree): the \
+         dual-cube tolerates any n−1 node failures without disconnecting, the \
+         property its fault-tolerant-routing literature builds on. Sample \
+         disjoint-path fan on D_3 between antipodal same-class nodes:\n\n",
+    );
+    let d = DualCube::new(3);
+    let paths = max_node_disjoint_paths(&d, 0, 0b01111);
+    for (i, p) in paths.iter().enumerate() {
+        out.push_str(&format!(
+            "  path {}: {:?} ({} hops)\n",
+            i + 1,
+            p,
+            p.len() - 1
+        ));
+    }
+
+    out.push_str("\n### The metacube family (MC(1, m) = D_(m+1))\n\n");
+    let mut t = Table::new(["network", "equals", "nodes", "degree", "address bits"]);
+    for (k, m) in [(0u32, 5u32), (1, 2), (1, 3), (2, 2), (2, 3)] {
+        let mc = Metacube::new(k, m);
+        let equals = match k {
+            0 => format!("Q_{m}"),
+            1 => format!("D_{}", m + 1),
+            _ => "—".to_string(),
+        };
+        t.row([
+            mc.name(),
+            equals,
+            mc.num_nodes().to_string(),
+            mc.degree(0).to_string(),
+            mc.address_bits().to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nMC(2,3) reaches 2^14 nodes at degree 5 — the same economy the paper \
+         exploits at k = 1, taken one level further; the isomorphisms MC(0,m) = Q_m \
+         and MC(1,m) = D_(m+1) are verified edge-for-edge in the test suite.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_maximally_connected() {
+        let r = super::report();
+        assert!(!r.contains("false"));
+        assert!(r.contains("MC(2,3)"));
+        assert!(r.contains("path 3:"));
+    }
+}

@@ -1,0 +1,98 @@
+//! E15 — fault tolerance (the paper's reference-\[4\] lineage): behaviour of
+//! the dual-cube under random node failures.
+//!
+//! Two measurements over seeded random fault sets on `D_4` (128 nodes,
+//! κ = 4):
+//!
+//! * **connectivity** — fraction of trials in which the survivors remain
+//!   connected, as the fault count passes the κ−1 guarantee;
+//! * **dilation** — among connected trials, the worst stretch of
+//!   survivor-graph shortest paths over the fault-free distance formula,
+//!   sampled across node pairs.
+
+use crate::table::Table;
+use dc_topology::faulty::Faulty;
+use dc_topology::{graph, DualCube, Routed, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Renders the E15 report.
+pub fn report() -> String {
+    let n = 4u32;
+    let d = DualCube::new(n);
+    let trials = 40;
+    let mut out = format!(
+        "### Random node failures on {} ({} nodes, κ = n = {n}; {trials} seeded trials per row)\n\n",
+        d.name(),
+        d.num_nodes()
+    );
+    let mut t = Table::new([
+        "faults",
+        "connected trials",
+        "worst dilation (connected trials)",
+        "guarantee",
+    ]);
+    for faults in [1usize, 3, 6, 12, 24, 48] {
+        let mut connected = 0usize;
+        let mut worst_dilation = 0.0f64;
+        for trial in 0..trials {
+            let mut ids: Vec<usize> = (0..d.num_nodes()).collect();
+            ids.shuffle(&mut StdRng::seed_from_u64((faults * 1000 + trial) as u64));
+            let f = Faulty::new(d, &ids[..faults]);
+            if !f.survivors_connected() {
+                continue;
+            }
+            connected += 1;
+            // Sample pairs among survivors and compare against the
+            // fault-free distance.
+            let survivors = f.survivors();
+            let src = survivors[0];
+            let dist = graph::bfs_distances(&f, src);
+            for &v in survivors.iter().step_by(7).skip(1) {
+                let fault_free = d.distance(src, v).max(1);
+                let dilation = dist[v] as f64 / fault_free as f64;
+                worst_dilation = worst_dilation.max(dilation);
+            }
+        }
+        t.row([
+            faults.to_string(),
+            format!("{connected}/{trials}"),
+            if connected > 0 {
+                format!("{worst_dilation:.2}×")
+            } else {
+                "—".into()
+            },
+            if faults < n as usize {
+                "κ guarantees connectivity".to_string()
+            } else {
+                "beyond κ−1: probabilistic".to_string()
+            },
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nBelow κ = n faults, connectivity is guaranteed (Menger; verified \
+         exhaustively for D_3 in the test suite) — and in practice random fault \
+         sets far beyond the worst-case bound still leave the network connected \
+         with modest path dilation, the behaviour fault-tolerant-routing schemes \
+         for the dual-cube rely on.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn guaranteed_rows_are_fully_connected() {
+        let r = super::report();
+        // Fault counts below κ = 4 must show 40/40 connected.
+        let stripped = r.replace(' ', "");
+        for f in [1, 3] {
+            assert!(
+                stripped.contains(&format!("|{f}|40/40|")),
+                "fault count {f} not fully connected:\n{r}"
+            );
+        }
+    }
+}

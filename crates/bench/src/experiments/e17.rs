@@ -1,0 +1,107 @@
+//! E17 — scalability analysis in the style of the paper's reference \[2\]
+//! (Grama et al.): speedup and efficiency of `D_prefix` under a parametric
+//! cost model, across machine size `n`, per-node load `k`, and the
+//! communication-to-computation cost ratio `α/β`.
+//!
+//! The textbook shape to reproduce: at fixed `k`, efficiency *falls* with
+//! machine size (communication grows as `2n+1` while per-node work stays
+//! `O(k)`); at fixed `n`, efficiency *rises* with `k` towards the block
+//! decomposition's work-optimality cap of ½ (each node spends `2k−1`
+//! operations — a scan plus an offset fold — where the sequential
+//! algorithm spends `k`). Expensive communication (large `α/β`) shifts
+//! every curve down without changing the shape.
+
+use crate::table::Table;
+use dc_core::model::{prefix_sequential_ops, CostModel};
+use dc_core::ops::Sum;
+use dc_core::prefix::large::d_prefix_large;
+use dc_core::prefix::PrefixKind;
+use dc_topology::{DualCube, Topology};
+
+/// Renders the E17 report.
+pub fn report() -> String {
+    let mut out = String::from(
+        "### D_prefix speedup / efficiency (cost model: comm cycle = α, element op = β = 1)\n\n",
+    );
+    let mut t = Table::new([
+        "n",
+        "nodes",
+        "k",
+        "total items",
+        "speedup α/β=1",
+        "eff α/β=1",
+        "speedup α/β=10",
+        "eff α/β=10",
+    ]);
+    for n in [3u32, 5, 7] {
+        let d = DualCube::new(n);
+        let nodes = d.num_nodes();
+        for k in [1usize, 16, 256] {
+            let total = nodes * k;
+            let input: Vec<Sum> = (0..total as i64).map(Sum).collect();
+            let run = d_prefix_large(&d, &input, PrefixKind::Inclusive);
+            let seq = prefix_sequential_ops(total);
+            let m1 = CostModel::comm_ratio(1.0);
+            let m10 = CostModel::comm_ratio(10.0);
+            t.row([
+                n.to_string(),
+                nodes.to_string(),
+                k.to_string(),
+                total.to_string(),
+                format!("{:.1}", m1.speedup(&run.metrics, nodes, seq)),
+                format!("{:.3}", m1.efficiency(&run.metrics, nodes, seq)),
+                format!("{:.1}", m10.speedup(&run.metrics, nodes, seq)),
+                format!("{:.3}", m10.efficiency(&run.metrics, nodes, seq)),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nThe isoefficiency shape: at k = 1 the scan is communication-bound and \
+         efficiency collapses as the machine grows; at k = 256 the 2n+1-step \
+         communication is fully amortised and efficiency approaches the block \
+         decomposition's ½ work-optimality cap (2k−1 local ops vs k sequential) \
+         even on 8192 nodes. A 10× communication cost shifts every row down but \
+         preserves the shape — Theorem 1's step count is what makes the \
+         k-scaling work.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_rises_with_k_and_falls_with_n() {
+        let d3 = DualCube::new(3);
+        let d5 = DualCube::new(5);
+        let model = CostModel::unit();
+        let eff = |d: &DualCube, k: usize| {
+            let total = d.num_nodes() * k;
+            let input: Vec<Sum> = (0..total as i64).map(Sum).collect();
+            let run = d_prefix_large(d, &input, PrefixKind::Inclusive);
+            model.efficiency(&run.metrics, d.num_nodes(), prefix_sequential_ops(total))
+        };
+        assert!(eff(&d3, 64) > eff(&d3, 1), "efficiency should rise with k");
+        assert!(
+            eff(&d3, 1) > eff(&d5, 1),
+            "efficiency should fall with n at k=1"
+        );
+        // The asymptote is ½ (2k−1 local ops vs k sequential); approach it.
+        assert!(
+            eff(&d3, 256) > 0.45,
+            "large blocks should approach the ½ cap"
+        );
+        assert!(eff(&d3, 256) < 0.5);
+    }
+
+    #[test]
+    fn report_has_all_rows() {
+        let r = super::report();
+        assert_eq!(
+            r.matches("| 3 |").count() + r.matches("| 5 |").count() + r.matches("| 7 |").count(),
+            9
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! E18 — the paper's two techniques compared *for prefix computation*
+//! (the paper itself only compares them implicitly, using Technique 1 for
+//! prefix and Technique 2 for sorting), plus the extension of prefix to
+//! the metacube family.
+//!
+//! * **Technique 1** (cluster structure): `D_prefix` — `2n+1` steps.
+//! * **Technique 2** (generic emulation): an ascend sweep through the
+//!   `(2k+1)`-cycle emulated window — `6m+1` steps on `MC(1, m) =
+//!   D_(m+1)`, i.e. ~3× worse, mirroring the sorting overhead of E7.
+//! * On `MC(2, m)` (which has no Technique-1 algorithm in the literature)
+//!   the emulated window still delivers a correct prefix at
+//!   `(2k+1)·2^k·m + k` steps — new ground beyond the paper.
+
+use crate::table::Table;
+use dc_core::ops::Sum;
+use dc_core::prefix::dualcube::{d_prefix, Step5Mode};
+use dc_core::prefix::metacube::{mc_prefix, mc_prefix_comm};
+use dc_core::prefix::{sequential_prefix, PrefixKind};
+use dc_core::run::Recording;
+use dc_core::sort::dualcube::d_sort;
+use dc_core::sort::metacube::{mc_sort, mc_sort_comm};
+use dc_core::sort::SortOrder;
+use dc_core::theory;
+use dc_topology::{DualCube, Metacube, RecDualCube, Topology};
+
+/// Renders the E18 report.
+pub fn report() -> String {
+    let mut out = String::from(
+        "### Prefix via Technique 1 vs Technique 2 on the same network (MC(1,m) = D_(m+1))\n\n",
+    );
+    let mut t = Table::new([
+        "m",
+        "network",
+        "nodes",
+        "T1: D_prefix (2n+1)",
+        "T2: emulated sweep",
+        "T2 formula (6m+1)",
+        "ratio",
+    ]);
+    for m in 1..=5u32 {
+        let n = m + 1;
+        let d = DualCube::new(n);
+        let mc = Metacube::new(1, m);
+        let input: Vec<Sum> = (0..d.num_nodes() as i64).map(|x| Sum(x % 37)).collect();
+        let t1 = d_prefix(
+            &d,
+            &input,
+            PrefixKind::Inclusive,
+            Step5Mode::PaperFaithful,
+            Recording::Off,
+        );
+        let t2 = mc_prefix(&mc, &input, PrefixKind::Inclusive);
+        // Same multiset machine, different node labelling: both must
+        // produce the sequential prefixes of their respective layouts.
+        assert_eq!(
+            t2.prefixes,
+            sequential_prefix(&input, PrefixKind::Inclusive)
+        );
+        assert_eq!(
+            t1.prefixes,
+            sequential_prefix(&input, PrefixKind::Inclusive)
+        );
+        t.row([
+            m.to_string(),
+            format!("D_{n}"),
+            d.num_nodes().to_string(),
+            t1.metrics.comm_steps.to_string(),
+            t2.metrics.comm_steps.to_string(),
+            mc_prefix_comm(1, m).to_string(),
+            format!(
+                "{:.2}",
+                t2.metrics.comm_steps as f64 / t1.metrics.comm_steps as f64
+            ),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nTechnique 1's cluster-aware schedule beats the generic Technique-2 \
+         emulation by a factor approaching 3 — the same constant as the sorting \
+         overhead in E7, now measured on the prefix side; the paper chose its \
+         techniques well.\n\n### Prefix on the wider metacube family (beyond the paper)\n\n",
+    );
+    let mut t = Table::new([
+        "network",
+        "nodes",
+        "degree",
+        "comm (meas)",
+        "formula (2k+1)·2^k·m + k",
+        "correct",
+    ]);
+    for (k, m) in [(0u32, 5u32), (1, 2), (2, 1), (2, 2)] {
+        let mc = Metacube::new(k, m);
+        let input: Vec<Sum> = (0..mc.num_nodes() as i64).map(|x| Sum(3 * x + 1)).collect();
+        let run = mc_prefix(&mc, &input, PrefixKind::Inclusive);
+        let ok = run.prefixes == sequential_prefix(&input, PrefixKind::Inclusive);
+        t.row([
+            mc.name(),
+            mc.num_nodes().to_string(),
+            mc.degree(0).to_string(),
+            run.metrics.comm_steps.to_string(),
+            mc_prefix_comm(k, m).to_string(),
+            ok.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nThe (2k+1)-cycle window generalises Algorithm 3's three-time-unit \
+         compare-exchange: k = 0 recovers Cube_prefix ({} steps on Q_5), k = 1 \
+         the dual-cube window, and k = 2 runs prefix on a network the paper's \
+         framework never reached, with the class k-cube acting as the relay tree.\n",
+        theory::cube_prefix_comm(5)
+    ));
+
+    out.push_str("\n### Sorting through the same window (mc_sort)\n\n");
+    let mut t = Table::new([
+        "network",
+        "nodes",
+        "comm (meas)",
+        "closed form",
+        "k=1 equals Theorem 2?",
+        "sorted",
+    ]);
+    for (k, m) in [(0u32, 4u32), (1, 2), (2, 1), (2, 2)] {
+        let mc = Metacube::new(k, m);
+        let keys: Vec<u32> = (0..mc.num_nodes() as u32)
+            .map(|i| i.wrapping_mul(2654435761) % 10_000)
+            .collect();
+        let run = mc_sort(&mc, &keys, SortOrder::Ascending);
+        let sorted = SortOrder::Ascending.is_sorted(&run.output);
+        let th2 = if k == 1 {
+            let equal = run.metrics.comm_steps == theory::sort_comm_exact(m + 1);
+            // Cross-check against the Section-4-presentation d_sort run.
+            let rec = RecDualCube::new(m + 1);
+            let ds = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Off);
+            assert_eq!(ds.metrics.comm_steps, run.metrics.comm_steps);
+            equal.to_string()
+        } else {
+            "—".into()
+        };
+        t.row([
+            mc.name(),
+            mc.num_nodes().to_string(),
+            run.metrics.comm_steps.to_string(),
+            mc_sort_comm(k, m).to_string(),
+            th2,
+            sorted.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nAt k = 1 the raw-address bitonic schedule costs exactly Theorem 2's \
+         6n²−7n+2 — Section 4's recursive presentation is, in cost terms, a \
+         renumbering of this schedule — and at k = 2 the same machinery sorts a \
+         network beyond the paper's scope.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn technique_one_wins_and_metacube_rows_correct() {
+        let r = super::report().replace(' ', "");
+        assert!(!r.contains("false"));
+        // k=1 sorting row matches Theorem 2.
+        assert!(r.contains("|MC(1,2)|32|35|35|true|"), "{r}");
+        // m = 5: T1 = 13, T2 = 31, ratio 2.38.
+        assert!(r.contains("|13|31|31|2.38|"), "{r}");
+        // MC(2,2) row: 1024 nodes, (2·2+1)·4·2+2 = 42 steps.
+        assert!(r.contains("|MC(2,2)|1024|4|42|42|true|"), "{r}");
+    }
+}

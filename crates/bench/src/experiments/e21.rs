@@ -1,0 +1,127 @@
+//! E21 — switching-model ablation: store-and-forward (the model behind
+//! the paper's "three time-units" compare-exchange, Section 6) vs
+//! cut-through channels, on the same traffic.
+//!
+//! The paper's ×3 emulation overhead is a *store-and-forward* artefact:
+//! each of the 3 hops costs a full cycle. With cut-through links an
+//! uncontended 3-hop path crosses in one cycle, so the overhead melts to
+//! contention only. The table measures both switching models on
+//! permutation traffic over `D_4` and `Q_7`, plus the 3-hop
+//! compare-exchange path itself.
+
+use crate::table::Table;
+use dc_simulator::router::{route_batch, route_batch_cut_through, Packet};
+use dc_topology::{DualCube, Hypercube, NodeId, RecDualCube, Routed, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn perm(nodes: usize, seed: u64) -> Vec<Packet> {
+    let mut dsts: Vec<usize> = (0..nodes).collect();
+    dsts.shuffle(&mut StdRng::seed_from_u64(seed));
+    dsts.into_iter()
+        .enumerate()
+        .map(|(src, dst)| Packet { src, dst })
+        .collect()
+}
+
+/// Renders the E21 report.
+pub fn report() -> String {
+    let mut out = String::from("### The 3-hop window under both switching models\n\n");
+    // A single emulated compare-exchange path on D_3 (rec coords).
+    let rec = RecDualCube::new(3);
+    let r: NodeId = 0; // class 0, dimension 1 missing
+    let path = rec.emulation_path(r, 1);
+    let d = rec.standard();
+    let std_path: Vec<NodeId> = path.iter().map(|&x| d.rec_to_std(x)).collect();
+    let batch = [Packet {
+        src: std_path[0],
+        dst: std_path[3],
+    }];
+    let route_via = |_a: NodeId, _b: NodeId| std_path.clone();
+    let sf = route_batch(d, &batch, route_via).unwrap();
+    let ct = route_batch_cut_through(d, &batch, |_a, _b| std_path.clone()).unwrap();
+    out.push_str(&format!(
+        "The Algorithm 3 path (u, ū₀), (ū₀, (ū₀)ⱼ), ((ū₀)ⱼ, ūⱼ) costs {} cycles \
+         store-and-forward (the paper's three time-units) but {} cycle(s) \
+         cut-through when uncontended.\n\n",
+        sf.makespan, ct.makespan
+    ));
+
+    out.push_str("### Random permutations under both models\n\n");
+    let mut t = Table::new([
+        "network",
+        "nodes",
+        "S&F makespan",
+        "S&F mean latency",
+        "CT makespan",
+        "CT mean latency",
+        "CT speedup",
+    ]);
+    let d4 = DualCube::new(4);
+    let q7 = Hypercube::new(7);
+    for seed in [1u64, 2, 3] {
+        for net in ["D_4", "Q_7"] {
+            let (name, nodes, sf, ct) = if net == "D_4" {
+                let b = perm(d4.num_nodes(), seed);
+                (
+                    format!("D_4 (seed {seed})"),
+                    d4.num_nodes(),
+                    route_batch(&d4, &b, |a, bb| d4.route(a, bb)).unwrap(),
+                    route_batch_cut_through(&d4, &b, |a, bb| d4.route(a, bb)).unwrap(),
+                )
+            } else {
+                let b = perm(q7.num_nodes(), seed);
+                (
+                    format!("Q_7 (seed {seed})"),
+                    q7.num_nodes(),
+                    route_batch(&q7, &b, |a, bb| q7.route(a, bb)).unwrap(),
+                    route_batch_cut_through(&q7, &b, |a, bb| q7.route(a, bb)).unwrap(),
+                )
+            };
+            t.row([
+                name,
+                nodes.to_string(),
+                sf.makespan.to_string(),
+                format!("{:.2}", sf.mean_latency()),
+                ct.makespan.to_string(),
+                format!("{:.2}", ct.mean_latency()),
+                format!("{:.2}×", sf.makespan as f64 / ct.makespan as f64),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nCut-through collapses per-hop latency; what remains is pure link \
+         contention, and the dual-cube's gap to the hypercube narrows \
+         accordingly. The paper's step counts — and its ×3 emulation factor — \
+         are store-and-forward quantities; on pipelined channels the dual-cube's \
+         effective emulation cost drops toward the contention floor.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn window_collapses_to_one_cycle_cut_through() {
+        let r = super::report();
+        assert!(r.contains("costs 3 cycles"));
+        assert!(r.contains("but 1 cycle(s)"));
+        // Cut-through never slower.
+        for line in r
+            .lines()
+            .filter(|l| l.starts_with("| D_4") || l.starts_with("| Q_7"))
+        {
+            let speedup: f64 = line
+                .split('|')
+                .nth(7)
+                .unwrap()
+                .trim()
+                .trim_end_matches('×')
+                .parse()
+                .unwrap();
+            assert!(speedup >= 1.0, "{line}");
+        }
+    }
+}

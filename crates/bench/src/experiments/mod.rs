@@ -1,0 +1,115 @@
+//! The experiment implementations, one module per row of DESIGN.md's
+//! experiment index. Each exposes `report() -> String`; the `e*` binaries
+//! and `all_experiments` print them, and EXPERIMENTS.md embeds the output.
+
+pub mod e01;
+pub mod e02;
+pub mod e03;
+pub mod e04;
+pub mod e05;
+pub mod e06;
+pub mod e07;
+pub mod e08;
+pub mod e09;
+pub mod e12;
+pub mod e13;
+pub mod e14;
+pub mod e15;
+pub mod e16;
+pub mod e17;
+pub mod e18;
+pub mod e19;
+pub mod e20;
+pub mod e21;
+
+/// One experiment entry: `(id, title, report function)`.
+pub type Experiment = (&'static str, &'static str, fn() -> String);
+
+/// Every experiment, in index order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        (
+            "E1",
+            "Figures 1-2: topology of D_2 and D_3",
+            e01::report as fn() -> String,
+        ),
+        (
+            "E2",
+            "Sections 1-2: degree/diameter/distance claims",
+            e02::report,
+        ),
+        ("E3", "Figure 3: prefix-sum walkthrough on D_3", e03::report),
+        (
+            "E4",
+            "Theorem 1: D_prefix step counts (+ ablation E11)",
+            e04::report,
+        ),
+        ("E5", "Figures 5-6: D_sort walkthrough on D_2", e05::report),
+        ("E6", "Theorem 2: D_sort step counts", e06::report),
+        (
+            "E7",
+            "Section 7: emulation overhead vs hypercube",
+            e07::report,
+        ),
+        (
+            "E8",
+            "Future work 1: inputs larger than the network",
+            e08::report,
+        ),
+        (
+            "E9",
+            "Future work 3: collectives from both techniques",
+            e09::report,
+        ),
+        (
+            "E12",
+            "Future work 2: permutation-traffic simulation",
+            e12::report,
+        ),
+        (
+            "E13",
+            "Scan-based radix sort vs bitonic D_sort",
+            e13::report,
+        ),
+        (
+            "E14",
+            "Connectivity (Menger) and the metacube family",
+            e14::report,
+        ),
+        (
+            "E15",
+            "Fault tolerance under random node failures",
+            e15::report,
+        ),
+        (
+            "E16",
+            "Embeddings: hypercube dilation/congestion, ring, generic broadcast",
+            e16::report,
+        ),
+        (
+            "E17",
+            "Scalability: speedup/efficiency under a parametric cost model",
+            e17::report,
+        ),
+        (
+            "E18",
+            "Techniques 1 vs 2 for prefix; metacube prefix",
+            e18::report,
+        ),
+        (
+            "E19",
+            "Space-time diagrams of the paper's schedules",
+            e19::report,
+        ),
+        (
+            "E20",
+            "Randomized sorting: the 'no guaranteed speedup' caveat",
+            e20::report,
+        ),
+        (
+            "E21",
+            "Switching-model ablation: store-and-forward vs cut-through",
+            e21::report,
+        ),
+    ]
+}

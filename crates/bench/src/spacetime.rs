@@ -1,0 +1,107 @@
+//! ASCII space-time diagrams: nodes × communication cycles, from a
+//! [`Machine`](dc_simulator::Machine) trace. Used by experiment E19 to
+//! draw the paper's schedules the way architecture papers draw pipelines.
+
+use std::fmt::Write;
+
+/// Renders a space-time diagram. `trace[c]` lists the `(src, dst)`
+/// messages of cycle `c`; rows are node ids `0..nodes`. Cell legend:
+/// `s` send, `r` receive, `b` both, `·` idle.
+pub fn render(trace: &[Vec<(usize, usize)>], nodes: usize, label_every: usize) -> String {
+    let cycles = trace.len();
+    let mut grid = vec![vec!['·'; cycles]; nodes];
+    for (c, msgs) in trace.iter().enumerate() {
+        for &(src, dst) in msgs {
+            let cell = &mut grid[src][c];
+            *cell = if *cell == 'r' || *cell == 'b' {
+                'b'
+            } else {
+                's'
+            };
+            let cell = &mut grid[dst][c];
+            *cell = if *cell == 's' || *cell == 'b' {
+                'b'
+            } else {
+                'r'
+            };
+        }
+    }
+    let id_width = format!("{}", nodes.saturating_sub(1)).len().max(4);
+    let mut out = String::new();
+    // Header: the cycle number's last digit per column (every
+    // `label_every`-th column, others blank).
+    write!(out, "{:>id_width$} |", "node").unwrap();
+    for c in 0..cycles {
+        if label_every > 0 && c % label_every == 0 {
+            write!(out, "{}", c % 10).unwrap();
+        } else {
+            out.push(' ');
+        }
+    }
+    out.push('\n');
+    writeln!(
+        out,
+        "{:>id_width$}-+{}",
+        "-".repeat(id_width),
+        "-".repeat(cycles)
+    )
+    .unwrap();
+    for (u, row) in grid.iter().enumerate() {
+        write!(out, "{u:>id_width$} |").unwrap();
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    // Utilisation: distinct non-idle (node, cycle) cells.
+    let busy: usize = grid
+        .iter()
+        .map(|row| row.iter().filter(|&&ch| ch != '·').count())
+        .sum();
+    writeln!(
+        out,
+        "utilisation: {} busy node-cycles / {} total = {:.0}%  (s=send r=recv b=both ·=idle)",
+        busy,
+        nodes * cycles,
+        100.0 * busy as f64 / (nodes * cycles).max(1) as f64
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sends_receives_and_idles() {
+        let trace = vec![vec![(0, 1)], vec![(1, 0), (2, 3)], vec![]];
+        let s = render(&trace, 4, 1);
+        let lines: Vec<&str> = s.lines().collect();
+        // Row for node 0: sends in cycle 0, receives in cycle 1, idle in 2.
+        assert!(
+            lines.iter().any(|l| l.trim_start().starts_with("0 |sr·")),
+            "{s}"
+        );
+        assert!(
+            lines.iter().any(|l| l.trim_start().starts_with("1 |rs·")),
+            "{s}"
+        );
+        assert!(
+            lines.iter().any(|l| l.trim_start().starts_with("3 |·r·")),
+            "{s}"
+        );
+        assert!(s.contains("utilisation: 6 busy"), "{s}");
+    }
+
+    #[test]
+    fn both_marker_for_simultaneous_send_and_receive() {
+        let trace = vec![vec![(0, 1), (1, 0)]];
+        let s = render(&trace, 2, 1);
+        assert!(s.lines().filter(|l| l.contains("|b")).count() == 2, "{s}");
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let s = render(&[], 3, 4);
+        assert!(s.contains("0%"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Minimal aligned-table formatter for the experiment reports (markdown
+//! pipe-table output, so EXPERIMENTS.md can embed the reports verbatim).
+
+/// A simple text table: headers plus rows, rendered with aligned columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header count.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a markdown pipe table with aligned columns (first column
+    /// left-aligned, the rest right-aligned).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                if i == 0 {
+                    line.push_str(&format!(" {}{} |", cell, " ".repeat(pad)));
+                } else {
+                    line.push_str(&format!(" {}{} |", " ".repeat(pad), cell));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('|');
+        for (i, w) in widths.iter().enumerate() {
+            if i == 0 {
+                out.push_str(&format!(":{}-|", "-".repeat(*w)));
+            } else {
+                out.push_str(&format!("-{}:|", "-".repeat(*w)));
+            }
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["net", "nodes"]);
+        t.row(["D_3", "32"]);
+        t.row(["Q_15", "32768"]);
+        let s = t.render();
+        assert!(s.contains("| net  | nodes |"));
+        assert!(s.contains("| D_3  |    32 |"));
+        assert!(s.contains("| Q_15 | 32768 |"));
+        assert!(s.lines().nth(1).unwrap().starts_with("|:"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        Table::new(["a", "b"]).row(["only one"]);
+    }
+}

@@ -1,0 +1,312 @@
+//! Hand-rolled argument parsing (the approved dependency set has no CLI
+//! crate; the grammar is small enough that a typed parser with tests is
+//! simpler than pulling one in).
+
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `info <n>` — topology properties of `D_n` and its comparators.
+    Info { n: u32 },
+    /// `route <n> <src> <dst>` — shortest path in `D_n`.
+    Route { n: u32, src: usize, dst: usize },
+    /// `prefix <n> [--k K] [--op sum|max|concat] [--seed S]`.
+    Prefix {
+        n: u32,
+        k: usize,
+        op: OpKind,
+        seed: u64,
+    },
+    /// `sort <n> [--algo bitonic|radix|ring|hypercube] [--seed S]`.
+    Sort { n: u32, algo: SortAlgo, seed: u64 },
+    /// `broadcast <n> <root>`.
+    Broadcast { n: u32, root: usize },
+    /// `experiments [id…]` — print experiment reports (all by default).
+    Experiments { ids: Vec<String> },
+    /// `diagram <n> <prefix|sort>` — space-time diagram of a schedule.
+    Diagram { n: u32, which: DiagramKind },
+    /// `hamiltonian <n>` — the dilation-1 ring embedding.
+    Hamiltonian { n: u32 },
+    /// `dot <n>` — Graphviz source for `D_n` (classes coloured).
+    Dot { n: u32 },
+    /// `help`.
+    Help,
+}
+
+/// Which schedule to draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagramKind {
+    /// `D_prefix` (Algorithm 2).
+    Prefix,
+    /// `D_sort` (Algorithm 3).
+    Sort,
+}
+
+/// Prefix operator choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Integer addition.
+    Sum,
+    /// Integer maximum.
+    Max,
+    /// String concatenation (non-commutative demo).
+    Concat,
+}
+
+/// Sorting algorithm choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortAlgo {
+    /// Algorithm 3 (`D_sort`).
+    Bitonic,
+    /// Scan-based radix sort.
+    Radix,
+    /// Odd-even transposition on the embedded ring.
+    Ring,
+    /// Bitonic sort on the equal-sized hypercube (baseline).
+    Hypercube,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn req<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> Result<T, ParseError> {
+    args.get(i)
+        .ok_or_else(|| ParseError(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ParseError(format!("invalid {what}: {:?}", args[i])))
+}
+
+fn flag(args: &[String], name: &str) -> Result<Option<String>, ParseError> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return it
+                .next()
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| ParseError(format!("{name} requires a value")));
+        }
+    }
+    Ok(None)
+}
+
+/// Parses the argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" => Ok(Command::Info {
+            n: req(args, 1, "n")?,
+        }),
+        "route" => Ok(Command::Route {
+            n: req(args, 1, "n")?,
+            src: req(args, 2, "src")?,
+            dst: req(args, 3, "dst")?,
+        }),
+        "prefix" => {
+            let n = req(args, 1, "n")?;
+            let k = flag(args, "--k")?
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| ParseError(format!("invalid --k: {v}")))
+                })
+                .transpose()?
+                .unwrap_or(1);
+            let op = match flag(args, "--op")?.as_deref() {
+                None | Some("sum") => OpKind::Sum,
+                Some("max") => OpKind::Max,
+                Some("concat") => OpKind::Concat,
+                Some(other) => return Err(ParseError(format!("unknown --op: {other}"))),
+            };
+            let seed = flag(args, "--seed")?
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| ParseError(format!("invalid --seed: {v}")))
+                })
+                .transpose()?
+                .unwrap_or(2008);
+            Ok(Command::Prefix { n, k, op, seed })
+        }
+        "sort" => {
+            let n = req(args, 1, "n")?;
+            let algo = match flag(args, "--algo")?.as_deref() {
+                None | Some("bitonic") => SortAlgo::Bitonic,
+                Some("radix") => SortAlgo::Radix,
+                Some("ring") => SortAlgo::Ring,
+                Some("hypercube") => SortAlgo::Hypercube,
+                Some(other) => return Err(ParseError(format!("unknown --algo: {other}"))),
+            };
+            let seed = flag(args, "--seed")?
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| ParseError(format!("invalid --seed: {v}")))
+                })
+                .transpose()?
+                .unwrap_or(2008);
+            Ok(Command::Sort { n, algo, seed })
+        }
+        "broadcast" => Ok(Command::Broadcast {
+            n: req(args, 1, "n")?,
+            root: req(args, 2, "root")?,
+        }),
+        "experiments" => Ok(Command::Experiments {
+            ids: args[1..].to_vec(),
+        }),
+        "diagram" => {
+            let n = req(args, 1, "n")?;
+            let which = match args.get(2).map(String::as_str) {
+                Some("prefix") | None => DiagramKind::Prefix,
+                Some("sort") => DiagramKind::Sort,
+                Some(other) => return Err(ParseError(format!("unknown diagram {other:?}"))),
+            };
+            Ok(Command::Diagram { n, which })
+        }
+        "hamiltonian" => Ok(Command::Hamiltonian {
+            n: req(args, 1, "n")?,
+        }),
+        "dot" => Ok(Command::Dot {
+            n: req(args, 1, "n")?,
+        }),
+        other => Err(ParseError(format!(
+            "unknown command {other:?}; try `dual-cube help`"
+        ))),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+dual-cube — Prefix Computation and Sorting in Dual-Cube (ICPP 2008), reproduced
+
+USAGE:
+  dual-cube info <n>                          topology properties of D_n
+  dual-cube route <n> <src> <dst>             shortest path in D_n
+  dual-cube prefix <n> [--k K] [--op sum|max|concat] [--seed S]
+                                              run D_prefix (K values/node)
+  dual-cube sort <n> [--algo bitonic|radix|ring|hypercube] [--seed S]
+                                              run a network sort
+  dual-cube broadcast <n> <root>              broadcast from a root node
+  dual-cube experiments [E1 E4 …]             print experiment reports
+  dual-cube diagram <n> [prefix|sort]         space-time diagram of a schedule
+  dual-cube hamiltonian <n>                   the dilation-1 ring embedding
+  dual-cube dot <n>                           Graphviz source for D_n
+  dual-cube help                              this text
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Result<Command, ParseError> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        parse(&args)
+    }
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(p("info 3"), Ok(Command::Info { n: 3 }));
+        assert_eq!(
+            p("route 3 0 31"),
+            Ok(Command::Route {
+                n: 3,
+                src: 0,
+                dst: 31
+            })
+        );
+        assert_eq!(p("broadcast 2 5"), Ok(Command::Broadcast { n: 2, root: 5 }));
+        assert_eq!(p("help"), Ok(Command::Help));
+        assert_eq!(p(""), Ok(Command::Help));
+    }
+
+    #[test]
+    fn parses_prefix_flags_in_any_order() {
+        assert_eq!(
+            p("prefix 4 --op max --k 8 --seed 1"),
+            Ok(Command::Prefix {
+                n: 4,
+                k: 8,
+                op: OpKind::Max,
+                seed: 1
+            })
+        );
+        assert_eq!(
+            p("prefix 4"),
+            Ok(Command::Prefix {
+                n: 4,
+                k: 1,
+                op: OpKind::Sum,
+                seed: 2008
+            })
+        );
+    }
+
+    #[test]
+    fn parses_sort_algos() {
+        for (s, a) in [
+            ("bitonic", SortAlgo::Bitonic),
+            ("radix", SortAlgo::Radix),
+            ("ring", SortAlgo::Ring),
+            ("hypercube", SortAlgo::Hypercube),
+        ] {
+            assert_eq!(
+                p(&format!("sort 3 --algo {s}")),
+                Ok(Command::Sort {
+                    n: 3,
+                    algo: a,
+                    seed: 2008
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn parses_diagram_and_hamiltonian() {
+        assert_eq!(
+            p("diagram 3"),
+            Ok(Command::Diagram {
+                n: 3,
+                which: DiagramKind::Prefix
+            })
+        );
+        assert_eq!(
+            p("diagram 2 sort"),
+            Ok(Command::Diagram {
+                n: 2,
+                which: DiagramKind::Sort
+            })
+        );
+        assert!(p("diagram 2 pie").is_err());
+        assert_eq!(p("hamiltonian 4"), Ok(Command::Hamiltonian { n: 4 }));
+        assert_eq!(p("dot 2"), Ok(Command::Dot { n: 2 }));
+    }
+
+    #[test]
+    fn experiments_take_optional_ids() {
+        assert_eq!(p("experiments"), Ok(Command::Experiments { ids: vec![] }));
+        assert_eq!(
+            p("experiments E1 E4"),
+            Ok(Command::Experiments {
+                ids: vec!["E1".into(), "E4".into()]
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(p("explode 3").is_err());
+        assert!(p("info").is_err());
+        assert!(p("info many").is_err());
+        assert!(p("prefix 3 --op frobnicate").is_err());
+        assert!(p("sort 3 --algo quantum").is_err());
+        assert!(p("prefix 3 --k").is_err());
+    }
+}

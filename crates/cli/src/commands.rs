@@ -1,0 +1,465 @@
+//! Command implementations: each returns the text to print, so the whole
+//! surface is unit-testable without capturing stdout.
+
+use crate::args::{Command, DiagramKind, OpKind, SortAlgo, HELP};
+use dc_core::apps::radix_sort;
+use dc_core::collectives::broadcast;
+use dc_core::ops::{Concat, Max, Sum};
+use dc_core::prefix::dualcube::{d_prefix, Step5Mode};
+use dc_core::prefix::large::d_prefix_large;
+use dc_core::prefix::PrefixKind;
+use dc_core::run::Recording;
+use dc_core::sort::dualcube::d_sort;
+use dc_core::sort::hypercube::cube_bitonic_sort;
+use dc_core::sort::ring::ring_sort;
+use dc_core::sort::SortOrder;
+use dc_core::theory;
+use dc_topology::bits::to_binary;
+use dc_topology::{graph, properties, DualCube, Hypercube, RecDualCube, Routed, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Executes a parsed command, returning its output text.
+pub fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(HELP.to_string()),
+        Command::Info { n } => info(n),
+        Command::Route { n, src, dst } => route(n, src, dst),
+        Command::Prefix { n, k, op, seed } => prefix(n, k, op, seed),
+        Command::Sort { n, algo, seed } => sort(n, algo, seed),
+        Command::Broadcast { n, root } => bcast(n, root),
+        Command::Experiments { ids } => experiments(&ids),
+        Command::Diagram { n, which } => diagram(n, which),
+        Command::Hamiltonian { n } => hamiltonian(n),
+        Command::Dot { n } => dot(n),
+    }
+}
+
+fn check_n(n: u32) -> Result<DualCube, String> {
+    if (1..=10).contains(&n) {
+        Ok(DualCube::new(n))
+    } else {
+        Err(format!("n must be in 1..=10, got {n}"))
+    }
+}
+
+fn info(n: u32) -> Result<String, String> {
+    let d = check_n(n)?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{}: {} nodes, {} links, degree {}, diameter {}",
+        d.name(),
+        d.num_nodes(),
+        d.num_edges(),
+        d.degree(0),
+        d.diameter_formula()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{} clusters per class, each a Q_{} of {} nodes",
+        d.clusters_per_class(),
+        d.cluster_dim(),
+        d.cluster_size()
+    )
+    .unwrap();
+    let same_size = properties::hypercube_row(2 * n - 1);
+    writeln!(
+        out,
+        "equal-sized hypercube: {} at degree {} (dual-cube saves {} links/node for +1 diameter)",
+        same_size.name,
+        same_size.degree,
+        same_size.degree - n as usize
+    )
+    .unwrap();
+    if d.num_nodes() <= 1 << 13 {
+        writeln!(
+            out,
+            "BFS-verified diameter: {}",
+            graph::diameter_vertex_transitive(&d)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "theorem costs: prefix {} comm / {} comp; sort {} comm / {} comp",
+        theory::prefix_comm(n),
+        theory::prefix_comp(n),
+        theory::sort_comm_exact(n),
+        theory::sort_comp_exact(n)
+    )
+    .unwrap();
+    Ok(out)
+}
+
+fn route(n: u32, src: usize, dst: usize) -> Result<String, String> {
+    let d = check_n(n)?;
+    if src >= d.num_nodes() || dst >= d.num_nodes() {
+        return Err(format!("node ids must be < {}", d.num_nodes()));
+    }
+    let path = d.route(src, dst);
+    let bits = d.address_bits();
+    let mut out = format!(
+        "route {src} → {dst}: {} hops (Hamming {}, formula {})\n",
+        path.len() - 1,
+        (src ^ dst).count_ones(),
+        d.distance_formula(src, dst)
+    );
+    for w in path.windows(2) {
+        let kind = if d.class_of(w[0]) != d.class_of(w[1]) {
+            "cross"
+        } else {
+            "cluster"
+        };
+        writeln!(
+            out,
+            "  {} → {}  ({kind})",
+            to_binary(w[0], bits),
+            to_binary(w[1], bits)
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn prefix(n: u32, k: usize, op: OpKind, seed: u64) -> Result<String, String> {
+    let d = check_n(n)?;
+    if k == 0 || k > 4096 {
+        return Err("--k must be in 1..=4096".into());
+    }
+    let total = d.num_nodes() * k;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    let (first, last, metrics) = match op {
+        OpKind::Sum => {
+            let input: Vec<Sum> = (0..total).map(|_| Sum(rng.gen_range(0..100))).collect();
+            let run = d_prefix_large(&d, &input, PrefixKind::Inclusive);
+            (
+                format!("{:?}", run.prefixes.first().map(|s| s.0)),
+                format!("{:?}", run.prefixes.last().map(|s| s.0)),
+                run.metrics,
+            )
+        }
+        OpKind::Max => {
+            let input: Vec<Max> = (0..total).map(|_| Max(rng.gen_range(0..1000))).collect();
+            let run = d_prefix_large(&d, &input, PrefixKind::Inclusive);
+            (
+                format!("{:?}", run.prefixes.first().map(|s| s.0)),
+                format!("{:?}", run.prefixes.last().map(|s| s.0)),
+                run.metrics,
+            )
+        }
+        OpKind::Concat => {
+            if k != 1 {
+                return Err("--op concat supports only --k 1".into());
+            }
+            let input: Vec<Concat> = (0..total)
+                .map(|i| Concat(((b'a' + (i % 26) as u8) as char).to_string()))
+                .collect();
+            let run = d_prefix(
+                &d,
+                &input,
+                PrefixKind::Inclusive,
+                Step5Mode::PaperFaithful,
+                Recording::Off,
+            );
+            (
+                format!("{:?}", run.prefixes.first().map(|s| s.0.clone())),
+                format!("{:?}", run.prefixes.last().map(|s| s.0.clone())),
+                run.metrics,
+            )
+        }
+    };
+    writeln!(
+        out,
+        "D_prefix on {} ({} items, {k}/node, op {op:?}):",
+        d.name(),
+        total
+    )
+    .unwrap();
+    writeln!(out, "  s[0] = {first}, s[{}] = {last}", total - 1).unwrap();
+    writeln!(
+        out,
+        "  {} comm steps (Theorem 1: {}), {} comp steps",
+        metrics.comm_steps,
+        theory::prefix_comm(n),
+        metrics.comp_steps
+    )
+    .unwrap();
+    Ok(out)
+}
+
+fn sort(n: u32, algo: SortAlgo, seed: u64) -> Result<String, String> {
+    let d = check_n(n)?;
+    if n < 2 && matches!(algo, SortAlgo::Ring) {
+        return Err("ring sort needs n ≥ 2 (D_1 has no Hamiltonian cycle)".into());
+    }
+    let nodes = d.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys: Vec<u64> = (0..nodes).map(|_| rng.gen_range(0..100_000)).collect();
+    let mut expect = keys.clone();
+    expect.sort();
+    let (name, output, metrics) = match algo {
+        SortAlgo::Bitonic => {
+            let rec = RecDualCube::new(n);
+            let run = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Off);
+            ("D_sort (Algorithm 3)", run.output, run.metrics)
+        }
+        SortAlgo::Radix => {
+            let run = radix_sort(&d, &keys, 17);
+            ("radix sort (scan-based)", run.output, run.metrics)
+        }
+        SortAlgo::Ring => {
+            let rec = RecDualCube::new(n);
+            let run = ring_sort(&rec, &keys, SortOrder::Ascending);
+            (
+                "odd-even transposition on embedded ring",
+                run.output,
+                run.metrics,
+            )
+        }
+        SortAlgo::Hypercube => {
+            let q = Hypercube::new(2 * n - 1);
+            let run = cube_bitonic_sort(&q, &keys, SortOrder::Ascending, Recording::Off);
+            (
+                "bitonic sort on equal-sized hypercube",
+                run.output,
+                run.metrics,
+            )
+        }
+    };
+    if output != expect {
+        return Err(format!(
+            "{name} produced an unsorted result — this is a bug"
+        ));
+    }
+    let mut out = String::new();
+    writeln!(out, "{name} on {} ({nodes} keys, seed {seed}):", d.name()).unwrap();
+    writeln!(
+        out,
+        "  min {} … max {} ✓ sorted",
+        expect[0],
+        expect[nodes - 1]
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {} comm steps, {} comparison steps (Theorem 2 exact for D_sort: {} / {})",
+        metrics.comm_steps,
+        metrics.comp_steps,
+        theory::sort_comm_exact(n),
+        theory::sort_comp_exact(n)
+    )
+    .unwrap();
+    Ok(out)
+}
+
+fn bcast(n: u32, root: usize) -> Result<String, String> {
+    let d = check_n(n)?;
+    if root >= d.num_nodes() {
+        return Err(format!("root must be < {}", d.num_nodes()));
+    }
+    let run = broadcast(&d, root, root as u64);
+    if !run.values.iter().all(|&v| v == root as u64) {
+        return Err("broadcast failed to reach every node — this is a bug".into());
+    }
+    Ok(format!(
+        "broadcast from node {root} on {}: reached all {} nodes in {} steps (diameter {})\n",
+        d.name(),
+        d.num_nodes(),
+        run.metrics.comm_steps,
+        d.diameter_formula()
+    ))
+}
+
+fn diagram(n: u32, which: DiagramKind) -> Result<String, String> {
+    if !(1..=4).contains(&n) {
+        return Err("diagrams are readable for n in 1..=4".into());
+    }
+    let mut out = String::new();
+    match which {
+        DiagramKind::Prefix => {
+            let d = check_n(n)?;
+            let input: Vec<Sum> = (0..d.num_nodes() as i64).map(Sum).collect();
+            let run = d_prefix(
+                &d,
+                &input,
+                PrefixKind::Inclusive,
+                Step5Mode::PaperFaithful,
+                Recording::Trace,
+            );
+            writeln!(
+                out,
+                "D_prefix on {} — {} cycles (Theorem 1: {}):\n",
+                d.name(),
+                run.trace.len(),
+                theory::prefix_comm(n)
+            )
+            .unwrap();
+            out.push_str(&dc_bench::spacetime::render(&run.trace, d.num_nodes(), 1));
+        }
+        DiagramKind::Sort => {
+            let rec = RecDualCube::new(n);
+            let keys: Vec<u32> = (0..rec.num_nodes() as u32).rev().collect();
+            let run = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Trace);
+            writeln!(
+                out,
+                "D_sort on {} — {} cycles (6n²−7n+2 = {}):\n",
+                rec.name(),
+                run.trace.len(),
+                theory::sort_comm_exact(n)
+            )
+            .unwrap();
+            out.push_str(&dc_bench::spacetime::render(&run.trace, rec.num_nodes(), 1));
+        }
+    }
+    Ok(out)
+}
+
+fn hamiltonian(n: u32) -> Result<String, String> {
+    if !(2..=8).contains(&n) {
+        return Err("hamiltonian needs n in 2..=8 (D_1 = K_2 has no cycle)".into());
+    }
+    let cycle = dc_topology::hamiltonian::hamiltonian_cycle(n);
+    let d = check_n(n)?;
+    let mut out = format!(
+        "Hamiltonian cycle of {} ({} nodes — a dilation-1 ring embedding):\n",
+        d.name(),
+        cycle.len()
+    );
+    for chunk in cycle.chunks(16) {
+        writeln!(
+            out,
+            "  {}",
+            chunk
+                .iter()
+                .map(|u| u.to_string())
+                .collect::<Vec<_>>()
+                .join(" → ")
+        )
+        .unwrap();
+    }
+    writeln!(out, "  → back to {}", cycle[0]).unwrap();
+    Ok(out)
+}
+
+fn dot(n: u32) -> Result<String, String> {
+    if !(1..=4).contains(&n) {
+        return Err("dot output is useful for n in 1..=4".into());
+    }
+    let d = check_n(n)?;
+    Ok(graph::to_dot(&d, |u| match d.class_of(u) {
+        dc_topology::Class::Zero => format!("label=\"{u}\", style=filled, fillcolor=lightblue"),
+        dc_topology::Class::One => format!("label=\"{u}\", style=filled, fillcolor=lightsalmon"),
+    }))
+}
+
+fn experiments(ids: &[String]) -> Result<String, String> {
+    let all = dc_bench::experiments::all();
+    let mut out = String::new();
+    let wanted: Vec<&dc_bench::experiments::Experiment> = if ids.is_empty() {
+        all.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for id in ids {
+            match all.iter().find(|(eid, _, _)| eid.eq_ignore_ascii_case(id)) {
+                Some(e) => sel.push(e),
+                None => {
+                    return Err(format!(
+                        "unknown experiment {id:?}; known: {}",
+                        all.iter()
+                            .map(|(i, _, _)| *i)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                }
+            }
+        }
+        sel
+    };
+    for (id, title, report) in wanted {
+        writeln!(out, "## {id} — {title}\n\n{}", report()).unwrap();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn exec(s: &str) -> Result<String, String> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        run(parse(&args).map_err(|e| e.to_string())?)
+    }
+
+    #[test]
+    fn info_reports_topology() {
+        let out = exec("info 3").unwrap();
+        assert!(out.contains("32 nodes"));
+        assert!(out.contains("diameter 6"));
+        assert!(out.contains("prefix 7 comm"));
+    }
+
+    #[test]
+    fn route_prints_hops() {
+        let out = exec("route 3 0 31").unwrap();
+        assert!(out.contains("hops"));
+        assert!(out.contains("cross"));
+    }
+
+    #[test]
+    fn prefix_runs_all_ops() {
+        assert!(exec("prefix 3").unwrap().contains("Theorem 1: 7"));
+        assert!(exec("prefix 3 --op max").unwrap().contains("comm steps"));
+        assert!(exec("prefix 2 --op concat").unwrap().contains("abcdefgh"));
+        assert!(exec("prefix 3 --k 4").unwrap().contains("128 items"));
+    }
+
+    #[test]
+    fn sort_runs_all_algorithms() {
+        for algo in ["bitonic", "radix", "ring", "hypercube"] {
+            let out = exec(&format!("sort 3 --algo {algo}")).unwrap();
+            assert!(out.contains("✓ sorted"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let out = exec("broadcast 3 17").unwrap();
+        assert!(out.contains("reached all 32 nodes in 6 steps"));
+    }
+
+    #[test]
+    fn experiments_selects_by_id() {
+        let out = exec("experiments E1").unwrap();
+        assert!(out.contains("Figure 1"));
+        assert!(!out.contains("Theorem 2:"));
+        assert!(exec("experiments E99").is_err());
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        assert!(exec("info 77").unwrap_err().contains("1..=10"));
+        assert!(exec("route 2 0 99").unwrap_err().contains("node ids"));
+        assert!(exec("broadcast 2 999").unwrap_err().contains("root"));
+        assert!(exec("prefix 2 --op concat --k 3").is_err());
+    }
+
+    #[test]
+    fn help_covers_all_commands() {
+        let out = exec("help").unwrap();
+        for c in [
+            "info",
+            "route",
+            "prefix",
+            "sort",
+            "broadcast",
+            "experiments",
+        ] {
+            assert!(out.contains(c), "{c}");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! `dual-cube` — command-line interface to the reproduction of *Prefix
+//! Computation and Sorting in Dual-Cube* (Li, Peng & Chu, ICPP 2008).
+//!
+//! ```text
+//! dual-cube info 3
+//! dual-cube route 4 19 87
+//! dual-cube prefix 4 --k 16 --op sum
+//! dual-cube sort 4 --algo radix
+//! dual-cube experiments E4 E6
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", args::HELP);
+            ExitCode::FAILURE
+        }
+    }
+}

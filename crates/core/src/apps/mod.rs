@@ -1,0 +1,21 @@
+//! Applications built on the paper's primitives — the direction of its
+//! future work 3, following the scan-application tradition of the paper's
+//! reference \[3\] (Hillis & Steele, *Data Parallel Algorithms*).
+//!
+//! * [`radix_sort`] — stable LSD radix sort where each digit pass is a
+//!   *split* built from two `D_prefix` scans plus one routed permutation;
+//!   an entirely different sorting strategy from Algorithm 3's bitonic
+//!   emulation, and the subject of experiment E13's crossover comparison.
+//! * [`pack()`](pack::pack) — stream compaction (keep the flagged
+//!   elements, densely packed at the front), the textbook one-scan
+//!   application.
+//! * [`segmented::segmented_prefix`] — independent per-segment scans from
+//!   one unmodified `D_prefix` over the lifted monoid [`segmented::Seg`]:
+//!   Theorem 1's cost, new primitive, zero new schedule.
+
+pub mod pack;
+pub mod radix;
+pub mod segmented;
+
+pub use pack::pack;
+pub use radix::{radix_sort, RadixSortRun};

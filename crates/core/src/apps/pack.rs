@@ -1,0 +1,99 @@
+//! Stream compaction (*pack*) — the archetypal prefix application from
+//! the paper's reference \[3\]: one diminished `D_prefix` over the keep
+//! flags computes every survivor's destination index.
+
+use crate::ops::Sum;
+use crate::prefix::dualcube::{d_prefix, Step5Mode};
+use crate::prefix::PrefixKind;
+use crate::run::Recording;
+use dc_simulator::Metrics;
+use dc_topology::{DualCube, Topology};
+
+/// Keeps the elements whose flag is set, packed densely in their original
+/// order; returns the packed values and the scan's metrics (`2n+1`
+/// communication steps — one `D_prefix`, independent of how many elements
+/// survive).
+///
+/// ```
+/// use dc_core::apps::pack;
+/// use dc_topology::DualCube;
+///
+/// let d = DualCube::new(2);
+/// let values: Vec<char> = "abcdefgh".chars().collect();
+/// let flags = [true, false, true, true, false, false, true, false];
+/// let (packed, metrics) = pack(&d, &values, &flags);
+/// assert_eq!(packed, vec!['a', 'c', 'd', 'g']);
+/// assert_eq!(metrics.comm_steps, 5); // 2n+1
+/// ```
+pub fn pack<V: Clone>(d: &DualCube, values: &[V], flags: &[bool]) -> (Vec<V>, Metrics) {
+    assert_eq!(values.len(), d.num_nodes(), "need one value per node");
+    assert_eq!(flags.len(), values.len(), "need one flag per value");
+    let flag_vals: Vec<Sum> = flags.iter().map(|&f| Sum(f as i64)).collect();
+    let scan = d_prefix(
+        d,
+        &flag_vals,
+        PrefixKind::Diminished,
+        Step5Mode::PaperFaithful,
+        Recording::Off,
+    );
+    let mut packed: Vec<Option<V>> = vec![None; values.len()];
+    let mut count = 0usize;
+    for i in 0..values.len() {
+        if flags[i] {
+            packed[scan.prefixes[i].0 as usize] = Some(values[i].clone());
+            count += 1;
+        }
+    }
+    (
+        packed
+            .into_iter()
+            .take(count)
+            .map(|v| v.expect("destinations are dense"))
+            .collect(),
+        scan.metrics,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory;
+
+    #[test]
+    fn pack_compacts_in_order() {
+        let d = DualCube::new(2);
+        let values: Vec<char> = "abcdefgh".chars().collect();
+        let flags = vec![true, false, true, true, false, false, true, false];
+        let (packed, metrics) = pack(&d, &values, &flags);
+        assert_eq!(packed, vec!['a', 'c', 'd', 'g']);
+        assert_eq!(metrics.comm_steps, theory::prefix_comm(2));
+    }
+
+    #[test]
+    fn pack_empty_and_full() {
+        let d = DualCube::new(2);
+        let values: Vec<u8> = (0..8).collect();
+        let (none, _) = pack(&d, &values, &[false; 8]);
+        assert!(none.is_empty());
+        let (all, _) = pack(&d, &values, &[true; 8]);
+        assert_eq!(all, values);
+    }
+
+    #[test]
+    fn pack_on_larger_machines() {
+        let d = DualCube::new(4);
+        let values: Vec<usize> = (0..d.num_nodes()).collect();
+        let flags: Vec<bool> = (0..d.num_nodes()).map(|i| i % 3 == 0).collect();
+        let (packed, metrics) = pack(&d, &values, &flags);
+        let expect: Vec<usize> = (0..d.num_nodes()).filter(|i| i % 3 == 0).collect();
+        assert_eq!(packed, expect);
+        assert_eq!(metrics.comm_steps, theory::prefix_comm(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "one flag per value")]
+    fn mismatched_flags_rejected() {
+        let d = DualCube::new(2);
+        pack(&d, &[0u8; 8], &[true; 3]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Stable LSD radix sort on the dual-cube, built from `D_prefix`.
+//!
+//! One pass per key bit `b` (least-significant first):
+//!
+//! 1. **scan** — a diminished `D_prefix` over `flag = bit b of key`
+//!    yields `ones_before(i)`; `zeros_before(i) = i − ones_before(i)`
+//!    follows locally, and an `allreduce` supplies the total number of
+//!    ones (equivalently zeros) — `2n+1` plus `2n` communication steps;
+//! 2. **address** — the classic split destination:
+//!    `dst = zeros_before(i)` for a 0-flagged key, else
+//!    `total_zeros + ones_before(i)` — a permutation of `0..N`, stable
+//!    within each flag class;
+//! 3. **permute** — route every key to its destination node through the
+//!    store-and-forward router over the paper's shortest paths; the
+//!    measured makespan is added to the communication-step count.
+//!
+//! With `b`-bit keys the total is `b · (4n + 1 + L_pass)` communication
+//! steps, `L_pass` the routed-permutation makespan — compared against
+//! `D_sort`'s `6n² − 7n + 2` in experiment E13.
+
+use crate::collectives::allreduce;
+use crate::ops::Sum;
+use crate::prefix::dualcube::{d_prefix, Step5Mode};
+use crate::prefix::PrefixKind;
+use crate::run::Recording;
+use dc_simulator::router::{route_batch, Packet, RoutingReport};
+use dc_simulator::Metrics;
+use dc_topology::{DualCube, Routed, Topology};
+
+/// Result of a [`radix_sort`] run.
+#[derive(Debug, Clone)]
+pub struct RadixSortRun {
+    /// Keys in data-index order, sorted ascending.
+    pub output: Vec<u64>,
+    /// Aggregate step counts; `comm_steps` includes the routed-permutation
+    /// makespans.
+    pub metrics: Metrics,
+    /// The per-pass routing reports (one per key bit), for congestion
+    /// analysis.
+    pub routing: Vec<RoutingReport>,
+}
+
+/// Sorts one `bits`-bit key per node of `D_n` (keys wider than `bits`
+/// are rejected), stably, in `bits` split passes.
+///
+/// ```
+/// use dc_core::apps::radix_sort;
+/// use dc_topology::DualCube;
+///
+/// let d = DualCube::new(2);
+/// let keys = vec![5, 1, 7, 3, 0, 6, 2, 4];
+/// let run = radix_sort(&d, &keys, 3);
+/// assert_eq!(run.output, (0..8).collect::<Vec<_>>());
+/// ```
+pub fn radix_sort(d: &DualCube, keys: &[u64], bits: u32) -> RadixSortRun {
+    let n_nodes = d.num_nodes();
+    assert_eq!(keys.len(), n_nodes, "need one key per node of {}", d.name());
+    assert!((1..=63).contains(&bits), "bits out of range");
+    assert!(
+        keys.iter().all(|&k| k < (1u64 << bits)),
+        "a key exceeds {bits} bits"
+    );
+
+    let mut current: Vec<u64> = keys.to_vec();
+    let mut metrics = Metrics::new();
+    let mut routing = Vec::with_capacity(bits as usize);
+
+    for b in 0..bits {
+        metrics.begin_phase(format!("pass {b}: scan"));
+        // 1. scan: ones_before via diminished prefix of the flags.
+        let flags: Vec<Sum> = current
+            .iter()
+            .map(|&k| Sum(((k >> b) & 1) as i64))
+            .collect();
+        let scan = d_prefix(
+            d,
+            &flags,
+            PrefixKind::Diminished,
+            Step5Mode::PaperFaithful,
+            Recording::Off,
+        );
+        absorb_into_phase(&mut metrics, &scan.metrics);
+        let total = allreduce(d, &flags);
+        absorb_into_phase(&mut metrics, &total.metrics);
+        let total_ones = total.values[0].0 as usize;
+        let total_zeros = n_nodes - total_ones;
+
+        // 2. address: the split permutation (computed at each node from
+        // its own flag and scan result — O(1) local work).
+        metrics.record_comp(1, n_nodes as u64);
+        let mut dest = vec![0usize; n_nodes];
+        for i in 0..n_nodes {
+            let ones_before = scan.prefixes[i].0 as usize;
+            let zeros_before = i - ones_before;
+            dest[i] = if (current[i] >> b) & 1 == 0 {
+                zeros_before
+            } else {
+                total_zeros + ones_before
+            };
+        }
+
+        // 3. permute: data index i lives on node from_linear_index(i);
+        // ship each key to the node owning its destination index.
+        metrics.begin_phase(format!("pass {b}: permute"));
+        let batch: Vec<Packet> = (0..n_nodes)
+            .map(|i| Packet {
+                src: d.from_linear_index(i),
+                dst: d.from_linear_index(dest[i]),
+            })
+            .collect();
+        let report = route_batch(d, &batch, |a, bb| d.route(a, bb))
+            .expect("shortest paths are valid by construction");
+        for _ in 0..report.makespan {
+            metrics.record_comm(0);
+        }
+        metrics.messages += report.total_hops;
+
+        let mut next = vec![0u64; n_nodes];
+        for (i, &k) in current.iter().enumerate() {
+            next[dest[i]] = k;
+        }
+        current = next;
+        routing.push(report);
+    }
+
+    RadixSortRun {
+        output: current,
+        metrics,
+        routing,
+    }
+}
+
+/// Adds a sub-run's totals, attributing them to the current phase rather
+/// than appending the sub-run's own phase list.
+fn absorb_into_phase(into: &mut Metrics, from: &Metrics) {
+    into.comm_steps += from.comm_steps;
+    into.comp_steps += from.comp_steps;
+    into.messages += from.messages;
+    into.message_words += from.message_words;
+    into.element_ops += from.element_ops;
+    if let Some(p) = into.phases.last_mut() {
+        p.comm_steps += from.comm_steps;
+        p.comp_steps += from.comp_steps;
+        p.messages += from.messages;
+        p.message_words += from.message_words;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_permutations() {
+        let d = DualCube::new(3);
+        let keys: Vec<u64> = (0..32u64).map(|i| (i * 21 + 9) % 32).collect();
+        let run = radix_sort(&d, &keys, 5);
+        assert_eq!(run.output, (0..32).collect::<Vec<_>>());
+        assert_eq!(run.routing.len(), 5);
+    }
+
+    #[test]
+    fn sorts_random_keys_with_duplicates() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in 1..=4u32 {
+            let d = DualCube::new(n);
+            let keys: Vec<u64> = (0..d.num_nodes()).map(|_| rng.gen_range(0..16)).collect();
+            let run = radix_sort(&d, &keys, 4);
+            let mut expect = keys.clone();
+            expect.sort();
+            assert_eq!(run.output, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scan_cost_per_pass_matches_theory() {
+        let n = 3u32;
+        let d = DualCube::new(n);
+        let keys: Vec<u64> = (0..32u64).rev().collect();
+        let run = radix_sort(&d, &keys, 5);
+        // Each pass: prefix (2n+1) + allreduce (2n) + makespan.
+        let scans = 5 * (theory::prefix_comm(n) + theory::collective_comm(n));
+        let routed: u64 = run.routing.iter().map(|r| r.makespan).sum();
+        assert_eq!(run.metrics.comm_steps, scans + routed);
+    }
+
+    #[test]
+    fn single_bit_keys_split_in_one_pass() {
+        let d = DualCube::new(2);
+        let keys = vec![1, 0, 1, 1, 0, 0, 1, 0];
+        let run = radix_sort(&d, &keys, 1);
+        assert_eq!(run.output, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(run.routing.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 2 bits")]
+    fn oversized_key_rejected() {
+        radix_sort(&DualCube::new(2), &[0, 1, 2, 3, 4, 0, 0, 0], 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Gather and all-gather on the dual-cube in `2n` communication steps.
+//!
+//! Both are the corresponding reduction run over the [`Bag`] monoid —
+//! multiset union of `(node id, value)` pairs — which is commutative (the
+//! result is sorted by node id at the end), so the scalar schedules of
+//! [`reduce()`](crate::collectives::reduce::reduce) and
+//! [`allreduce()`](crate::collectives::allreduce::allreduce) apply
+//! unchanged. Message *sizes* grow along the tree (the step counts
+//! stay `2n`; the growing payloads are what distinguishes gather from
+//! reduce on a real machine, and they are surfaced through
+//! [`dc_simulator::Metrics::element_ops`]).
+
+use crate::collectives::{allreduce, reduce};
+use crate::ops::{Commutative, Monoid};
+use dc_simulator::Metrics;
+use dc_topology::{DualCube, NodeId, Topology};
+
+/// A multiset of `(node id, value)` pairs under union — the monoid that
+/// turns a reduction into a gather.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bag<V>(pub Vec<(NodeId, V)>);
+
+impl<V: Clone> Monoid for Bag<V> {
+    fn identity() -> Self {
+        Bag(Vec::new())
+    }
+    fn combine(&self, rhs: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.0.len() + rhs.0.len());
+        out.extend(self.0.iter().cloned());
+        out.extend(rhs.0.iter().cloned());
+        Bag(out)
+    }
+    fn words(&self) -> u64 {
+        self.0.len() as u64
+    }
+}
+// Union is commutative as a multiset; the callers sort by node id before
+// returning, so the tree order never shows.
+impl<V: Clone> Commutative for Bag<V> {}
+
+/// Result of a [`gather`].
+#[derive(Debug, Clone)]
+pub struct GatherRun<V> {
+    /// All values, indexed by contributing node id, delivered at the root.
+    pub values: Vec<V>,
+    /// Step counts: `2n` comm.
+    pub metrics: Metrics,
+}
+
+/// Gathers one value per node (node-id order) to `root`.
+///
+/// ```
+/// use dc_core::collectives::gather::gather;
+/// use dc_topology::DualCube;
+///
+/// let d = DualCube::new(2);
+/// let values: Vec<char> = "abcdefgh".chars().collect();
+/// let run = gather(&d, 5, &values);
+/// assert_eq!(run.values, values);
+/// assert_eq!(run.metrics.comm_steps, 4); // 2n
+/// ```
+pub fn gather<V: Clone>(d: &DualCube, root: NodeId, values: &[V]) -> GatherRun<V> {
+    assert_eq!(values.len(), d.num_nodes(), "need one value per node");
+    let bags: Vec<Bag<V>> = values
+        .iter()
+        .enumerate()
+        .map(|(u, v)| Bag(vec![(u, v.clone())]))
+        .collect();
+    let run = reduce(d, root, &bags);
+    let mut pairs = run.result.0;
+    pairs.sort_by_key(|&(u, _)| u);
+    debug_assert_eq!(
+        pairs.len(),
+        d.num_nodes(),
+        "every contribution arrived once"
+    );
+    GatherRun {
+        values: pairs.into_iter().map(|(_, v)| v).collect(),
+        metrics: run.metrics,
+    }
+}
+
+/// Result of an [`all_gather`].
+#[derive(Debug, Clone)]
+pub struct AllGatherRun<V> {
+    /// For each node (outer index), all values indexed by contributing
+    /// node id.
+    pub values: Vec<Vec<V>>,
+    /// Step counts: `2n` comm.
+    pub metrics: Metrics,
+}
+
+/// All-gather: every node ends with every node's value, in node-id order.
+pub fn all_gather<V: Clone>(d: &DualCube, values: &[V]) -> AllGatherRun<V> {
+    assert_eq!(values.len(), d.num_nodes(), "need one value per node");
+    let bags: Vec<Bag<V>> = values
+        .iter()
+        .enumerate()
+        .map(|(u, v)| Bag(vec![(u, v.clone())]))
+        .collect();
+    let run = allreduce(d, &bags);
+    let values = run
+        .values
+        .into_iter()
+        .map(|bag| {
+            let mut pairs = bag.0;
+            pairs.sort_by_key(|&(u, _)| u);
+            debug_assert_eq!(pairs.len(), d.num_nodes());
+            pairs.into_iter().map(|(_, v)| v).collect()
+        })
+        .collect();
+    AllGatherRun {
+        values,
+        metrics: run.metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory;
+
+    #[test]
+    fn gather_collects_everything_in_order() {
+        for n in 1..=4u32 {
+            let d = DualCube::new(n);
+            let values: Vec<usize> = (0..d.num_nodes()).map(|u| u * 10).collect();
+            for root in [0, d.num_nodes() - 1, d.num_nodes() / 2] {
+                let run = gather(&d, root, &values);
+                assert_eq!(run.values, values, "n={n} root={root}");
+                assert_eq!(run.metrics.comm_steps, theory::collective_comm(n));
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_gives_everyone_everything() {
+        for n in 1..=3u32 {
+            let d = DualCube::new(n);
+            let values: Vec<String> = (0..d.num_nodes()).map(|u| format!("v{u}")).collect();
+            let run = all_gather(&d, &values);
+            assert_eq!(run.metrics.comm_steps, theory::collective_comm(n), "n={n}");
+            for (u, got) in run.values.iter().enumerate() {
+                assert_eq!(got, &values, "node {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn bag_monoid_laws() {
+        let a = Bag(vec![(0, 'a')]);
+        let b = Bag(vec![(1, 'b')]);
+        let c = Bag(vec![(2, 'c')]);
+        assert_eq!(a.combine(&b).combine(&c), a.combine(&b.combine(&c)));
+        assert_eq!(Bag::<char>::identity().combine(&a), a);
+        assert_eq!(a.combine(&Bag::identity()), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per node")]
+    fn wrong_length_rejected() {
+        gather(&DualCube::new(2), 0, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Collective communication in the dual-cube — the paper's future work 3
+//! ("investigate and develop more application algorithms in dual-cube
+//! using the proposed techniques") and its companion reference \[7\]
+//! (*Efficient collective communications in dual-cube*).
+//!
+//! All three collectives here are built from **Technique 1** (cluster
+//! structure + cross-edges) and run in `2n` communication steps — the
+//! network diameter, hence optimal to within the model:
+//!
+//! * [`broadcast::broadcast`] — one-to-all: binomial tree inside the
+//!   source cluster, fan out over the cross-edges (reaching one node of
+//!   *every* cluster of the other class at once), binomial trees there,
+//!   and one last cross-edge hop back.
+//! * [`reduce::reduce`] — all-to-one, the broadcast schedule reversed.
+//! * [`allreduce::allreduce`] — all-to-all reduction mirroring the
+//!   structure of `D_prefix` itself (cluster sweep, cross, cluster sweep,
+//!   cross), beating reduce + broadcast (`4n`) and the generic emulated
+//!   all-reduce (`6n−5`, see [`crate::emulate::emulated_allreduce`]) —
+//!   that three-way comparison is experiment E9.
+//!
+//! Reduction trees combine contributions in an order that depends on the
+//! topology, not the data indices, so [`reduce::reduce`] and
+//! [`allreduce::allreduce`] require a [`Commutative`](crate::ops::Commutative)
+//! monoid; for non-commutative operations use `d_prefix` (its last output
+//! *is* the ordered fold).
+
+pub mod allreduce;
+pub mod alltoall;
+pub mod broadcast;
+pub mod gather;
+pub mod generic;
+pub mod reduce;
+pub mod scatter;
+
+pub use allreduce::allreduce;
+pub use alltoall::all_to_all;
+pub use broadcast::broadcast;
+pub use gather::{all_gather, gather};
+pub use reduce::reduce;
+pub use scatter::scatter;

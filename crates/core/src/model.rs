@@ -1,0 +1,129 @@
+//! A parametric machine-cost model for turning step counts into time,
+//! speedup and efficiency estimates — the analysis style of the paper's
+//! reference \[2\] (Grama et al., *Introduction to Parallel Computing*).
+//!
+//! The simulator reports `T_comm` (synchronous message cycles) and
+//! `T_comp` (O(1)-work cycles) plus fine-grained element-operation
+//! counts. A [`CostModel`] weighs them: a communication cycle costs `α`
+//! (startup + single-hop transfer) and one element operation costs `β`.
+//! Estimated parallel time for a run is
+//!
+//! ```text
+//!   T_par = α · comm_steps + β · (element_ops / nodes)
+//! ```
+//!
+//! (the per-node share of element work — the synchronous model does local
+//! work in parallel), against `T_seq = β · sequential_ops`. The ratio
+//! `α/β` is the *communication-to-computation cost ratio* of the machine;
+//! experiment E17 sweeps it.
+
+use dc_simulator::Metrics;
+
+/// Machine cost parameters (arbitrary time units; only ratios matter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of one synchronous communication cycle.
+    pub alpha: f64,
+    /// Cost of one element operation (`⊕`, comparison, …).
+    pub beta: f64,
+}
+
+impl CostModel {
+    /// A balanced machine (`α = β = 1`).
+    pub fn unit() -> Self {
+        CostModel {
+            alpha: 1.0,
+            beta: 1.0,
+        }
+    }
+
+    /// A machine where communication costs `ratio ×` an element op.
+    pub fn comm_ratio(ratio: f64) -> Self {
+        CostModel {
+            alpha: ratio,
+            beta: 1.0,
+        }
+    }
+
+    /// Estimated parallel time of a run on `nodes` processors.
+    pub fn parallel_time(&self, metrics: &Metrics, nodes: usize) -> f64 {
+        assert!(nodes > 0);
+        self.alpha * metrics.comm_steps as f64
+            + self.beta * metrics.element_ops as f64 / nodes as f64
+    }
+
+    /// Estimated sequential time for `sequential_ops` element operations.
+    pub fn sequential_time(&self, sequential_ops: u64) -> f64 {
+        self.beta * sequential_ops as f64
+    }
+
+    /// Speedup `T_seq / T_par`.
+    pub fn speedup(&self, metrics: &Metrics, nodes: usize, sequential_ops: u64) -> f64 {
+        self.sequential_time(sequential_ops) / self.parallel_time(metrics, nodes)
+    }
+
+    /// Efficiency `speedup / nodes` (1.0 = perfect).
+    pub fn efficiency(&self, metrics: &Metrics, nodes: usize, sequential_ops: u64) -> f64 {
+        self.speedup(metrics, nodes, sequential_ops) / nodes as f64
+    }
+}
+
+/// Sequential element operations for a prefix over `total_items` values:
+/// `total_items − 1` combines.
+pub fn prefix_sequential_ops(total_items: usize) -> u64 {
+    (total_items - 1) as u64
+}
+
+/// Sequential element operations for comparison sorting `total_items`
+/// keys: `total_items · log2(total_items)` comparisons (the asymptotic
+/// optimum, as a fair baseline).
+pub fn sort_sequential_ops(total_items: usize) -> u64 {
+    let lg = (usize::BITS - (total_items - 1).leading_zeros()) as u64;
+    total_items as u64 * lg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(comm: u64, ops: u64) -> Metrics {
+        let mut m = Metrics::new();
+        for _ in 0..comm {
+            m.record_comm(1);
+        }
+        m.record_comp(1, ops);
+        m
+    }
+
+    #[test]
+    fn unit_model_adds_steps_and_shared_ops() {
+        let m = metrics(5, 80);
+        let c = CostModel::unit();
+        assert!((c.parallel_time(&m, 8) - (5.0 + 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_efficiency() {
+        let m = metrics(7, 64); // 64 ops over 32 nodes = 2 each
+        let c = CostModel::unit();
+        let su = c.speedup(&m, 32, 31);
+        assert!((su - 31.0 / 9.0).abs() < 1e-12);
+        assert!((c.efficiency(&m, 32, 31) - su / 32.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn expensive_communication_hurts() {
+        let m = metrics(10, 100);
+        let cheap = CostModel::comm_ratio(1.0);
+        let dear = CostModel::comm_ratio(50.0);
+        assert!(dear.parallel_time(&m, 10) > cheap.parallel_time(&m, 10));
+        assert!(dear.speedup(&m, 10, 1000) < cheap.speedup(&m, 10, 1000));
+    }
+
+    #[test]
+    fn sequential_op_counts() {
+        assert_eq!(prefix_sequential_ops(32), 31);
+        assert_eq!(sort_sequential_ops(32), 32 * 5);
+        assert_eq!(sort_sequential_ops(33), 33 * 6);
+    }
+}

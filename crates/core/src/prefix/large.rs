@@ -1,0 +1,148 @@
+//! Prefix computation for inputs **larger than the network** — the paper's
+//! future work 1 ("generalize the proposed algorithms to include the cases
+//! that input sequences are larger than the size of the dual-cube").
+//!
+//! The standard block decomposition: with `N = 2^(2n−1)` nodes and `k`
+//! values per node (block `i` = items `i·k .. (i+1)·k`),
+//!
+//! 1. each node scans its own block locally (`k` element operations, no
+//!    communication);
+//! 2. `D_prefix` runs in **diminished** mode over the `N` block totals —
+//!    message sizes stay one element, so the communication cost is exactly
+//!    Theorem 1's `2n+1` steps, independent of `k`;
+//! 3. each node folds the received offset into its local prefixes on the
+//!    left (`k` element operations).
+//!
+//! Total: `2n+1` communication steps and `2n + 2⌈k⌉`-ish computation
+//! (reported precisely in the run metrics); the sequential work is
+//! `N·k − 1` operations, so speedup approaches `N` for large `k`.
+
+use crate::ops::{fold, Monoid};
+use crate::prefix::dualcube::{d_prefix, Step5Mode};
+use crate::prefix::PrefixKind;
+use crate::run::Recording;
+use dc_simulator::Metrics;
+use dc_topology::{DualCube, Topology};
+
+/// Result of [`d_prefix_large`].
+#[derive(Debug, Clone)]
+pub struct LargePrefixRun<M> {
+    /// All `N·k` prefixes, in global index order.
+    pub prefixes: Vec<M>,
+    /// Step counts: the network part equals Theorem 1's, the local scans
+    /// add `2(k−1)+1` computation steps (recorded as extra comp cycles).
+    pub metrics: Metrics,
+}
+
+/// Prefix computation of `input` (length divisible by the node count;
+/// `input.len() / N` items per node) on `D_n`.
+///
+/// ```
+/// use dc_core::prefix::{large::d_prefix_large, PrefixKind};
+/// use dc_core::ops::Sum;
+/// use dc_topology::DualCube;
+///
+/// let d = DualCube::new(2); // 8 nodes
+/// let input: Vec<Sum> = (1..=24).map(Sum).collect(); // k = 3 per node
+/// let run = d_prefix_large(&d, &input, PrefixKind::Inclusive);
+/// assert_eq!(run.prefixes[23].0, (1..=24).sum::<i64>());
+/// assert_eq!(run.metrics.comm_steps, 2 * 2 + 1); // unchanged: 2n+1
+/// ```
+pub fn d_prefix_large<M: Monoid>(d: &DualCube, input: &[M], kind: PrefixKind) -> LargePrefixRun<M> {
+    let nodes = d.num_nodes();
+    assert!(
+        !input.is_empty() && input.len().is_multiple_of(nodes),
+        "input length {} must be a positive multiple of the node count {nodes}",
+        input.len()
+    );
+    let k = input.len() / nodes;
+
+    // Phase 1 (local): scan each block; keep the block totals.
+    let mut local: Vec<Vec<M>> = Vec::with_capacity(nodes);
+    let mut totals: Vec<M> = Vec::with_capacity(nodes);
+    for block in input.chunks(k) {
+        totals.push(fold(block));
+        local.push(crate::prefix::sequential_prefix(block, kind));
+    }
+
+    // Phase 2 (network): diminished prefix over block totals gives each
+    // node the combined total of all preceding blocks.
+    let net = d_prefix(
+        d,
+        &totals,
+        PrefixKind::Diminished,
+        Step5Mode::PaperFaithful,
+        Recording::Off,
+    );
+
+    // Phase 3 (local): offset each block's local prefixes on the left.
+    let mut metrics: Metrics = net.metrics;
+    // Local work: (k−1) ops for the scan + k for the offset fold, done in
+    // parallel on every node — counted as computation cycles.
+    metrics.record_comp((2 * k - 1) as u64, (nodes * (2 * k - 1)) as u64);
+    let mut prefixes = Vec::with_capacity(input.len());
+    for (offset, block) in net.prefixes.iter().zip(local) {
+        for p in block {
+            prefixes.push(offset.combine(&p));
+        }
+    }
+    LargePrefixRun { prefixes, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Concat, Sum};
+    use crate::prefix::sequential_prefix;
+
+    #[test]
+    fn matches_reference_for_various_block_sizes() {
+        let d = DualCube::new(2);
+        for k in [1usize, 2, 5, 16] {
+            let input: Vec<Sum> = (0..(8 * k) as i64).map(|x| Sum(x - 3)).collect();
+            let run = d_prefix_large(&d, &input, PrefixKind::Inclusive);
+            assert_eq!(
+                run.prefixes,
+                sequential_prefix(&input, PrefixKind::Inclusive),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn diminished_matches_reference() {
+        let d = DualCube::new(3);
+        let input: Vec<Sum> = (0..64).map(Sum).collect(); // k = 2
+        let run = d_prefix_large(&d, &input, PrefixKind::Diminished);
+        assert_eq!(
+            run.prefixes,
+            sequential_prefix(&input, PrefixKind::Diminished)
+        );
+    }
+
+    #[test]
+    fn noncommutative_order_preserved_across_blocks() {
+        let d = DualCube::new(2);
+        let input: Vec<Concat> = (0..24u8)
+            .map(|i| Concat(((b'a' + i) as char).to_string()))
+            .collect();
+        let run = d_prefix_large(&d, &input, PrefixKind::Inclusive);
+        assert_eq!(run.prefixes[23].0, "abcdefghijklmnopqrstuvwx");
+        assert_eq!(run.prefixes[10].0, "abcdefghijk");
+    }
+
+    #[test]
+    fn communication_cost_is_independent_of_block_size() {
+        let d = DualCube::new(3);
+        let a = d_prefix_large(&d, &vec![Sum(1); 32], PrefixKind::Inclusive);
+        let b = d_prefix_large(&d, &vec![Sum(1); 32 * 64], PrefixKind::Inclusive);
+        assert_eq!(a.metrics.comm_steps, b.metrics.comm_steps);
+        assert!(b.metrics.comp_steps > a.metrics.comp_steps);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the node count")]
+    fn indivisible_input_rejected() {
+        d_prefix_large(&DualCube::new(2), &[Sum(1); 9], PrefixKind::Inclusive);
+    }
+}

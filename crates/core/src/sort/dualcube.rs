@@ -1,0 +1,300 @@
+//! Algorithm 3 — `D_sort(D_n, tag)`: bitonic sort on the dual-cube in at
+//! most `6n²` communication and `2n²` comparison steps (Theorem 2).
+//!
+//! ## The recursion, unrolled
+//!
+//! Positions are the **recursive-presentation** node ids of Section 4
+//! (see [`dc_topology::RecDualCube`]). Algorithm 3 reads:
+//!
+//! 1. recursively sort the four sub-dual-cubes `D⁰⁰, D⁰¹, D¹⁰, D¹¹`
+//!    ascending/descending for an even/odd copy index — so `D⁰⁰∪D⁰¹` and
+//!    `D¹⁰∪D¹¹` each form a bitonic sequence;
+//! 2. merge loop 1 — compare-exchange over dimensions `2n−3 … 0`, the
+//!    lower half (`u_{2n−2} = 0`) ascending and the upper half descending,
+//!    leaving the whole machine bitonic;
+//! 3. merge loop 2 — compare-exchange over dimensions `2n−2 … 0` in the
+//!    requested direction.
+//!
+//! Because all four recursive calls run on disjoint sub-dual-cubes *of the
+//! same shape*, every level of the recursion executes the same dimension
+//! schedule in lockstep across all sub-cubes; the implementation unrolls
+//! the recursion into `n` levels. At level `ℓ < n` a sub-cube's direction
+//! is its copy-index parity — which is exactly bit `2ℓ−1` of the node id —
+//! and at level `n` it is the caller's `tag`:
+//!
+//! ```text
+//! for ℓ = 1 … n:                        # sub-dual-cubes span bits 0 … 2ℓ−2
+//!     for j = 2ℓ−3 … 0:                 # merge loop 1 (absent at ℓ = 1)
+//!         keep-min at u  ⇔  u_j = u_{2ℓ−2}
+//!     for j = 2ℓ−2 … 0:                 # merge loop 2
+//!         keep-min at u  ⇔  u_j = dir(u),  dir = tag if ℓ = n else u_{2ℓ−1}
+//! ```
+//!
+//! Each dimension-`j` round is an emulated compare-exchange
+//! ([`crate::emulate::exchange_dim`]): 1 cycle for `j = 0`, 3 cycles
+//! otherwise, with the direct-edge half of the machine piggybacking its
+//! exchange on the middle hop — the simulator verifies 1-port legality of
+//! every cycle. Totals: `6n² − 7n + 2` communication and `2n² − n`
+//! comparison steps exactly (within the theorem's `6n²`/`2n²`).
+
+use crate::emulate::{emu_machine, exchange_dim, EmuState};
+use crate::run::{PhaseSnapshot, Recording, Run};
+use crate::sort::SortOrder;
+use dc_simulator::Machine;
+use dc_topology::{bits::bit, NodeId, RecDualCube, Topology};
+
+/// Sorts one key per node of `D_n` (recursive presentation) with
+/// Algorithm 3.
+///
+/// `keys[r]` starts on recursive node `r`; on return `output[r]` is the
+/// key that node holds, sorted by recursive node id in `order`.
+///
+/// ```
+/// use dc_core::sort::{dualcube::d_sort, SortOrder};
+/// use dc_core::run::Recording;
+/// use dc_topology::RecDualCube;
+///
+/// let rec = RecDualCube::new(2); // 8 nodes, as in Figures 5 and 6
+/// let run = d_sort(&rec, &[5, 3, 8, 1, 9, 2, 7, 4], SortOrder::Ascending, Recording::Off);
+/// assert_eq!(run.output, vec![1, 2, 3, 4, 5, 7, 8, 9]);
+/// assert_eq!(run.metrics.comm_steps, 12); // 6n²−7n+2 at n=2
+/// assert_eq!(run.metrics.comp_steps, 6);  // 2n²−n at n=2
+/// ```
+pub fn d_sort<K: Ord + Clone>(
+    rec: &RecDualCube,
+    keys: &[K],
+    order: SortOrder,
+    recording: Recording,
+) -> Run<K> {
+    assert_eq!(
+        keys.len(),
+        rec.num_nodes(),
+        "need one key per node of {}",
+        rec.name()
+    );
+    let n = rec.n();
+    let mut machine = emu_machine(rec, keys.to_vec());
+    if recording.tracing() {
+        machine.enable_trace();
+    }
+    let mut phases = Vec::new();
+    let mut snap = |label: String, mach: &Machine<RecDualCube, EmuState<K>>| {
+        if recording.enabled() {
+            phases.push(PhaseSnapshot {
+                label,
+                values: mach.states().iter().map(|s| s.value.clone()).collect(),
+            });
+        }
+    };
+    snap("input".into(), &machine);
+
+    for level in 1..=n {
+        let top = 2 * level - 2; // highest dimension of this level's sub-cubes
+
+        // Merge loop 1 (absent at level 1): make each sub-dual-cube one
+        // bitonic sequence sorted ascending in its lower half and
+        // descending in its upper half.
+        if level >= 2 {
+            machine.begin_phase(format!(
+                "level {level}: merge loop 1 (dims {}..=0)",
+                top - 1
+            ));
+            for j in (0..top).rev() {
+                compare_round(&mut machine, j, move |r| bit(r, top));
+            }
+            if recording.enabled() {
+                snap(format!("level {level}: after merge loop 1"), &machine);
+            }
+        }
+
+        // Merge loop 2: sort each sub-dual-cube in its direction.
+        machine.begin_phase(format!("level {level}: merge loop 2 (dims {top}..=0)"));
+        let tag = order.tag();
+        for j in (0..=top).rev() {
+            compare_round(&mut machine, j, move |r| {
+                if level == n {
+                    tag
+                } else {
+                    bit(r, 2 * level - 1)
+                }
+            });
+        }
+        if recording.enabled() {
+            snap(format!("level {level}: after merge loop 2"), &machine);
+        }
+    }
+
+    let trace = machine.trace().to_vec();
+    let (states, metrics) = machine.into_parts();
+    Run {
+        output: states.into_iter().map(|s| s.value).collect(),
+        metrics,
+        phases,
+        trace,
+    }
+}
+
+/// One emulated compare-exchange round over dimension `j`;
+/// `descending(r)` is the merge direction at node `r`. In an ascending
+/// region the node with bit `j` clear keeps the minimum.
+fn compare_round<K: Ord + Clone>(
+    machine: &mut Machine<'_, RecDualCube, EmuState<K>>,
+    j: u32,
+    descending: impl Fn(NodeId) -> bool,
+) {
+    exchange_dim(machine, j, |r, own, other| {
+        let keep_min = bit(r, j) == descending(r);
+        let own_is_kept = if keep_min { own <= other } else { own >= other };
+        if own_is_kept {
+            own.clone()
+        } else {
+            other.clone()
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory;
+    use proptest::prelude::*;
+
+    fn sorted_copy<K: Ord + Clone>(keys: &[K], order: SortOrder) -> Vec<K> {
+        let mut v = keys.to_vec();
+        v.sort();
+        if order == SortOrder::Descending {
+            v.reverse();
+        }
+        v
+    }
+
+    #[test]
+    fn sorts_figure_sized_instance_both_directions() {
+        let rec = RecDualCube::new(2);
+        let keys = vec![13, 2, 8, 5, 1, 11, 3, 7];
+        for order in [SortOrder::Ascending, SortOrder::Descending] {
+            let run = d_sort(&rec, &keys, order, Recording::Off);
+            assert_eq!(run.output, sorted_copy(&keys, order), "{order:?}");
+        }
+    }
+
+    #[test]
+    fn theorem_two_exact_step_counts() {
+        for n in 1..=5 {
+            let rec = RecDualCube::new(n);
+            let keys: Vec<u32> = (0..rec.num_nodes() as u32).rev().collect();
+            let run = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Off);
+            assert_eq!(
+                run.metrics.comm_steps,
+                theory::sort_comm_exact(n),
+                "comm n={n}"
+            );
+            assert_eq!(
+                run.metrics.comp_steps,
+                theory::sort_comp_exact(n),
+                "comp n={n}"
+            );
+            assert!(run.metrics.comm_steps <= theory::sort_comm_bound(n));
+            assert!(run.metrics.comp_steps <= theory::sort_comp_bound(n));
+            assert!(SortOrder::Ascending.is_sorted(&run.output));
+        }
+    }
+
+    #[test]
+    fn base_case_d1() {
+        let rec = RecDualCube::new(1);
+        let run = d_sort(&rec, &[9, 4], SortOrder::Ascending, Recording::Off);
+        assert_eq!(run.output, vec![4, 9]);
+        assert_eq!(run.metrics.comm_steps, 1);
+        let run = d_sort(&rec, &[4, 9], SortOrder::Descending, Recording::Off);
+        assert_eq!(run.output, vec![9, 4]);
+    }
+
+    #[test]
+    fn zero_one_principle_exhaustive_d2() {
+        // All 256 0-1 inputs on D_2: proves the comparison network sorts
+        // arbitrary keys on D_2.
+        let rec = RecDualCube::new(2);
+        for bits in 0u32..256 {
+            let keys: Vec<u8> = (0..8).map(|i| ((bits >> i) & 1) as u8).collect();
+            let run = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Off);
+            assert!(
+                SortOrder::Ascending.is_sorted(&run.output),
+                "failed on {bits:08b}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_and_presorted_inputs() {
+        let rec = RecDualCube::new(3);
+        let sorted: Vec<u32> = (0..32).collect();
+        let run = d_sort(&rec, &sorted, SortOrder::Ascending, Recording::Off);
+        assert_eq!(run.output, sorted);
+        let dups = vec![7u32; 32];
+        let run = d_sort(&rec, &dups, SortOrder::Descending, Recording::Off);
+        assert_eq!(run.output, dups);
+    }
+
+    #[test]
+    fn recursive_invariant_holds_after_each_level() {
+        // After level ℓ < n, every level-ℓ sub-dual-cube (2^(2ℓ−1)
+        // contiguous recursive ids) must be sorted, ascending iff bit
+        // 2ℓ−1 of its base id is 0 — exactly the precondition Algorithm 3's
+        // recursion hands to the next level.
+        let rec = RecDualCube::new(3);
+        let keys: Vec<u32> = (0..32).map(|i| (i * 13 + 5) % 32).collect();
+        let run = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Phases);
+        for level in 1..3u32 {
+            let label = format!("level {level}: after merge loop 2");
+            let phase = run
+                .phases
+                .iter()
+                .find(|p| p.label == label)
+                .unwrap_or_else(|| panic!("missing phase {label}"));
+            let block = 1usize << (2 * level - 1);
+            for (b, chunk) in phase.values.chunks(block).enumerate() {
+                let base = b * block;
+                let order = if bit(base, 2 * level - 1) {
+                    SortOrder::Descending
+                } else {
+                    SortOrder::Ascending
+                };
+                assert!(
+                    order.is_sorted(chunk),
+                    "level {level}, block at {base}: {chunk:?} not {order:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_a_permutation_of_input() {
+        let rec = RecDualCube::new(3);
+        let keys: Vec<u32> = (0..32).map(|i| (i * 7) % 10).collect();
+        let run = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Off);
+        let mut expect = keys.clone();
+        expect.sort();
+        assert_eq!(run.output, expect);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn sorts_random_keys(n in 1u32..=4, seed: u64, descending: bool) {
+            let rec = RecDualCube::new(n);
+            let mut x = seed | 1;
+            let keys: Vec<u64> = (0..rec.num_nodes())
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x % 1000
+                })
+                .collect();
+            let order = if descending { SortOrder::Descending } else { SortOrder::Ascending };
+            let run = d_sort(&rec, &keys, order, Recording::Off);
+            prop_assert_eq!(run.output, sorted_copy(&keys, order));
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Hyperquicksort on the dual-cube — the *randomized* side of Section 5's
+//! remark that "randomized algorithms can sort in O(n) time \[but\] do not
+//! provide guaranteed speedup".
+//!
+//! Each node holds a sorted block of keys. Sweeping dimensions from high
+//! to low, every current subcube:
+//!
+//! 1. **pivot** — the subcube leader (lowest id) takes its block's median
+//!    and broadcasts it through the subcube's dimensions (emulated
+//!    windows carrying one key);
+//! 2. **split** — partners across the top dimension exchange blocks and
+//!    keep the `≤ pivot` side (bit 0) / `> pivot` side (bit 1), merging
+//!    what they keep with what they receive (blocks stay sorted).
+//!
+//! After all dimensions, block *positions* are globally ordered, so the
+//! concatenation in recursive-id order is sorted — for **any** pivots
+//! (a `None` pivot from an emptied leader degenerates to "everything
+//! moves to the low side", still ordered). What the pivots control is
+//! **balance**: good medians keep blocks near `k`; bad ones pile keys
+//! onto few nodes. The communication *step* count is fixed by the
+//! schedule; the *per-node load* (and with it the real running time) is
+//! not — exactly the "no guaranteed speedup" caveat, which experiment
+//! E20 measures as a distribution over seeds.
+
+use crate::emulate::{emu_machine, exchange_dim, exchange_dim_sized};
+use crate::run::Run;
+use crate::sort::SortOrder;
+use dc_simulator::Metrics;
+use dc_topology::{bits::bit, RecDualCube, Topology};
+
+/// Result of a [`hyperquicksort`] run.
+#[derive(Debug, Clone)]
+pub struct HyperquickRun<K> {
+    /// All keys, concatenated in recursive-id block order — sorted
+    /// ascending.
+    pub output: Vec<K>,
+    /// Step counts (pivot broadcasts + split exchanges).
+    pub metrics: Metrics,
+    /// Final block length per node — the load-balance outcome. Uniform
+    /// input ⇒ near-`k` everywhere; adversarial pivots ⇒ skew.
+    pub block_sizes: Vec<usize>,
+}
+
+/// The largest block divided by the ideal `k` — 1.0 is perfect balance.
+pub fn imbalance(run: &HyperquickRun<impl Clone>, k: usize) -> f64 {
+    let max = run.block_sizes.iter().copied().max().unwrap_or(0);
+    max as f64 / k as f64
+}
+
+/// Sorts `keys` (`k = keys.len() / N` per node) on `D_n` by
+/// hyperquicksort. Ascending only (descending = reverse afterwards, as in
+/// compare-split sorting).
+pub fn hyperquicksort<K: Ord + Clone>(rec: &RecDualCube, keys: &[K]) -> HyperquickRun<K> {
+    let n_nodes = rec.num_nodes();
+    assert!(
+        !keys.is_empty() && keys.len().is_multiple_of(n_nodes),
+        "key count {} must be a positive multiple of the node count {n_nodes}",
+        keys.len()
+    );
+    let k = keys.len() / n_nodes;
+    let dims = rec.dims();
+
+    // Local sort of each block.
+    let blocks: Vec<Vec<K>> = keys
+        .chunks(k)
+        .map(|b| {
+            let mut b = b.to_vec();
+            b.sort();
+            b
+        })
+        .collect();
+    let mut machine = emu_machine(rec, blocks);
+    let log_k = (usize::BITS - k.leading_zeros()) as u64;
+    machine.compute_counted(log_k.max(1), (n_nodes * k) as u64 * log_k.max(1), |_, _| {});
+    let mut metrics = Metrics::new();
+
+    for j in (0..dims).rev() {
+        // --- pivot: leaders' medians, broadcast over dims 0..=j ---------
+        // (A separate one-key-per-message machine, so payload accounting
+        // stays honest; its steps are absorbed below.)
+        let leader_mask: usize = !0 << (j + 1); // bits above j identify the subcube
+        let pivots: Vec<Option<K>> = machine
+            .states()
+            .iter()
+            .enumerate()
+            .map(|(r, st)| {
+                (r & !leader_mask == 0)
+                    .then(|| st.value.get(st.value.len() / 2).cloned())
+                    .flatten()
+            })
+            .collect();
+        let mut bcast = emu_machine(rec, pivots);
+        for i in 0..=j {
+            // Pre-step holders: bits i..=j zero (within the subcube).
+            let holder = move |r: usize| (r & !leader_mask) >> i << i == 0;
+            exchange_dim(&mut bcast, i, move |r, own, partner| {
+                if holder(r) {
+                    own.clone()
+                } else if holder(r ^ (1usize << i)) {
+                    partner.clone()
+                } else {
+                    own.clone() // both None this early in the tree
+                }
+            });
+        }
+        let (pivot_states, pivot_metrics) = bcast.into_parts();
+        metrics.absorb(&pivot_metrics);
+        let pivots: Vec<Option<K>> = pivot_states.into_iter().map(|st| st.value).collect();
+
+        // --- split: exchange across dimension j -------------------------
+        exchange_dim_sized(
+            &mut machine,
+            j,
+            |r, own, partner| {
+                let keep_high = bit(r, j);
+                let keep = |block: &[K]| -> Vec<K> {
+                    match &pivots[r] {
+                        Some(p) => block
+                            .iter()
+                            .filter(|x| (**x > *p) == keep_high)
+                            .cloned()
+                            .collect(),
+                        // Degenerate pivot: everything belongs low.
+                        None => {
+                            if keep_high {
+                                Vec::new()
+                            } else {
+                                block.to_vec()
+                            }
+                        }
+                    }
+                };
+                let mut mine = keep(own);
+                let theirs = keep(partner);
+                // Merge two sorted runs.
+                let mut out = Vec::with_capacity(mine.len() + theirs.len());
+                let mut b = theirs.into_iter().peekable();
+                let mut a = std::mem::take(&mut mine).into_iter().peekable();
+                loop {
+                    match (a.peek(), b.peek()) {
+                        (Some(x), Some(y)) => {
+                            if x <= y {
+                                out.push(a.next().unwrap());
+                            } else {
+                                out.push(b.next().unwrap());
+                            }
+                        }
+                        (Some(_), None) => out.push(a.next().unwrap()),
+                        (None, Some(_)) => out.push(b.next().unwrap()),
+                        (None, None) => break,
+                    }
+                }
+                out
+            },
+            |block| block.len().max(1) as u64,
+        );
+    }
+
+    let (states, machine_metrics) = machine.into_parts();
+    metrics.absorb(&machine_metrics);
+    let block_sizes: Vec<usize> = states.iter().map(|st| st.value.len()).collect();
+    let mut output = Vec::with_capacity(keys.len());
+    for st in states {
+        output.extend(st.value);
+    }
+    HyperquickRun {
+        output,
+        metrics,
+        block_sizes,
+    }
+}
+
+/// Convenience: ascending or descending (descending reverses the
+/// ascending result — a free local pass).
+pub fn hyperquicksort_ordered<K: Ord + Clone>(
+    rec: &RecDualCube,
+    keys: &[K],
+    order: SortOrder,
+) -> Run<K> {
+    let run = hyperquicksort(rec, keys);
+    let mut output = run.output;
+    if order == SortOrder::Descending {
+        output.reverse();
+    }
+    Run {
+        output,
+        metrics: run.metrics,
+        phases: Vec::new(),
+        trace: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_uniform_random_data() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in 2..=4u32 {
+            let rec = RecDualCube::new(n);
+            for k in [1usize, 4, 16] {
+                let keys: Vec<u32> = (0..rec.num_nodes() * k)
+                    .map(|_| rng.gen_range(0..1_000_000))
+                    .collect();
+                let run = hyperquicksort(&rec, &keys);
+                let mut expect = keys.clone();
+                expect.sort();
+                assert_eq!(run.output, expect, "n={n} k={k}");
+                assert_eq!(
+                    run.block_sizes.iter().sum::<usize>(),
+                    keys.len(),
+                    "conservation n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_on_uniform_input() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let rec = RecDualCube::new(3);
+        let k = 64;
+        let keys: Vec<u64> = (0..rec.num_nodes() * k).map(|_| rng.gen()).collect();
+        let run = hyperquicksort(&rec, &keys);
+        assert!(imbalance(&run, k) < 2.5, "imbalance {}", imbalance(&run, k));
+    }
+
+    #[test]
+    fn skewed_on_adversarial_input() {
+        // All-equal keys: every pivot splits everything to the low side;
+        // correctness holds, balance collapses — the "no guaranteed
+        // speedup" failure mode.
+        let rec = RecDualCube::new(3);
+        let k = 8;
+        let keys = vec![42u32; rec.num_nodes() * k];
+        let run = hyperquicksort(&rec, &keys);
+        assert_eq!(run.output, keys);
+        assert!(
+            imbalance(&run, k) > 10.0,
+            "expected collapse, got {}",
+            imbalance(&run, k)
+        );
+    }
+
+    #[test]
+    fn sorts_presorted_and_reverse() {
+        let rec = RecDualCube::new(2);
+        let asc: Vec<i32> = (0..64).collect();
+        assert_eq!(hyperquicksort(&rec, &asc).output, asc);
+        let desc: Vec<i32> = (0..64).rev().collect();
+        assert_eq!(hyperquicksort(&rec, &desc).output, asc);
+        let run = hyperquicksort_ordered(&rec, &asc, SortOrder::Descending);
+        assert_eq!(run.output, desc);
+    }
+
+    #[test]
+    fn with_duplicates() {
+        let rec = RecDualCube::new(2);
+        let keys: Vec<u8> = (0..32).map(|i| i % 4).collect();
+        let run = hyperquicksort(&rec, &keys);
+        let mut expect = keys.clone();
+        expect.sort();
+        assert_eq!(run.output, expect);
+    }
+}

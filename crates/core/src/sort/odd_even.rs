@@ -1,0 +1,161 @@
+//! Batcher's **odd-even merge** sorting network — the other half of the
+//! paper's reference \[1\] ("Batcher's O(log²n)-time bitonic *and
+//! odd-even merge* sorting algorithms are presently the fastest practical
+//! deterministic sorting algorithms available", Section 5).
+//!
+//! Provided as a comparison *network*: [`odd_even_merge_network`] emits
+//! the explicit comparator list, [`odd_even_merge_sort`] applies it
+//! in-place, and [`network_depth`] computes the parallel depth —
+//! `(log²N + log N)/2`, the same asymptotic as bitonic with slightly
+//! fewer comparators. The tests verify the 0–1 principle exhaustively on
+//! small widths and compare comparator counts against bitonic's.
+
+use crate::sort::SortOrder;
+
+/// A comparator `(i, j)` with `i < j`: after application,
+/// `keys[i] ≤ keys[j]`.
+pub type Comparator = (usize, usize);
+
+/// The comparators of Batcher's odd-even merge sort for a power-of-two
+/// width `n`, in application order.
+pub fn odd_even_merge_network(n: usize) -> Vec<Comparator> {
+    assert!(n.is_power_of_two(), "network width must be a power of two");
+    let mut out = Vec::new();
+    sort_range(&mut out, 0, n);
+    out
+}
+
+fn sort_range(out: &mut Vec<Comparator>, lo: usize, n: usize) {
+    if n <= 1 {
+        return;
+    }
+    let half = n / 2;
+    sort_range(out, lo, half);
+    sort_range(out, lo + half, half);
+    merge_range(out, lo, n, 1);
+}
+
+/// Odd-even merge of the two sorted halves of `[lo, lo + n·r)` taken at
+/// stride `r`.
+fn merge_range(out: &mut Vec<Comparator>, lo: usize, n: usize, r: usize) {
+    let step = r * 2;
+    if step < n * r {
+        merge_range(out, lo, n / 2, step); // even subsequence
+        merge_range(out, lo + r, n / 2, step); // odd subsequence
+        let mut i = lo + r;
+        while i + r < lo + n * r {
+            out.push((i, i + r));
+            i += step;
+        }
+    } else {
+        out.push((lo, lo + r));
+    }
+}
+
+/// Sorts `keys` (power-of-two length) with the odd-even merge network.
+pub fn odd_even_merge_sort<K: Ord>(keys: &mut [K], order: SortOrder) {
+    for (i, j) in odd_even_merge_network(keys.len()) {
+        let out_of_order = match order {
+            SortOrder::Ascending => keys[i] > keys[j],
+            SortOrder::Descending => keys[i] < keys[j],
+        };
+        if out_of_order {
+            keys.swap(i, j);
+        }
+    }
+}
+
+/// Parallel depth of a comparator list: the length of the longest chain of
+/// comparators sharing a wire, i.e. the number of parallel steps a machine
+/// would need.
+pub fn network_depth(n: usize, comparators: &[Comparator]) -> usize {
+    let mut ready = vec![0usize; n];
+    let mut depth = 0;
+    for &(i, j) in comparators {
+        let t = ready[i].max(ready[j]) + 1;
+        ready[i] = t;
+        ready[j] = t;
+        depth = depth.max(t);
+    }
+    depth
+}
+
+/// Comparator count of the bitonic network at width `n`, for comparison:
+/// `n/2 · log n · (log n + 1) / 2`.
+pub fn bitonic_comparator_count(n: usize) -> usize {
+    let lg = n.trailing_zeros() as usize;
+    n / 2 * lg * (lg + 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_all_zero_one_inputs_width_16() {
+        // 0–1 principle, exhaustively: 2^16 inputs.
+        for bits in 0u32..(1 << 16) {
+            let mut v: Vec<u8> = (0..16).map(|i| ((bits >> i) & 1) as u8).collect();
+            odd_even_merge_sort(&mut v, SortOrder::Ascending);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "failed on {bits:016b}");
+        }
+    }
+
+    #[test]
+    fn sorts_random_and_both_directions() {
+        let mut v: Vec<i32> = (0..64).map(|i| (i * 37 + 11) % 64).collect();
+        odd_even_merge_sort(&mut v, SortOrder::Ascending);
+        assert_eq!(v, (0..64).collect::<Vec<_>>());
+        odd_even_merge_sort(&mut v, SortOrder::Descending);
+        assert_eq!(v, (0..64).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn comparator_counts_match_batcher() {
+        // Batcher's closed form: C(2^k) = (k² − k + 4)·2^(k−2) − 1,
+        // giving 1, 5, 19, 63, 191, 543 for n = 2, 4, …, 64.
+        for (n, expect) in [
+            (2usize, 1usize),
+            (4, 5),
+            (8, 19),
+            (16, 63),
+            (32, 191),
+            (64, 543),
+        ] {
+            let net = odd_even_merge_network(n);
+            assert_eq!(net.len(), expect, "width {n}");
+            // Strictly fewer comparators than bitonic for n ≥ 8.
+            if n >= 8 {
+                assert!(net.len() < bitonic_comparator_count(n), "width {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_log_squared_ish() {
+        // Depth of Batcher's odd-even merge sort: log n (log n + 1) / 2.
+        for lg in 1..=6u32 {
+            let n = 1usize << lg;
+            let net = odd_even_merge_network(n);
+            assert_eq!(
+                network_depth(n, &net),
+                (lg * (lg + 1) / 2) as usize,
+                "width {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn comparators_are_ordered_pairs_in_range() {
+        let n = 32;
+        for (i, j) in odd_even_merge_network(n) {
+            assert!(i < j && j < n, "({i},{j})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        odd_even_merge_network(12);
+    }
+}

@@ -1,0 +1,146 @@
+//! The paper's closed-form step counts (Theorems 1 and 2), as functions.
+//!
+//! The experiment harness and the integration tests compare every simulated
+//! run's measured [`dc_simulator::Metrics`] against these formulas, which
+//! is the reproduction of the paper's two theorems.
+
+/// Theorem 1, communication: `D_prefix` on `D_n` takes `2n+1`
+/// communication steps — two `Cube_prefix` sweeps of `n−1` steps each plus
+/// three cross-edge rounds (steps 2, 4 and 5 of Algorithm 2).
+pub fn prefix_comm(n: u32) -> u64 {
+    2 * n as u64 + 1
+}
+
+/// Theorem 1, computation: `2n` computation steps — `n−1` per
+/// `Cube_prefix` sweep plus the two combining steps of Algorithm 2's
+/// steps 4 and 5.
+pub fn prefix_comp(n: u32) -> u64 {
+    2 * n as u64
+}
+
+/// `Cube_prefix` on `Q_m`: `m` communication steps (Section 3: "only
+/// involve `m` communication steps for computing prefixes in `m`-cube").
+pub fn cube_prefix_comm(m: u32) -> u64 {
+    m as u64
+}
+
+/// `Cube_prefix` on `Q_m`: `m` computation steps (one O(1) round per
+/// dimension).
+pub fn cube_prefix_comp(m: u32) -> u64 {
+    m as u64
+}
+
+/// Theorem 2, communication, exact form: solving the paper's recurrence
+/// `T(n) = T(n−1) + 3·((2n−3) + (2n−2)) + 2` with `T(1) = 1` gives
+/// `6n² − 7n + 2`. Each level-`ℓ` merge pass costs 3 cycles per dimension
+/// `j > 0` (the 3-hop emulated compare-exchange) and 1 cycle for `j = 0`
+/// (the cross-edge, which every node has directly).
+pub fn sort_comm_exact(n: u32) -> u64 {
+    let n = n as u64;
+    6 * n * n + 2 - 7 * n // ordered to stay in u64 at n = 1
+}
+
+/// Theorem 2's stated communication bound, `6n²`.
+pub fn sort_comm_bound(n: u32) -> u64 {
+    6 * (n as u64) * (n as u64)
+}
+
+/// Theorem 2, computation, exact form: one comparison step per merge
+/// round — `(2n−2)` rounds in the first merge loop plus `(2n−1)` in the
+/// second — giving `T(n) = T(n−1) + (2n−2) + (2n−1)`, `T(1) = 1`, i.e.
+/// `2n² − n`.
+pub fn sort_comp_exact(n: u32) -> u64 {
+    let n = n as u64;
+    2 * n * n - n
+}
+
+/// Theorem 2's stated computation bound, `2n²`.
+pub fn sort_comp_bound(n: u32) -> u64 {
+    2 * (n as u64) * (n as u64)
+}
+
+/// Bitonic sort on `Q_m` (Section 5): `m(m+1)/2` compare-exchange steps,
+/// each one communication cycle and one comparison.
+pub fn cube_sort_steps(m: u32) -> u64 {
+    let m = m as u64;
+    m * (m + 1) / 2
+}
+
+/// The Section 7 claim: emulating a hypercube algorithm on the dual-cube
+/// costs at most 3× the hypercube's communication. For sorting the
+/// asymptotic ratio of [`sort_comm_exact`]`(n)` to
+/// [`cube_sort_steps`]`(2n−1)` approaches 3 from below.
+pub fn sort_overhead_ratio(n: u32) -> f64 {
+    sort_comm_exact(n) as f64 / cube_sort_steps(2 * n - 1) as f64
+}
+
+/// Diameter-matching broadcast/reduce on `D_n`: `2n` communication steps
+/// (cluster sweep, cross, cluster sweep, cross), cf. the collectives
+/// module.
+pub fn collective_comm(n: u32) -> u64 {
+    2 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_comm_recurrence_solution_is_exact() {
+        // T(1) = 1; T(n) = T(n−1) + 3((2n−3)+(2n−2)) + 2.
+        let mut t = 1u64;
+        assert_eq!(sort_comm_exact(1), 1);
+        for n in 2..=12u32 {
+            t += 3 * ((2 * n as u64 - 3) + (2 * n as u64 - 2)) + 2;
+            assert_eq!(sort_comm_exact(n), t, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sort_comp_recurrence_solution_is_exact() {
+        let mut t = 1u64;
+        assert_eq!(sort_comp_exact(1), 1);
+        for n in 2..=12u32 {
+            t += (2 * n as u64 - 2) + (2 * n as u64 - 1);
+            assert_eq!(sort_comp_exact(n), t, "n={n}");
+        }
+    }
+
+    #[test]
+    fn exact_forms_respect_stated_bounds() {
+        for n in 1..=12 {
+            assert!(sort_comm_exact(n) <= sort_comm_bound(n));
+            assert!(sort_comp_exact(n) <= sort_comp_bound(n));
+        }
+    }
+
+    #[test]
+    fn prefix_costs_match_theorem_one_arithmetic() {
+        for n in 2..=12 {
+            // 2(n−1) from the two Cube_prefix sweeps + 3 cross rounds.
+            assert_eq!(prefix_comm(n), 2 * (n as u64 - 1) + 3);
+            // 2(n−1) + the two combining steps.
+            assert_eq!(prefix_comp(n), 2 * (n as u64 - 1) + 2);
+        }
+    }
+
+    #[test]
+    fn overhead_ratio_approaches_three() {
+        // Monotone increasing towards 3, never reaching it.
+        let mut prev = 0.0;
+        for n in 2..=20 {
+            let r = sort_overhead_ratio(n);
+            assert!(r < 3.0, "n={n}: {r}");
+            assert!(r > prev, "n={n}");
+            prev = r;
+        }
+        assert!(sort_overhead_ratio(20) > 2.8);
+    }
+
+    #[test]
+    fn cube_sort_steps_small_cases() {
+        assert_eq!(cube_sort_steps(1), 1);
+        assert_eq!(cube_sort_steps(3), 6);
+        assert_eq!(cube_sort_steps(15), 120);
+    }
+}

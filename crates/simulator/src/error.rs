@@ -1,0 +1,123 @@
+//! Communication-model violations detected by the simulator.
+//!
+//! Both theorems of the paper assume the *1-port, bidirectional-channel*
+//! model: "at each clock cycle, each node can send or get at most one
+//! message" (Theorem 1) / "each node can send and receive at most one
+//! message in one clock cycle" (Theorem 2). The simulator enforces the
+//! model every cycle instead of trusting the algorithm's schedule, so a
+//! reported step count is also a machine-checked proof that the schedule
+//! is legal. These are the ways a schedule can be illegal.
+
+use std::fmt;
+
+/// A violation of the synchronous 1-port communication model, or a malformed
+/// exchange plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A node attempted to send to a node it has no link to.
+    NotAdjacent {
+        /// Sending node.
+        src: usize,
+        /// Intended destination.
+        dst: usize,
+    },
+    /// Two or more messages arrived at one node in a single cycle
+    /// (receive-port conflict).
+    RecvConflict {
+        /// The overloaded node.
+        node: usize,
+        /// One of the conflicting senders.
+        first_src: usize,
+        /// Another conflicting sender.
+        second_src: usize,
+    },
+    /// A pairwise exchange named partner `b` for node `a`, but `b`'s plan
+    /// did not name `a` back.
+    AsymmetricPair {
+        /// The node whose plan named a partner.
+        a: usize,
+        /// The partner that did not reciprocate.
+        b: usize,
+    },
+    /// A plan referenced a node id outside `0..num_nodes()`.
+    OutOfRange {
+        /// The offending id.
+        node: usize,
+        /// The machine size.
+        num_nodes: usize,
+    },
+    /// A node attempted to send a message to itself.
+    SelfMessage {
+        /// The offending node.
+        node: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SimError::NotAdjacent { src, dst } => {
+                write!(f, "node {src} attempted to send to non-neighbour {dst}")
+            }
+            SimError::RecvConflict {
+                node,
+                first_src,
+                second_src,
+            } => write!(
+                f,
+                "1-port violation: node {node} would receive from both \
+                 {first_src} and {second_src} in one cycle"
+            ),
+            SimError::AsymmetricPair { a, b } => {
+                write!(
+                    f,
+                    "pairwise exchange: {a} paired with {b}, but not vice versa"
+                )
+            }
+            SimError::OutOfRange { node, num_nodes } => {
+                write!(
+                    f,
+                    "node id {node} out of range for a {num_nodes}-node machine"
+                )
+            }
+            SimError::SelfMessage { node } => {
+                write!(f, "node {node} attempted to send a message to itself")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::RecvConflict {
+            node: 3,
+            first_src: 1,
+            second_src: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1-port"));
+        assert!(s.contains("node 3"));
+        assert_eq!(
+            SimError::NotAdjacent { src: 0, dst: 5 }.to_string(),
+            "node 0 attempted to send to non-neighbour 5"
+        );
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SimError::SelfMessage { node: 1 },
+            SimError::SelfMessage { node: 1 }
+        );
+        assert_ne!(
+            SimError::SelfMessage { node: 1 },
+            SimError::SelfMessage { node: 2 }
+        );
+    }
+}

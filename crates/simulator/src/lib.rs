@@ -1,0 +1,37 @@
+//! # dc-simulator — a synchronous 1-port multicomputer simulator
+//!
+//! The substrate the paper lacks: both theorems of *Prefix Computation and
+//! Sorting in Dual-Cube* (Li, Peng & Chu, ICPP 2008) state step counts
+//! under a synchronous, **1-port, bidirectional-channel** communication
+//! model ("each node can send and receive at most one message in one clock
+//! cycle"), but the paper reports no implementation — "do some simulations
+//! and empirical analysis" is its future work. This crate is that
+//! simulator.
+//!
+//! A [`Machine`] holds one state value per node of a
+//! [`dc_topology::Topology`] and advances through:
+//!
+//! * **communication cycles** ([`Machine::exchange`] /
+//!   [`Machine::pairwise`]) — validated every cycle: messages must travel
+//!   along edges, and no node may send or receive more than one message,
+//!   so every reported `T_comm` is simultaneously a machine-checked proof
+//!   that the algorithm's schedule is legal under the paper's model;
+//! * **computation cycles** ([`Machine::compute`]) — O(1) local work per
+//!   node per cycle, the unit of the theorems' `T_comp`.
+//!
+//! [`Metrics`] accumulates both counts (plus total messages and
+//! fine-grained element-operation counts) with optional per-phase
+//! breakdowns used by the worked-example experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod machine;
+mod metrics;
+pub mod parallel;
+pub mod router;
+
+pub use error::SimError;
+pub use machine::Machine;
+pub use metrics::{Metrics, PhaseMetrics};

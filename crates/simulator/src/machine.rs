@@ -1,0 +1,530 @@
+//! The synchronous multicomputer: one state per node, stepped through
+//! communication and computation cycles under 1-port validation.
+
+use crate::error::SimError;
+use crate::metrics::Metrics;
+use dc_topology::{NodeId, Topology};
+
+/// A synchronous message-passing machine over a [`Topology`].
+///
+/// Algorithms drive the machine through three primitives:
+///
+/// * [`Machine::exchange`] — one communication cycle: every node may send
+///   one message to one neighbour; the machine validates adjacency and the
+///   1-port constraint (≤1 send, ≤1 receive per node per cycle) before
+///   delivering.
+/// * [`Machine::pairwise`] — the common special case of a symmetric
+///   exchange along a perfect (partial) matching, e.g. one dimension of an
+///   ascend/descend algorithm.
+/// * [`Machine::compute`] — one (or more) computation cycles of O(1) local
+///   work per node.
+///
+/// The node-local closures receive only the node's own id and state — the
+/// same information a real SPMD process would have — which keeps simulated
+/// algorithms honest about what must travel in messages.
+///
+/// ```
+/// use dc_simulator::Machine;
+/// use dc_topology::Hypercube;
+///
+/// // All-reduce (sum) on Q_3 by dimension sweeps.
+/// let q = Hypercube::new(3);
+/// let mut m = Machine::new(&q, (0..8u64).collect::<Vec<_>>());
+/// for i in 0..3 {
+///     m.pairwise(
+///         |u, _| Some(u ^ (1 << i)),
+///         |_, &s| s,
+///         |s, _, other| *s += other,
+///     );
+///     m.compute(1, |_, _| {});
+/// }
+/// assert!(m.states().iter().all(|&s| s == 28));
+/// assert_eq!(m.metrics().comm_steps, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine<'t, T: Topology + ?Sized, S> {
+    topo: &'t T,
+    states: Vec<S>,
+    metrics: Metrics,
+    trace: Option<Vec<Vec<(NodeId, NodeId)>>>,
+}
+
+impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
+    /// Creates a machine with one initial state per node.
+    ///
+    /// Panics unless `states.len() == topo.num_nodes()`.
+    pub fn new(topo: &'t T, states: Vec<S>) -> Self {
+        assert_eq!(
+            states.len(),
+            topo.num_nodes(),
+            "need exactly one state per node of {}",
+            topo.name()
+        );
+        Machine {
+            topo,
+            states,
+            metrics: Metrics::new(),
+            trace: None,
+        }
+    }
+
+    /// Starts recording a space-time trace: each subsequent communication
+    /// cycle appends the list of `(src, dst)` messages it delivered.
+    /// Costly for big machines; meant for the worked-example diagrams.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace, one entry per communication cycle (empty unless
+    /// [`Machine::enable_trace`] was called before the cycles ran).
+    pub fn trace(&self) -> &[Vec<(NodeId, NodeId)>] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &'t T {
+        self.topo
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Immutable view of all node states.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Mutable view of all node states (for out-of-band setup only; does
+    /// not count as simulated work).
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// Consumes the machine, returning final states and metrics.
+    pub fn into_parts(self) -> (Vec<S>, Metrics) {
+        (self.states, self.metrics)
+    }
+
+    /// Accumulated step counts.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Opens a labelled metrics phase (see [`Metrics::begin_phase`]).
+    pub fn begin_phase(&mut self, label: impl Into<String>) {
+        self.metrics.begin_phase(label);
+    }
+
+    /// One communication cycle. `plan(u, state)` returns the (destination,
+    /// message) this node sends, or `None` to stay silent; `deliver` runs
+    /// at each receiving node. Returns the number of messages delivered.
+    ///
+    /// # Errors
+    ///
+    /// Any violation of the 1-port synchronous model: sending to a
+    /// non-neighbour or to itself, an id out of range, or two messages
+    /// converging on one receiver. On error the cycle is *not* applied and
+    /// no step is counted, so a test can probe illegal schedules without
+    /// corrupting the machine.
+    pub fn try_exchange<M>(
+        &mut self,
+        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)>,
+        deliver: impl FnMut(&mut S, NodeId, M),
+    ) -> Result<usize, SimError> {
+        self.try_exchange_sized(plan, deliver, |_| 1)
+    }
+
+    /// [`Machine::try_exchange`] with explicit payload sizes: `words(msg)`
+    /// reports how many elements the message carries, feeding
+    /// [`Metrics::message_words`] (block-transfer algorithms pass the
+    /// block length; everything else uses the 1-word default).
+    pub fn try_exchange_sized<M>(
+        &mut self,
+        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)>,
+        mut deliver: impl FnMut(&mut S, NodeId, M),
+        words: impl Fn(&M) -> u64,
+    ) -> Result<usize, SimError> {
+        let n = self.states.len();
+        let mut sends = Vec::new();
+        for (u, s) in self.states.iter().enumerate() {
+            if let Some((dst, msg)) = plan(u, s) {
+                sends.push((u, dst, msg));
+            }
+        }
+        // Validate the cycle before touching any state.
+        let mut recv_from = vec![usize::MAX; n];
+        for (src, dst) in sends.iter().map(|&(src, dst, _)| (src, dst)) {
+            if dst >= n {
+                return Err(SimError::OutOfRange {
+                    node: dst,
+                    num_nodes: n,
+                });
+            }
+            if dst == src {
+                return Err(SimError::SelfMessage { node: src });
+            }
+            if !self.topo.is_edge(src, dst) {
+                return Err(SimError::NotAdjacent { src, dst });
+            }
+            if recv_from[dst] != usize::MAX {
+                return Err(SimError::RecvConflict {
+                    node: dst,
+                    first_src: recv_from[dst],
+                    second_src: src,
+                });
+            }
+            recv_from[dst] = src;
+        }
+        let delivered = sends.len();
+        let total_words: u64 = sends.iter().map(|(_, _, m)| words(m)).sum();
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(sends.iter().map(|&(src, dst, _)| (src, dst)).collect());
+        }
+        for (src, dst, msg) in sends {
+            deliver(&mut self.states[dst], src, msg);
+        }
+        self.metrics
+            .record_comm_words(delivered as u64, total_words);
+        Ok(delivered)
+    }
+
+    /// [`Machine::try_exchange`] that panics on a model violation — the
+    /// form algorithm implementations use, since their schedules are
+    /// supposed to be legal by construction.
+    #[track_caller]
+    pub fn exchange<M>(
+        &mut self,
+        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)>,
+        deliver: impl FnMut(&mut S, NodeId, M),
+    ) -> usize {
+        match self.try_exchange(plan, deliver) {
+            Ok(count) => count,
+            Err(e) => panic!("communication-model violation: {e}"),
+        }
+    }
+
+    /// One symmetric pairwise exchange cycle: `pair(u, state)` names `u`'s
+    /// partner (or `None` to sit out); partners must name each other.
+    /// Every participating node sends `msg(u, state)` to its partner and
+    /// `deliver(state, partner, message)` runs at each participant.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AsymmetricPair`] if the matching is not symmetric, plus
+    /// everything [`Machine::try_exchange`] can report.
+    pub fn try_pairwise<M>(
+        &mut self,
+        pair: impl Fn(NodeId, &S) -> Option<NodeId>,
+        msg: impl Fn(NodeId, &S) -> M,
+        mut deliver: impl FnMut(&mut S, NodeId, M),
+    ) -> Result<usize, SimError> {
+        let n = self.states.len();
+        // Pre-validate symmetry so the error is precise (try_exchange
+        // would report it as a receive conflict or not at all).
+        let partners: Vec<Option<NodeId>> = self
+            .states
+            .iter()
+            .enumerate()
+            .map(|(u, s)| pair(u, s))
+            .collect();
+        for (u, &p) in partners.iter().enumerate() {
+            if let Some(v) = p {
+                if v >= n {
+                    return Err(SimError::OutOfRange {
+                        node: v,
+                        num_nodes: n,
+                    });
+                }
+                if partners[v] != Some(u) {
+                    return Err(SimError::AsymmetricPair { a: u, b: v });
+                }
+            }
+        }
+        self.try_exchange(
+            |u, s| partners[u].map(|v| (v, msg(u, s))),
+            |s, from, m| deliver(s, from, m),
+        )
+    }
+
+    /// [`Machine::try_pairwise`] with explicit payload sizes (see
+    /// [`Machine::try_exchange_sized`]).
+    pub fn try_pairwise_sized<M>(
+        &mut self,
+        pair: impl Fn(NodeId, &S) -> Option<NodeId>,
+        msg: impl Fn(NodeId, &S) -> M,
+        mut deliver: impl FnMut(&mut S, NodeId, M),
+        words: impl Fn(&M) -> u64,
+    ) -> Result<usize, SimError> {
+        let n = self.states.len();
+        let partners: Vec<Option<NodeId>> = self
+            .states
+            .iter()
+            .enumerate()
+            .map(|(u, s)| pair(u, s))
+            .collect();
+        for (u, &p) in partners.iter().enumerate() {
+            if let Some(v) = p {
+                if v >= n {
+                    return Err(SimError::OutOfRange {
+                        node: v,
+                        num_nodes: n,
+                    });
+                }
+                if partners[v] != Some(u) {
+                    return Err(SimError::AsymmetricPair { a: u, b: v });
+                }
+            }
+        }
+        self.try_exchange_sized(
+            |u, s| partners[u].map(|v| (v, msg(u, s))),
+            |s, from, m| deliver(s, from, m),
+            words,
+        )
+    }
+
+    /// Panicking form of [`Machine::try_pairwise_sized`].
+    #[track_caller]
+    pub fn pairwise_sized<M>(
+        &mut self,
+        pair: impl Fn(NodeId, &S) -> Option<NodeId>,
+        msg: impl Fn(NodeId, &S) -> M,
+        deliver: impl FnMut(&mut S, NodeId, M),
+        words: impl Fn(&M) -> u64,
+    ) -> usize {
+        match self.try_pairwise_sized(pair, msg, deliver, words) {
+            Ok(count) => count,
+            Err(e) => panic!("communication-model violation: {e}"),
+        }
+    }
+
+    /// Panicking form of [`Machine::try_exchange_sized`].
+    #[track_caller]
+    pub fn exchange_sized<M>(
+        &mut self,
+        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)>,
+        deliver: impl FnMut(&mut S, NodeId, M),
+        words: impl Fn(&M) -> u64,
+    ) -> usize {
+        match self.try_exchange_sized(plan, deliver, words) {
+            Ok(count) => count,
+            Err(e) => panic!("communication-model violation: {e}"),
+        }
+    }
+
+    /// Panicking form of [`Machine::try_pairwise`].
+    #[track_caller]
+    pub fn pairwise<M>(
+        &mut self,
+        pair: impl Fn(NodeId, &S) -> Option<NodeId>,
+        msg: impl Fn(NodeId, &S) -> M,
+        deliver: impl FnMut(&mut S, NodeId, M),
+    ) -> usize {
+        match self.try_pairwise(pair, msg, deliver) {
+            Ok(count) => count,
+            Err(e) => panic!("communication-model violation: {e}"),
+        }
+    }
+
+    /// `steps` computation cycles in which every node runs `f` once,
+    /// performing O(1) work. `ops_per_node` element operations per node are
+    /// charged to the fine-grained counter (nodes that do nothing this
+    /// cycle are the caller's business — the *step* cost is global, per the
+    /// synchronous model).
+    pub fn compute(&mut self, steps: u64, mut f: impl FnMut(NodeId, &mut S)) {
+        for (u, s) in self.states.iter_mut().enumerate() {
+            f(u, s);
+        }
+        self.metrics
+            .record_comp(steps, steps * self.states.len() as u64);
+    }
+
+    /// Like [`Machine::compute`] but charges exactly `element_ops` total
+    /// operations (for phases where only a subset of nodes works).
+    pub fn compute_counted(
+        &mut self,
+        steps: u64,
+        element_ops: u64,
+        mut f: impl FnMut(NodeId, &mut S),
+    ) {
+        for (u, s) in self.states.iter_mut().enumerate() {
+            f(u, s);
+        }
+        self.metrics.record_comp(steps, element_ops);
+    }
+
+    /// Applies `f` to every node *without* charging any simulated cost —
+    /// for initial data placement and final result collection, which the
+    /// paper's step counts exclude.
+    pub fn setup(&mut self, mut f: impl FnMut(NodeId, &mut S)) {
+        for (u, s) in self.states.iter_mut().enumerate() {
+            f(u, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_topology::Hypercube;
+
+    fn machine(dim: u32) -> Machine<'static, Hypercube, u64> {
+        // Leak a tiny topology to get a 'static reference in tests.
+        let topo: &'static Hypercube = Box::leak(Box::new(Hypercube::new(dim)));
+        let n = topo.num_nodes();
+        Machine::new(topo, (0..n as u64).collect())
+    }
+
+    #[test]
+    fn exchange_delivers_and_counts() {
+        let mut m = machine(2);
+        // Everyone sends its value across dimension 0.
+        let delivered = m.exchange(|u, &s| Some((u ^ 1, s)), |s, _, v| *s += v);
+        assert_eq!(delivered, 4);
+        assert_eq!(m.states(), &[1, 1, 5, 5]);
+        assert_eq!(m.metrics().comm_steps, 1);
+        assert_eq!(m.metrics().messages, 4);
+    }
+
+    #[test]
+    fn non_adjacent_send_rejected() {
+        let mut m = machine(2);
+        let err = m
+            .try_exchange(
+                |u, &s| if u == 0 { Some((3, s)) } else { None },
+                |_, _, _: u64| {},
+            )
+            .unwrap_err();
+        assert_eq!(err, SimError::NotAdjacent { src: 0, dst: 3 });
+        // Machine untouched, no step counted.
+        assert_eq!(m.metrics().comm_steps, 0);
+        assert_eq!(m.states(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_conflict_rejected() {
+        let mut m = machine(2);
+        // Nodes 1 and 2 both send to node 0 (a neighbour of both in Q_2).
+        let err = m
+            .try_exchange(
+                |u, &s| match u {
+                    1 => Some((0, s)),
+                    2 => Some((0, s)),
+                    _ => None,
+                },
+                |_, _, _: u64| {},
+            )
+            .unwrap_err();
+        match err {
+            SimError::RecvConflict { node, .. } => assert_eq!(node, 0),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn self_message_rejected() {
+        let mut m = machine(2);
+        let err = m
+            .try_exchange(
+                |u, &s| if u == 1 { Some((1, s)) } else { None },
+                |_, _, _: u64| {},
+            )
+            .unwrap_err();
+        assert_eq!(err, SimError::SelfMessage { node: 1 });
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut m = machine(2);
+        let err = m
+            .try_exchange(
+                |u, &s| if u == 0 { Some((9, s)) } else { None },
+                |_, _, _: u64| {},
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::OutOfRange {
+                node: 9,
+                num_nodes: 4
+            }
+        );
+    }
+
+    #[test]
+    fn asymmetric_pair_rejected() {
+        let mut m = machine(2);
+        let err = m
+            .try_pairwise(
+                |u, _| if u == 0 { Some(1) } else { None },
+                |_, &s| s,
+                |_, _, _| {},
+            )
+            .unwrap_err();
+        assert_eq!(err, SimError::AsymmetricPair { a: 0, b: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "communication-model violation")]
+    fn exchange_panics_on_violation() {
+        let mut m = machine(2);
+        m.exchange(
+            |u, &s| if u == 0 { Some((3, s)) } else { None },
+            |_, _, _: u64| {},
+        );
+    }
+
+    #[test]
+    fn pairwise_swaps_values() {
+        let mut m = machine(3);
+        m.pairwise(|u, _| Some(u ^ 0b100), |_, &s| s, |s, _, v| *s = v);
+        assert_eq!(m.states(), &[4, 5, 6, 7, 0, 1, 2, 3]);
+        assert_eq!(m.metrics().comm_steps, 1);
+        assert_eq!(m.metrics().messages, 8);
+    }
+
+    #[test]
+    fn partial_matching_allowed() {
+        let mut m = machine(2);
+        // Only the pair {0, 1} exchanges.
+        let count = m.pairwise(
+            |u, _| if u < 2 { Some(u ^ 1) } else { None },
+            |_, &s| s,
+            |s, _, v| *s = v,
+        );
+        assert_eq!(count, 2);
+        assert_eq!(m.states(), &[1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn compute_counts_steps_and_ops() {
+        let mut m = machine(2);
+        m.compute(1, |_, s| *s *= 2);
+        assert_eq!(m.states(), &[0, 2, 4, 6]);
+        assert_eq!(m.metrics().comp_steps, 1);
+        assert_eq!(m.metrics().element_ops, 4);
+        m.compute_counted(1, 2, |u, s| {
+            if u < 2 {
+                *s += 1
+            }
+        });
+        assert_eq!(m.metrics().comp_steps, 2);
+        assert_eq!(m.metrics().element_ops, 6);
+    }
+
+    #[test]
+    fn setup_is_free() {
+        let mut m = machine(2);
+        m.setup(|u, s| *s = u as u64 * 10);
+        assert_eq!(m.metrics().comp_steps, 0);
+        assert_eq!(m.states(), &[0, 10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one state per node")]
+    fn wrong_state_count_rejected() {
+        let topo: &'static Hypercube = Box::leak(Box::new(Hypercube::new(2)));
+        let _ = Machine::new(topo, vec![0u8; 3]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Step accounting in the paper's cost model.
+//!
+//! * A **communication step** is one synchronous cycle in which every node
+//!   sends at most one message to a neighbour and receives at most one.
+//!   `T_comm` of both theorems counts these cycles.
+//! * A **computation step** is one synchronous cycle in which every node
+//!   performs O(1) local work (a `⊕` application, a comparison, …).
+//!   `T_comp` counts these. With this convention `Cube_prefix` on an
+//!   `m`-cube costs `m` communication + `m` computation steps, which makes
+//!   the theorem arithmetic come out exactly as printed (Theorem 1:
+//!   `2(n−1)+3 = 2n+1` comm and `2(n−1)+2 = 2n` comp).
+//! * `element_ops` additionally counts the *total* number of element
+//!   operations across all nodes — a finer-grained measure the paper does
+//!   not use but the ablation benches report.
+//!
+//! Metrics can be split into labelled [`PhaseMetrics`] windows so that the
+//! worked-example experiments can attribute cost to individual algorithm
+//! phases (e.g. the five steps of `D_prefix`).
+
+use std::fmt;
+
+/// Counters for one labelled phase of an algorithm run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseMetrics {
+    /// Phase label (e.g. `"step 3: cluster prefix over subtotals"`).
+    pub label: String,
+    /// Communication cycles spent in this phase.
+    pub comm_steps: u64,
+    /// Computation cycles spent in this phase.
+    pub comp_steps: u64,
+    /// Total messages delivered in this phase.
+    pub messages: u64,
+    /// Total message payload, in elements ("words"); a plain message
+    /// counts 1, a k-element block counts k.
+    pub message_words: u64,
+    /// Total element operations performed across all nodes in this phase.
+    pub element_ops: u64,
+}
+
+/// Cumulative step counts for a simulated run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Total communication steps (synchronous message cycles) — the
+    /// quantity bounded by the theorems' `T_comm`.
+    pub comm_steps: u64,
+    /// Total computation steps (synchronous O(1)-work cycles) — the
+    /// theorems' `T_comp`.
+    pub comp_steps: u64,
+    /// Total messages delivered over the whole run.
+    pub messages: u64,
+    /// Total message payload in elements ("words") over the whole run —
+    /// distinguishes the large-input algorithms (whose step counts stay
+    /// flat while payloads grow) from the one-element-per-message ones.
+    pub message_words: u64,
+    /// Total element operations across all nodes over the whole run.
+    pub element_ops: u64,
+    /// Per-phase breakdown, in phase order. Empty if the run never called
+    /// [`Metrics::begin_phase`].
+    pub phases: Vec<PhaseMetrics>,
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Opens a new labelled phase; subsequent counts accrue to it (as well
+    /// as to the run totals).
+    pub fn begin_phase(&mut self, label: impl Into<String>) {
+        self.phases.push(PhaseMetrics {
+            label: label.into(),
+            ..PhaseMetrics::default()
+        });
+    }
+
+    /// Records one communication cycle delivering `messages` messages of
+    /// one word each.
+    pub fn record_comm(&mut self, messages: u64) {
+        self.record_comm_words(messages, messages);
+    }
+
+    /// Records one communication cycle delivering `messages` messages
+    /// totalling `words` payload elements.
+    pub fn record_comm_words(&mut self, messages: u64, words: u64) {
+        self.comm_steps += 1;
+        self.messages += messages;
+        self.message_words += words;
+        if let Some(p) = self.phases.last_mut() {
+            p.comm_steps += 1;
+            p.messages += messages;
+            p.message_words += words;
+        }
+    }
+
+    /// Records `steps` computation cycles performing `element_ops` total
+    /// operations across the machine.
+    pub fn record_comp(&mut self, steps: u64, element_ops: u64) {
+        self.comp_steps += steps;
+        self.element_ops += element_ops;
+        if let Some(p) = self.phases.last_mut() {
+            p.comp_steps += steps;
+            p.element_ops += element_ops;
+        }
+    }
+
+    /// Adds another run's totals into this one (phases are appended).
+    /// Used by algorithms composed of several machine runs (e.g. radix
+    /// sort's per-pass scans, hyperquicksort's pivot broadcasts).
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.comm_steps += other.comm_steps;
+        self.comp_steps += other.comp_steps;
+        self.messages += other.messages;
+        self.message_words += other.message_words;
+        self.element_ops += other.element_ops;
+        self.phases.extend(other.phases.iter().cloned());
+    }
+
+    /// `T_comm + T_comp`: the paper's implicit total time when
+    /// communication and computation are not overlapped.
+    pub fn total_steps(&self) -> u64 {
+        self.comm_steps + self.comp_steps
+    }
+
+    /// The phase with the given label, if any phase was so labelled.
+    pub fn phase(&self, label: &str) -> Option<&PhaseMetrics> {
+        self.phases.iter().find(|p| p.label == label)
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "comm={} comp={} (messages={}, element_ops={})",
+            self.comm_steps, self.comp_steps, self.messages, self.element_ops
+        )?;
+        for p in &self.phases {
+            write!(
+                f,
+                "\n  {:<40} comm={:>4} comp={:>4} msgs={:>8}",
+                p.label, p.comm_steps, p.comp_steps, p.messages
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let mut m = Metrics::new();
+        m.record_comm(8);
+        m.record_comm(4);
+        m.record_comp(1, 16);
+        assert_eq!(m.comm_steps, 2);
+        assert_eq!(m.messages, 12);
+        assert_eq!(m.comp_steps, 1);
+        assert_eq!(m.element_ops, 16);
+        assert_eq!(m.total_steps(), 3);
+    }
+
+    #[test]
+    fn phases_split_counts() {
+        let mut m = Metrics::new();
+        m.begin_phase("a");
+        m.record_comm(2);
+        m.begin_phase("b");
+        m.record_comm(3);
+        m.record_comp(2, 5);
+        assert_eq!(m.comm_steps, 2);
+        assert_eq!(m.phase("a").unwrap().comm_steps, 1);
+        assert_eq!(m.phase("a").unwrap().messages, 2);
+        assert_eq!(m.phase("b").unwrap().comm_steps, 1);
+        assert_eq!(m.phase("b").unwrap().comp_steps, 2);
+        assert!(m.phase("c").is_none());
+    }
+
+    #[test]
+    fn counts_before_first_phase_go_to_totals_only() {
+        let mut m = Metrics::new();
+        m.record_comm(1);
+        m.begin_phase("late");
+        assert_eq!(m.comm_steps, 1);
+        assert_eq!(m.phase("late").unwrap().comm_steps, 0);
+    }
+
+    #[test]
+    fn absorb_sums_all_counters() {
+        let mut a = Metrics::new();
+        a.record_comm_words(2, 5);
+        a.record_comp(1, 3);
+        let mut b = Metrics::new();
+        b.begin_phase("x");
+        b.record_comm(1);
+        a.absorb(&b);
+        assert_eq!(a.comm_steps, 2);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.message_words, 6);
+        assert_eq!(a.phases.len(), 1);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let mut m = Metrics::new();
+        m.begin_phase("phase x");
+        m.record_comm(7);
+        let s = m.to_string();
+        assert!(s.contains("comm=1"));
+        assert!(s.contains("phase x"));
+    }
+}

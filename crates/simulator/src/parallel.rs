@@ -1,0 +1,89 @@
+//! Host-side parallelism for large machines.
+//!
+//! The simulated network is synchronous, so within one cycle the per-node
+//! work is embarrassingly parallel. For big instances (e.g. `D_8` with
+//! 2^15 nodes) the wall-clock benches use this chunked crossbeam-scope
+//! executor to spread node updates over host cores. (Rayon is not in the
+//! approved dependency set; crossbeam's scoped threads give the same
+//! fork-join structure for this fixed-shape workload — see DESIGN.md §6.)
+//!
+//! Determinism: `f` receives disjoint `(node id, &mut state)` pairs, so the
+//! result is identical to the sequential loop regardless of scheduling.
+
+use std::num::NonZeroUsize;
+
+/// Minimum slice length before threads are spawned; below this the
+/// sequential loop wins on overhead.
+pub const PAR_THRESHOLD: usize = 4096;
+
+/// Applies `f(index, &mut item)` to every element, splitting the slice over
+/// the available cores when it is long enough.
+pub fn par_apply<S: Send>(states: &mut [S], f: impl Fn(usize, &mut S) + Sync) {
+    let len = states.len();
+    let threads = available_threads();
+    if len < PAR_THRESHOLD || threads == 1 {
+        for (i, s) in states.iter_mut().enumerate() {
+            f(i, s);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (c, slice) in states.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                let base = c * chunk;
+                for (i, s) in slice.iter_mut().enumerate() {
+                    f(base + i, s);
+                }
+            });
+        }
+    })
+    .expect("simulator worker thread panicked");
+}
+
+/// Number of worker threads to use (the host's available parallelism,
+/// capped so tiny CI machines don't oversubscribe).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_slice_runs_sequentially_and_correctly() {
+        let mut v: Vec<u64> = (0..100).collect();
+        par_apply(&mut v, |i, s| *s += i as u64);
+        assert!(v.iter().enumerate().all(|(i, &s)| s == 2 * i as u64));
+    }
+
+    #[test]
+    fn large_slice_matches_sequential_result() {
+        let mut par: Vec<u64> = (0..(PAR_THRESHOLD * 3 + 17) as u64).collect();
+        let mut seq = par.clone();
+        par_apply(&mut par, |i, s| {
+            *s = s.wrapping_mul(31).wrapping_add(i as u64)
+        });
+        for (i, s) in seq.iter_mut().enumerate() {
+            *s = s.wrapping_mul(31).wrapping_add(i as u64);
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn indices_are_global_not_per_chunk() {
+        let mut v = vec![0usize; PAR_THRESHOLD * 2];
+        par_apply(&mut v, |i, s| *s = i);
+        assert!(v.iter().enumerate().all(|(i, &s)| s == i));
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

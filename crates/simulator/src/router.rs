@@ -1,0 +1,425 @@
+//! Store-and-forward packet routing under the 1-port model.
+//!
+//! The algorithms of the paper only ever exchange with neighbours, but the
+//! paper's future work 2 ("simulations and empirical analysis") and the
+//! scan applications built on `D_prefix` (radix sort's permutation step)
+//! need *arbitrary* point-to-point traffic. This router delivers a batch
+//! of `(source, destination)` packets over precomputed paths:
+//!
+//! * each packet follows the path produced by a caller-supplied routing
+//!   function (typically [`dc_topology::Routed::route`] — the paper's
+//!   dimension-ordered routing);
+//! * per cycle, every node sends **at most one** packet and receives
+//!   **at most one** (the same 1-port, bidirectional-channel model the
+//!   theorems assume, enforced as in [`crate::Machine`]);
+//! * contention is resolved by a deterministic arbitration: of the packets
+//!   wanting to leave a node, the one with the fewest remaining hops
+//!   first (ties by packet id), and a receiver grants at most one sender
+//!   per cycle (lowest sender id), everyone else stalls in place.
+//!
+//! The result reports per-packet latency, total cycles (makespan), and
+//! queue-occupancy peaks — the classic permutation-routing measurements.
+
+use crate::error::SimError;
+use dc_topology::{NodeId, Topology};
+
+/// One packet to deliver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+}
+
+/// Delivery statistics for one routed batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingReport {
+    /// Cycles until the last packet arrived.
+    pub makespan: u64,
+    /// Per-packet arrival cycle (1-based; 0 for packets already at their
+    /// destination), indexed like the input batch.
+    pub latencies: Vec<u64>,
+    /// The largest number of packets queued at any single node at any
+    /// cycle boundary.
+    pub peak_queue: usize,
+    /// Sum over packets of their path lengths (a lower bound on total
+    /// link-cycles).
+    pub total_hops: u64,
+}
+
+impl RoutingReport {
+    /// Mean packet latency.
+    pub fn mean_latency(&self) -> f64 {
+        if self.latencies.is_empty() {
+            0.0
+        } else {
+            self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64
+        }
+    }
+
+    /// Maximum packet latency.
+    pub fn max_latency(&self) -> u64 {
+        self.latencies.iter().copied().max().unwrap_or(0)
+    }
+}
+
+struct InFlight {
+    id: usize,
+    path: Vec<NodeId>,
+    /// Index into `path` of the node currently holding the packet.
+    at: usize,
+}
+
+/// Routes `batch` over `topo`, with `route(src, dst)` supplying each
+/// packet's path. Paths must start at `src`, end at `dst`, and follow
+/// edges — validated up front.
+///
+/// # Errors
+///
+/// [`SimError::NotAdjacent`] if a supplied path contains a non-edge hop,
+/// or [`SimError::OutOfRange`] for bad endpoints. (Deadlock is impossible:
+/// store-and-forward with unbounded queues and greedy arbitration always
+/// advances at least one packet per cycle.)
+pub fn route_batch<T: Topology + ?Sized>(
+    topo: &T,
+    batch: &[Packet],
+    route: impl Fn(NodeId, NodeId) -> Vec<NodeId>,
+) -> Result<RoutingReport, SimError> {
+    let n = topo.num_nodes();
+    let mut flights = Vec::with_capacity(batch.len());
+    let mut latencies = vec![0u64; batch.len()];
+    let mut total_hops = 0u64;
+    for (id, p) in batch.iter().enumerate() {
+        if p.src >= n {
+            return Err(SimError::OutOfRange {
+                node: p.src,
+                num_nodes: n,
+            });
+        }
+        if p.dst >= n {
+            return Err(SimError::OutOfRange {
+                node: p.dst,
+                num_nodes: n,
+            });
+        }
+        if p.src == p.dst {
+            continue; // already home; latency 0
+        }
+        let path = route(p.src, p.dst);
+        assert_eq!(path.first(), Some(&p.src), "path must start at the source");
+        assert_eq!(
+            path.last(),
+            Some(&p.dst),
+            "path must end at the destination"
+        );
+        for w in path.windows(2) {
+            if !topo.is_edge(w[0], w[1]) {
+                return Err(SimError::NotAdjacent {
+                    src: w[0],
+                    dst: w[1],
+                });
+            }
+        }
+        total_hops += (path.len() - 1) as u64;
+        flights.push(InFlight { id, path, at: 0 });
+    }
+
+    let mut cycle = 0u64;
+    let mut peak_queue = count_peak(&flights, n);
+    while !flights.is_empty() {
+        cycle += 1;
+        // Arbitrate sends: one packet out per node — fewest remaining hops
+        // first, then lowest id (deterministic).
+        let mut order: Vec<usize> = (0..flights.len()).collect();
+        order.sort_by_key(|&i| {
+            let f = &flights[i];
+            (f.path.len() - f.at, f.id)
+        });
+        let mut sending = vec![false; n];
+        let mut receiving = vec![false; n];
+        let mut moved: Vec<usize> = Vec::new();
+        for i in order {
+            let f = &flights[i];
+            let here = f.path[f.at];
+            let next = f.path[f.at + 1];
+            if !sending[here] && !receiving[next] {
+                sending[here] = true;
+                receiving[next] = true;
+                moved.push(i);
+            }
+        }
+        assert!(!moved.is_empty(), "router stalled with packets in flight");
+        let mut arrived: Vec<usize> = Vec::new();
+        for &i in &moved {
+            flights[i].at += 1;
+            if flights[i].at + 1 == flights[i].path.len() {
+                latencies[flights[i].id] = cycle;
+                arrived.push(i);
+            }
+        }
+        // Remove arrived packets (highest indices first).
+        arrived.sort_unstable_by(|a, b| b.cmp(a));
+        for i in arrived {
+            flights.swap_remove(i);
+        }
+        peak_queue = peak_queue.max(count_peak(&flights, n));
+    }
+    Ok(RoutingReport {
+        makespan: cycle,
+        latencies,
+        peak_queue,
+        total_hops,
+    })
+}
+
+/// Cut-through (virtual circuit) variant: a packet traverses its *entire
+/// remaining path* in one cycle if every link on it is unclaimed that
+/// cycle (links are bidirectional but single-message per direction per
+/// cycle); otherwise it advances greedily along the free prefix of its
+/// path. Models pipelined channels where per-hop store-and-forward
+/// latency disappears — the ablation of the paper's "three time-units"
+/// assumption (experiment E21).
+///
+/// Arbitration matches [`route_batch`]: fewest remaining hops first, then
+/// packet id.
+pub fn route_batch_cut_through<T: Topology + ?Sized>(
+    topo: &T,
+    batch: &[Packet],
+    route: impl Fn(NodeId, NodeId) -> Vec<NodeId>,
+) -> Result<RoutingReport, SimError> {
+    let n = topo.num_nodes();
+    let mut flights = Vec::with_capacity(batch.len());
+    let mut latencies = vec![0u64; batch.len()];
+    let mut total_hops = 0u64;
+    for (id, p) in batch.iter().enumerate() {
+        if p.src >= n {
+            return Err(SimError::OutOfRange {
+                node: p.src,
+                num_nodes: n,
+            });
+        }
+        if p.dst >= n {
+            return Err(SimError::OutOfRange {
+                node: p.dst,
+                num_nodes: n,
+            });
+        }
+        if p.src == p.dst {
+            continue;
+        }
+        let path = route(p.src, p.dst);
+        assert_eq!(path.first(), Some(&p.src));
+        assert_eq!(path.last(), Some(&p.dst));
+        for w in path.windows(2) {
+            if !topo.is_edge(w[0], w[1]) {
+                return Err(SimError::NotAdjacent {
+                    src: w[0],
+                    dst: w[1],
+                });
+            }
+        }
+        total_hops += (path.len() - 1) as u64;
+        flights.push(InFlight { id, path, at: 0 });
+    }
+
+    let mut cycle = 0u64;
+    let peak_queue = count_peak(&flights, n);
+    while !flights.is_empty() {
+        cycle += 1;
+        let mut order: Vec<usize> = (0..flights.len()).collect();
+        order.sort_by_key(|&i| {
+            let f = &flights[i];
+            (f.path.len() - f.at, f.id)
+        });
+        // Directed link reservations this cycle.
+        let mut claimed: std::collections::HashSet<(NodeId, NodeId)> =
+            std::collections::HashSet::new();
+        let mut advanced: Vec<(usize, usize)> = Vec::new(); // (flight, new at)
+        for i in order {
+            let f = &flights[i];
+            let mut at = f.at;
+            // Claim the free prefix of the remaining path.
+            while at + 1 < f.path.len() {
+                let link = (f.path[at], f.path[at + 1]);
+                if claimed.contains(&link) {
+                    break;
+                }
+                claimed.insert(link);
+                at += 1;
+            }
+            if at != f.at {
+                advanced.push((i, at));
+            }
+        }
+        assert!(
+            !advanced.is_empty(),
+            "cut-through router stalled with packets in flight"
+        );
+        let mut arrived: Vec<usize> = Vec::new();
+        for &(i, at) in &advanced {
+            flights[i].at = at;
+            if at + 1 == flights[i].path.len() {
+                latencies[flights[i].id] = cycle;
+                arrived.push(i);
+            }
+        }
+        arrived.sort_unstable_by(|a, b| b.cmp(a));
+        for i in arrived {
+            flights.swap_remove(i);
+        }
+    }
+    Ok(RoutingReport {
+        makespan: cycle,
+        latencies,
+        peak_queue,
+        total_hops,
+    })
+}
+
+fn count_peak(flights: &[InFlight], n: usize) -> usize {
+    let mut q = vec![0usize; n];
+    let mut peak = 0;
+    for f in flights {
+        q[f.path[f.at]] += 1;
+        peak = peak.max(q[f.path[f.at]]);
+    }
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_topology::{Hypercube, Routed};
+
+    #[test]
+    fn single_packet_latency_is_distance() {
+        let q = Hypercube::new(4);
+        let batch = [Packet {
+            src: 0,
+            dst: 0b1011,
+        }];
+        let r = route_batch(&q, &batch, |a, b| q.route(a, b)).unwrap();
+        assert_eq!(r.makespan, 3);
+        assert_eq!(r.latencies, vec![3]);
+        assert_eq!(r.total_hops, 3);
+        assert_eq!(r.peak_queue, 1);
+    }
+
+    #[test]
+    fn self_addressed_packets_cost_nothing() {
+        let q = Hypercube::new(2);
+        let batch = [Packet { src: 1, dst: 1 }];
+        let r = route_batch(&q, &batch, |a, b| q.route(a, b)).unwrap();
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.latencies, vec![0]);
+    }
+
+    #[test]
+    fn full_permutation_delivers_everything() {
+        let q = Hypercube::new(3);
+        // Bit-reversal permutation, a classic adversarial pattern.
+        let batch: Vec<Packet> = (0..8usize)
+            .map(|u| Packet {
+                src: u,
+                dst: (u.reverse_bits() >> (usize::BITS - 3)),
+            })
+            .collect();
+        let r = route_batch(&q, &batch, |a, b| q.route(a, b)).unwrap();
+        // Bit-reversal moves every non-palindromic id a Hamming distance
+        // of exactly 2 here.
+        assert!(r.makespan >= 2, "makespan {}", r.makespan);
+        for p in &batch {
+            let lat = r.latencies[batch.iter().position(|x| x == p).unwrap()];
+            assert!(lat as u32 >= (p.src ^ p.dst).count_ones(), "{p:?}");
+        }
+        // Conservation: every non-trivial packet arrived.
+        let nontrivial = batch.iter().filter(|p| p.src != p.dst).count();
+        assert_eq!(r.latencies.iter().filter(|&&l| l > 0).count(), nontrivial);
+    }
+
+    #[test]
+    fn contention_serialises_arrivals() {
+        // All nodes send to node 0: receiver port admits one per cycle, so
+        // the makespan is at least the packet count.
+        let q = Hypercube::new(3);
+        let batch: Vec<Packet> = (1..8usize).map(|u| Packet { src: u, dst: 0 }).collect();
+        let r = route_batch(&q, &batch, |a, b| q.route(a, b)).unwrap();
+        assert!(
+            r.makespan >= 7,
+            "7 packets through one receive port: {}",
+            r.makespan
+        );
+        assert!(r.peak_queue >= 1);
+    }
+
+    #[test]
+    fn invalid_path_rejected() {
+        let q = Hypercube::new(3);
+        let batch = [Packet { src: 0, dst: 7 }];
+        let err = route_batch(&q, &batch, |_, _| vec![0, 7]).unwrap_err();
+        assert_eq!(err, SimError::NotAdjacent { src: 0, dst: 7 });
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let q = Hypercube::new(2);
+        let err = route_batch(&q, &[Packet { src: 0, dst: 11 }], |a, b| q.route(a, b)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::OutOfRange {
+                node: 11,
+                num_nodes: 4
+            }
+        );
+    }
+
+    #[test]
+    fn cut_through_single_packet_takes_one_cycle() {
+        let q = Hypercube::new(4);
+        let batch = [Packet { src: 0, dst: 15 }];
+        let r = route_batch_cut_through(&q, &batch, |a, b| q.route(a, b)).unwrap();
+        assert_eq!(r.makespan, 1, "uncontended circuit crosses in one cycle");
+        assert_eq!(r.total_hops, 4);
+    }
+
+    #[test]
+    fn cut_through_never_slower_than_store_and_forward() {
+        let q = Hypercube::new(4);
+        let batch: Vec<Packet> = (0..16usize)
+            .map(|u| Packet {
+                src: u,
+                dst: 15 - u,
+            })
+            .collect();
+        let sf = route_batch(&q, &batch, |a, b| q.route(a, b)).unwrap();
+        let ct = route_batch_cut_through(&q, &batch, |a, b| q.route(a, b)).unwrap();
+        assert!(
+            ct.makespan <= sf.makespan,
+            "ct {} sf {}",
+            ct.makespan,
+            sf.makespan
+        );
+        // Everything still arrives.
+        let nontrivial = batch.iter().filter(|p| p.src != p.dst).count();
+        assert_eq!(ct.latencies.iter().filter(|&&l| l > 0).count(), nontrivial);
+    }
+
+    #[test]
+    fn cut_through_contention_still_serialises_links() {
+        // Two packets needing the same first link cannot share a cycle.
+        let q = Hypercube::new(2);
+        let batch = [Packet { src: 0, dst: 3 }, Packet { src: 0, dst: 1 }];
+        let r = route_batch_cut_through(&q, &batch, |a, b| q.route(a, b)).unwrap();
+        assert!(r.makespan >= 2, "{}", r.makespan);
+    }
+
+    #[test]
+    fn report_statistics() {
+        let q = Hypercube::new(2);
+        let batch = [Packet { src: 0, dst: 3 }, Packet { src: 1, dst: 2 }];
+        let r = route_batch(&q, &batch, |a, b| q.route(a, b)).unwrap();
+        assert_eq!(r.max_latency(), r.makespan);
+        assert!(r.mean_latency() >= 2.0);
+    }
+}

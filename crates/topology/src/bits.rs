@@ -1,0 +1,128 @@
+//! Low-level bit manipulation helpers shared by all topologies.
+//!
+//! Node identifiers throughout this workspace are plain `usize` values whose
+//! binary representation is structured (class bit, cluster id, node id, …).
+//! These helpers keep that bit surgery in one tested place.
+
+/// Returns bit `i` of `x` as a boolean.
+#[inline]
+pub fn bit(x: usize, i: u32) -> bool {
+    (x >> i) & 1 == 1
+}
+
+/// Returns `x` with bit `i` flipped.
+#[inline]
+pub fn flip(x: usize, i: u32) -> usize {
+    x ^ (1usize << i)
+}
+
+/// Returns `x` with bit `i` set to `v`.
+#[inline]
+pub fn with_bit(x: usize, i: u32, v: bool) -> usize {
+    if v {
+        x | (1usize << i)
+    } else {
+        x & !(1usize << i)
+    }
+}
+
+/// Number of bit positions in which `a` and `b` differ.
+#[inline]
+pub fn hamming(a: usize, b: usize) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// A mask with the low `width` bits set. `width` must be < `usize::BITS`.
+#[inline]
+pub fn mask(width: u32) -> usize {
+    debug_assert!(width < usize::BITS);
+    (1usize << width) - 1
+}
+
+/// Extracts the `width`-bit field of `x` starting at bit `lo`.
+#[inline]
+pub fn field(x: usize, lo: u32, width: u32) -> usize {
+    (x >> lo) & mask(width)
+}
+
+/// Returns `x` with the `width`-bit field at bit `lo` replaced by `val`.
+///
+/// `val` must fit in `width` bits.
+#[inline]
+pub fn with_field(x: usize, lo: u32, width: u32, val: usize) -> usize {
+    debug_assert!(val <= mask(width), "field value does not fit");
+    (x & !(mask(width) << lo)) | (val << lo)
+}
+
+/// Formats the low `width` bits of `x` as a binary string, most significant
+/// bit first. Used by the figure-reproduction printers.
+pub fn to_binary(x: usize, width: u32) -> String {
+    (0..width)
+        .rev()
+        .map(|i| if bit(x, i) { '1' } else { '0' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_reads_each_position() {
+        let x = 0b1010_0110usize;
+        let expect = [false, true, true, false, false, true, false, true];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(bit(x, i as u32), e, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        for x in 0..64usize {
+            for i in 0..6 {
+                assert_eq!(flip(flip(x, i), i), x);
+                assert_ne!(flip(x, i), x);
+            }
+        }
+    }
+
+    #[test]
+    fn with_bit_sets_and_clears() {
+        assert_eq!(with_bit(0b1000, 1, true), 0b1010);
+        assert_eq!(with_bit(0b1010, 1, false), 0b1000);
+        assert_eq!(with_bit(0b1010, 1, true), 0b1010);
+    }
+
+    #[test]
+    fn hamming_counts_differing_bits() {
+        assert_eq!(hamming(0, 0), 0);
+        assert_eq!(hamming(0b1011, 0b0010), 2);
+        assert_eq!(hamming(usize::MAX, 0), usize::BITS);
+    }
+
+    #[test]
+    fn field_round_trips_through_with_field() {
+        let x = 0b1100_1011usize;
+        for lo in 0..6 {
+            for width in 1..4 {
+                let f = field(x, lo, width);
+                assert_eq!(with_field(x, lo, width, f), x);
+                assert_eq!(field(with_field(x, lo, width, 0), lo, width), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_has_expected_width() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(5), 0b11111);
+    }
+
+    #[test]
+    fn to_binary_is_msb_first() {
+        assert_eq!(to_binary(0b101, 5), "00101");
+        assert_eq!(to_binary(0, 3), "000");
+        assert_eq!(to_binary(7, 3), "111");
+    }
+}

@@ -1,0 +1,147 @@
+//! Cube-connected cycles `CCC(d)` (Preparata & Vuillemin, the paper's
+//! reference \[9\]): the bounded-degree hypercube derivative the dual-cube is
+//! positioned against in Section 1 ("Dual-cube can be viewed as an
+//! improvement over CCC networks").
+//!
+//! `CCC(d)` replaces each vertex of `Q_d` with a `d`-cycle; node `(x, p)`
+//! (cube vertex `x`, cycle position `p`) is adjacent to its two cycle
+//! neighbours and, via its *rung* edge, to `(x ⊕ 2^p, p)`. Degree is 3
+//! (for `d ≥ 3`), independent of size — the property the dual-cube trades
+//! against: `D_n` keeps degree `n` but gets hypercube-like routing and far
+//! smaller diameter for the same node budget.
+
+use crate::bits::flip;
+use crate::traits::{NodeId, Topology};
+
+/// The cube-connected-cycles network `CCC(d)`: `d·2^d` nodes of degree 3.
+///
+/// Node ids are `x * d + p` for cube vertex `x ∈ 0..2^d` and cycle
+/// position `p ∈ 0..d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CubeConnectedCycles {
+    d: u32,
+}
+
+/// Largest supported `d`.
+pub const MAX_CCC_D: u32 = 20;
+
+impl CubeConnectedCycles {
+    /// Creates `CCC(d)`. Requires `3 ≤ d ≤` [`MAX_CCC_D`] — for `d < 3`
+    /// the cycle degenerates and the graph is not 3-regular.
+    pub fn new(d: u32) -> Self {
+        assert!(
+            (3..=MAX_CCC_D).contains(&d),
+            "CCC parameter {d} out of range 3..={MAX_CCC_D}"
+        );
+        CubeConnectedCycles { d }
+    }
+
+    /// The underlying hypercube dimension `d`.
+    #[inline]
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// Decomposes a node id into `(cube vertex, cycle position)`.
+    #[inline]
+    pub fn coords(&self, u: NodeId) -> (usize, u32) {
+        (u / self.d as usize, (u % self.d as usize) as u32)
+    }
+
+    /// Composes `(cube vertex, cycle position)` into a node id.
+    #[inline]
+    pub fn node(&self, x: usize, p: u32) -> NodeId {
+        debug_assert!(x < (1usize << self.d) && p < self.d);
+        x * self.d as usize + p as usize
+    }
+
+    /// Known diameter of `CCC(d)`: `2d + ⌊d/2⌋ − 2` for `d ≥ 4`, and 6
+    /// for `d = 3` (Preparata & Vuillemin). Verified against BFS in tests.
+    pub fn diameter_formula(&self) -> u32 {
+        if self.d == 3 {
+            6
+        } else {
+            2 * self.d + self.d / 2 - 2
+        }
+    }
+}
+
+impl Topology for CubeConnectedCycles {
+    fn num_nodes(&self) -> usize {
+        (self.d as usize) << self.d
+    }
+
+    fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        debug_assert!(u < self.num_nodes());
+        out.clear();
+        let (x, p) = self.coords(u);
+        let d = self.d;
+        out.push(self.node(x, (p + 1) % d)); // cycle forward
+        out.push(self.node(x, (p + d - 1) % d)); // cycle backward
+        out.push(self.node(flip(x, p), p)); // rung
+    }
+
+    fn degree(&self, _u: NodeId) -> usize {
+        3
+    }
+
+    fn name(&self) -> String {
+        format!("CCC({})", self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph;
+
+    #[test]
+    fn counts_match_formulas() {
+        for d in 3..=6 {
+            let c = CubeConnectedCycles::new(d);
+            assert_eq!(c.num_nodes(), (d as usize) << d);
+            assert_eq!(c.num_edges(), 3 * c.num_nodes() / 2);
+            assert_eq!(graph::degree_histogram(&c), vec![(3, c.num_nodes())]);
+        }
+    }
+
+    #[test]
+    fn graph_contract_holds() {
+        for d in 3..=5 {
+            let c = CubeConnectedCycles::new(d);
+            assert!(graph::check_simple_undirected(&c).is_empty());
+            assert!(graph::is_connected(&c));
+        }
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let c = CubeConnectedCycles::new(4);
+        for u in 0..c.num_nodes() {
+            let (x, p) = c.coords(u);
+            assert_eq!(c.node(x, p), u);
+        }
+    }
+
+    #[test]
+    fn diameter_matches_formula() {
+        for d in 3..=6 {
+            let c = CubeConnectedCycles::new(d);
+            assert_eq!(graph::diameter(&c), c.diameter_formula(), "CCC({d})");
+        }
+    }
+
+    #[test]
+    fn rung_edges_flip_the_cycle_position_bit() {
+        let c = CubeConnectedCycles::new(4);
+        let u = c.node(0b0110, 2);
+        assert!(c.is_edge(u, c.node(0b0010, 2)));
+        assert!(!c.is_edge(u, c.node(0b0111, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn degenerate_d_rejected() {
+        CubeConnectedCycles::new(2);
+    }
+}

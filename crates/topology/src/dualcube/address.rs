@@ -1,0 +1,133 @@
+//! The structured address of a dual-cube node: class indicator, cluster id
+//! and node id (paper, Section 2).
+//!
+//! A `D_n` node id is a `(2n−1)`-bit string split into three parts:
+//!
+//! ```text
+//!   bit 2n−2      bits 2n−3 … n−1        bits n−2 … 0
+//!   ┌───────┐  ┌───────────────────┐  ┌───────────────────┐
+//!   │ class │  │  part II (n−1 b)  │  │  part I  (n−1 b)  │
+//!   └───────┘  └───────────────────┘  └───────────────────┘
+//! ```
+//!
+//! For a **class-0** node, part I is the node id inside its `(n−1)`-cube
+//! cluster and part II is the cluster id. For a **class-1** node the roles
+//! are swapped.
+
+use std::fmt;
+
+/// The class of a dual-cube node (the leftmost address bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Class {
+    /// Class 0: part I = node id, part II = cluster id.
+    Zero,
+    /// Class 1: part I = cluster id, part II = node id.
+    One,
+}
+
+impl Class {
+    /// The class encoded by `bit` (`false` → `Zero`).
+    #[inline]
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Class::One
+        } else {
+            Class::Zero
+        }
+    }
+
+    /// The value of the class-indicator bit.
+    #[inline]
+    pub fn as_bit(self) -> bool {
+        self == Class::One
+    }
+
+    /// 0 or 1 as an integer, as used in node-id arithmetic.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self as usize
+    }
+
+    /// The opposite class.
+    #[inline]
+    pub fn other(self) -> Self {
+        match self {
+            Class::Zero => Class::One,
+            Class::One => Class::Zero,
+        }
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_usize())
+    }
+}
+
+/// A decoded dual-cube address.
+///
+/// `cluster` and `node` are both `(n−1)`-bit values; which raw bit-field
+/// each occupies depends on `class` (see the module docs). Construct raw
+/// ids with [`crate::DualCube::from_address`] so the field placement stays
+/// in one audited location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Address {
+    /// The class indicator (leftmost bit).
+    pub class: Class,
+    /// Which `(n−1)`-cube cluster of that class the node belongs to.
+    pub cluster: usize,
+    /// The node's position inside its cluster (a hypercube vertex id).
+    pub node: usize,
+}
+
+impl Address {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(class: Class, cluster: usize, node: usize) -> Self {
+        Address {
+            class,
+            cluster,
+            node,
+        }
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(class {}, cluster {}, node {})",
+            self.class, self.cluster, self.node
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_bit_round_trip() {
+        assert_eq!(Class::from_bit(false), Class::Zero);
+        assert_eq!(Class::from_bit(true), Class::One);
+        assert!(!Class::Zero.as_bit());
+        assert!(Class::One.as_bit());
+        assert_eq!(Class::Zero.as_usize(), 0);
+        assert_eq!(Class::One.as_usize(), 1);
+    }
+
+    #[test]
+    fn other_is_involutive() {
+        assert_eq!(Class::Zero.other(), Class::One);
+        assert_eq!(Class::One.other().other(), Class::One);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Class::One.to_string(), "1");
+        assert_eq!(
+            Address::new(Class::Zero, 3, 5).to_string(),
+            "(class 0, cluster 3, node 5)"
+        );
+    }
+}

@@ -1,0 +1,357 @@
+//! The *recursive presentation* of the dual-cube (paper, Section 4).
+//!
+//! Section 4 re-labels the nodes of `D_n` so that the recursive structure
+//! `D_n = 4 × D_(n−1)` becomes positional. In the recursive id
+//! `(a_{2n−2} … a_1 a_0)`:
+//!
+//! * bit 0 is the **class indicator** (the standard presentation's leftmost
+//!   bit moved to the right end);
+//! * the even positions `2, 4, …, 2n−2` hold the class-0 node-id field
+//!   (= class-1 cluster-id field), i.e. standard part I;
+//! * the odd positions `1, 3, …, 2n−3` hold the class-0 cluster-id field
+//!   (= class-1 node-id field), i.e. standard part II.
+//!
+//! Consequences (all verified by the tests in this module):
+//!
+//! * A node has a **direct edge** along dimension `j > 0` iff `j` is even
+//!   for a class-0 node / odd for a class-1 node — exactly the paper's
+//!   "there is a link between `u` and `v` if and only if `i` is an even
+//!   number" (Section 6, stated there for `u_0 = v_0 = 0`).
+//! * Dimension 0 is the cross-edge, present at every node.
+//! * Fixing the two leftmost bits `(a_{2n−2}, a_{2n−3})` yields four
+//!   node-disjoint copies of `D_(n−1)` in the same presentation — the
+//!   recursive construction of Figure 4, with base case `D_1 = Q_1`.
+//! * For a *missing* dimension `j`, the 3-hop emulation path of
+//!   Algorithm 3 is `(u, ū_0), (ū_0, (ū_0)_j), ((ū_0)_j, ū_j)`: cross,
+//!   flip `j` in the other class (where the edge exists), cross back.
+
+use super::DualCube;
+use crate::bits::{bit, flip, with_bit};
+use crate::traits::{NodeId, Topology};
+
+impl DualCube {
+    /// Number of dimensions of the recursive presentation, `2n−1`
+    /// (dimensions `0 ..= 2n−2`; same count as address bits).
+    #[inline]
+    pub fn rec_dims(&self) -> u32 {
+        self.address_bits()
+    }
+
+    /// Converts a standard-presentation node id to its recursive id.
+    ///
+    /// Standard bit `k` (part I, `0 ≤ k < n−1`) moves to recursive bit
+    /// `2k+2`; standard bit `n−1+k` (part II) moves to recursive bit
+    /// `2k+1`; the class bit `2n−2` moves to recursive bit 0.
+    pub fn std_to_rec(&self, u: NodeId) -> NodeId {
+        debug_assert!(u < self.num_nodes());
+        let w = self.cluster_dim();
+        let mut r = with_bit(0, 0, bit(u, self.class_bit()));
+        for k in 0..w {
+            r = with_bit(r, 2 * k + 2, bit(u, k));
+            r = with_bit(r, 2 * k + 1, bit(u, w + k));
+        }
+        r
+    }
+
+    /// Inverse of [`DualCube::std_to_rec`].
+    pub fn rec_to_std(&self, r: NodeId) -> NodeId {
+        debug_assert!(r < self.num_nodes());
+        let w = self.cluster_dim();
+        let mut u = with_bit(0, self.class_bit(), bit(r, 0));
+        for k in 0..w {
+            u = with_bit(u, k, bit(r, 2 * k + 2));
+            u = with_bit(u, w + k, bit(r, 2 * k + 1));
+        }
+        u
+    }
+
+    /// The *partner* of recursive node `r` at dimension `j`: the node whose
+    /// recursive id differs from `r`'s in exactly bit `j`. The partner is
+    /// always defined; whether a **direct edge** to it exists is
+    /// [`DualCube::rec_has_direct_edge`].
+    #[inline]
+    pub fn rec_partner(&self, r: NodeId, j: u32) -> NodeId {
+        debug_assert!(j < self.rec_dims());
+        flip(r, j)
+    }
+
+    /// Whether recursive node `r` has a direct edge to its dimension-`j`
+    /// partner: always for `j = 0` (cross-edge); for `j > 0` iff `j`'s
+    /// parity matches the node's class (class 0 ↔ even `j`, class 1 ↔ odd).
+    #[inline]
+    pub fn rec_has_direct_edge(&self, r: NodeId, j: u32) -> bool {
+        debug_assert!(j < self.rec_dims());
+        j == 0 || j.is_multiple_of(2) == (r & 1 == 0)
+    }
+
+    /// The 3-hop emulation path `[u, ū_0, (ū_0)_j, ū_j]` (in recursive
+    /// coordinates) used by Algorithm 3 when the direct dimension-`j` edge
+    /// is missing. Every consecutive pair on the path is a direct edge —
+    /// asserted in tests for all nodes and dimensions.
+    ///
+    /// Panics (debug) if the direct edge exists — callers should use it
+    /// instead.
+    pub fn rec_emulation_path(&self, r: NodeId, j: u32) -> [NodeId; 4] {
+        debug_assert!(j > 0 && !self.rec_has_direct_edge(r, j));
+        let v = flip(r, 0); // cross to the other class
+        let w = flip(v, j); // the other class owns dimension j
+        let t = flip(w, 0); // cross back: t == flip(r, j)
+        [r, v, w, t]
+    }
+
+    /// The recursive-presentation id of the `D_(n−1)` copy containing `r`:
+    /// the two leftmost bits `(a_{2n−2}, a_{2n−3})` as a value in `0..4`.
+    /// Only meaningful for `n ≥ 2`.
+    #[inline]
+    pub fn rec_subcube(&self, r: NodeId) -> usize {
+        debug_assert!(self.n() >= 2);
+        r >> (self.rec_dims() - 2)
+    }
+}
+
+/// The dual-cube *in recursive coordinates*, as a [`Topology`] in its own
+/// right: node `r` of `RecDualCube` is node `rec_to_std(r)` of the
+/// underlying [`DualCube`]. The two are isomorphic graphs (tested), so
+/// algorithms may be written against whichever presentation is natural —
+/// `D_prefix` uses the standard one, `D_sort` this one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecDualCube {
+    inner: DualCube,
+}
+
+impl RecDualCube {
+    /// Wraps `D_n` in recursive coordinates.
+    pub fn new(n: u32) -> Self {
+        RecDualCube {
+            inner: DualCube::new(n),
+        }
+    }
+
+    /// The underlying standard-presentation dual-cube.
+    #[inline]
+    pub fn standard(&self) -> &DualCube {
+        &self.inner
+    }
+
+    /// The connectivity parameter `n`.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.inner.n()
+    }
+
+    /// Number of dimensions `2n−1` (see [`DualCube::rec_dims`]).
+    #[inline]
+    pub fn dims(&self) -> u32 {
+        self.inner.rec_dims()
+    }
+
+    /// Partner at dimension `j` (always defined; see
+    /// [`DualCube::rec_partner`]).
+    #[inline]
+    pub fn partner(&self, r: NodeId, j: u32) -> NodeId {
+        self.inner.rec_partner(r, j)
+    }
+
+    /// Whether the direct dimension-`j` edge exists at `r`.
+    #[inline]
+    pub fn has_direct_edge(&self, r: NodeId, j: u32) -> bool {
+        self.inner.rec_has_direct_edge(r, j)
+    }
+
+    /// 3-hop emulation path for a missing dimension (see
+    /// [`DualCube::rec_emulation_path`]).
+    #[inline]
+    pub fn emulation_path(&self, r: NodeId, j: u32) -> [NodeId; 4] {
+        self.inner.rec_emulation_path(r, j)
+    }
+}
+
+impl Topology for RecDualCube {
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn neighbors_into(&self, r: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        for j in 0..self.dims() {
+            if self.has_direct_edge(r, j) {
+                out.push(self.partner(r, j));
+            }
+        }
+    }
+
+    fn degree(&self, _r: NodeId) -> usize {
+        self.inner.n() as usize
+    }
+
+    fn is_edge(&self, r: NodeId, s: NodeId) -> bool {
+        if (r ^ s).count_ones() != 1 {
+            return false;
+        }
+        self.has_direct_edge(r, (r ^ s).trailing_zeros())
+    }
+
+    fn num_edges(&self) -> usize {
+        self.inner.num_edges()
+    }
+
+    fn name(&self) -> String {
+        format!("D_{} (recursive presentation)", self.inner.n())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph;
+
+    #[test]
+    fn mapping_is_a_bijection() {
+        for n in 1..=4 {
+            let d = DualCube::new(n);
+            let mut seen = vec![false; d.num_nodes()];
+            for u in 0..d.num_nodes() {
+                let r = d.std_to_rec(u);
+                assert!(r < d.num_nodes());
+                assert!(!seen[r], "collision at rec id {r}");
+                seen[r] = true;
+                assert_eq!(d.rec_to_std(r), u, "round trip for {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_is_a_graph_isomorphism() {
+        for n in 1..=4 {
+            let d = DualCube::new(n);
+            let rec = RecDualCube::new(n);
+            for u in 0..d.num_nodes() {
+                for v in 0..d.num_nodes() {
+                    assert_eq!(
+                        d.is_edge(u, v),
+                        rec.is_edge(d.std_to_rec(u), d.std_to_rec(v)),
+                        "D_{n}: {u}-{v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rec_presentation_is_a_sound_graph() {
+        for n in 1..=4 {
+            let rec = RecDualCube::new(n);
+            assert!(graph::check_simple_undirected(&rec).is_empty());
+            assert!(graph::is_connected(&rec));
+            assert_eq!(rec.num_edges(), DualCube::new(n).num_edges());
+        }
+    }
+
+    #[test]
+    fn direct_edge_parity_rule() {
+        // Class-0 (rec bit 0 = 0) nodes own even dimensions; class-1 odd.
+        let rec = RecDualCube::new(3);
+        for r in 0..rec.num_nodes() {
+            let class1 = r & 1 == 1;
+            for j in 0..rec.dims() {
+                let expect = j == 0 || ((j % 2 == 1) == class1);
+                assert_eq!(rec.has_direct_edge(r, j), expect, "r={r} j={j}");
+                // The direct-edge predicate must agree with actual adjacency.
+                assert_eq!(
+                    rec.is_edge(r, rec.partner(r, j)),
+                    expect,
+                    "adjacency r={r} j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_node_has_n_direct_dimensions() {
+        for n in 1..=4 {
+            let rec = RecDualCube::new(n);
+            for r in 0..rec.num_nodes() {
+                let direct = (0..rec.dims())
+                    .filter(|&j| rec.has_direct_edge(r, j))
+                    .count();
+                assert_eq!(direct, n as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn emulation_path_is_valid_and_ends_at_partner() {
+        for n in 2..=4 {
+            let rec = RecDualCube::new(n);
+            for r in 0..rec.num_nodes() {
+                for j in 1..rec.dims() {
+                    if rec.has_direct_edge(r, j) {
+                        continue;
+                    }
+                    let path = rec.emulation_path(r, j);
+                    assert_eq!(path[0], r);
+                    assert_eq!(path[3], rec.partner(r, j));
+                    for w in path.windows(2) {
+                        assert!(rec.is_edge(w[0], w[1]), "hop {w:?} (r={r}, j={j})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_subcubes_are_smaller_dual_cubes() {
+        // Fixing the two leftmost recursive bits yields D_(n−1): same edge
+        // rule on the remaining 2n−3 bits.
+        for n in 2..=4 {
+            let rec = RecDualCube::new(n);
+            let small = RecDualCube::new(n - 1);
+            let low = rec.num_nodes() / 4;
+            for top in 0..4usize {
+                for a in 0..low {
+                    let ra = top * low + a;
+                    assert_eq!(rec.standard().rec_subcube(ra), top);
+                    for b in 0..low {
+                        let rb = top * low + b;
+                        assert_eq!(
+                            rec.is_edge(ra, rb),
+                            small.is_edge(a, b),
+                            "n={n} top={top} a={a} b={b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subcube_links_match_construction() {
+        // The inter-subcube edges created by the recursive step connect
+        // copies differing in exactly one of the two leftmost bits, along
+        // dimensions 2n−2 (even → class-0 nodes) and 2n−3 (odd → class-1).
+        let rec = RecDualCube::new(3);
+        let top_dim = rec.dims() - 1; // 4 (even)
+        let next_dim = rec.dims() - 2; // 3 (odd)
+        for r in 0..rec.num_nodes() {
+            assert_eq!(rec.has_direct_edge(r, top_dim), r & 1 == 0);
+            assert_eq!(rec.has_direct_edge(r, next_dim), r & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn d1_base_case_is_q1() {
+        let rec = RecDualCube::new(1);
+        assert_eq!(rec.num_nodes(), 2);
+        assert!(rec.is_edge(0, 1));
+        assert_eq!(rec.dims(), 1);
+    }
+
+    #[test]
+    fn std_to_rec_keeps_class_in_bit_zero() {
+        let d = DualCube::new(3);
+        for u in 0..d.num_nodes() {
+            let r = d.std_to_rec(u);
+            assert_eq!(r & 1 == 1, d.class_of(u) == super::super::Class::One);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Shortest-path routing in the dual-cube (paper, Section 2: "The routing
+//! algorithm in dual-cube is also very simple").
+//!
+//! Three cases, following the distance formula:
+//!
+//! * **Same cluster** — correct the differing node-id bits in dimension
+//!   order (pure hypercube routing). Length = Hamming distance.
+//! * **Distinct classes** — inside the source cluster, steer the node-id
+//!   field to the value that makes the cross-edge land in the destination
+//!   cluster; cross; then hypercube-route inside the destination cluster.
+//!   Length = Hamming distance (the class bit accounts for the cross hop).
+//! * **Same class, distinct clusters** — as above but with a second
+//!   cross-edge to come back to the original class. Length = Hamming + 2.
+
+use super::DualCube;
+use crate::traits::{NodeId, Routed, Topology};
+
+impl DualCube {
+    /// Extends `path` with hypercube hops inside `cur`'s cluster until the
+    /// node-id field equals `target_node_id`, correcting bits from low
+    /// dimension to high. Returns the final node.
+    fn route_within_cluster(
+        &self,
+        path: &mut Vec<NodeId>,
+        mut cur: NodeId,
+        target_node_id: usize,
+    ) -> NodeId {
+        for i in 0..self.cluster_dim() {
+            if (self.node_id(cur) ^ target_node_id) >> i & 1 == 1 {
+                cur = self.cluster_neighbor(cur, i);
+                path.push(cur);
+            }
+        }
+        debug_assert_eq!(self.node_id(cur), target_node_id);
+        cur
+    }
+}
+
+impl Routed for DualCube {
+    fn route(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        assert!(u < self.num_nodes() && v < self.num_nodes());
+        let mut path = vec![u];
+        if u == v {
+            return path;
+        }
+        let (cu, cv) = (self.class_of(u), self.class_of(v));
+        if cu == cv && self.cluster_id(u) == self.cluster_id(v) {
+            // Case 1: same cluster.
+            let end = self.route_within_cluster(&mut path, u, self.node_id(v));
+            debug_assert_eq!(end, v);
+            return path;
+        }
+        if cu != cv {
+            // Case 2: distinct classes. After crossing, the source's
+            // node-id field becomes the destination-side cluster id and
+            // vice versa; so first make our node id equal v's cluster id.
+            let mut cur = self.route_within_cluster(&mut path, u, self.cluster_id(v));
+            cur = self.cross_neighbor(cur);
+            path.push(cur);
+            debug_assert!(self.same_cluster(cur, v));
+            let end = self.route_within_cluster(&mut path, cur, self.node_id(v));
+            debug_assert_eq!(end, v);
+            return path;
+        }
+        // Case 3: same class, distinct clusters. Route to the intermediate
+        // cluster of the other class whose id is v's *node id*... more
+        // precisely: cross over, fix the (now node-id) field that encodes
+        // the destination cluster, and cross back.
+        //
+        // Walking it through for class 0 (class 1 is symmetric): u =
+        // (0, A2, A1), v = (0, B2, B1). Set part I to B1 (our node id →
+        // B1), cross to (1, A2, B1) — a node of class-1 cluster B1 whose
+        // node id is A2 — fix part II to B2 inside that cluster, cross
+        // back to (0, B2, B1) = v.
+        let mut cur = self.route_within_cluster(&mut path, u, self.node_id(v));
+        cur = self.cross_neighbor(cur);
+        path.push(cur);
+        cur = self.route_within_cluster(&mut path, cur, self.cluster_id(v));
+        cur = self.cross_neighbor(cur);
+        path.push(cur);
+        debug_assert_eq!(cur, v);
+        path
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> u32 {
+        self.distance_formula(u, v)
+    }
+}
+
+/// Routing in the recursive presentation: translate to standard ids, route
+/// there, translate back. The translation is a graph isomorphism, so paths
+/// remain valid shortest paths (tested).
+impl Routed for super::RecDualCube {
+    fn route(&self, r: NodeId, s: NodeId) -> Vec<NodeId> {
+        let d = self.standard();
+        d.route(d.rec_to_std(r), d.rec_to_std(s))
+            .into_iter()
+            .map(|u| d.std_to_rec(u))
+            .collect()
+    }
+
+    fn distance(&self, r: NodeId, s: NodeId) -> u32 {
+        let d = self.standard();
+        d.distance_formula(d.rec_to_std(r), d.rec_to_std(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Class, RecDualCube};
+    use super::*;
+    use crate::graph;
+
+    fn assert_path_valid<T: Topology>(t: &T, path: &[NodeId], u: NodeId, v: NodeId) {
+        assert_eq!(path[0], u);
+        assert_eq!(*path.last().unwrap(), v);
+        for w in path.windows(2) {
+            assert!(t.is_edge(w[0], w[1]), "invalid hop {w:?} in {}", t.name());
+        }
+    }
+
+    #[test]
+    fn routes_are_valid_and_shortest() {
+        for n in 2..=4 {
+            let d = DualCube::new(n);
+            let stride = if n == 4 { 13 } else { 1 };
+            for u in (0..d.num_nodes()).step_by(stride) {
+                let bfs = graph::bfs_distances(&d, u);
+                for (v, &dist) in bfs.iter().enumerate() {
+                    let path = d.route(u, v);
+                    assert_path_valid(&d, &path, u, v);
+                    assert_eq!(
+                        path.len() as u32 - 1,
+                        dist,
+                        "D_{n}: route {u}→{v} not shortest"
+                    );
+                    assert_eq!(d.distance(u, v), dist);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_to_self_is_trivial() {
+        let d = DualCube::new(3);
+        assert_eq!(d.route(17, 17), vec![17]);
+        assert_eq!(d.distance(17, 17), 0);
+    }
+
+    #[test]
+    fn recursive_presentation_routes_are_valid_and_shortest() {
+        let rec = RecDualCube::new(3);
+        for r in 0..rec.num_nodes() {
+            let bfs = graph::bfs_distances(&rec, r);
+            for (s, &dist) in bfs.iter().enumerate() {
+                let path = rec.route(r, s);
+                assert_path_valid(&rec, &path, r, s);
+                assert_eq!(path.len() as u32 - 1, dist);
+                assert_eq!(rec.distance(r, s), dist);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_class_route_uses_exactly_one_cross_edge() {
+        let d = DualCube::new(4);
+        let u = d.from_parts(Class::Zero, 5, 3);
+        let v = d.from_parts(Class::One, 6, 2);
+        let path = d.route(u, v);
+        let crossings = path
+            .windows(2)
+            .filter(|w| d.class_of(w[0]) != d.class_of(w[1]))
+            .count();
+        assert_eq!(crossings, 1);
+    }
+
+    #[test]
+    fn same_class_route_uses_exactly_two_cross_edges() {
+        let d = DualCube::new(4);
+        let u = d.from_parts(Class::One, 1, 7);
+        let v = d.from_parts(Class::One, 4, 2);
+        let path = d.route(u, v);
+        let crossings = path
+            .windows(2)
+            .filter(|w| d.class_of(w[0]) != d.class_of(w[1]))
+            .count();
+        assert_eq!(crossings, 2);
+        assert_eq!(path.len() as u32 - 1, d.distance_formula(u, v));
+    }
+}

@@ -1,0 +1,156 @@
+//! Graph embeddings into the dual-cube — the quantitative content behind
+//! Technique 2.
+//!
+//! `D_sort` works because the identity map on recursive-presentation ids
+//! embeds the hypercube `Q_(2n−1)` into `D_n` with **dilation 3**: owned
+//! dimensions map to edges, missing dimensions to the 3-hop
+//! cross/flip/cross path. This module computes the embedding's exact cost
+//! profile (dilation per dimension, average dilation, and the
+//! **congestion** each dual-cube link suffers — the quantity that would
+//! throttle a real machine emulating all dimensions at once), plus the
+//! dilation-1 **ring embedding** given by the Hamiltonian cycle of
+//! [`crate::hamiltonian`].
+
+use crate::dualcube::RecDualCube;
+use crate::traits::{NodeId, Topology};
+use std::collections::HashMap;
+
+/// Cost profile of embedding `Q_(2n−1)` into `D_n` by the identity map on
+/// recursive ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingReport {
+    /// The dual-cube parameter `n`.
+    pub n: u32,
+    /// Dilation of each guest dimension `0 ..= 2n−2` (1 if the dimension's
+    /// edges exist at every node — only `j = 0` — else 3 for half the
+    /// nodes; reported as the *maximum* over nodes).
+    pub dilation_per_dim: Vec<u32>,
+    /// Maximum dilation over all guest edges.
+    pub max_dilation: u32,
+    /// Average dilation over all guest edges.
+    pub avg_dilation: f64,
+    /// Maximum number of guest-edge paths crossing one host link.
+    pub max_congestion: usize,
+    /// Average congestion over host links.
+    pub avg_congestion: f64,
+}
+
+/// Analyses the `Q_(2n−1) → D_n` identity embedding exactly, by routing
+/// every guest edge and counting host-link usage.
+pub fn hypercube_into_dual_cube(n: u32) -> EmbeddingReport {
+    let rec = RecDualCube::new(n);
+    let dims = rec.dims();
+    let mut congestion: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+    let mut total_dilation = 0u64;
+    let mut guest_edges = 0u64;
+    let mut max_dilation = 0u32;
+    let mut dilation_per_dim = vec![0u32; dims as usize];
+
+    let mut use_edge = |a: NodeId, b: NodeId| {
+        let key = (a.min(b), a.max(b));
+        *congestion.entry(key).or_insert(0) += 1;
+    };
+    for r in 0..rec.num_nodes() {
+        for j in 0..dims {
+            let partner = rec.partner(r, j);
+            if partner < r {
+                continue; // count each guest edge once
+            }
+            guest_edges += 1;
+            let dil = if rec.has_direct_edge(r, j) {
+                use_edge(r, partner);
+                1
+            } else {
+                let path = rec.emulation_path(r, j);
+                for w in path.windows(2) {
+                    use_edge(w[0], w[1]);
+                }
+                3
+            };
+            total_dilation += dil as u64;
+            max_dilation = max_dilation.max(dil);
+            dilation_per_dim[j as usize] = dilation_per_dim[j as usize].max(dil);
+        }
+    }
+    let host_edges = rec.num_edges();
+    let total_usage: usize = congestion.values().sum();
+    EmbeddingReport {
+        n,
+        dilation_per_dim,
+        max_dilation,
+        avg_dilation: total_dilation as f64 / guest_edges as f64,
+        max_congestion: congestion.values().copied().max().unwrap_or(0),
+        avg_congestion: total_usage as f64 / host_edges as f64,
+    }
+}
+
+/// Dilation of embedding the `2^(2n−1)`-node ring into `D_n` along the
+/// Hamiltonian cycle: always 1 (every ring edge maps to a host edge).
+/// Returned for symmetry with [`hypercube_into_dual_cube`]; the fact
+/// itself is asserted.
+pub fn ring_into_dual_cube(n: u32) -> u32 {
+    let rec = RecDualCube::new(n);
+    let cycle = crate::hamiltonian::hamiltonian_cycle_rec(n);
+    for i in 0..cycle.len() {
+        let (a, b) = (cycle[i], cycle[(i + 1) % cycle.len()]);
+        assert!(rec.is_edge(a, b), "ring embedding must have dilation 1");
+    }
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dilation_pattern_matches_technique_two() {
+        for n in 2..=4 {
+            let r = hypercube_into_dual_cube(n);
+            assert_eq!(r.max_dilation, 3, "n={n}");
+            // Dimension 0 (cross-edges) is the only dilation-1 dimension.
+            assert_eq!(r.dilation_per_dim[0], 1);
+            assert!(r.dilation_per_dim[1..].iter().all(|&d| d == 3));
+            // Average dilation: per dimension j>0, half the edges are
+            // direct (1) and half 3-hop (3) → mean 2; dimension 0 all 1.
+            // Overall: (1 + 2(2n−2)) / (2n−1).
+            let nf = n as f64;
+            let expect = (1.0 + 2.0 * (2.0 * nf - 2.0)) / (2.0 * nf - 1.0);
+            assert!((r.avg_dilation - expect).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn congestion_concentrates_on_cross_edges() {
+        // A cross-edge carries its own guest dimension 0, plus one hop for
+        // each of the n−1 missing dimensions of each of its two endpoints
+        // (as the first or last hop of that dimension's 3-hop path) →
+        // 1 + 2(n−1) = 2n−1. A cluster edge carries its own dimension plus
+        // the single middle hop of its cross-partners' shared missing-
+        // dimension path → 2.
+        for n in 2..=4u32 {
+            let r = hypercube_into_dual_cube(n);
+            assert_eq!(r.max_congestion, 2 * n as usize - 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn every_guest_edge_accounted() {
+        let n = 3;
+        let r = hypercube_into_dual_cube(n);
+        // Total host-link usage = Σ dilation over guest edges =
+        // avg_dilation × guest_edges = avg_congestion × host_edges.
+        let rec = RecDualCube::new(n);
+        let guest_edges = (rec.num_nodes() * (2 * n as usize - 1)) / 2;
+        let host_edges = rec.num_edges();
+        let lhs = r.avg_dilation * guest_edges as f64;
+        let rhs = r.avg_congestion * host_edges as f64;
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_embedding_has_dilation_one() {
+        for n in 2..=5 {
+            assert_eq!(ring_into_dual_cube(n), 1);
+        }
+    }
+}

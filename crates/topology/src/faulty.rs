@@ -1,0 +1,185 @@
+//! Fault injection: a topology with failed nodes masked out.
+//!
+//! The dual-cube literature the paper builds on (its reference \[4\] is Lee
+//! & Hayes' fault-tolerant hypercube communication scheme, and the
+//! authors' own follow-up work covers fault-tolerant routing in
+//! dual-cubes) studies behaviour under node failures. [`Faulty`] wraps any
+//! [`Topology`] and removes a set of nodes: failed nodes keep their ids
+//! (so the address arithmetic of the healthy nodes is undisturbed) but
+//! report no neighbours and disappear from everyone's adjacency.
+//!
+//! With fewer than κ(G) failures the surviving graph stays connected
+//! (Menger; κ is computed exactly in [`crate::connectivity`]) — measured
+//! over random fault sets in experiment E15, together with the routing
+//! *dilation* failures force on shortest paths.
+
+use crate::traits::{NodeId, Topology};
+
+/// A topology with a fault set removed. Node ids are preserved; faulty
+/// nodes are isolated (degree 0).
+#[derive(Debug, Clone)]
+pub struct Faulty<T> {
+    inner: T,
+    failed: Vec<bool>,
+    num_failed: usize,
+}
+
+impl<T: Topology> Faulty<T> {
+    /// Marks `faults` as failed in `inner`. Duplicate ids are accepted;
+    /// out-of-range ids panic.
+    pub fn new(inner: T, faults: &[NodeId]) -> Self {
+        let mut failed = vec![false; inner.num_nodes()];
+        for &f in faults {
+            assert!(f < failed.len(), "fault id {f} out of range");
+            failed[f] = true;
+        }
+        let num_failed = failed.iter().filter(|&&b| b).count();
+        Faulty {
+            inner,
+            failed,
+            num_failed,
+        }
+    }
+
+    /// The wrapped fault-free topology.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Whether node `u` has failed.
+    #[inline]
+    pub fn is_failed(&self, u: NodeId) -> bool {
+        self.failed[u]
+    }
+
+    /// Number of failed nodes.
+    pub fn num_failed(&self) -> usize {
+        self.num_failed
+    }
+
+    /// Ids of the surviving nodes.
+    pub fn survivors(&self) -> Vec<NodeId> {
+        (0..self.failed.len())
+            .filter(|&u| !self.failed[u])
+            .collect()
+    }
+
+    /// Whether every pair of surviving nodes can still reach each other.
+    pub fn survivors_connected(&self) -> bool {
+        let survivors = self.survivors();
+        let Some(&start) = survivors.first() else {
+            return true;
+        };
+        let dist = crate::graph::bfs_distances(self, start);
+        survivors.iter().all(|&u| dist[u] != u32::MAX)
+    }
+}
+
+impl<T: Topology> Topology for Faulty<T> {
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        if self.failed[u] {
+            out.clear();
+            return;
+        }
+        self.inner.neighbors_into(u, out);
+        out.retain(|&v| !self.failed[v]);
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    fn is_edge(&self, u: NodeId, v: NodeId) -> bool {
+        !self.failed[u] && !self.failed[v] && self.inner.is_edge(u, v)
+    }
+
+    fn name(&self) -> String {
+        format!("{} − {} faults", self.inner.name(), self.num_failed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::vertex_connectivity;
+    use crate::dualcube::DualCube;
+    use crate::graph;
+    use crate::hypercube::Hypercube;
+
+    #[test]
+    fn failed_nodes_are_isolated() {
+        let f = Faulty::new(Hypercube::new(3), &[2, 5]);
+        assert!(f.neighbors(2).is_empty());
+        assert!(!f.neighbors(0).contains(&2));
+        assert!(!f.is_edge(0, 2));
+        assert!(f.is_edge(0, 1));
+        assert_eq!(f.num_failed(), 2);
+        assert_eq!(f.survivors().len(), 6);
+    }
+
+    #[test]
+    fn graph_contract_still_holds() {
+        let f = Faulty::new(DualCube::new(2), &[3]);
+        assert!(graph::check_simple_undirected(&f).is_empty());
+    }
+
+    #[test]
+    fn fewer_than_kappa_faults_keep_dual_cube_connected() {
+        // κ(D_3) = 3 (verified in connectivity tests): every fault set of
+        // size ≤ 2 leaves the survivors connected. Exhaustive over all
+        // pairs.
+        let d = DualCube::new(3);
+        assert_eq!(vertex_connectivity(&d), 3);
+        for a in 0..d.num_nodes() {
+            for b in (a + 1)..d.num_nodes() {
+                let f = Faulty::new(d, &[a, b]);
+                assert!(
+                    f.survivors_connected(),
+                    "faults {{{a},{b}}} disconnected D_3"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kappa_faults_can_disconnect() {
+        // Failing all n neighbours of a node isolates it — the tightness
+        // of the κ = n guarantee.
+        let d = DualCube::new(2);
+        let victim = 0usize;
+        let nbrs = d.neighbors(victim);
+        let f = Faulty::new(d, &nbrs);
+        assert!(!f.survivors_connected());
+        assert!(f.neighbors(victim).is_empty());
+    }
+
+    #[test]
+    fn routing_around_faults_with_bfs() {
+        // Dimension-ordered routing may die with the faults, but BFS on
+        // the survivor graph still finds paths (possibly dilated).
+        let d = DualCube::new(3);
+        let f = Faulty::new(d, &[1, 9]);
+        let path = graph::shortest_path(&f, 0, 0b01011);
+        assert!(path.len() >= 2);
+        for w in path.windows(2) {
+            assert!(f.is_edge(w[0], w[1]));
+        }
+        assert!(path.iter().all(|&u| !f.is_failed(u)));
+    }
+
+    #[test]
+    fn duplicate_faults_counted_once() {
+        let f = Faulty::new(Hypercube::new(2), &[1, 1, 1]);
+        assert_eq!(f.num_failed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_fault_rejected() {
+        Faulty::new(Hypercube::new(2), &[99]);
+    }
+}

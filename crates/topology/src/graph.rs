@@ -1,0 +1,294 @@
+//! Generic graph verification utilities: BFS, diameter, connectivity and
+//! structural sanity checks.
+//!
+//! Every closed-form claim made by the topology implementations (distance
+//! formulas, diameters, degree) is cross-checked against these brute-force
+//! routines in the test suites — this is how the OCR-reconstructed dual-cube
+//! definition was validated against the paper's stated properties.
+
+use crate::traits::{NodeId, Topology};
+use std::collections::VecDeque;
+
+/// Distance (in hops) from `src` to every node, by breadth-first search.
+/// Unreachable nodes get `u32::MAX`.
+pub fn bfs_distances<T: Topology + ?Sized>(topo: &T, src: NodeId) -> Vec<u32> {
+    let n = topo.num_nodes();
+    assert!(src < n, "source {src} out of range for {}", topo.name());
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::with_capacity(n);
+    let mut nbrs = Vec::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        topo.neighbors_into(u, &mut nbrs);
+        for &v in &nbrs {
+            if dist[v] == u32::MAX {
+                dist[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `src`: the maximum BFS distance to any node.
+/// Panics if the graph is disconnected.
+pub fn eccentricity<T: Topology + ?Sized>(topo: &T, src: NodeId) -> u32 {
+    let dist = bfs_distances(topo, src);
+    let max = *dist.iter().max().expect("non-empty graph");
+    assert_ne!(max, u32::MAX, "{} is disconnected", topo.name());
+    max
+}
+
+/// Exact diameter by running BFS from every node. O(N·E) — fine for the
+/// network sizes the experiments exercise (≤ 2^15 nodes).
+pub fn diameter<T: Topology + ?Sized>(topo: &T) -> u32 {
+    (0..topo.num_nodes())
+        .map(|u| eccentricity(topo, u))
+        .max()
+        .expect("non-empty graph")
+}
+
+/// Diameter of a *vertex-transitive* graph: a single BFS suffices because
+/// every node has the same eccentricity. The hypercube and dual-cube are
+/// vertex-transitive (the dual-cube's node symmetry is established in the
+/// authors' earlier work); the test suite verifies agreement with
+/// [`diameter`] for small instances before the experiments rely on this.
+pub fn diameter_vertex_transitive<T: Topology + ?Sized>(topo: &T) -> u32 {
+    eccentricity(topo, 0)
+}
+
+/// Whether all nodes are reachable from node 0.
+pub fn is_connected<T: Topology + ?Sized>(topo: &T) -> bool {
+    topo.num_nodes() == 0 || bfs_distances(topo, 0).iter().all(|&d| d != u32::MAX)
+}
+
+/// Structural problems found by [`check_simple_undirected`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphDefect {
+    /// A node listed itself as a neighbour.
+    SelfLoop(NodeId),
+    /// A node listed the same neighbour twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// `v ∈ neighbors(u)` but `u ∉ neighbors(v)`.
+    Asymmetric(NodeId, NodeId),
+    /// A neighbour id out of `0..num_nodes()`.
+    OutOfRange(NodeId, NodeId),
+}
+
+/// Verifies the simple-undirected-graph contract of [`Topology`]:
+/// no self loops, no duplicate neighbours, symmetric adjacency, ids in
+/// range. Returns every defect found (empty = sound).
+pub fn check_simple_undirected<T: Topology + ?Sized>(topo: &T) -> Vec<GraphDefect> {
+    let n = topo.num_nodes();
+    let mut defects = Vec::new();
+    let mut nbrs = Vec::new();
+    for u in 0..n {
+        topo.neighbors_into(u, &mut nbrs);
+        let mut seen = nbrs.clone();
+        seen.sort_unstable();
+        for w in seen.windows(2) {
+            if w[0] == w[1] {
+                defects.push(GraphDefect::DuplicateEdge(u, w[0]));
+            }
+        }
+        for &v in &nbrs {
+            if v >= n {
+                defects.push(GraphDefect::OutOfRange(u, v));
+                continue;
+            }
+            if v == u {
+                defects.push(GraphDefect::SelfLoop(u));
+            }
+            if !topo.is_edge(v, u) {
+                defects.push(GraphDefect::Asymmetric(u, v));
+            }
+        }
+    }
+    defects
+}
+
+/// A shortest path `[src, …, dst]` by BFS — the generic router for
+/// topologies without a closed-form routing function (e.g. CCC in the
+/// traffic experiments). Panics if `dst` is unreachable.
+pub fn shortest_path<T: Topology + ?Sized>(topo: &T, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+    let n = topo.num_nodes();
+    assert!(src < n && dst < n);
+    if src == dst {
+        return vec![src];
+    }
+    let mut parent = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    let mut nbrs = Vec::new();
+    parent[src] = src;
+    queue.push_back(src);
+    'outer: while let Some(u) = queue.pop_front() {
+        topo.neighbors_into(u, &mut nbrs);
+        for &v in &nbrs {
+            if parent[v] == usize::MAX {
+                parent[v] = u;
+                if v == dst {
+                    break 'outer;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    assert_ne!(parent[dst], usize::MAX, "{dst} unreachable from {src}");
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    path
+}
+
+/// Renders the topology in Graphviz DOT format, with an optional
+/// per-node attribute callback (e.g. colouring the dual-cube's classes).
+/// Small instances only — the point is `dot -Tsvg` diagrams of the
+/// Figure 1/2 networks.
+pub fn to_dot<T: Topology + ?Sized>(topo: &T, node_attrs: impl Fn(NodeId) -> String) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "graph \"{}\" {{", topo.name()).unwrap();
+    writeln!(out, "  layout=neato; node [shape=circle];").unwrap();
+    for u in 0..topo.num_nodes() {
+        let attrs = node_attrs(u);
+        if attrs.is_empty() {
+            writeln!(out, "  n{u};").unwrap();
+        } else {
+            writeln!(out, "  n{u} [{attrs}];").unwrap();
+        }
+    }
+    let mut nbrs = Vec::new();
+    for u in 0..topo.num_nodes() {
+        topo.neighbors_into(u, &mut nbrs);
+        for &v in nbrs.iter().filter(|&&v| v > u) {
+            writeln!(out, "  n{u} -- n{v};").unwrap();
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Histogram of node degrees: `(degree, count)` sorted by degree.
+/// Regular networks (hypercube, dual-cube) produce a single entry.
+pub fn degree_histogram<T: Topology + ?Sized>(topo: &T) -> Vec<(usize, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for u in 0..topo.num_nodes() {
+        *counts.entry(topo.degree(u)).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Average inter-node distance (over ordered pairs, excluding `u == v`),
+/// computed exactly by all-pairs BFS. Used in the properties table (E2).
+pub fn average_distance<T: Topology + ?Sized>(topo: &T) -> f64 {
+    let n = topo.num_nodes();
+    assert!(n > 1);
+    let mut total: u64 = 0;
+    for u in 0..n {
+        for d in bfs_distances(topo, u) {
+            assert_ne!(d, u32::MAX, "{} is disconnected", topo.name());
+            total += d as u64;
+        }
+    }
+    total as f64 / (n as f64 * (n as f64 - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypercube::Hypercube;
+
+    /// A deliberately broken topology for failure-injection tests:
+    /// node 0 lists node 1, but node 1 lists nobody; node 2 loops on itself.
+    struct Broken;
+    impl Topology for Broken {
+        fn num_nodes(&self) -> usize {
+            3
+        }
+        fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+            out.clear();
+            match u {
+                0 => out.push(1),
+                1 => {}
+                2 => {
+                    out.push(2);
+                    out.push(2);
+                }
+                _ => unreachable!(),
+            }
+        }
+        fn name(&self) -> String {
+            "broken".into()
+        }
+    }
+
+    #[test]
+    fn bfs_on_hypercube_matches_hamming() {
+        let q = Hypercube::new(4);
+        for src in [0usize, 5, 15] {
+            let dist = bfs_distances(&q, src);
+            for (v, &d) in dist.iter().enumerate() {
+                assert_eq!(d, (src ^ v).count_ones(), "src={src} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_diameter_is_dimension() {
+        for m in 1..=6 {
+            let q = Hypercube::new(m);
+            assert_eq!(diameter(&q), m);
+            assert_eq!(diameter_vertex_transitive(&q), m);
+        }
+    }
+
+    #[test]
+    fn hypercube_is_connected_and_sound() {
+        let q = Hypercube::new(5);
+        assert!(is_connected(&q));
+        assert!(check_simple_undirected(&q).is_empty());
+        assert_eq!(degree_histogram(&q), vec![(5, 32)]);
+    }
+
+    #[test]
+    fn defects_are_detected() {
+        let defects = check_simple_undirected(&Broken);
+        assert!(defects.contains(&GraphDefect::Asymmetric(0, 1)));
+        assert!(defects.contains(&GraphDefect::SelfLoop(2)));
+        assert!(defects.contains(&GraphDefect::DuplicateEdge(2, 2)));
+    }
+
+    #[test]
+    fn dot_export_lists_every_node_and_edge() {
+        let q = Hypercube::new(2);
+        let dot = to_dot(&q, |u| {
+            if u == 0 {
+                "color=red".into()
+            } else {
+                String::new()
+            }
+        });
+        assert!(dot.starts_with("graph \"Q_2\""));
+        assert!(dot.contains("n0 [color=red];"));
+        assert_eq!(dot.matches(" -- ").count(), q.num_edges());
+        assert!(dot.contains("n0 -- n1;"));
+        assert!(!dot.contains("n1 -- n0;"), "each edge once");
+    }
+
+    #[test]
+    fn average_distance_of_q1_is_one() {
+        assert!((average_distance(&Hypercube::new(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_distance_of_q2() {
+        // C_4: distances from each node: 0,1,1,2 → mean over 3 others = 4/3.
+        assert!((average_distance(&Hypercube::new(2)) - 4.0 / 3.0).abs() < 1e-12);
+    }
+}

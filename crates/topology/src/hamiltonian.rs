@@ -1,0 +1,196 @@
+//! A Hamiltonian cycle in the dual-cube, constructed from the recursive
+//! presentation — i.e. a **dilation-1 ring embedding**, one of the
+//! hypercube-like properties ("recursive construction, …") the paper
+//! credits the dual-cube with in Sections 1–2.
+//!
+//! Construction (recursive, over recursive-presentation ids):
+//!
+//! * **Base `D_2`** is 2-regular and connected — it *is* an 8-cycle;
+//!   walk it directly.
+//! * **Step `D_n` (n ≥ 3):** place the same `D_(n−1)` cycle in all four
+//!   copies (the copies are translates of each other). Pick on the small
+//!   cycle an edge `e1` whose endpoints are both class 1 and an edge `e2`
+//!   whose endpoints are both class 0 (they exist: a cycle cannot
+//!   alternate classes at every step, since cross-edges form a perfect
+//!   matching; both kinds are found by search and asserted). Splice:
+//!
+//!   1. copies `00`–`01` through `e1` (their images differ in bit `2n−3`,
+//!      a class-1 dimension, so the two rungs are edges of `D_n`);
+//!   2. copies `10`–`11` through `e1` likewise;
+//!   3. the two halves through `e2` in copies `00`–`10` (bit `2n−2`, a
+//!      class-0 dimension).
+//!
+//! Each splice removes one cycle edge from each side and adds the two
+//! rungs, preserving Hamiltonicity. The result is verified exhaustively
+//! by the tests (every node once, every hop an edge, cycle closes).
+
+use crate::dualcube::{DualCube, RecDualCube};
+use crate::traits::{NodeId, Topology};
+
+/// A Hamiltonian cycle of `D_n` (`n ≥ 2`) in **recursive-presentation**
+/// ids: a sequence of all `2^(2n−1)` nodes in which consecutive nodes
+/// (and the last/first pair) are adjacent.
+///
+/// `D_1 = K_2` has no cycle; it is rejected.
+pub fn hamiltonian_cycle_rec(n: u32) -> Vec<NodeId> {
+    assert!(n >= 2, "D_1 = K_2 has no Hamiltonian cycle");
+    if n == 2 {
+        // D_2 is 2-regular: follow the unique cycle from node 0.
+        let rec = RecDualCube::new(2);
+        let mut cycle = vec![0usize];
+        let mut prev = usize::MAX;
+        let mut cur = 0usize;
+        while cycle.len() < rec.num_nodes() {
+            let next = rec
+                .neighbors(cur)
+                .into_iter()
+                .find(|&v| v != prev)
+                .expect("2-regular");
+            cycle.push(next);
+            prev = cur;
+            cur = next;
+        }
+        return cycle;
+    }
+    let small = hamiltonian_cycle_rec(n - 1);
+    let small_bits = 2 * (n - 1) - 1;
+    let top = 1usize << (small_bits + 1); // bit 2n−2 (class-0 dimension)
+    let next = 1usize << small_bits; // bit 2n−3 (class-1 dimension)
+
+    // Locate the splice edges on the small cycle: positions i such that
+    // cycle[i] and cycle[i+1] are both class 1 (e1) / both class 0 (e2),
+    // with e1 ≠ e2 guaranteed because their endpoint classes differ.
+    let len = small.len();
+    let edge_with_class = |class_bit: usize| -> usize {
+        (0..len)
+            .find(|&i| small[i] & 1 == class_bit && small[(i + 1) % len] & 1 == class_bit)
+            .expect("a Hamiltonian cycle always has a monochromatic edge of each class")
+    };
+    let e1 = edge_with_class(1);
+    let e2 = edge_with_class(0);
+
+    // Orient the small cycle as a list starting right after e1, so that
+    // the e1 edge is (last, first): walking the list end-to-end traverses
+    // the cycle with e1 open.
+    let open_at = |start_edge: usize| -> Vec<NodeId> {
+        (0..len)
+            .map(|k| small[(start_edge + 1 + k) % len])
+            .collect()
+    };
+    let after_e1 = open_at(e1); // path from e1-endpoint y … to x, edge (x,y) removed
+
+    // Half A = copies 00 (prefix 0) and 01 (prefix `next`): traverse copy
+    // 00 with e1 open, jump the rung, traverse copy 01 in reverse.
+    let mut half_a: Vec<NodeId> = after_e1.to_vec();
+    half_a.extend(after_e1.iter().rev().map(|&v| v | next));
+    // Half B = copies 10 and 11 (prefix `top`, `top|next`), same shape.
+    let half_b: Vec<NodeId> = half_a.iter().map(|&v| v | top).collect();
+
+    // half_a is a cycle (its last element, 01-image of y, is adjacent to
+    // its first, 00-image of y′ … precisely: last = 01-image of the node
+    // after the open edge; closing uses the second rung). Now open both
+    // halves at the e2 edge (which survived the first splice: e2's
+    // endpoints are class 0, e1's class 1, so the edges are disjoint) in
+    // copy 00 for half A and copy 10 for half B, and join across bit
+    // `top`.
+    let (x2, y2) = (small[e2], small[(e2 + 1) % len]);
+    let open_cycle_at = |cyc: &[NodeId], a: NodeId, b: NodeId| -> Vec<NodeId> {
+        // Rotate so the edge (a,b) or (b,a) becomes (last, first).
+        let len = cyc.len();
+        for i in 0..len {
+            let (p, q) = (cyc[i], cyc[(i + 1) % len]);
+            if (p == a && q == b) || (p == b && q == a) {
+                return (0..len).map(|k| cyc[(i + 1 + k) % len]).collect();
+            }
+        }
+        panic!("edge ({a},{b}) not on the cycle");
+    };
+    let a_open = open_cycle_at(&half_a, x2, y2);
+    let b_open = open_cycle_at(&half_b, x2 | top, y2 | top);
+    // a_open runs …→ z where z ∈ {x2, y2}; the seam must be the rung
+    // z — z|top, so orient b to start at z|top. Its other endpoint is then
+    // (a_open[0])|top, making the final wrap the second rung.
+    let z = *a_open.last().unwrap();
+    let mut b = b_open;
+    if b[0] != z | top {
+        b.reverse();
+    }
+    assert_eq!(b[0], z | top, "rung endpoint must start the second half");
+    debug_assert_eq!(*b.last().unwrap(), a_open[0] | top);
+    let mut joined = a_open;
+    joined.extend(b);
+    joined
+}
+
+/// The same Hamiltonian cycle in **standard-presentation** node ids.
+pub fn hamiltonian_cycle(n: u32) -> Vec<NodeId> {
+    let d = DualCube::new(n);
+    hamiltonian_cycle_rec(n)
+        .into_iter()
+        .map(|r| d.rec_to_std(r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dualcube::RecDualCube;
+
+    fn assert_hamiltonian<T: Topology>(topo: &T, cycle: &[NodeId]) {
+        assert_eq!(cycle.len(), topo.num_nodes(), "visits every node");
+        let mut seen = vec![false; topo.num_nodes()];
+        for &u in cycle {
+            assert!(!seen[u], "node {u} repeated");
+            seen[u] = true;
+        }
+        for i in 0..cycle.len() {
+            let (a, b) = (cycle[i], cycle[(i + 1) % cycle.len()]);
+            assert!(
+                topo.is_edge(a, b),
+                "hop {a}→{b} (position {i}) is not an edge"
+            );
+        }
+    }
+
+    #[test]
+    fn base_case_d2() {
+        let rec = RecDualCube::new(2);
+        assert_hamiltonian(&rec, &hamiltonian_cycle_rec(2));
+    }
+
+    #[test]
+    fn recursive_cases() {
+        for n in 3..=6 {
+            let rec = RecDualCube::new(n);
+            assert_hamiltonian(&rec, &hamiltonian_cycle_rec(n));
+        }
+    }
+
+    #[test]
+    fn standard_presentation_cycle_is_hamiltonian_too() {
+        for n in 2..=5 {
+            let d = DualCube::new(n);
+            assert_hamiltonian(&d, &hamiltonian_cycle(n));
+        }
+    }
+
+    #[test]
+    fn cycle_contains_monochromatic_edges_of_both_classes() {
+        // The inductive invariant the construction relies on.
+        for n in 2..=6 {
+            let cycle = hamiltonian_cycle_rec(n);
+            let len = cycle.len();
+            let has = |class: usize| {
+                (0..len).any(|i| cycle[i] & 1 == class && cycle[(i + 1) % len] & 1 == class)
+            };
+            assert!(has(0), "n={n}: no class-0 edge");
+            assert!(has(1), "n={n}: no class-1 edge");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no Hamiltonian cycle")]
+    fn d1_rejected() {
+        hamiltonian_cycle_rec(1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # dc-topology — interconnection networks for the dual-cube reproduction
+//!
+//! Topology substrate for the reproduction of *Prefix Computation and
+//! Sorting in Dual-Cube* (Li, Peng & Chu, ICPP 2008). It provides:
+//!
+//! * [`DualCube`] — the paper's network `D_n`, in both the **standard
+//!   presentation** of Section 2 (class bit, cluster id, node id) and the
+//!   **recursive presentation** of Section 4 ([`RecDualCube`], interleaved
+//!   bit layout, `D_n = 4 × D_(n−1)`);
+//! * [`Hypercube`] — the reference network `Q_m` the paper's algorithms
+//!   emulate and are measured against;
+//! * [`CubeConnectedCycles`] — the bounded-degree competitor from the
+//!   Section 1 motivation;
+//! * shortest-path routing ([`Routed`]) with the paper's closed-form
+//!   distance, and brute-force verification tools ([`graph`]) used by the
+//!   test suite to validate every closed-form claim (distance, diameter,
+//!   degree, counts) against BFS.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dc_topology::{DualCube, Topology, Routed, graph};
+//!
+//! let d = DualCube::new(3);                    // Figure 2: 32 nodes, degree 3
+//! assert_eq!(d.num_nodes(), 32);
+//! assert_eq!(d.diameter_formula(), 6);         // 2n
+//! assert_eq!(graph::diameter_vertex_transitive(&d), 6);
+//! let path = d.route(0b00000, 0b01011);
+//! assert_eq!(path.len() as u32 - 1, d.distance(0b00000, 0b01011));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bits;
+pub mod ccc;
+pub mod connectivity;
+pub mod dualcube;
+pub mod embedding;
+pub mod faulty;
+pub mod graph;
+pub mod hamiltonian;
+pub mod hypercube;
+pub mod metacube;
+pub mod properties;
+pub mod traits;
+
+pub use ccc::CubeConnectedCycles;
+pub use dualcube::{Address, Class, DualCube, RecDualCube};
+pub use hypercube::Hypercube;
+pub use metacube::Metacube;
+pub use traits::{NodeId, Routed, Topology};

@@ -1,0 +1,277 @@
+//! The metacube `MC(k, m)` — the authors' generalisation of the dual-cube
+//! (Li & Peng, *Efficient Communication in Metacube*, I-SPAN 2002), built
+//! here because the dual-cube paper positions itself inside this family:
+//! **`MC(1, m)` is exactly the dual-cube `D_(m+1)`** (two classes), and
+//! `MC(0, m) = Q_m`.
+//!
+//! An `MC(k, m)` node address has `2^k · m + k` bits:
+//!
+//! ```text
+//!   ┌─────────┬───────────────┬─────┬───────────────┬───────────────┐
+//!   │ class c │  field 2^k−1  │  …  │    field 1    │    field 0    │
+//!   │ (k bit) │    (m bit)    │     │    (m bit)    │    (m bit)    │
+//!   └─────────┴───────────────┴─────┴───────────────┴───────────────┘
+//! ```
+//!
+//! Node `u` lies in a *cluster*: the `m`-cube spanned by flipping the bits
+//! of field `c(u)` (its own class's field). Edges:
+//!
+//! * **cube edges** — flip one bit of field `c(u)` (degree `m`);
+//! * **cross edges** — flip one bit of the class field itself (degree `k`).
+//!
+//! Total degree `m + k`; `2^(2^k·m + k)` nodes. For `k = 1` this is the
+//! dual-cube presentation with the class bit *at the bottom* — isomorphic
+//! to [`crate::DualCube`] by rotating the address, which the tests verify
+//! explicitly.
+
+use crate::bits::{field, flip};
+use crate::traits::{NodeId, Topology};
+
+/// The metacube `MC(k, m)`: degree `m + k`, `2^(2^k·m + k)` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metacube {
+    k: u32,
+    m: u32,
+}
+
+impl Metacube {
+    /// Creates `MC(k, m)`. Requires `m ≥ 1`, `k ≤ 2`, and a total address
+    /// width of at most 26 bits (`k = 2, m = 5` is already 22 bits /
+    /// 4M nodes; larger instances exceed exhaustive-simulation budgets).
+    pub fn new(k: u32, m: u32) -> Self {
+        assert!(m >= 1, "metacube needs m >= 1");
+        assert!(
+            k <= 2,
+            "metacube class field wider than 2 is impractical here"
+        );
+        let bits = (1u32 << k) * m + k;
+        assert!(
+            bits <= 26,
+            "MC({k},{m}) would need {bits} address bits (max 26)"
+        );
+        Metacube { k, m }
+    }
+
+    /// The class-field width `k`.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The cube-field width `m`.
+    #[inline]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Total address bits, `2^k·m + k`.
+    #[inline]
+    pub fn address_bits(&self) -> u32 {
+        (1u32 << self.k) * self.m + self.k
+    }
+
+    /// The class of node `u`: the low `k` bits (0 when `k = 0`).
+    #[inline]
+    pub fn class_of(&self, u: NodeId) -> usize {
+        if self.k == 0 {
+            0
+        } else {
+            field(u, 0, self.k)
+        }
+    }
+
+    /// The `m`-bit field `i` of `u` (`0 ≤ i < 2^k`).
+    #[inline]
+    pub fn cube_field(&self, u: NodeId, i: u32) -> usize {
+        debug_assert!(i < (1 << self.k));
+        field(u, self.k + i * self.m, self.m)
+    }
+
+    /// The neighbour across cube dimension `j` (`0 ≤ j < m`): flips bit
+    /// `j` of the node's own class field.
+    #[inline]
+    pub fn cube_neighbor(&self, u: NodeId, j: u32) -> NodeId {
+        debug_assert!(j < self.m);
+        let c = self.class_of(u) as u32;
+        flip(u, self.k + c * self.m + j)
+    }
+
+    /// The neighbour across cross dimension `i` (`0 ≤ i < k`): flips bit
+    /// `i` of the class field.
+    #[inline]
+    pub fn cross_neighbor(&self, u: NodeId, i: u32) -> NodeId {
+        debug_assert!(i < self.k);
+        flip(u, i)
+    }
+
+    /// Dual-cube view: for `k = 1`, maps an `MC(1, m)` node id to the
+    /// [`crate::DualCube`] id of `D_(m+1)` (class bit moves from the
+    /// bottom to the top).
+    pub fn to_dual_cube_id(&self, u: NodeId) -> NodeId {
+        assert_eq!(self.k, 1, "dual-cube view requires k = 1");
+        let class = u & 1;
+        (u >> 1) | (class << (2 * self.m))
+    }
+}
+
+impl Topology for Metacube {
+    fn num_nodes(&self) -> usize {
+        1usize << self.address_bits()
+    }
+
+    fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        debug_assert!(u < self.num_nodes());
+        out.clear();
+        for j in 0..self.m {
+            out.push(self.cube_neighbor(u, j));
+        }
+        for i in 0..self.k {
+            out.push(self.cross_neighbor(u, i));
+        }
+    }
+
+    fn degree(&self, _u: NodeId) -> usize {
+        (self.m + self.k) as usize
+    }
+
+    fn is_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if (u ^ v).count_ones() != 1 {
+            return false;
+        }
+        let i = (u ^ v).trailing_zeros();
+        if i < self.k {
+            return true; // cross edge
+        }
+        // Cube edge: the flipped bit must lie in *both* endpoints' own
+        // class field — and since the class bits agree, one check does.
+        let c = self.class_of(u) as u32;
+        (self.k + c * self.m..self.k + (c + 1) * self.m).contains(&i)
+    }
+
+    fn num_edges(&self) -> usize {
+        self.degree(0) * self.num_nodes() / 2
+    }
+
+    fn name(&self) -> String {
+        format!("MC({},{})", self.k, self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dualcube::DualCube;
+    use crate::graph;
+
+    #[test]
+    fn mc0_is_a_hypercube() {
+        let mc = Metacube::new(0, 4);
+        let q = crate::hypercube::Hypercube::new(4);
+        assert_eq!(mc.num_nodes(), q.num_nodes());
+        for u in 0..mc.num_nodes() {
+            for v in 0..mc.num_nodes() {
+                assert_eq!(mc.is_edge(u, v), q.is_edge(u, v), "{u}-{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn mc1_is_the_dual_cube() {
+        // MC(1, m) ≅ D_(m+1) under the explicit address rotation.
+        for m in 1..=3u32 {
+            let mc = Metacube::new(1, m);
+            let d = DualCube::new(m + 1);
+            assert_eq!(mc.num_nodes(), d.num_nodes(), "m={m}");
+            assert_eq!(mc.degree(0), d.degree(0));
+            for u in 0..mc.num_nodes() {
+                for v in 0..mc.num_nodes() {
+                    assert_eq!(
+                        mc.is_edge(u, v),
+                        d.is_edge(mc.to_dual_cube_id(u), mc.to_dual_cube_id(v)),
+                        "m={m}: {u}-{v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_and_regularity() {
+        for (k, m) in [(0u32, 3u32), (1, 2), (2, 2), (2, 3)] {
+            let mc = Metacube::new(k, m);
+            assert_eq!(mc.num_nodes(), 1 << ((1 << k) * m + k));
+            assert_eq!(
+                graph::degree_histogram(&mc),
+                vec![((m + k) as usize, mc.num_nodes())],
+                "MC({k},{m})"
+            );
+            assert_eq!(mc.num_edges(), (m + k) as usize * mc.num_nodes() / 2);
+        }
+    }
+
+    #[test]
+    fn graph_contract_and_connectivity() {
+        for (k, m) in [(1u32, 2u32), (2, 1), (2, 2)] {
+            let mc = Metacube::new(k, m);
+            assert!(
+                graph::check_simple_undirected(&mc).is_empty(),
+                "MC({k},{m})"
+            );
+            assert!(graph::is_connected(&mc), "MC({k},{m})");
+        }
+    }
+
+    #[test]
+    fn mc22_packs_many_nodes_per_link() {
+        // The metacube headline: MC(2,3) reaches 2^14 nodes at degree 5.
+        let mc = Metacube::new(2, 3);
+        assert_eq!(mc.num_nodes(), 1 << 14);
+        assert_eq!(mc.degree(0), 5);
+        // Compare: a degree-5 hypercube has 32 nodes.
+        assert_eq!(mc.num_nodes() / 32, 512);
+    }
+
+    #[test]
+    fn cube_neighbors_stay_in_class() {
+        let mc = Metacube::new(2, 2);
+        for u in (0..mc.num_nodes()).step_by(17) {
+            for j in 0..2 {
+                let v = mc.cube_neighbor(u, j);
+                assert_eq!(mc.class_of(u), mc.class_of(v));
+                assert!(mc.is_edge(u, v));
+            }
+            for i in 0..2 {
+                let v = mc.cross_neighbor(u, i);
+                assert_ne!(mc.class_of(u), mc.class_of(v));
+                assert!(mc.is_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn no_edge_between_same_field_flips_of_foreign_class() {
+        // Flipping a bit of a field that is not the node's own class field
+        // must not be an edge (the metacube analogue of "no edges between
+        // clusters of the same class").
+        let mc = Metacube::new(1, 2);
+        // u of class 0: its own field is field 0 (bits 1..=2); field 1 is
+        // bits 3..=4. Flipping bit 3 is not an edge.
+        let u = 0b00000usize;
+        assert_eq!(mc.class_of(u), 0);
+        assert!(!mc.is_edge(u, u ^ 0b01000));
+        assert!(mc.is_edge(u, u ^ 0b00010));
+    }
+
+    #[test]
+    fn diameter_small_cases() {
+        // MC(1,1) = D_2: diameter 4. MC(1,2) = D_3: diameter 6.
+        assert_eq!(graph::diameter(&Metacube::new(1, 1)), 4);
+        assert_eq!(graph::diameter(&Metacube::new(1, 2)), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "address bits")]
+    fn oversized_rejected() {
+        Metacube::new(2, 7);
+    }
+}

@@ -1,0 +1,213 @@
+//! Closed-form topological properties and the comparison tables behind the
+//! paper's Section 1 motivation (experiment E2).
+//!
+//! The headline claim: with at most 8 links per processor a hypercube tops
+//! out at `2^8 = 256` nodes, while the dual-cube `D_8` reaches
+//! `2^15 = 32768` — "parallel computers with tens of thousands of
+//! processors can be constructed by dual-cube practically with up to eight
+//! connections each processor" — paying only `+1` diameter over the
+//! equal-sized hypercube.
+
+use crate::ccc::CubeConnectedCycles;
+use crate::dualcube::DualCube;
+use crate::hypercube::Hypercube;
+use crate::traits::Topology;
+
+/// One row of a topology-comparison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoRow {
+    /// Network name, e.g. `"D_3"`.
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected links.
+    pub edges: usize,
+    /// Node degree (all three networks here are regular).
+    pub degree: usize,
+    /// Diameter (closed form; BFS-verified in the tests).
+    pub diameter: u32,
+}
+
+impl TopoRow {
+    /// Degree × diameter, the classic cost measure for interconnection
+    /// networks (smaller is better at equal size).
+    pub fn cost(&self) -> u32 {
+        self.degree as u32 * self.diameter
+    }
+}
+
+/// Row for the hypercube `Q_m`.
+pub fn hypercube_row(m: u32) -> TopoRow {
+    let q = Hypercube::new(m);
+    TopoRow {
+        name: q.name(),
+        nodes: q.num_nodes(),
+        edges: q.num_edges(),
+        degree: m as usize,
+        diameter: m,
+    }
+}
+
+/// Row for the dual-cube `D_n`.
+pub fn dual_cube_row(n: u32) -> TopoRow {
+    let d = DualCube::new(n);
+    TopoRow {
+        name: d.name(),
+        nodes: d.num_nodes(),
+        edges: d.num_edges(),
+        degree: n as usize,
+        diameter: d.diameter_formula(),
+    }
+}
+
+/// Row for the cube-connected cycles `CCC(d)`.
+pub fn ccc_row(d: u32) -> TopoRow {
+    let c = CubeConnectedCycles::new(d);
+    TopoRow {
+        name: c.name(),
+        nodes: c.num_nodes(),
+        edges: c.num_edges(),
+        degree: 3,
+        diameter: c.diameter_formula(),
+    }
+}
+
+/// The number of edges crossing each single-address-bit bisection
+/// (`nodes with bit b = 0` vs `= 1`), and the minimum over bits — an upper
+/// bound on the network's bisection width. For `Q_m` every bit cuts
+/// `2^(m−1)` edges; for `D_n` the class bit cuts all `N/2` cross-edges but
+/// a node-id bit cuts only the `N/4` matching cluster edges of one class,
+/// so the dual-cube's cheapest bisection has **half the hypercube's
+/// bandwidth** — the flip side of halving the links per node.
+pub fn single_bit_cuts<T: Topology + ?Sized>(topo: &T, bits: u32) -> Vec<usize> {
+    let mut cuts = vec![0usize; bits as usize];
+    let mut nbrs = Vec::new();
+    for u in 0..topo.num_nodes() {
+        topo.neighbors_into(u, &mut nbrs);
+        for &v in nbrs.iter().filter(|&&v| v > u) {
+            for (b, cut) in cuts.iter_mut().enumerate() {
+                if (u ^ v) >> b & 1 == 1 {
+                    *cut += 1;
+                }
+            }
+        }
+    }
+    cuts
+}
+
+/// The cheapest single-bit bisection: `(bit, edges cut)`.
+pub fn best_single_bit_cut<T: Topology + ?Sized>(topo: &T, bits: u32) -> (u32, usize) {
+    single_bit_cuts(topo, bits)
+        .into_iter()
+        .enumerate()
+        .min_by_key(|&(_, c)| c)
+        .map(|(b, c)| (b as u32, c))
+        .expect("at least one bit")
+}
+
+/// The Section-1 motivation table: for each link budget `n`, the dual-cube
+/// `D_n` next to the hypercube with the *same degree* (`Q_n`, exponentially
+/// smaller) and the hypercube with the *same size* (`Q_{2n−1}`, nearly
+/// double the links).
+pub fn motivation_table(
+    n_range: std::ops::RangeInclusive<u32>,
+) -> Vec<(TopoRow, TopoRow, TopoRow)> {
+    n_range
+        .map(|n| {
+            (
+                dual_cube_row(n),
+                hypercube_row(n),         // same degree
+                hypercube_row(2 * n - 1), // same size
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph;
+
+    #[test]
+    fn rows_match_bfs_for_small_instances() {
+        for n in 2..=4 {
+            let row = dual_cube_row(n);
+            let d = DualCube::new(n);
+            assert_eq!(row.nodes, d.num_nodes());
+            assert_eq!(row.diameter, graph::diameter_vertex_transitive(&d));
+        }
+        for m in 2..=6 {
+            let row = hypercube_row(m);
+            assert_eq!(
+                row.diameter,
+                graph::diameter_vertex_transitive(&Hypercube::new(m))
+            );
+        }
+        for d in 3..=5 {
+            let row = ccc_row(d);
+            assert_eq!(row.diameter, graph::diameter(&CubeConnectedCycles::new(d)));
+        }
+    }
+
+    #[test]
+    fn headline_claim_eight_links() {
+        // "tens of thousands of processors ... with up to eight connections"
+        let d8 = dual_cube_row(8);
+        let q8 = hypercube_row(8);
+        assert_eq!(d8.degree, 8);
+        assert_eq!(d8.nodes, 32768);
+        assert_eq!(q8.nodes, 256);
+        // Same size as Q_15 with about half the links per node:
+        let q15 = hypercube_row(15);
+        assert_eq!(q15.nodes, d8.nodes);
+        assert_eq!(q15.degree, 15);
+        // ... and diameter only one more.
+        assert_eq!(d8.diameter, q15.diameter + 1);
+    }
+
+    #[test]
+    fn dual_cube_halves_edge_count_of_same_size_hypercube_asymptotically() {
+        for n in 2..=8 {
+            let d = dual_cube_row(n);
+            let q = hypercube_row(2 * n - 1);
+            assert_eq!(d.nodes, q.nodes);
+            // n·2^(2n−2) vs (2n−1)·2^(2n−2): ratio n/(2n−1) → 1/2.
+            assert_eq!(d.edges * (2 * n as usize - 1), q.edges * n as usize);
+        }
+    }
+
+    #[test]
+    fn motivation_table_shape() {
+        let t = motivation_table(2..=5);
+        assert_eq!(t.len(), 4);
+        for (d, q_same_degree, q_same_size) in t {
+            assert_eq!(d.degree, q_same_degree.degree);
+            assert_eq!(d.nodes, q_same_size.nodes);
+            assert!(d.nodes >= q_same_degree.nodes);
+        }
+    }
+
+    #[test]
+    fn single_bit_cuts_match_structure() {
+        // Q_4: every bit cuts 2^3 = 8 edges.
+        let q = Hypercube::new(4);
+        assert_eq!(single_bit_cuts(&q, 4), vec![8; 4]);
+        // D_3 (N = 32): class bit cuts all 16 cross-edges; each part-I bit
+        // cuts the 8 class-0 cluster edges of its dimension; each part-II
+        // bit the 8 class-1 ones. Best = N/4 = 8 — half of Q_5's 16.
+        let d = DualCube::new(3);
+        let cuts = single_bit_cuts(&d, d.address_bits());
+        assert_eq!(cuts, vec![8, 8, 8, 8, 16]);
+        let (_, best) = best_single_bit_cut(&d, d.address_bits());
+        assert_eq!(best, d.num_nodes() / 4);
+        let (_, qbest) = best_single_bit_cut(&Hypercube::new(5), 5);
+        assert_eq!(qbest, 16);
+        assert_eq!(best * 2, qbest);
+    }
+
+    #[test]
+    fn cost_measure() {
+        let r = dual_cube_row(3);
+        assert_eq!(r.cost(), 3 * 6);
+    }
+}

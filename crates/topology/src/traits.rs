@@ -1,0 +1,114 @@
+//! The [`Topology`] and [`Routed`] traits implemented by every
+//! interconnection network in this crate.
+
+/// A node identifier. Nodes of an `N`-node topology are `0..N`.
+pub type NodeId = usize;
+
+/// A static, undirected interconnection network.
+///
+/// Implementations must present a *simple* undirected graph: no self loops,
+/// no parallel edges, and `v ∈ neighbors(u) ⇔ u ∈ neighbors(v)`. The
+/// verification helpers in [`crate::graph`] check these invariants
+/// mechanically and the test suites of all implementations call them.
+pub trait Topology {
+    /// Total number of nodes. Node ids are `0..num_nodes()`.
+    fn num_nodes(&self) -> usize;
+
+    /// Appends the neighbours of `u` to `out` (cleared first).
+    ///
+    /// This is the primitive; [`Topology::neighbors`] is the convenience
+    /// allocating form. Taking a scratch buffer keeps BFS over 2^15-node
+    /// networks allocation-free in the hot loop.
+    fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>);
+
+    /// The neighbours of `u` as a fresh vector.
+    fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.neighbors_into(u, &mut out);
+        out
+    }
+
+    /// Degree of node `u`.
+    fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Whether `{u, v}` is an edge.
+    fn is_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).contains(&v)
+    }
+
+    /// Total number of undirected edges (default: handshake lemma).
+    fn num_edges(&self) -> usize {
+        let total: usize = (0..self.num_nodes()).map(|u| self.degree(u)).sum();
+        debug_assert!(
+            total.is_multiple_of(2),
+            "odd degree sum: graph is not undirected"
+        );
+        total / 2
+    }
+
+    /// Human-readable name, e.g. `"D_3"` or `"Q_5"`.
+    fn name(&self) -> String;
+}
+
+/// A topology with a built-in (formula-driven) point-to-point router.
+///
+/// `route` must return a path along edges of the topology; the graph tests
+/// check every hop with [`Topology::is_edge`] and compare the length against
+/// BFS distance where the implementation claims shortest paths.
+pub trait Routed: Topology {
+    /// A path `[u, …, v]` from `u` to `v` along edges of the network.
+    /// Returns `[u]` when `u == v`.
+    fn route(&self, u: NodeId, v: NodeId) -> Vec<NodeId>;
+
+    /// Number of hops of [`Routed::route`]. Implementations with a
+    /// closed-form distance override this without materialising the path.
+    fn distance(&self, u: NodeId, v: NodeId) -> u32 {
+        (self.route(u, v).len() - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-cycle, the smallest interesting hand-rolled topology, used to
+    /// exercise the trait's default methods.
+    struct C4;
+
+    impl Topology for C4 {
+        fn num_nodes(&self) -> usize {
+            4
+        }
+        fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+            out.clear();
+            out.push((u + 1) % 4);
+            out.push((u + 3) % 4);
+        }
+        fn name(&self) -> String {
+            "C_4".into()
+        }
+    }
+
+    #[test]
+    fn default_degree_and_edges() {
+        let c = C4;
+        assert_eq!(c.degree(0), 2);
+        assert_eq!(c.num_edges(), 4);
+        assert!(c.is_edge(0, 1));
+        assert!(c.is_edge(0, 3));
+        assert!(!c.is_edge(0, 2));
+        assert!(!c.is_edge(1, 3));
+    }
+
+    #[test]
+    fn neighbors_matches_neighbors_into() {
+        let c = C4;
+        let mut buf = Vec::new();
+        for u in 0..4 {
+            c.neighbors_into(u, &mut buf);
+            assert_eq!(buf, c.neighbors(u));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Randomised property tests of the topology layer at sizes the exhaustive
+//! unit tests cannot reach (up to `D_6`, 2048 nodes).
+
+use dc_topology::{graph, DualCube, Metacube, RecDualCube, Routed, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    /// Routing on big dual-cubes: valid paths whose length matches the
+    /// closed-form distance, for arbitrary endpoint pairs.
+    #[test]
+    fn routes_match_distance_formula(n in 2u32..=6, seed: u64) {
+        let d = DualCube::new(n);
+        let nodes = d.num_nodes();
+        let mut x = seed | 1;
+        let mut next = move || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x as usize };
+        for _ in 0..16 {
+            let (u, v) = (next() % nodes, next() % nodes);
+            let path = d.route(u, v);
+            prop_assert_eq!(path[0], u);
+            prop_assert_eq!(*path.last().unwrap(), v);
+            prop_assert_eq!(path.len() as u32 - 1, d.distance_formula(u, v));
+            for w in path.windows(2) {
+                prop_assert!(d.is_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    /// The recursive-presentation mapping stays a bijective isomorphism at
+    /// sizes the exhaustive test skips.
+    #[test]
+    fn rec_mapping_round_trips_at_scale(n in 5u32..=7, seed: u64) {
+        let d = DualCube::new(n);
+        let rec = RecDualCube::new(n);
+        let nodes = d.num_nodes();
+        let mut x = seed | 1;
+        let mut next = move || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x as usize };
+        for _ in 0..32 {
+            let u = next() % nodes;
+            prop_assert_eq!(d.rec_to_std(d.std_to_rec(u)), u);
+            // Edges map to edges in both directions.
+            for v in d.neighbors(u) {
+                prop_assert!(rec.is_edge(d.std_to_rec(u), d.std_to_rec(v)));
+            }
+            let r = d.std_to_rec(u);
+            for s in rec.neighbors(r) {
+                prop_assert!(d.is_edge(u, d.rec_to_std(s)));
+            }
+        }
+    }
+
+    /// Sampled distance spot-checks against BFS on D_5 (512 nodes) — the
+    /// exhaustive census stops at D_4.
+    #[test]
+    fn distance_formula_sampled_on_d5(seed: u64) {
+        let d = DualCube::new(5);
+        let mut x = seed | 1;
+        let mut next = move || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x as usize };
+        let src = next() % d.num_nodes();
+        let bfs = graph::bfs_distances(&d, src);
+        for _ in 0..64 {
+            let v = next() % d.num_nodes();
+            prop_assert_eq!(d.distance_formula(src, v), bfs[v]);
+        }
+    }
+
+    /// Metacube MC(1,m) stays isomorphic to D_(m+1) under random edge
+    /// probes at m = 4 (512 nodes; the exhaustive test stops at m = 3).
+    #[test]
+    fn mc1_isomorphism_sampled(seed: u64) {
+        let m = 4u32;
+        let mc = Metacube::new(1, m);
+        let d = DualCube::new(m + 1);
+        let mut x = seed | 1;
+        let mut next = move || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x as usize };
+        for _ in 0..64 {
+            let u = next() % mc.num_nodes();
+            let du = mc.to_dual_cube_id(u);
+            for v in mc.neighbors(u) {
+                prop_assert!(d.is_edge(du, mc.to_dual_cube_id(v)));
+            }
+            prop_assert_eq!(mc.degree(u), d.degree(du));
+        }
+    }
+
+    /// Hamiltonian cycles remain valid and complete up to D_7 (8192
+    /// nodes), beyond the unit tests' n ≤ 6.
+    #[test]
+    fn hamiltonian_at_scale(n in 6u32..=7) {
+        let rec = RecDualCube::new(n);
+        let cycle = dc_topology::hamiltonian::hamiltonian_cycle_rec(n);
+        prop_assert_eq!(cycle.len(), rec.num_nodes());
+        let mut seen = vec![false; rec.num_nodes()];
+        for i in 0..cycle.len() {
+            prop_assert!(!seen[cycle[i]]);
+            seen[cycle[i]] = true;
+            prop_assert!(rec.is_edge(cycle[i], cycle[(i + 1) % cycle.len()]));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Domain example — probing a degraded machine.
+//!
+//! Operations story: a `D_4` cluster (128 processors, 4 links each) loses
+//! nodes to failures. How much head-room does the topology give before
+//! jobs must migrate? The dual-cube's connectivity κ = n guarantees any
+//! n−1 failures are survivable; this probe injects escalating random
+//! fault sets, checks connectivity, finds surviving disjoint paths, and
+//! measures how far routes stretch.
+//!
+//! ```text
+//! cargo run --example fault_probe            # default: seed 7
+//! cargo run --example fault_probe -- 1234    # another fault scenario
+//! ```
+
+use dc_topology::connectivity::max_node_disjoint_paths;
+use dc_topology::faulty::Faulty;
+use dc_topology::{graph, DualCube, Routed, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map_or(7, |s| s.parse().expect("seed"));
+    let n = 4;
+    let d = DualCube::new(n);
+    println!(
+        "=== fault probe on {} ({} nodes, degree {}, κ = {n}) — seed {seed} ===\n",
+        d.name(),
+        d.num_nodes(),
+        d.degree(0)
+    );
+
+    // The guarantee: n disjoint paths between any two nodes.
+    let (u, v) = (3usize, d.num_nodes() - 7);
+    let paths = max_node_disjoint_paths(&d, u, v);
+    println!(
+        "node-disjoint paths {u} → {v}: {} (Menger guarantees tolerance of {} targeted faults)",
+        paths.len(),
+        paths.len() - 1
+    );
+    for (i, p) in paths.iter().enumerate() {
+        println!(
+            "  path {}: {} hops via {:?}",
+            i + 1,
+            p.len() - 1,
+            &p[1..p.len() - 1]
+        );
+    }
+
+    // Escalating random failures.
+    println!("\nescalating random failures:");
+    println!(
+        "{:>8} {:>12} {:>16} {:>18}",
+        "faults", "connected?", "probe route", "dilation"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<usize> = (0..d.num_nodes()).filter(|&x| x != u && x != v).collect();
+    ids.shuffle(&mut rng);
+    for faults in [1usize, 3, 8, 16, 32, 64] {
+        let fnet = Faulty::new(d, &ids[..faults]);
+        let connected = fnet.survivors_connected();
+        if !connected {
+            println!("{faults:>8} {:>12} {:>16} {:>18}", "NO", "—", "—");
+            continue;
+        }
+        let route = graph::shortest_path(&fnet, u, v);
+        let fault_free = d.distance(u, v) as usize;
+        println!(
+            "{faults:>8} {:>12} {:>13} hops {:>17.2}×",
+            "yes",
+            route.len() - 1,
+            (route.len() - 1) as f64 / fault_free as f64
+        );
+    }
+
+    println!(
+        "\nfault-free distance {u} → {v}: {} hops; κ−1 = {} failures are always \
+         survivable, and random fault sets far beyond that typically leave the \
+         network whole with modest dilation.",
+        d.distance(u, v),
+        n - 1
+    );
+}

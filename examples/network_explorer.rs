@@ -1,0 +1,127 @@
+//! Interactive-ish topology explorer: prints the anatomy of a dual-cube —
+//! addresses, clusters, routes, and the comparison tables from the
+//! paper's introduction.
+//!
+//! ```text
+//! cargo run --example network_explorer            # defaults to n = 3
+//! cargo run --example network_explorer -- 4       # D_4
+//! cargo run --example network_explorer -- 4 19 87 # also route 19 → 87
+//! ```
+
+use dc_topology::bits::to_binary;
+use dc_topology::{graph, properties, Class, DualCube, Routed, Topology};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: u32 = args
+        .first()
+        .map_or(3, |s| s.parse().expect("n must be a small integer"));
+    let d = DualCube::new(n);
+    let bits = d.address_bits();
+
+    println!("=== {} anatomy ===", d.name());
+    println!(
+        "{} nodes ({}-bit addresses), degree {}, {} links, diameter {}",
+        d.num_nodes(),
+        bits,
+        d.degree(0),
+        d.num_edges(),
+        d.diameter_formula()
+    );
+    println!(
+        "{} clusters per class, each a {}-dimensional hypercube of {} nodes",
+        d.clusters_per_class(),
+        d.cluster_dim(),
+        d.cluster_size()
+    );
+
+    // A few sample addresses, one per class.
+    println!("\naddress anatomy (class | cluster | node):");
+    for &u in &[0usize, (d.num_nodes() / 2 + 3).min(d.num_nodes() - 1)] {
+        let a = d.address(u);
+        println!(
+            "  node {u:>4} = {}  → {a}   cross-neighbour {}",
+            to_binary(u, bits),
+            d.cross_neighbor(u)
+        );
+    }
+
+    // Figure 1/2-style cluster census for small n.
+    if n <= 3 {
+        println!("\ncluster census (Figures 1/2 of the paper):");
+        for class in [Class::Zero, Class::One] {
+            for c in 0..d.clusters_per_class() {
+                let ci = class.as_usize() * d.clusters_per_class() + c;
+                let members = d.cluster_members(ci);
+                println!("  class {class} cluster {c}: nodes {:?}", members);
+            }
+        }
+    }
+
+    // Optional route query.
+    if let (Some(src), Some(dst)) = (args.get(1), args.get(2)) {
+        let (src, dst): (usize, usize) = (src.parse().unwrap(), dst.parse().unwrap());
+        let path = d.route(src, dst);
+        println!(
+            "\nroute {src} → {dst} ({} hops, Hamming {}, formula distance {}):",
+            path.len() - 1,
+            (src ^ dst).count_ones(),
+            d.distance_formula(src, dst)
+        );
+        for w in path.windows(2) {
+            let kind = if d.class_of(w[0]) != d.class_of(w[1]) {
+                "cross-edge"
+            } else {
+                "cluster edge"
+            };
+            println!(
+                "  {} → {}   ({kind})",
+                to_binary(w[0], bits),
+                to_binary(w[1], bits)
+            );
+        }
+    }
+
+    // The Section 1 motivation table.
+    println!("\n=== with ≤ {n} links per processor (Section 1 motivation) ===");
+    println!(
+        "{:<8} {:>9} {:>7} {:>9} {:>13}",
+        "network", "nodes", "degree", "diameter", "degree×diam"
+    );
+    let rows = [
+        properties::dual_cube_row(n),
+        properties::hypercube_row(n),
+        properties::hypercube_row(2 * n - 1),
+    ];
+    for r in &rows {
+        println!(
+            "{:<8} {:>9} {:>7} {:>9} {:>13}",
+            r.name,
+            r.nodes,
+            r.degree,
+            r.diameter,
+            r.cost()
+        );
+    }
+    if n >= 3 {
+        let c = properties::ccc_row(n);
+        println!(
+            "{:<8} {:>9} {:>7} {:>9} {:>13}   (bounded-degree competitor)",
+            c.name,
+            c.nodes,
+            c.degree,
+            c.diameter,
+            c.cost()
+        );
+    }
+
+    // BFS double-check for modest sizes.
+    if d.num_nodes() <= 1 << 11 {
+        let bfs = graph::diameter_vertex_transitive(&d);
+        println!(
+            "\nBFS-verified diameter: {bfs} (formula says {})",
+            d.diameter_formula()
+        );
+        assert_eq!(bfs, d.diameter_formula());
+    }
+}

@@ -1,0 +1,128 @@
+//! Cross-crate tests of the metacube generalisation: the `MC(k, m)`
+//! family against its `k = 0` (hypercube) and `k = 1` (dual-cube)
+//! specialisations, across presentations and algorithms.
+
+use dc_core::ops::{Concat, Sum};
+use dc_core::prefix::dualcube::{d_prefix, Step5Mode};
+use dc_core::prefix::hypercube::cube_prefix;
+use dc_core::prefix::metacube::{mc_prefix, mc_prefix_comm};
+use dc_core::prefix::{sequential_prefix, PrefixKind};
+use dc_core::run::Recording;
+use dc_core::sort::dualcube::d_sort;
+use dc_core::sort::hypercube::cube_bitonic_sort;
+use dc_core::sort::metacube::{mc_sort, mc_sort_comm};
+use dc_core::sort::SortOrder;
+use dc_core::theory;
+use dc_topology::{DualCube, Hypercube, Metacube, RecDualCube, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn mc_prefix_at_k0_matches_cube_prefix_exactly() {
+    // Same machine (MC(0,m) = Q_m), same layout, same cost, same result.
+    for m in 1..=6u32 {
+        let mc = Metacube::new(0, m);
+        let q = Hypercube::new(m);
+        let input: Vec<Sum> = (0..q.num_nodes() as i64).map(|x| Sum(x * 3 - 8)).collect();
+        let a = mc_prefix(&mc, &input, PrefixKind::Inclusive);
+        let b = cube_prefix(&q, &input, PrefixKind::Inclusive, Recording::Off);
+        assert_eq!(a.prefixes, b.prefixes, "m={m}");
+        assert_eq!(a.metrics.comm_steps, b.metrics.comm_steps, "m={m}");
+        assert_eq!(a.metrics.comp_steps, b.metrics.comp_steps, "m={m}");
+    }
+}
+
+#[test]
+fn mc_prefix_at_k1_matches_d_prefix_results() {
+    // Different data layouts and costs (Technique 2 vs Technique 1), same
+    // mathematical function.
+    let mut rng = StdRng::seed_from_u64(5);
+    for m in 1..=4u32 {
+        let mc = Metacube::new(1, m);
+        let d = DualCube::new(m + 1);
+        let input: Vec<Sum> = (0..mc.num_nodes())
+            .map(|_| Sum(rng.gen_range(-99..99)))
+            .collect();
+        let a = mc_prefix(&mc, &input, PrefixKind::Inclusive);
+        let b = d_prefix(
+            &d,
+            &input,
+            PrefixKind::Inclusive,
+            Step5Mode::PaperFaithful,
+            Recording::Off,
+        );
+        assert_eq!(a.prefixes, b.prefixes, "m={m}");
+        // Costs differ in the documented direction.
+        assert!(a.metrics.comm_steps > b.metrics.comm_steps, "m={m}");
+        assert_eq!(a.metrics.comm_steps, mc_prefix_comm(1, m));
+        assert_eq!(b.metrics.comm_steps, theory::prefix_comm(m + 1));
+    }
+}
+
+#[test]
+fn mc_prefix_noncommutative_on_k2() {
+    let mc = Metacube::new(2, 2);
+    let input: Vec<Concat> = (0..mc.num_nodes())
+        .map(|i| Concat(((b'a' + (i % 26) as u8) as char).to_string()))
+        .collect();
+    let run = mc_prefix(&mc, &input, PrefixKind::Diminished);
+    assert_eq!(
+        run.prefixes,
+        sequential_prefix(&input, PrefixKind::Diminished)
+    );
+    assert_eq!(run.metrics.comm_steps, mc_prefix_comm(2, 2));
+}
+
+#[test]
+fn mc_sort_matches_other_sorts_on_shared_machines() {
+    let mut rng = StdRng::seed_from_u64(9);
+    // k = 0 vs hypercube bitonic: identical schedule and cost.
+    let mc0 = Metacube::new(0, 5);
+    let q = Hypercube::new(5);
+    let keys: Vec<u32> = (0..32).map(|_| rng.gen_range(0..500)).collect();
+    let a = mc_sort(&mc0, &keys, SortOrder::Ascending);
+    let b = cube_bitonic_sort(&q, &keys, SortOrder::Ascending, Recording::Off);
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.metrics.comm_steps, b.metrics.comm_steps);
+
+    // k = 1 vs d_sort: same cost (Theorem 2), same sorted result.
+    let mc1 = Metacube::new(1, 2);
+    let rec = RecDualCube::new(3);
+    let c = mc_sort(&mc1, &keys, SortOrder::Descending);
+    let d = d_sort(&rec, &keys, SortOrder::Descending, Recording::Off);
+    assert_eq!(c.output, d.output);
+    assert_eq!(c.metrics.comm_steps, d.metrics.comm_steps);
+    assert_eq!(c.metrics.comm_steps, mc_sort_comm(1, 2));
+}
+
+#[test]
+fn window_cost_formula_matches_measurements_across_family() {
+    for (k, m) in [(0u32, 3u32), (1, 1), (1, 3), (2, 1), (2, 2)] {
+        let mc = Metacube::new(k, m);
+        let input: Vec<Sum> = (0..mc.num_nodes() as i64).map(Sum).collect();
+        let run = mc_prefix(&mc, &input, PrefixKind::Inclusive);
+        assert_eq!(run.metrics.comm_steps, mc_prefix_comm(k, m), "MC({k},{m})");
+        // One comparison/fold round per dimension.
+        assert_eq!(
+            run.metrics.comp_steps,
+            (1u64 << k) * m as u64 + k as u64,
+            "MC({k},{m})"
+        );
+    }
+}
+
+#[test]
+fn degree_budget_comparison_across_the_family() {
+    // The family's point: more nodes per link. At ~degree 4:
+    let q4 = Hypercube::new(4); // 16 nodes
+    let d4 = DualCube::new(4); // 128 nodes
+    let mc22 = Metacube::new(2, 2); // 1024 nodes
+    assert_eq!(q4.degree(0), 4);
+    assert_eq!(d4.degree(0), 4);
+    assert_eq!(mc22.degree(0), 4);
+    assert!(q4.num_nodes() < d4.num_nodes() && d4.num_nodes() < mc22.num_nodes());
+    // ... and the prefix cost the hierarchy pays for it:
+    assert_eq!(theory::cube_prefix_comm(4), 4);
+    assert_eq!(theory::prefix_comm(4), 9);
+    assert_eq!(mc_prefix_comm(2, 2), 42);
+}

@@ -1,0 +1,205 @@
+//! Integration reproduction of the paper's two theorems and the Section 7
+//! overhead claim: every measured step count, for every feasible `n`,
+//! against the stated formulas. These are the headline numbers of
+//! EXPERIMENTS.md.
+
+use dc_core::collectives::{allreduce, broadcast, reduce};
+use dc_core::ops::Sum;
+use dc_core::prefix::dualcube::{d_prefix, Step5Mode};
+use dc_core::prefix::hypercube::cube_prefix;
+use dc_core::prefix::PrefixKind;
+use dc_core::run::Recording;
+use dc_core::sort::dualcube::d_sort;
+use dc_core::sort::hypercube::cube_bitonic_sort;
+use dc_core::sort::SortOrder;
+use dc_core::theory;
+use dc_topology::{DualCube, Hypercube, RecDualCube, Topology};
+
+/// Theorem 1: `D_prefix` on `D_n` takes exactly `2n+1` communication and
+/// `2n` computation steps, for every `n` up to 2^13-node machines.
+#[test]
+fn theorem_1_prefix_steps_for_all_n() {
+    for n in 1..=7u32 {
+        let d = DualCube::new(n);
+        let input: Vec<Sum> = (0..d.num_nodes() as i64).map(Sum).collect();
+        let run = d_prefix(
+            &d,
+            &input,
+            PrefixKind::Inclusive,
+            Step5Mode::PaperFaithful,
+            Recording::Off,
+        );
+        assert_eq!(
+            run.metrics.comm_steps,
+            theory::prefix_comm(n),
+            "T_comm(D_{n})"
+        );
+        assert_eq!(
+            run.metrics.comp_steps,
+            theory::prefix_comp(n),
+            "T_comp(D_{n})"
+        );
+        // And it actually computed the prefixes.
+        assert!(run
+            .prefixes
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.0 == (i as i64) * (i as i64 + 1) / 2));
+    }
+}
+
+/// Section 3 baseline: `Cube_prefix` on the equal-sized hypercube
+/// `Q_{2n−1}` takes `2n−1` steps — the dual-cube pays exactly +2
+/// communication steps for halving the links per node.
+#[test]
+fn prefix_gap_to_equal_sized_hypercube_is_two() {
+    for n in 2..=6u32 {
+        let m = 2 * n - 1;
+        let q = Hypercube::new(m);
+        let input: Vec<Sum> = (0..q.num_nodes() as i64).map(Sum).collect();
+        let run = cube_prefix(&q, &input, PrefixKind::Inclusive, Recording::Off);
+        assert_eq!(run.metrics.comm_steps, theory::cube_prefix_comm(m));
+        assert_eq!(
+            theory::prefix_comm(n),
+            run.metrics.comm_steps + 2,
+            "the +2 gap at n={n}"
+        );
+    }
+}
+
+/// Theorem 2: `D_sort` on `D_n` takes exactly `6n²−7n+2 ≤ 6n²`
+/// communication and `2n²−n ≤ 2n²` comparison steps.
+#[test]
+fn theorem_2_sort_steps_for_all_n() {
+    for n in 1..=5u32 {
+        let rec = RecDualCube::new(n);
+        let keys: Vec<u64> = (0..rec.num_nodes() as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17))
+            .collect();
+        let run = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Off);
+        assert!(
+            SortOrder::Ascending.is_sorted(&run.output),
+            "sorted at n={n}"
+        );
+        assert_eq!(
+            run.metrics.comm_steps,
+            theory::sort_comm_exact(n),
+            "T_comm(D_{n})"
+        );
+        assert_eq!(
+            run.metrics.comp_steps,
+            theory::sort_comp_exact(n),
+            "T_comp(D_{n})"
+        );
+        assert!(run.metrics.comm_steps <= theory::sort_comm_bound(n));
+        assert!(run.metrics.comp_steps <= theory::sort_comp_bound(n));
+    }
+}
+
+/// Section 7: the emulation overhead for sorting, measured as the ratio of
+/// `D_sort`'s communication steps on `D_n` to bitonic sort's on the
+/// equal-sized `Q_{2n−1}`, stays below 3 and grows towards it.
+#[test]
+fn section_7_overhead_below_three_and_monotone() {
+    let mut prev = 0.0;
+    for n in 2..=5u32 {
+        let rec = RecDualCube::new(n);
+        let q = Hypercube::new(2 * n - 1);
+        let keys: Vec<u32> = (0..rec.num_nodes() as u32).rev().collect();
+        let dual = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Off);
+        let cube = cube_bitonic_sort(&q, &keys, SortOrder::Ascending, Recording::Off);
+        assert_eq!(dual.output, cube.output, "same result at n={n}");
+        let ratio = dual.metrics.comm_steps as f64 / cube.metrics.comm_steps as f64;
+        assert!(ratio < 3.0, "n={n}: ratio {ratio}");
+        assert!(ratio > prev, "monotone growth at n={n}");
+        assert!((ratio - theory::sort_overhead_ratio(n)).abs() < 1e-12);
+        prev = ratio;
+    }
+}
+
+/// The collectives of future work 3 all run at the diameter: `2n`
+/// communication steps.
+#[test]
+fn collectives_run_at_diameter() {
+    for n in 1..=5u32 {
+        let d = DualCube::new(n);
+        let values: Vec<Sum> = (0..d.num_nodes() as i64).map(Sum).collect();
+        let expected: i64 = values.iter().map(|s| s.0).sum();
+
+        let b = broadcast(&d, d.num_nodes() / 3, 99u8);
+        assert_eq!(
+            b.metrics.comm_steps,
+            theory::collective_comm(n),
+            "broadcast n={n}"
+        );
+        assert!(b.values.iter().all(|&v| v == 99));
+
+        let r = reduce(&d, d.num_nodes() - 1, &values);
+        assert_eq!(
+            r.metrics.comm_steps,
+            theory::collective_comm(n),
+            "reduce n={n}"
+        );
+        assert_eq!(r.result.0, expected);
+
+        let a = allreduce(&d, &values);
+        assert_eq!(
+            a.metrics.comm_steps,
+            theory::collective_comm(n),
+            "allreduce n={n}"
+        );
+        assert!(a.values.iter().all(|v| v.0 == expected));
+    }
+}
+
+/// The step-5 ablation (E11): the paper-faithful schedule costs exactly
+/// one more communication step than the locally-folding variant at every
+/// `n`, with identical outputs.
+#[test]
+fn step5_ablation_costs_exactly_one_step() {
+    for n in 1..=6u32 {
+        let d = DualCube::new(n);
+        let input: Vec<Sum> = (0..d.num_nodes() as i64).map(|x| Sum(7 * x + 1)).collect();
+        let faithful = d_prefix(
+            &d,
+            &input,
+            PrefixKind::Inclusive,
+            Step5Mode::PaperFaithful,
+            Recording::Off,
+        );
+        let local = d_prefix(
+            &d,
+            &input,
+            PrefixKind::Inclusive,
+            Step5Mode::LocalFold,
+            Recording::Off,
+        );
+        assert_eq!(faithful.prefixes, local.prefixes, "same output at n={n}");
+        assert_eq!(faithful.metrics.comm_steps, theory::prefix_comm(n));
+        assert_eq!(local.metrics.comm_steps, theory::prefix_comm(n) - 1);
+    }
+}
+
+/// Phase-level accounting of Theorem 1's arithmetic: the five steps of
+/// Algorithm 2 contribute (n−1) + 1 + (n−1) + 1 + 1 communication steps.
+#[test]
+fn theorem_1_phase_breakdown() {
+    let n = 5u32;
+    let d = DualCube::new(n);
+    let input: Vec<Sum> = vec![Sum(1); d.num_nodes()];
+    let run = d_prefix(
+        &d,
+        &input,
+        PrefixKind::Inclusive,
+        Step5Mode::PaperFaithful,
+        Recording::Off,
+    );
+    let comm: Vec<u64> = run.metrics.phases.iter().map(|p| p.comm_steps).collect();
+    assert_eq!(
+        comm,
+        vec![(n - 1) as u64, 1, (n - 1) as u64, 1, 1],
+        "per-step communication of Algorithm 2"
+    );
+    let comp: Vec<u64> = run.metrics.phases.iter().map(|p| p.comp_steps).collect();
+    assert_eq!(comp, vec![(n - 1) as u64, 0, (n - 1) as u64, 1, 1]);
+}

@@ -1,0 +1,179 @@
+//! Cross-crate tests for the traffic/router subsystem and the scan
+//! applications built on top of it, plus fault injection across the
+//! topology/simulator boundary.
+
+use dc_core::apps::{pack, radix_sort};
+use dc_core::collectives::{all_gather, gather, scatter};
+use dc_simulator::router::{route_batch, Packet};
+use dc_topology::connectivity::{max_node_disjoint_paths, vertex_connectivity};
+use dc_topology::faulty::Faulty;
+use dc_topology::{graph, DualCube, Metacube, Routed, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn router_respects_paper_routing_on_dual_cube() {
+    // Every packet routed alone arrives in exactly its formula distance.
+    let d = DualCube::new(3);
+    for (src, dst) in [(0usize, 31usize), (5, 28), (12, 12), (17, 2)] {
+        let r = route_batch(&d, &[Packet { src, dst }], |a, b| d.route(a, b)).unwrap();
+        assert_eq!(
+            r.makespan,
+            d.distance_formula(src, dst) as u64,
+            "{src}→{dst}"
+        );
+    }
+}
+
+#[test]
+fn random_permutations_complete_on_all_networks() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for n in 2..=4u32 {
+        let d = DualCube::new(n);
+        let mut perm: Vec<usize> = (0..d.num_nodes()).collect();
+        perm.shuffle(&mut rng);
+        let batch: Vec<Packet> = perm
+            .iter()
+            .enumerate()
+            .map(|(src, &dst)| Packet { src, dst })
+            .collect();
+        let r = route_batch(&d, &batch, |a, b| d.route(a, b)).unwrap();
+        // Makespan is at least the longest individual distance and at
+        // most distance + (packets − 1) by the 1-port serialisation bound.
+        let longest = batch
+            .iter()
+            .map(|p| d.distance_formula(p.src, p.dst) as u64)
+            .max()
+            .unwrap();
+        assert!(r.makespan >= longest, "n={n}");
+        assert!(r.makespan <= longest + batch.len() as u64, "n={n}");
+    }
+}
+
+#[test]
+fn radix_sort_agrees_with_d_sort_results() {
+    use dc_core::run::Recording;
+    use dc_core::sort::dualcube::d_sort;
+    use dc_core::sort::SortOrder;
+    use dc_topology::RecDualCube;
+    let mut rng = StdRng::seed_from_u64(11);
+    let d = DualCube::new(3);
+    let rec = RecDualCube::new(3);
+    let keys: Vec<u64> = (0..32).map(|_| rng.gen_range(0..256)).collect();
+    let radix = radix_sort(&d, &keys, 8);
+    let bitonic = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Off);
+    assert_eq!(radix.output, bitonic.output);
+}
+
+#[test]
+fn radix_sort_is_stable_in_position() {
+    // Duplicate keys must keep their relative data order: sort (key,
+    // original index) pairs encoded into one word and check ties.
+    let d = DualCube::new(3);
+    let keys = [
+        3u64, 1, 3, 2, 1, 3, 2, 1, 0, 3, 1, 0, 2, 3, 1, 0, 2, 1, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1,
+        2, 3, 0,
+    ];
+    // Encode position in the low bits but only sort on the key bits by
+    // running radix over the shifted keys... instead: run radix over the
+    // plain keys and track positions via the per-pass destinations being a
+    // permutation — verified indirectly: encode (key << 5 | pos) and sort
+    // the full width; stability of the plain-key sort then implies the
+    // encoded order matches.
+    let encoded: Vec<u64> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| k << 5 | i as u64)
+        .collect();
+    let run = radix_sort(&d, &encoded, 7);
+    let mut expect = encoded.clone();
+    expect.sort();
+    assert_eq!(run.output, expect);
+    // Ties in the key bits appear in ascending position order — stability.
+    for w in run.output.windows(2) {
+        if w[0] >> 5 == w[1] >> 5 {
+            assert!(w[0] & 31 < w[1] & 31);
+        }
+    }
+}
+
+#[test]
+fn pack_then_route_compacts_physically() {
+    // pack() computes destinations; shipping the survivors through the
+    // router realises the compaction on the machine.
+    let d = DualCube::new(3);
+    let values: Vec<usize> = (0..32).collect();
+    let flags: Vec<bool> = (0..32).map(|i| i % 5 == 0).collect();
+    let (packed, _) = pack(&d, &values, &flags);
+    assert_eq!(packed, vec![0, 5, 10, 15, 20, 25, 30]);
+    let batch: Vec<Packet> = packed
+        .iter()
+        .enumerate()
+        .map(|(slot, &orig)| Packet {
+            src: d.from_linear_index(orig),
+            dst: d.from_linear_index(slot),
+        })
+        .collect();
+    let r = route_batch(&d, &batch, |a, b| d.route(a, b)).unwrap();
+    assert!(r.makespan <= 2 * 3_u64 + batch.len() as u64);
+}
+
+#[test]
+fn scatter_gather_all_gather_compose() {
+    let d = DualCube::new(3);
+    let values: Vec<u32> = (0..32).map(|u| u * 7 + 1).collect();
+    let sc = scatter(&d, 9, &values);
+    let ag = all_gather(&d, &sc.values);
+    for per_node in &ag.values {
+        assert_eq!(per_node, &values);
+    }
+    let ga = gather(&d, 30, &sc.values);
+    assert_eq!(ga.values, values);
+}
+
+#[test]
+fn dual_cube_survives_any_n_minus_1_faults_sampled() {
+    let d = DualCube::new(4);
+    assert_eq!(d.degree(0), 4);
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..50 {
+        let mut ids: Vec<usize> = (0..d.num_nodes()).collect();
+        ids.shuffle(&mut rng);
+        let f = Faulty::new(d, &ids[..3]); // κ−1 = 3 faults
+        assert!(f.survivors_connected());
+    }
+}
+
+#[test]
+fn disjoint_paths_survive_targeted_faults() {
+    // Menger in action: kill any κ−1 intermediate nodes; at least one of
+    // the κ disjoint paths survives intact.
+    let d = DualCube::new(3);
+    let (u, v) = (0usize, 0b01111usize);
+    let paths = max_node_disjoint_paths(&d, u, v);
+    assert_eq!(paths.len(), 3);
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..20 {
+        let mut faults = Vec::new();
+        while faults.len() < 2 {
+            let f = rng.gen_range(0..d.num_nodes());
+            if f != u && f != v && !faults.contains(&f) {
+                faults.push(f);
+            }
+        }
+        let fnet = Faulty::new(d, &faults);
+        let survives = paths.iter().any(|p| p.iter().all(|&x| !fnet.is_failed(x)));
+        assert!(survives, "faults {faults:?} hit all 3 disjoint paths");
+        // And BFS still finds a route in the survivor graph.
+        let bfs = graph::shortest_path(&fnet, u, v);
+        assert!(bfs.len() >= 2);
+    }
+}
+
+#[test]
+fn metacube_generalises_the_dual_cube_connectivity() {
+    // MC(1,2) = D_3 is maximally connected like its dual-cube twin.
+    let mc = Metacube::new(1, 2);
+    assert_eq!(vertex_connectivity(&mc), 3);
+}

@@ -1,0 +1,94 @@
+//! Scale tests: the algorithms on machines at the sizes the paper's
+//! introduction talks about ("tens of thousands of processors").
+//!
+//! The moderate sizes run in every `cargo test`; the 32k-node runs are
+//! `#[ignore]`d so debug-mode CI stays fast — run them with
+//! `cargo test --release -- --ignored`.
+
+use dc_core::collectives::{allreduce, broadcast};
+use dc_core::ops::Sum;
+use dc_core::prefix::dualcube::{d_prefix, Step5Mode};
+use dc_core::prefix::PrefixKind;
+use dc_core::run::Recording;
+use dc_core::sort::dualcube::d_sort;
+use dc_core::sort::SortOrder;
+use dc_core::theory;
+use dc_topology::{DualCube, RecDualCube, Topology};
+
+#[test]
+fn prefix_on_eight_thousand_nodes() {
+    let n = 7; // 8192 nodes
+    let d = DualCube::new(n);
+    let input: Vec<Sum> = (0..d.num_nodes() as i64).map(Sum).collect();
+    let run = d_prefix(
+        &d,
+        &input,
+        PrefixKind::Inclusive,
+        Step5Mode::PaperFaithful,
+        Recording::Off,
+    );
+    assert_eq!(run.metrics.comm_steps, theory::prefix_comm(n));
+    let last = d.num_nodes() as i64 - 1;
+    assert_eq!(run.prefixes.last().unwrap().0, last * (last + 1) / 2);
+}
+
+#[test]
+fn sort_on_two_thousand_nodes() {
+    let n = 6; // 2048 nodes
+    let rec = RecDualCube::new(n);
+    let keys: Vec<u64> = (0..rec.num_nodes() as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 13)
+        .collect();
+    let run = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Off);
+    assert!(SortOrder::Ascending.is_sorted(&run.output));
+    assert_eq!(run.metrics.comm_steps, theory::sort_comm_exact(n));
+}
+
+#[test]
+fn collectives_on_eight_thousand_nodes() {
+    let d = DualCube::new(7);
+    let b = broadcast(&d, 4321, 7u8);
+    assert!(b.values.iter().all(|&v| v == 7));
+    assert_eq!(b.metrics.comm_steps, 14);
+    let values: Vec<Sum> = (0..d.num_nodes() as i64).map(Sum).collect();
+    let a = allreduce(&d, &values);
+    let expect: i64 = (0..d.num_nodes() as i64).sum();
+    assert!(a.values.iter().all(|v| v.0 == expect));
+}
+
+/// The headline machine: D_8 — 32 768 processors with 8 links each.
+#[test]
+#[ignore = "large; run with --release -- --ignored"]
+fn prefix_on_the_headline_machine_d8() {
+    let n = 8;
+    let d = DualCube::new(n);
+    assert_eq!(d.num_nodes(), 32_768);
+    let input: Vec<Sum> = (0..d.num_nodes() as i64).map(Sum).collect();
+    let run = d_prefix(
+        &d,
+        &input,
+        PrefixKind::Inclusive,
+        Step5Mode::PaperFaithful,
+        Recording::Off,
+    );
+    assert_eq!(run.metrics.comm_steps, 17);
+    assert_eq!(run.metrics.comp_steps, 16);
+    assert_eq!(
+        run.prefixes,
+        dc_core::prefix::sequential_prefix(&input, PrefixKind::Inclusive)
+    );
+}
+
+#[test]
+#[ignore = "large; run with --release -- --ignored"]
+fn sort_on_the_headline_machine_d8() {
+    let n = 8;
+    let rec = RecDualCube::new(n);
+    let keys: Vec<u64> = (0..rec.num_nodes() as u64)
+        .map(|i| i.wrapping_mul(0x2545F4914F6CDD1D).rotate_left(11))
+        .collect();
+    let run = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Off);
+    assert!(SortOrder::Ascending.is_sorted(&run.output));
+    assert_eq!(run.metrics.comm_steps, theory::sort_comm_exact(n)); // 330
+    assert_eq!(run.metrics.comp_steps, theory::sort_comp_exact(n)); // 120
+}

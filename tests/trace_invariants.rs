@@ -1,0 +1,96 @@
+//! Invariants of the recorded space-time traces: what E19 draws must be a
+//! faithful transcript of the validated execution.
+
+use dc_core::ops::Sum;
+use dc_core::prefix::dualcube::{d_prefix, Step5Mode};
+use dc_core::prefix::PrefixKind;
+use dc_core::run::Recording;
+use dc_core::sort::dualcube::d_sort;
+use dc_core::sort::SortOrder;
+use dc_core::theory;
+use dc_topology::{DualCube, RecDualCube, Topology};
+
+fn assert_trace_sound<T: Topology>(topo: &T, trace: &[Vec<(usize, usize)>]) {
+    for (cycle, msgs) in trace.iter().enumerate() {
+        let mut sent = vec![false; topo.num_nodes()];
+        let mut recv = vec![false; topo.num_nodes()];
+        for &(src, dst) in msgs {
+            assert!(
+                topo.is_edge(src, dst),
+                "cycle {cycle}: {src}→{dst} off-edge"
+            );
+            assert!(!sent[src], "cycle {cycle}: node {src} sent twice");
+            assert!(!recv[dst], "cycle {cycle}: node {dst} received twice");
+            sent[src] = true;
+            recv[dst] = true;
+        }
+    }
+}
+
+#[test]
+fn prefix_trace_matches_metrics_and_model() {
+    for n in 1..=4u32 {
+        let d = DualCube::new(n);
+        let input: Vec<Sum> = (0..d.num_nodes() as i64).map(Sum).collect();
+        let run = d_prefix(
+            &d,
+            &input,
+            PrefixKind::Inclusive,
+            Step5Mode::PaperFaithful,
+            Recording::Trace,
+        );
+        assert_eq!(run.trace.len() as u64, run.metrics.comm_steps, "n={n}");
+        assert_eq!(run.trace.len() as u64, theory::prefix_comm(n));
+        assert_trace_sound(&d, &run.trace);
+        // Total messages in the trace equal the metric.
+        let msgs: u64 = run.trace.iter().map(|m| m.len() as u64).sum();
+        assert_eq!(msgs, run.metrics.messages, "n={n}");
+        // Steps 1–4 are all-pairs rounds (N messages); step 5 sends from
+        // class 1 only (N/2 messages).
+        let full_rounds = run
+            .trace
+            .iter()
+            .filter(|m| m.len() == d.num_nodes())
+            .count();
+        assert_eq!(full_rounds as u64, theory::prefix_comm(n) - 1, "n={n}");
+        assert_eq!(run.trace.last().unwrap().len(), d.num_nodes() / 2, "n={n}");
+    }
+}
+
+#[test]
+fn sort_trace_shows_the_window_cadence() {
+    let rec = RecDualCube::new(2);
+    let keys = vec![5u32, 3, 8, 1, 9, 2, 7, 4];
+    let run = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Trace);
+    assert_eq!(run.trace.len() as u64, theory::sort_comm_exact(2));
+    assert_trace_sound(&rec, &run.trace);
+    // Dimension-0 rounds involve every node (8 messages); window cycles
+    // involve exactly half the machine sending (4 messages).
+    for (cycle, msgs) in run.trace.iter().enumerate() {
+        assert!(
+            msgs.len() == 8 || msgs.len() == 4,
+            "cycle {cycle}: unexpected density {}",
+            msgs.len()
+        );
+    }
+    // D_2's schedule: per level, every dim-j>0 round is a 3-cycle window
+    // (4,4,4) and every dim-0 round one full cycle (8).
+    let densities: Vec<usize> = run.trace.iter().map(|m| m.len()).collect();
+    assert_eq!(
+        densities,
+        vec![8, 4, 4, 4, 8, 4, 4, 4, 4, 4, 4, 8],
+        "the 1-3-1 cadence of Algorithm 3 on D_2"
+    );
+}
+
+#[test]
+fn tracing_does_not_change_results_or_counts() {
+    let rec = RecDualCube::new(3);
+    let keys: Vec<u32> = (0..32).map(|i| (i * 29 + 3) % 64).collect();
+    let with = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Trace);
+    let without = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Off);
+    assert_eq!(with.output, without.output);
+    assert_eq!(with.metrics.comm_steps, without.metrics.comm_steps);
+    assert!(without.trace.is_empty());
+    assert!(!with.trace.is_empty());
+}
