@@ -1,0 +1,81 @@
+//! Parallel execution backend A/B — sequential vs threaded machine
+//! cycles for `d_prefix` and `d_sort` on the headline machine `D_8`
+//! (32 768 nodes, the size the paper's introduction targets).
+//!
+//! Both backends produce bit-identical runs (pinned by
+//! `tests/parallel_backend.rs`), so the only difference to measure is
+//! wall-clock. The measured ratios on the reference host are recorded in
+//! EXPERIMENTS.md §E22.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dc_core::ops::Sum;
+use dc_core::prefix::dualcube::{d_prefix, Step5Mode};
+use dc_core::prefix::PrefixKind;
+use dc_core::run::Recording;
+use dc_core::sort::dualcube::d_sort;
+use dc_core::sort::SortOrder;
+use dc_simulator::{set_worker_threads, with_default_exec, ExecMode};
+use dc_topology::{DualCube, RecDualCube, Topology};
+use std::hint::black_box;
+
+/// The backends to A/B. `workers` pins the executor thread count for the
+/// leg (`0` = derive from the host); the forced-4 leg makes the threaded
+/// code path measurable even on a single-core host, where it quantifies
+/// pure oversubscription overhead rather than speedup.
+fn backends() -> [(&'static str, ExecMode, usize); 3] {
+    [
+        ("sequential", ExecMode::Sequential, 0),
+        ("parallel", ExecMode::parallel(), 0),
+        ("parallel-4-workers", ExecMode::parallel(), 4),
+    ]
+}
+
+fn bench_prefix_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend/d_prefix");
+    let d = DualCube::new(8); // 32 768 nodes
+    let input: Vec<Sum> = (0..d.num_nodes() as i64).map(Sum).collect();
+    group.throughput(Throughput::Elements(d.num_nodes() as u64));
+    for (label, mode, workers) in backends() {
+        set_worker_threads(workers);
+        group.bench_with_input(BenchmarkId::new("D8", label), &input, |b, inp| {
+            b.iter(|| {
+                with_default_exec(mode, || {
+                    d_prefix(
+                        &d,
+                        black_box(inp),
+                        PrefixKind::Inclusive,
+                        Step5Mode::PaperFaithful,
+                        Recording::Off,
+                    )
+                })
+            })
+        });
+        set_worker_threads(0);
+    }
+    group.finish();
+}
+
+fn bench_sort_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend/d_sort");
+    group.sample_size(10);
+    let rec = RecDualCube::new(8); // 32 768 nodes
+    let keys: Vec<u64> = (0..rec.num_nodes() as u64)
+        .map(|i| i.wrapping_mul(0x2545F4914F6CDD1D).rotate_left(11))
+        .collect();
+    group.throughput(Throughput::Elements(rec.num_nodes() as u64));
+    for (label, mode, workers) in backends() {
+        set_worker_threads(workers);
+        group.bench_with_input(BenchmarkId::new("D8", label), &keys, |b, ks| {
+            b.iter(|| {
+                with_default_exec(mode, || {
+                    d_sort(&rec, black_box(ks), SortOrder::Ascending, Recording::Off)
+                })
+            })
+        });
+        set_worker_threads(0);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefix_backends, bench_sort_backends);
+criterion_main!(benches);

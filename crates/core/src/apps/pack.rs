@@ -25,7 +25,11 @@ use dc_topology::{DualCube, Topology};
 /// assert_eq!(packed, vec!['a', 'c', 'd', 'g']);
 /// assert_eq!(metrics.comm_steps, 5); // 2n+1
 /// ```
-pub fn pack<V: Clone>(d: &DualCube, values: &[V], flags: &[bool]) -> (Vec<V>, Metrics) {
+pub fn pack<V: Clone + Send + Sync>(
+    d: &DualCube,
+    values: &[V],
+    flags: &[bool],
+) -> (Vec<V>, Metrics) {
     assert_eq!(values.len(), d.num_nodes(), "need one value per node");
     assert_eq!(flags.len(), values.len(), "need one flag per value");
     let flag_vals: Vec<Sum> = flags.iter().map(|&f| Sum(f as i64)).collect();

@@ -78,10 +78,10 @@ pub fn dim_comm_cost(j: u32) -> u64 {
 /// `apply(node, own, partner)`. Costs [`dim_comm_cost`]`(j)` communication
 /// cycles plus one computation cycle. Payloads are counted as one word
 /// each; block algorithms use [`exchange_dim_sized`].
-pub fn exchange_dim<V: Clone>(
+pub fn exchange_dim<V: Clone + Send + Sync>(
     machine: &mut Machine<'_, RecDualCube, EmuState<V>>,
     j: u32,
-    apply: impl Fn(NodeId, &V, &V) -> V,
+    apply: impl Fn(NodeId, &V, &V) -> V + Sync,
 ) {
     exchange_dim_sized(machine, j, apply, |_| 1)
 }
@@ -89,11 +89,11 @@ pub fn exchange_dim<V: Clone>(
 /// [`exchange_dim`] with explicit payload sizes: `size(value)` reports the
 /// element count of a value in flight (e.g. the block length for
 /// compare-split), feeding [`dc_simulator::Metrics::message_words`].
-pub fn exchange_dim_sized<V: Clone>(
+pub fn exchange_dim_sized<V: Clone + Send + Sync>(
     machine: &mut Machine<'_, RecDualCube, EmuState<V>>,
     j: u32,
-    apply: impl Fn(NodeId, &V, &V) -> V,
-    size: impl Fn(&V) -> u64,
+    apply: impl Fn(NodeId, &V, &V) -> V + Sync,
+    size: impl Fn(&V) -> u64 + Sync,
 ) {
     let rec = *machine.topology();
     assert!(
@@ -156,9 +156,9 @@ pub fn exchange_dim_sized<V: Clone>(
 /// A full emulated **descend** sweep (dimensions high → low), the shape of
 /// bitonic merging; `apply` is called per dimension as in
 /// [`exchange_dim`].
-pub fn descend<V: Clone>(
+pub fn descend<V: Clone + Send + Sync>(
     machine: &mut Machine<'_, RecDualCube, EmuState<V>>,
-    apply: impl Fn(u32, NodeId, &V, &V) -> V,
+    apply: impl Fn(u32, NodeId, &V, &V) -> V + Sync,
 ) {
     let dims = machine.topology().dims();
     for j in (0..dims).rev() {
@@ -168,9 +168,9 @@ pub fn descend<V: Clone>(
 
 /// A full emulated **ascend** sweep (dimensions low → high), the shape of
 /// prefix/reduction algorithms.
-pub fn ascend<V: Clone>(
+pub fn ascend<V: Clone + Send + Sync>(
     machine: &mut Machine<'_, RecDualCube, EmuState<V>>,
-    apply: impl Fn(u32, NodeId, &V, &V) -> V,
+    apply: impl Fn(u32, NodeId, &V, &V) -> V + Sync,
 ) {
     let dims = machine.topology().dims();
     for j in 0..dims {

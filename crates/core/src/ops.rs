@@ -16,7 +16,12 @@
 /// Laws (checked by property tests in this module):
 /// * associativity: `a.combine(&b.combine(&c)) == a.combine(&b).combine(&c)`
 /// * identity: `identity().combine(&a) == a == a.combine(&identity())`
-pub trait Monoid: Clone {
+///
+/// `Send + Sync` are supertraits because machine states built from monoid
+/// values cross worker threads under the simulator's parallel execution
+/// backend ([`dc_simulator::ExecMode`]); every value-semantics monoid
+/// satisfies them automatically.
+pub trait Monoid: Clone + Send + Sync {
     /// The identity element of `⊕`.
     fn identity() -> Self;
     /// `self ⊕ rhs` (order matters: `self` is the left operand).

@@ -60,7 +60,7 @@ use dc_topology::{bits::bit, NodeId, RecDualCube, Topology};
 /// assert_eq!(run.metrics.comm_steps, 12); // 6n²−7n+2 at n=2
 /// assert_eq!(run.metrics.comp_steps, 6);  // 2n²−n at n=2
 /// ```
-pub fn d_sort<K: Ord + Clone>(
+pub fn d_sort<K: Ord + Clone + Send + Sync>(
     rec: &RecDualCube,
     keys: &[K],
     order: SortOrder,
@@ -137,10 +137,10 @@ pub fn d_sort<K: Ord + Clone>(
 /// One emulated compare-exchange round over dimension `j`;
 /// `descending(r)` is the merge direction at node `r`. In an ascending
 /// region the node with bit `j` clear keeps the minimum.
-fn compare_round<K: Ord + Clone>(
+fn compare_round<K: Ord + Clone + Send + Sync>(
     machine: &mut Machine<'_, RecDualCube, EmuState<K>>,
     j: u32,
-    descending: impl Fn(NodeId) -> bool,
+    descending: impl Fn(NodeId) -> bool + Sync,
 ) {
     exchange_dim(machine, j, |r, own, other| {
         let keep_min = bit(r, j) == descending(r);
@@ -159,7 +159,7 @@ mod tests {
     use crate::theory;
     use proptest::prelude::*;
 
-    fn sorted_copy<K: Ord + Clone>(keys: &[K], order: SortOrder) -> Vec<K> {
+    fn sorted_copy<K: Ord + Clone + Send + Sync>(keys: &[K], order: SortOrder) -> Vec<K> {
         let mut v = keys.to_vec();
         v.sort();
         if order == SortOrder::Descending {

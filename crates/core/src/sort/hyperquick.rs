@@ -50,7 +50,10 @@ pub fn imbalance(run: &HyperquickRun<impl Clone>, k: usize) -> f64 {
 /// Sorts `keys` (`k = keys.len() / N` per node) on `D_n` by
 /// hyperquicksort. Ascending only (descending = reverse afterwards, as in
 /// compare-split sorting).
-pub fn hyperquicksort<K: Ord + Clone>(rec: &RecDualCube, keys: &[K]) -> HyperquickRun<K> {
+pub fn hyperquicksort<K: Ord + Clone + Send + Sync>(
+    rec: &RecDualCube,
+    keys: &[K],
+) -> HyperquickRun<K> {
     let n_nodes = rec.num_nodes();
     assert!(
         !keys.is_empty() && keys.len().is_multiple_of(n_nodes),
@@ -172,7 +175,7 @@ pub fn hyperquicksort<K: Ord + Clone>(rec: &RecDualCube, keys: &[K]) -> Hyperqui
 
 /// Convenience: ascending or descending (descending reverses the
 /// ascending result — a free local pass).
-pub fn hyperquicksort_ordered<K: Ord + Clone>(
+pub fn hyperquicksort_ordered<K: Ord + Clone + Send + Sync>(
     rec: &RecDualCube,
     keys: &[K],
     order: SortOrder,

@@ -39,7 +39,11 @@ pub fn mc_sort_comm(k: u32, m: u32) -> u64 {
 /// let run = mc_sort(&mc, &keys, SortOrder::Ascending);
 /// assert_eq!(run.output, (0..64).collect::<Vec<_>>());
 /// ```
-pub fn mc_sort<K: Ord + Clone>(mc: &Metacube, keys: &[K], order: SortOrder) -> Run<K> {
+pub fn mc_sort<K: Ord + Clone + Send + Sync>(
+    mc: &Metacube,
+    keys: &[K],
+    order: SortOrder,
+) -> Run<K> {
     assert_eq!(
         keys.len(),
         mc.num_nodes(),

@@ -35,3 +35,4 @@ pub mod router;
 pub use error::SimError;
 pub use machine::Machine;
 pub use metrics::{Metrics, PhaseMetrics};
+pub use parallel::{set_worker_threads, with_default_exec, ExecMode};

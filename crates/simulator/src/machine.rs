@@ -3,6 +3,7 @@
 
 use crate::error::SimError;
 use crate::metrics::Metrics;
+use crate::parallel::{par_apply_forced, par_zip_apply, par_zip_apply_mut, ExecMode};
 use dc_topology::{NodeId, Topology};
 
 /// A synchronous message-passing machine over a [`Topology`].
@@ -16,12 +17,31 @@ use dc_topology::{NodeId, Topology};
 /// * [`Machine::pairwise`] — the common special case of a symmetric
 ///   exchange along a perfect (partial) matching, e.g. one dimension of an
 ///   ascend/descend algorithm.
-/// * [`Machine::compute`] — one (or more) computation cycles of O(1) local
-///   work per node.
+/// * [`Machine::compute`] — one computation phase of local work per node,
+///   charged as one or more computation cycles.
 ///
 /// The node-local closures receive only the node's own id and state — the
 /// same information a real SPMD process would have — which keeps simulated
 /// algorithms honest about what must travel in messages.
+///
+/// # Execution backend
+///
+/// Each cycle's per-node work runs under an [`ExecMode`]. The default,
+/// [`ExecMode::parallel`], spreads the work of machines with at least
+/// [`crate::parallel::PAR_THRESHOLD`] nodes over the host cores; smaller
+/// machines (and any machine under [`ExecMode::Sequential`]) use plain
+/// loops. A communication cycle splits into three phases:
+///
+/// 1. **plan** — `plan(u, &state)` for every node, read-only, parallel;
+/// 2. **validate** — the 1-port matching check, always sequential in node
+///    order so [`SimError`] reporting and trace recording are bit-identical
+///    across backends;
+/// 3. **deliver** — receiver-driven: since a validated cycle delivers at
+///    most one message per node, messages are scattered into a per-node
+///    inbox and each worker mutates only its own node's state.
+///
+/// Simulated metrics never depend on the backend; the parallel backend is
+/// observationally identical and only changes wall-clock time.
 ///
 /// ```
 /// use dc_simulator::Machine;
@@ -47,10 +67,12 @@ pub struct Machine<'t, T: Topology + ?Sized, S> {
     states: Vec<S>,
     metrics: Metrics,
     trace: Option<Vec<Vec<(NodeId, NodeId)>>>,
+    exec: ExecMode,
 }
 
 impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
-    /// Creates a machine with one initial state per node.
+    /// Creates a machine with one initial state per node, under the
+    /// default [`ExecMode`] (parallel above the size threshold).
     ///
     /// Panics unless `states.len() == topo.num_nodes()`.
     pub fn new(topo: &'t T, states: Vec<S>) -> Self {
@@ -65,7 +87,33 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
             states,
             metrics: Metrics::new(),
             trace: None,
+            exec: ExecMode::default(),
         }
+    }
+
+    /// [`Machine::new`] with an explicit execution backend.
+    pub fn with_exec(topo: &'t T, states: Vec<S>, exec: ExecMode) -> Self {
+        let mut m = Machine::new(topo, states);
+        m.exec = exec;
+        m
+    }
+
+    /// The current execution backend.
+    pub fn exec(&self) -> ExecMode {
+        self.exec
+    }
+
+    /// Switches the execution backend. Takes effect from the next cycle;
+    /// results and metrics are identical under every mode (the backends
+    /// are observationally equivalent — see the determinism tests).
+    pub fn set_exec(&mut self, exec: ExecMode) {
+        self.exec = exec;
+    }
+
+    /// Whether this machine's cycles currently run on the threaded
+    /// backend (mode is parallel *and* the machine is large enough).
+    fn threaded(&self) -> bool {
+        self.exec.is_parallel_for(self.states.len())
     }
 
     /// Starts recording a space-time trace: each subsequent communication
@@ -128,11 +176,14 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     /// converging on one receiver. On error the cycle is *not* applied and
     /// no step is counted, so a test can probe illegal schedules without
     /// corrupting the machine.
-    pub fn try_exchange<M>(
+    pub fn try_exchange<M: Send>(
         &mut self,
-        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)>,
-        deliver: impl FnMut(&mut S, NodeId, M),
-    ) -> Result<usize, SimError> {
+        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
         self.try_exchange_sized(plan, deliver, |_| 1)
     }
 
@@ -140,50 +191,98 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     /// reports how many elements the message carries, feeding
     /// [`Metrics::message_words`] (block-transfer algorithms pass the
     /// block length; everything else uses the 1-word default).
-    pub fn try_exchange_sized<M>(
+    pub fn try_exchange_sized<M: Send>(
         &mut self,
-        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)>,
-        mut deliver: impl FnMut(&mut S, NodeId, M),
+        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
         words: impl Fn(&M) -> u64,
-    ) -> Result<usize, SimError> {
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
         let n = self.states.len();
-        let mut sends = Vec::new();
-        for (u, s) in self.states.iter().enumerate() {
-            if let Some((dst, msg)) = plan(u, s) {
-                sends.push((u, dst, msg));
-            }
-        }
-        // Validate the cycle before touching any state.
+        let threaded = self.threaded();
+
+        // Phase 1 — plan: read-only over the states, one slot per node.
+        let mut plans: Vec<Option<(NodeId, M)>> = if threaded {
+            let mut plans: Vec<Option<(NodeId, M)>> = Vec::with_capacity(n);
+            plans.resize_with(n, || None);
+            par_zip_apply(&mut plans, &self.states, &|u, slot, s| *slot = plan(u, s));
+            plans
+        } else {
+            self.states
+                .iter()
+                .enumerate()
+                .map(|(u, s)| plan(u, s))
+                .collect()
+        };
+
+        // Phase 2 — validate the cycle before touching any state. Always
+        // sequential in node order, so error reporting (which violation is
+        // surfaced when several exist) is identical on every backend.
         let mut recv_from = vec![usize::MAX; n];
-        for (src, dst) in sends.iter().map(|&(src, dst, _)| (src, dst)) {
-            if dst >= n {
-                return Err(SimError::OutOfRange {
-                    node: dst,
-                    num_nodes: n,
-                });
+        let mut delivered = 0usize;
+        let mut total_words = 0u64;
+        for (src, p) in plans.iter().enumerate() {
+            if let Some((dst, msg)) = p {
+                let dst = *dst;
+                if dst >= n {
+                    return Err(SimError::OutOfRange {
+                        node: dst,
+                        num_nodes: n,
+                    });
+                }
+                if dst == src {
+                    return Err(SimError::SelfMessage { node: src });
+                }
+                if !self.topo.is_edge(src, dst) {
+                    return Err(SimError::NotAdjacent { src, dst });
+                }
+                if recv_from[dst] != usize::MAX {
+                    return Err(SimError::RecvConflict {
+                        node: dst,
+                        first_src: recv_from[dst],
+                        second_src: src,
+                    });
+                }
+                recv_from[dst] = src;
+                delivered += 1;
+                total_words += words(msg);
             }
-            if dst == src {
-                return Err(SimError::SelfMessage { node: src });
-            }
-            if !self.topo.is_edge(src, dst) {
-                return Err(SimError::NotAdjacent { src, dst });
-            }
-            if recv_from[dst] != usize::MAX {
-                return Err(SimError::RecvConflict {
-                    node: dst,
-                    first_src: recv_from[dst],
-                    second_src: src,
-                });
-            }
-            recv_from[dst] = src;
         }
-        let delivered = sends.len();
-        let total_words: u64 = sends.iter().map(|(_, _, m)| words(m)).sum();
         if let Some(trace) = self.trace.as_mut() {
-            trace.push(sends.iter().map(|&(src, dst, _)| (src, dst)).collect());
+            trace.push(
+                plans
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(src, p)| p.as_ref().map(|&(dst, _)| (src, dst)))
+                    .collect(),
+            );
         }
-        for (src, dst, msg) in sends {
-            deliver(&mut self.states[dst], src, msg);
+
+        // Phase 3 — deliver. The validated matching guarantees at most one
+        // inbound message per node, so the parallel backend scatters the
+        // messages into a per-node inbox and lets each worker mutate only
+        // its own node's state.
+        if threaded {
+            let mut inbox: Vec<Option<(NodeId, M)>> = Vec::with_capacity(n);
+            inbox.resize_with(n, || None);
+            for (src, p) in plans.iter_mut().enumerate() {
+                if let Some((dst, msg)) = p.take() {
+                    inbox[dst] = Some((src, msg));
+                }
+            }
+            par_zip_apply_mut(&mut self.states, &mut inbox, &|_, s, slot| {
+                if let Some((src, msg)) = slot.take() {
+                    deliver(s, src, msg);
+                }
+            });
+        } else {
+            for (src, p) in plans.iter_mut().enumerate() {
+                if let Some((dst, msg)) = p.take() {
+                    deliver(&mut self.states[dst], src, msg);
+                }
+            }
         }
         self.metrics
             .record_comm_words(delivered as u64, total_words);
@@ -194,14 +293,40 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     /// form algorithm implementations use, since their schedules are
     /// supposed to be legal by construction.
     #[track_caller]
-    pub fn exchange<M>(
+    pub fn exchange<M: Send>(
         &mut self,
-        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)>,
-        deliver: impl FnMut(&mut S, NodeId, M),
-    ) -> usize {
+        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+    ) -> usize
+    where
+        S: Send + Sync,
+    {
         match self.try_exchange(plan, deliver) {
             Ok(count) => count,
             Err(e) => panic!("communication-model violation: {e}"),
+        }
+    }
+
+    /// Collects each node's chosen partner, in parallel when threaded.
+    fn collect_partners(
+        &self,
+        pair: &(impl Fn(NodeId, &S) -> Option<NodeId> + Sync),
+    ) -> Vec<Option<NodeId>>
+    where
+        S: Send + Sync,
+    {
+        if self.threaded() {
+            let mut partners: Vec<Option<NodeId>> = vec![None; self.states.len()];
+            par_zip_apply(&mut partners, &self.states, &|u, slot, s| {
+                *slot = pair(u, s);
+            });
+            partners
+        } else {
+            self.states
+                .iter()
+                .enumerate()
+                .map(|(u, s)| pair(u, s))
+                .collect()
         }
     }
 
@@ -214,56 +339,34 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     ///
     /// [`SimError::AsymmetricPair`] if the matching is not symmetric, plus
     /// everything [`Machine::try_exchange`] can report.
-    pub fn try_pairwise<M>(
+    pub fn try_pairwise<M: Send>(
         &mut self,
-        pair: impl Fn(NodeId, &S) -> Option<NodeId>,
-        msg: impl Fn(NodeId, &S) -> M,
-        mut deliver: impl FnMut(&mut S, NodeId, M),
-    ) -> Result<usize, SimError> {
-        let n = self.states.len();
-        // Pre-validate symmetry so the error is precise (try_exchange
-        // would report it as a receive conflict or not at all).
-        let partners: Vec<Option<NodeId>> = self
-            .states
-            .iter()
-            .enumerate()
-            .map(|(u, s)| pair(u, s))
-            .collect();
-        for (u, &p) in partners.iter().enumerate() {
-            if let Some(v) = p {
-                if v >= n {
-                    return Err(SimError::OutOfRange {
-                        node: v,
-                        num_nodes: n,
-                    });
-                }
-                if partners[v] != Some(u) {
-                    return Err(SimError::AsymmetricPair { a: u, b: v });
-                }
-            }
-        }
-        self.try_exchange(
-            |u, s| partners[u].map(|v| (v, msg(u, s))),
-            |s, from, m| deliver(s, from, m),
-        )
+        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        msg: impl Fn(NodeId, &S) -> M + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        self.try_pairwise_sized(pair, msg, deliver, |_| 1)
     }
 
     /// [`Machine::try_pairwise`] with explicit payload sizes (see
     /// [`Machine::try_exchange_sized`]).
-    pub fn try_pairwise_sized<M>(
+    pub fn try_pairwise_sized<M: Send>(
         &mut self,
-        pair: impl Fn(NodeId, &S) -> Option<NodeId>,
-        msg: impl Fn(NodeId, &S) -> M,
-        mut deliver: impl FnMut(&mut S, NodeId, M),
+        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        msg: impl Fn(NodeId, &S) -> M + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
         words: impl Fn(&M) -> u64,
-    ) -> Result<usize, SimError> {
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
         let n = self.states.len();
-        let partners: Vec<Option<NodeId>> = self
-            .states
-            .iter()
-            .enumerate()
-            .map(|(u, s)| pair(u, s))
-            .collect();
+        // Pre-validate symmetry so the error is precise (try_exchange
+        // would report it as a receive conflict or not at all).
+        let partners = self.collect_partners(&pair);
         for (u, &p) in partners.iter().enumerate() {
             if let Some(v) = p {
                 if v >= n {
@@ -286,13 +389,16 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
 
     /// Panicking form of [`Machine::try_pairwise_sized`].
     #[track_caller]
-    pub fn pairwise_sized<M>(
+    pub fn pairwise_sized<M: Send>(
         &mut self,
-        pair: impl Fn(NodeId, &S) -> Option<NodeId>,
-        msg: impl Fn(NodeId, &S) -> M,
-        deliver: impl FnMut(&mut S, NodeId, M),
+        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        msg: impl Fn(NodeId, &S) -> M + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
         words: impl Fn(&M) -> u64,
-    ) -> usize {
+    ) -> usize
+    where
+        S: Send + Sync,
+    {
         match self.try_pairwise_sized(pair, msg, deliver, words) {
             Ok(count) => count,
             Err(e) => panic!("communication-model violation: {e}"),
@@ -301,12 +407,15 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
 
     /// Panicking form of [`Machine::try_exchange_sized`].
     #[track_caller]
-    pub fn exchange_sized<M>(
+    pub fn exchange_sized<M: Send>(
         &mut self,
-        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)>,
-        deliver: impl FnMut(&mut S, NodeId, M),
+        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
         words: impl Fn(&M) -> u64,
-    ) -> usize {
+    ) -> usize
+    where
+        S: Send + Sync,
+    {
         match self.try_exchange_sized(plan, deliver, words) {
             Ok(count) => count,
             Err(e) => panic!("communication-model violation: {e}"),
@@ -315,58 +424,91 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
 
     /// Panicking form of [`Machine::try_pairwise`].
     #[track_caller]
-    pub fn pairwise<M>(
+    pub fn pairwise<M: Send>(
         &mut self,
-        pair: impl Fn(NodeId, &S) -> Option<NodeId>,
-        msg: impl Fn(NodeId, &S) -> M,
-        deliver: impl FnMut(&mut S, NodeId, M),
-    ) -> usize {
+        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        msg: impl Fn(NodeId, &S) -> M + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+    ) -> usize
+    where
+        S: Send + Sync,
+    {
         match self.try_pairwise(pair, msg, deliver) {
             Ok(count) => count,
             Err(e) => panic!("communication-model violation: {e}"),
         }
     }
 
-    /// `steps` computation cycles in which every node runs `f` once,
-    /// performing O(1) work. `ops_per_node` element operations per node are
-    /// charged to the fine-grained counter (nodes that do nothing this
-    /// cycle are the caller's business — the *step* cost is global, per the
-    /// synchronous model).
-    pub fn compute(&mut self, steps: u64, mut f: impl FnMut(NodeId, &mut S)) {
-        for (u, s) in self.states.iter_mut().enumerate() {
-            f(u, s);
+    /// Runs `f` once per node, on the configured backend.
+    fn apply(&mut self, f: impl Fn(NodeId, &mut S) + Sync)
+    where
+        S: Send,
+    {
+        if self.threaded() {
+            par_apply_forced(&mut self.states, &f);
+        } else {
+            for (u, s) in self.states.iter_mut().enumerate() {
+                f(u, s);
+            }
         }
-        self.metrics
-            .record_comp(steps, steps * self.states.len() as u64);
+    }
+
+    /// One local computation **phase**, charged as `steps` computation
+    /// cycles.
+    ///
+    /// `f` is invoked **exactly once** per node regardless of `steps`:
+    /// `steps` is the simulated *duration* of the phase (a node-local
+    /// computation that the cost model prices at `steps` cycles, e.g. a
+    /// `k`-element local merge), not a repetition count. Algorithms whose
+    /// per-cycle work really does differ cycle-to-cycle issue one
+    /// `compute(1, …)` per cycle. This single-invocation semantics is
+    /// pinned by the `compute_invokes_f_once_regardless_of_steps`
+    /// regression test.
+    ///
+    /// `steps × num_nodes` element operations are charged to the
+    /// fine-grained counter (nodes that do nothing this phase are the
+    /// caller's business — the *step* cost is global, per the synchronous
+    /// model); use [`Machine::compute_counted`] to charge a precise
+    /// operation count.
+    pub fn compute(&mut self, steps: u64, f: impl Fn(NodeId, &mut S) + Sync)
+    where
+        S: Send,
+    {
+        let ops = steps * self.states.len() as u64;
+        self.apply(f);
+        self.metrics.record_comp(steps, ops);
     }
 
     /// Like [`Machine::compute`] but charges exactly `element_ops` total
-    /// operations (for phases where only a subset of nodes works).
+    /// operations (for phases where only a subset of nodes works). As
+    /// with [`Machine::compute`], `f` runs exactly once per node.
     pub fn compute_counted(
         &mut self,
         steps: u64,
         element_ops: u64,
-        mut f: impl FnMut(NodeId, &mut S),
-    ) {
-        for (u, s) in self.states.iter_mut().enumerate() {
-            f(u, s);
-        }
+        f: impl Fn(NodeId, &mut S) + Sync,
+    ) where
+        S: Send,
+    {
+        self.apply(f);
         self.metrics.record_comp(steps, element_ops);
     }
 
     /// Applies `f` to every node *without* charging any simulated cost —
     /// for initial data placement and final result collection, which the
     /// paper's step counts exclude.
-    pub fn setup(&mut self, mut f: impl FnMut(NodeId, &mut S)) {
-        for (u, s) in self.states.iter_mut().enumerate() {
-            f(u, s);
-        }
+    pub fn setup(&mut self, f: impl Fn(NodeId, &mut S) + Sync)
+    where
+        S: Send,
+    {
+        self.apply(f);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parallel::PAR_THRESHOLD;
     use dc_topology::Hypercube;
 
     fn machine(dim: u32) -> Machine<'static, Hypercube, u64> {
@@ -513,6 +655,24 @@ mod tests {
         assert_eq!(m.metrics().element_ops, 6);
     }
 
+    /// Pins the documented `compute` semantics: `steps` is the charged
+    /// duration of ONE invocation of `f` per node, never a repetition
+    /// count (the seed version's docs were ambiguous on this).
+    #[test]
+    fn compute_invokes_f_once_regardless_of_steps() {
+        let mut m = machine(2);
+        m.compute(5, |_, s| *s += 1);
+        // One invocation per node…
+        assert_eq!(m.states(), &[1, 2, 3, 4]);
+        // …but five cycles (and 5 × 4 element ops) charged.
+        assert_eq!(m.metrics().comp_steps, 5);
+        assert_eq!(m.metrics().element_ops, 20);
+        m.compute_counted(3, 7, |_, s| *s += 10);
+        assert_eq!(m.states(), &[11, 12, 13, 14]);
+        assert_eq!(m.metrics().comp_steps, 8);
+        assert_eq!(m.metrics().element_ops, 27);
+    }
+
     #[test]
     fn setup_is_free() {
         let mut m = machine(2);
@@ -526,5 +686,71 @@ mod tests {
     fn wrong_state_count_rejected() {
         let topo: &'static Hypercube = Box::leak(Box::new(Hypercube::new(2)));
         let _ = Machine::new(topo, vec![0u8; 3]);
+    }
+
+    #[test]
+    fn exec_mode_is_configurable_and_defaults_to_parallel() {
+        let mut m = machine(2);
+        assert_eq!(m.exec(), ExecMode::parallel());
+        m.set_exec(ExecMode::Sequential);
+        assert_eq!(m.exec(), ExecMode::Sequential);
+        let topo: &'static Hypercube = Box::leak(Box::new(Hypercube::new(1)));
+        let m = Machine::with_exec(topo, vec![0u8; 2], ExecMode::Parallel { threshold: 1 });
+        assert_eq!(m.exec(), ExecMode::Parallel { threshold: 1 });
+    }
+
+    /// A machine big enough to clear PAR_THRESHOLD must produce identical
+    /// states, metrics, and traces on both backends (Q_13 = 8192 nodes).
+    #[test]
+    fn parallel_backend_matches_sequential_on_large_machine() {
+        let topo: &'static Hypercube = Box::leak(Box::new(Hypercube::new(13)));
+        let n = topo.num_nodes();
+        assert!(n >= PAR_THRESHOLD);
+        let run = |exec: ExecMode| {
+            let mut m = Machine::with_exec(topo, (0..n as u64).collect(), exec);
+            m.enable_trace();
+            for i in 0..13 {
+                m.pairwise(|u, _| Some(u ^ (1 << i)), |_, &s| s, |s, _, v| *s += v);
+                m.compute(1, |u, s| *s = s.wrapping_add(u as u64));
+            }
+            let trace = m.trace().to_vec();
+            let (states, metrics) = m.into_parts();
+            (states, metrics, trace)
+        };
+        let _guard = crate::parallel::test_override_guard();
+        let seq = run(ExecMode::Sequential);
+        // Pin 4 workers so the threaded path is exercised even on a
+        // single-core host (the backend is deterministic at any count).
+        crate::parallel::set_worker_threads(4);
+        let par = run(ExecMode::parallel());
+        crate::parallel::set_worker_threads(0);
+        assert_eq!(seq.0, par.0, "states");
+        assert_eq!(seq.1, par.1, "metrics");
+        assert_eq!(seq.2, par.2, "traces");
+    }
+
+    /// Model violations must be reported identically (same variant, same
+    /// nodes) by both backends, with the machine left untouched.
+    #[test]
+    fn parallel_backend_error_semantics_bit_identical() {
+        let topo: &'static Hypercube = Box::leak(Box::new(Hypercube::new(13)));
+        let n = topo.num_nodes();
+        let probe = |exec: ExecMode| {
+            let mut m = Machine::with_exec(topo, vec![0u64; n], exec);
+            // Every node sends to node u|1 across dim 0: odd nodes self-send
+            // (caught first at node 1), and pairs collide — the backends
+            // must agree on which violation is surfaced.
+            let err = m
+                .try_exchange(|u, _| Some((u | 1, u as u64)), |_, _, _| {})
+                .unwrap_err();
+            assert_eq!(m.metrics().comm_steps, 0);
+            err
+        };
+        let _guard = crate::parallel::test_override_guard();
+        let seq = probe(ExecMode::Sequential);
+        crate::parallel::set_worker_threads(4);
+        let par = probe(ExecMode::parallel());
+        crate::parallel::set_worker_threads(0);
+        assert_eq!(seq, par);
     }
 }

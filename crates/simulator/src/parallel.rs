@@ -1,54 +1,267 @@
 //! Host-side parallelism for large machines.
 //!
 //! The simulated network is synchronous, so within one cycle the per-node
-//! work is embarrassingly parallel. For big instances (e.g. `D_8` with
-//! 2^15 nodes) the wall-clock benches use this chunked crossbeam-scope
-//! executor to spread node updates over host cores. (Rayon is not in the
-//! approved dependency set; crossbeam's scoped threads give the same
-//! fork-join structure for this fixed-shape workload — see DESIGN.md §6.)
+//! work is embarrassingly parallel. [`Machine`](crate::Machine) runs under
+//! an [`ExecMode`]: in `Parallel` mode every communication cycle splits
+//! into a read-only *plan* phase parallelised over the states, a
+//! sequential O(n) *validation* of the 1-port matching (so `SimError`
+//! semantics and trace recording stay bit-identical to the sequential
+//! backend), and a receiver-driven *deliver* phase in which each worker
+//! mutates only its own node's state; `compute` and `setup` cycles are
+//! chunked directly. The executors here are the primitives for those
+//! phases, built on `std::thread::scope` (rayon and crossbeam are not in
+//! the dependency set; scoped threads give the same fork-join structure
+//! for this fixed-shape workload — see DESIGN.md §6).
 //!
-//! Determinism: `f` receives disjoint `(node id, &mut state)` pairs, so the
-//! result is identical to the sequential loop regardless of scheduling.
+//! Determinism: workers receive disjoint `(node id, &mut state)` pairs, so
+//! the result is identical to the sequential loop regardless of
+//! scheduling. The determinism tests in `dc-core`'s
+//! `tests/parallel_backend.rs` pin this at the algorithm level: parallel
+//! and sequential runs must agree state-for-state and metric-for-metric.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Minimum slice length before threads are spawned; below this the
-/// sequential loop wins on overhead.
+/// Minimum number of nodes before threads are spawned; below this the
+/// sequential loop wins on overhead. The default threshold of
+/// [`ExecMode::Parallel`] and the cutoff of [`par_apply`].
 pub const PAR_THRESHOLD: usize = 4096;
 
-/// Applies `f(index, &mut item)` to every element, splitting the slice over
-/// the available cores when it is long enough.
+/// How a [`Machine`](crate::Machine) executes the per-node work of each
+/// cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Plain sequential loops — zero overhead, the right choice for small
+    /// machines, doctests, and step-count experiments.
+    Sequential,
+    /// Split cycles over host cores whenever the machine has at least
+    /// `threshold` nodes; smaller machines fall back to the sequential
+    /// loops (one integer compare of overhead).
+    Parallel {
+        /// Minimum node count for which threads are spawned.
+        threshold: usize,
+    },
+}
+
+impl ExecMode {
+    /// `Parallel` with the tuned default [`PAR_THRESHOLD`].
+    pub fn parallel() -> Self {
+        ExecMode::Parallel {
+            threshold: PAR_THRESHOLD,
+        }
+    }
+
+    /// Whether a machine of `len` nodes should use the threaded path.
+    pub fn is_parallel_for(self, len: usize) -> bool {
+        match self {
+            ExecMode::Sequential => false,
+            ExecMode::Parallel { threshold } => len >= threshold && available_threads() > 1,
+        }
+    }
+
+    /// `Sequential` encodes as the sentinel; a `Parallel` threshold is its
+    /// own encoding (clamped below the sentinel, which no real machine
+    /// size reaches).
+    fn encode(self) -> usize {
+        match self {
+            ExecMode::Sequential => SEQ_SENTINEL,
+            ExecMode::Parallel { threshold } => threshold.min(SEQ_SENTINEL - 1),
+        }
+    }
+
+    fn decode(v: usize) -> Self {
+        if v == SEQ_SENTINEL {
+            ExecMode::Sequential
+        } else {
+            ExecMode::Parallel { threshold: v }
+        }
+    }
+}
+
+const SEQ_SENTINEL: usize = usize::MAX;
+
+/// The process-wide default [`ExecMode`], read by `ExecMode::default()`
+/// (and therefore by every `Machine::new`). Starts as
+/// `Parallel { threshold: PAR_THRESHOLD }`.
+static DEFAULT_EXEC: AtomicUsize = AtomicUsize::new(PAR_THRESHOLD);
+
+/// Serialises [`with_default_exec`] sections so concurrent tests cannot
+/// interleave their overrides.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the process-wide default [`ExecMode`] set to `mode`,
+/// restoring the previous default afterwards (also on panic).
+///
+/// This is the A/B lever for code that builds machines internally (the
+/// algorithm entry points all call `Machine::new`): benches and
+/// determinism tests wrap a whole algorithm run to force one backend
+/// without threading an `ExecMode` parameter through every API.
+/// Overlapping calls from different threads are serialised by an internal
+/// lock; machines created *outside* any override always see whichever
+/// default is current, and both backends produce identical results, so
+/// this only ever affects wall-clock, never output.
+pub fn with_default_exec<T>(mode: ExecMode, f: impl FnOnce() -> T) -> T {
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            DEFAULT_EXEC.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _restore = Restore(DEFAULT_EXEC.swap(mode.encode(), Ordering::SeqCst));
+    f()
+}
+
+impl Default for ExecMode {
+    /// The current process-wide default: initially
+    /// [`ExecMode::parallel`] — large machines use the threaded backend
+    /// automatically while small ones keep the zero-overhead sequential
+    /// loops via the threshold cutoff — unless a
+    /// [`with_default_exec`] override is active.
+    fn default() -> Self {
+        ExecMode::decode(DEFAULT_EXEC.load(Ordering::SeqCst))
+    }
+}
+
+/// Applies `f(index, &mut item)` to every element, splitting the slice
+/// over the available cores when it is at least [`PAR_THRESHOLD`] long.
 pub fn par_apply<S: Send>(states: &mut [S], f: impl Fn(usize, &mut S) + Sync) {
+    if states.len() < PAR_THRESHOLD {
+        for (i, s) in states.iter_mut().enumerate() {
+            f(i, s);
+        }
+        return;
+    }
+    par_apply_forced(states, &f);
+}
+
+/// [`par_apply`] without the length cutoff: always spawns (unless the host
+/// has a single core or the slice is empty). The machine applies its own
+/// [`ExecMode`] threshold before calling this.
+pub fn par_apply_forced<S: Send>(states: &mut [S], f: &(impl Fn(usize, &mut S) + Sync)) {
     let len = states.len();
     let threads = available_threads();
-    if len < PAR_THRESHOLD || threads == 1 {
+    if threads == 1 || len <= 1 {
         for (i, s) in states.iter_mut().enumerate() {
             f(i, s);
         }
         return;
     }
     let chunk = len.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (c, slice) in states.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let base = c * chunk;
                 for (i, s) in slice.iter_mut().enumerate() {
                     f(base + i, s);
                 }
             });
         }
-    })
-    .expect("simulator worker thread panicked");
+    });
 }
 
-/// Number of worker threads to use (the host's available parallelism,
-/// capped so tiny CI machines don't oversubscribe).
+/// Applies `f(index, &mut a[i], &b[i])` in parallel over two equal-length
+/// slices — the *plan* phase's shape (write one plan slot per node while
+/// reading that node's state).
+pub fn par_zip_apply<A: Send, B: Sync>(
+    a: &mut [A],
+    b: &[B],
+    f: &(impl Fn(usize, &mut A, &B) + Sync),
+) {
+    assert_eq!(a.len(), b.len(), "zipped slices must match");
+    let len = a.len();
+    let threads = available_threads();
+    if threads == 1 || len <= 1 {
+        for (i, (x, y)) in a.iter_mut().zip(b).enumerate() {
+            f(i, x, y);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (c, (sa, sb)) in a.chunks_mut(chunk).zip(b.chunks(chunk)).enumerate() {
+            scope.spawn(move || {
+                let base = c * chunk;
+                for (i, (x, y)) in sa.iter_mut().zip(sb).enumerate() {
+                    f(base + i, x, y);
+                }
+            });
+        }
+    });
+}
+
+/// Applies `f(index, &mut a[i], &mut b[i])` in parallel over two
+/// equal-length slices — the *deliver* phase's shape (each worker takes
+/// node `i`'s inbox slot and mutates node `i`'s state, and nothing else).
+pub fn par_zip_apply_mut<A: Send, B: Send>(
+    a: &mut [A],
+    b: &mut [B],
+    f: &(impl Fn(usize, &mut A, &mut B) + Sync),
+) {
+    assert_eq!(a.len(), b.len(), "zipped slices must match");
+    let len = a.len();
+    let threads = available_threads();
+    if threads == 1 || len <= 1 {
+        for (i, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+            f(i, x, y);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (c, (sa, sb)) in a.chunks_mut(chunk).zip(b.chunks_mut(chunk)).enumerate() {
+            scope.spawn(move || {
+                let base = c * chunk;
+                for (i, (x, y)) in sa.iter_mut().zip(sb.iter_mut()).enumerate() {
+                    f(base + i, x, y);
+                }
+            });
+        }
+    });
+}
+
+/// Upper bound on worker threads, so huge hosts (or careless overrides)
+/// don't oversubscribe.
+const MAX_THREADS: usize = 32;
+
+/// `0` means "derive from the host"; anything else pins the worker count.
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the executor worker count to `n` (`0` restores the automatic
+/// host-derived count). For tests and experiments: forcing `n > 1` on a
+/// single-core host still drives the real cross-thread code paths
+/// (oversubscribed), and because the backend is deterministic the results
+/// are identical at any worker count — only wall-clock changes.
+pub fn set_worker_threads(n: usize) {
+    WORKER_OVERRIDE.store(n.min(MAX_THREADS), Ordering::SeqCst);
+}
+
+/// Serialises tests that pin the worker override against tests that read
+/// [`available_threads`] (unit tests share one process). Do **not** call
+/// [`with_default_exec`] while holding the guard — same non-reentrant
+/// lock.
+#[cfg(test)]
+pub(crate) fn test_override_guard() -> std::sync::MutexGuard<'static, ()> {
+    OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Number of worker threads to use: the [`set_worker_threads`] override
+/// if one is pinned, else the host's available parallelism (capped so
+/// tiny CI machines don't oversubscribe). The host count is computed
+/// once and cached — `available_parallelism` re-reads cgroup files on
+/// every call on Linux, which is far too slow for a per-cycle check.
 pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(32)
+    static HOST: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    match WORKER_OVERRIDE.load(Ordering::SeqCst) {
+        0 => *HOST.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(MAX_THREADS)
+        }),
+        n => n,
+    }
 }
 
 #[cfg(test)]
@@ -85,5 +298,94 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn forced_handles_non_divisible_chunk_boundaries() {
+        // len chosen so len % threads != 0 for every thread count 2..=32.
+        let len = 31 * 29 * 2 + 1;
+        let mut v = vec![0usize; len];
+        par_apply_forced(&mut v, &|i, s| *s = i + 1);
+        assert!(v.iter().enumerate().all(|(i, &s)| s == i + 1));
+    }
+
+    #[test]
+    fn forced_handles_more_threads_than_items() {
+        // threads > len: chunk size 1, one spawn per item.
+        for len in 1..=5usize {
+            let mut v = vec![0usize; len];
+            par_apply_forced(&mut v, &|i, s| *s = i * 10);
+            assert!(v.iter().enumerate().all(|(i, &s)| s == i * 10));
+        }
+        let mut empty: Vec<usize> = Vec::new();
+        par_apply_forced(&mut empty, &|_, _| unreachable!());
+    }
+
+    #[test]
+    fn zip_apply_reads_companion_slice() {
+        let n = PAR_THRESHOLD + 7;
+        let src: Vec<u64> = (0..n as u64).collect();
+        let mut dst = vec![0u64; n];
+        par_zip_apply(&mut dst, &src, &|i, d, s| *d = s * 2 + i as u64);
+        assert!(dst.iter().enumerate().all(|(i, &d)| d == 3 * i as u64));
+    }
+
+    #[test]
+    fn zip_apply_mut_moves_values_out_of_companion() {
+        let n = PAR_THRESHOLD + 3;
+        let mut inbox: Vec<Option<u64>> =
+            (0..n as u64).map(|i| (i % 3 == 0).then_some(i)).collect();
+        let mut states = vec![0u64; n];
+        par_zip_apply_mut(&mut states, &mut inbox, &|_, s, slot| {
+            if let Some(v) = slot.take() {
+                *s = v + 1;
+            }
+        });
+        for (i, &s) in states.iter().enumerate() {
+            let expect = if i % 3 == 0 { i as u64 + 1 } else { 0 };
+            assert_eq!(s, expect);
+        }
+        assert!(inbox.iter().all(|slot| slot.is_none()));
+    }
+
+    #[test]
+    fn exec_mode_threshold_cutoff() {
+        // Serialise with the worker-override test.
+        let _guard = test_override_guard();
+        assert!(!ExecMode::Sequential.is_parallel_for(1 << 20));
+        let par = ExecMode::parallel();
+        assert!(!par.is_parallel_for(PAR_THRESHOLD - 1));
+        if available_threads() > 1 {
+            assert!(par.is_parallel_for(PAR_THRESHOLD));
+        }
+    }
+
+    #[test]
+    fn worker_override_pins_and_restores_thread_count() {
+        // Serialise with other tests that read `available_threads`.
+        let _guard = test_override_guard();
+        set_worker_threads(3);
+        assert_eq!(available_threads(), 3);
+        // The forced executor must spawn correctly even when the pinned
+        // count exceeds the host's real core count (oversubscription).
+        let mut v = vec![0usize; 100];
+        par_apply_forced(&mut v, &|i, s| *s = i + 7);
+        assert!(v.iter().enumerate().all(|(i, &s)| s == i + 7));
+        set_worker_threads(0);
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn default_exec_override_scopes_and_restores() {
+        with_default_exec(ExecMode::Sequential, || {
+            assert_eq!(ExecMode::default(), ExecMode::Sequential);
+            // Nested machine sizes all fall back to sequential.
+            assert!(!ExecMode::default().is_parallel_for(1 << 20));
+        });
+        with_default_exec(ExecMode::Parallel { threshold: 1 }, || {
+            assert_eq!(ExecMode::default(), ExecMode::Parallel { threshold: 1 });
+        });
+        // Outside any override the initial default is back in force.
+        assert_eq!(ExecMode::default(), ExecMode::parallel());
     }
 }

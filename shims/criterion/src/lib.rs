@@ -1,0 +1,218 @@
+//! A self-contained, offline drop-in for the subset of the `criterion`
+//! API this workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, and `Bencher::iter`.
+//!
+//! The build environment has no access to crates.io, so the real
+//! criterion cannot be fetched. This harness measures median wall-clock
+//! per iteration over an adaptive number of runs and prints one line per
+//! benchmark — no statistics engine, plots, or baseline comparisons, but
+//! the same source interface and honest numbers for A/B comparisons
+//! within one run (e.g. sequential vs parallel execution backends).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measuring time per benchmark.
+const TARGET: Duration = Duration::from_millis(600);
+/// Hard cap on measured iterations per benchmark.
+const MAX_ITERS: u64 = 200;
+
+/// The top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads the benchmark-name filter from the command line, mirroring
+    /// `cargo bench -- <filter>` behaviour.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` under `id` without a surrounding group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) {
+        run_bench(self.filter.as_deref(), id, None, f);
+    }
+}
+
+/// A named collection of benchmarks (subset of
+/// `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the input size so per-element throughput can be reported.
+    pub fn throughput(&mut self, _t: Throughput) {
+        // The shim reports raw times only; the call is accepted so bench
+        // sources stay identical to the criterion originals.
+    }
+
+    /// Overrides the sample count — accepted for source compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `group-name/id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        run_bench(
+            self.criterion.filter.as_deref(),
+            &format!("{}/{}", self.name, id.0),
+            None,
+            &mut f,
+        );
+    }
+
+    /// Benchmarks `f` with a shared `input` under `group-name/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let id = id.into();
+        run_bench(
+            self.criterion.filter.as_deref(),
+            &format!("{}/{}", self.name, id.0),
+            None,
+            |b| f(b, input),
+        );
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (subset of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function-name/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Input-size declaration (subset of `criterion::Throughput`).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Runs the closure under timing (subset of `criterion::Bencher`).
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly, recording per-iteration wall-clock times.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: one untimed run (fills caches, faults pages).
+        black_box(f());
+        let started = Instant::now();
+        let mut iters = 0;
+        while iters < MAX_ITERS && (iters < 10 || started.elapsed() < TARGET) {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            iters += 1;
+        }
+    }
+}
+
+fn run_bench(
+    filter: Option<&str>,
+    name: &str,
+    _throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher::default();
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<60} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let max = b.samples[b.samples.len() - 1];
+    println!(
+        "{name:<60} median {:>12?}  min {:>12?}  max {:>12?}  ({} iters)",
+        median,
+        min,
+        max,
+        b.samples.len()
+    );
+}
+
+/// Bundles benchmark functions into a runner (subset of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Emits `main` running the given groups (subset of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,43 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange};
+
+/// Strategy for `Vec<T>` with a random length drawn from `len`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, R> {
+    elem: S,
+    len: R,
+}
+
+/// A `Vec` strategy: each sample draws a length from `len` and then that
+/// many elements from `elem` (subset of `proptest::collection::vec`).
+pub fn vec<S: Strategy, R: SampleRange<usize> + Clone>(elem: S, len: R) -> VecStrategy<S, R> {
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy, R: SampleRange<usize> + Clone> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let strat = vec(any::<i32>(), 1..=64);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((1..=64).contains(&v.len()));
+        }
+    }
+}

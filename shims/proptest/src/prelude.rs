@@ -1,0 +1,6 @@
+//! The glob-import surface (`use proptest::prelude::*`), mirroring the
+//! names the real proptest prelude exports that this workspace uses.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig, Strategy,
+};

@@ -1,0 +1,146 @@
+//! String generation from a small regex subset (stands in for proptest's
+//! regex-literal string strategies).
+//!
+//! Supported syntax — the subset the workspace's tests use, plus the
+//! obvious neighbours: literal characters, character classes
+//! (`[a-z0-9_]`), `.` (printable ASCII), and the quantifiers `{m,n}`,
+//! `{n}`, `?`, `*`, `+` (with `*`/`+` capped at 8 repetitions).
+//! Anything else panics with a clear message.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// One of an explicit set of characters.
+    Class(Vec<char>),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut StdRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Class(cs) => cs[rng.gen_range(0..cs.len())],
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn sample_regex(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let hi = chars.next().unwrap();
+                            let lo = prev.take().unwrap();
+                            // `prev` was already pushed; extend the range.
+                            for x in (lo as u32 + 1)..=(hi as u32) {
+                                set.push(char::from_u32(x).unwrap());
+                            }
+                        }
+                        Some(x) => {
+                            set.push(x);
+                            prev = Some(x);
+                        }
+                        None => panic!("unterminated character class in regex {pattern:?}"),
+                    }
+                }
+                assert!(
+                    !set.is_empty(),
+                    "empty character class in regex {pattern:?}"
+                );
+                Atom::Class(set)
+            }
+            '.' => Atom::Class((' '..='~').collect()),
+            '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+            '(' | ')' | '|' | '^' | '$' => panic!(
+                "regex feature {c:?} not supported by the offline proptest shim ({pattern:?})"
+            ),
+            other => Atom::Literal(other),
+        };
+        // Optional quantifier.
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for x in chars.by_ref() {
+                    if x == '}' {
+                        break;
+                    }
+                    spec.push(x);
+                }
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse::<usize>().expect("bad {m,n} bound"),
+                        b.trim().parse::<usize>().expect("bad {m,n} bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse::<usize>().expect("bad {n} bound");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        let count = rng.gen_range(lo..=hi);
+        for _ in 0..count {
+            out.push(atom.sample(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_bounded_repetition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = sample_regex("[a-z]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sample_regex("abc", &mut rng), "abc");
+        let s = sample_regex("x[01]{3}", &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('x'));
+    }
+
+    #[test]
+    fn plus_and_star_and_question() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!sample_regex("[ab]+", &mut rng).is_empty());
+            assert!(sample_regex("[ab]?", &mut rng).len() <= 1);
+            assert!(sample_regex("[ab]*", &mut rng).len() <= 8);
+        }
+    }
+}
