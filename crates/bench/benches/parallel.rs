@@ -14,7 +14,7 @@ use dc_core::prefix::PrefixKind;
 use dc_core::run::Recording;
 use dc_core::sort::dualcube::d_sort;
 use dc_core::sort::SortOrder;
-use dc_simulator::{set_worker_threads, with_default_exec, ExecMode};
+use dc_simulator::{set_worker_threads, with_default_exec, ExecMode, Machine};
 use dc_topology::{DualCube, RecDualCube, Topology};
 use std::hint::black_box;
 
@@ -77,5 +77,43 @@ fn bench_sort_backends(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prefix_backends, bench_sort_backends);
+/// Pure per-cycle engine overhead, isolated from algorithm payload: one
+/// cross-edge pairwise exchange carrying `()` plus a no-op compute step,
+/// on the headline `D_8` machine. A single machine is reused across
+/// iterations, so after the first cycle warms the scratch this measures
+/// exactly the steady-state cycle cost — partner collection, validation,
+/// delivery, and (on the threaded legs) the executor's fork-join. Under
+/// the old spawn-per-phase executor the forced-4-worker leg paid
+/// thread spawn/join on every phase; the persistent pool reduces that to
+/// a condvar wake. Measured numbers live in EXPERIMENTS.md §E23.
+fn bench_cycle_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend/cycle_overhead");
+    let d = DualCube::new(8); // 32 768 nodes
+    group.throughput(Throughput::Elements(d.num_nodes() as u64));
+    for (label, mode, workers) in backends() {
+        set_worker_threads(workers);
+        group.bench_function(BenchmarkId::new("D8", label), |b| {
+            let mut m = Machine::with_exec(&d, vec![0u8; d.num_nodes()], mode);
+            // Warm cycle: sizes the plan/partner/inbox scratch (and, on
+            // the threaded legs, spawns the pool workers) so iterations
+            // see only steady-state cost.
+            m.pairwise(|u, _| Some(d.cross_neighbor(u)), |_, _| (), |_, _, ()| {});
+            b.iter(|| {
+                let delivered =
+                    m.pairwise(|u, _| Some(d.cross_neighbor(u)), |_, _| (), |_, _, ()| {});
+                m.compute(1, |_, _| {});
+                black_box(delivered);
+            })
+        });
+        set_worker_threads(0);
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prefix_backends,
+    bench_sort_backends,
+    bench_cycle_overhead
+);
 criterion_main!(benches);

@@ -25,7 +25,7 @@ use dc_topology::{DualCube, Topology};
 /// assert_eq!(packed, vec!['a', 'c', 'd', 'g']);
 /// assert_eq!(metrics.comm_steps, 5); // 2n+1
 /// ```
-pub fn pack<V: Clone + Send + Sync>(
+pub fn pack<V: Clone + Send + Sync + 'static>(
     d: &DualCube,
     values: &[V],
     flags: &[bool],

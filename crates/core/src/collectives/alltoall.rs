@@ -47,7 +47,10 @@ pub struct AllToAllRun<V> {
 /// assert_eq!(run.received[3], vec![3, 103, 203, 303, 403, 503, 603, 703]);
 /// assert_eq!(run.metrics.comm_steps, 7); // 6n−5
 /// ```
-pub fn all_to_all<V: Clone + Send + Sync>(rec: &RecDualCube, items: &[Vec<V>]) -> AllToAllRun<V> {
+pub fn all_to_all<V: Clone + Send + Sync + 'static>(
+    rec: &RecDualCube,
+    items: &[Vec<V>],
+) -> AllToAllRun<V> {
     let n_nodes = rec.num_nodes();
     assert_eq!(items.len(), n_nodes, "need one item vector per node");
     assert!(

@@ -43,7 +43,11 @@ pub struct BroadcastRun<V> {
 /// assert!(run.values.iter().all(|v| *v == "hello"));
 /// assert_eq!(run.metrics.comm_steps, 6); // 2n
 /// ```
-pub fn broadcast<V: Clone + Send + Sync>(d: &DualCube, root: NodeId, value: V) -> BroadcastRun<V> {
+pub fn broadcast<V: Clone + Send + Sync + 'static>(
+    d: &DualCube,
+    root: NodeId,
+    value: V,
+) -> BroadcastRun<V> {
     assert!(root < d.num_nodes(), "root {root} out of range");
     let root_class = d.class_of(root);
     let root_cluster = d.cluster_index(root);
@@ -142,7 +146,7 @@ pub struct BroadcastLargeRun<V> {
 /// transfer). Mostly a demonstration that the collectives compose; the
 /// honest word counts are in
 /// [`Metrics::message_words`](dc_simulator::Metrics::message_words).
-pub fn broadcast_large<V: Clone + Send + Sync>(
+pub fn broadcast_large<V: Clone + Send + Sync + 'static>(
     d: &DualCube,
     root: crate::collectives::scatter::ScatterRun<V>,
 ) -> BroadcastLargeRun<V> {
@@ -160,7 +164,7 @@ pub fn broadcast_large<V: Clone + Send + Sync>(
 
 /// One-call large-message broadcast: `root` holds `items` (length a
 /// multiple of the node count conceptually; here one share per node).
-pub fn broadcast_large_from<V: Clone + Send + Sync>(
+pub fn broadcast_large_from<V: Clone + Send + Sync + 'static>(
     d: &DualCube,
     root: NodeId,
     items: &[V],

@@ -20,7 +20,7 @@ use dc_topology::{DualCube, NodeId, Topology};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bag<V>(pub Vec<(NodeId, V)>);
 
-impl<V: Clone + Send + Sync> Monoid for Bag<V> {
+impl<V: Clone + Send + Sync + 'static> Monoid for Bag<V> {
     fn identity() -> Self {
         Bag(Vec::new())
     }
@@ -36,7 +36,7 @@ impl<V: Clone + Send + Sync> Monoid for Bag<V> {
 }
 // Union is commutative as a multiset; the callers sort by node id before
 // returning, so the tree order never shows.
-impl<V: Clone + Send + Sync> Commutative for Bag<V> {}
+impl<V: Clone + Send + Sync + 'static> Commutative for Bag<V> {}
 
 /// Result of a [`gather`].
 #[derive(Debug, Clone)]
@@ -59,7 +59,11 @@ pub struct GatherRun<V> {
 /// assert_eq!(run.values, values);
 /// assert_eq!(run.metrics.comm_steps, 4); // 2n
 /// ```
-pub fn gather<V: Clone + Send + Sync>(d: &DualCube, root: NodeId, values: &[V]) -> GatherRun<V> {
+pub fn gather<V: Clone + Send + Sync + 'static>(
+    d: &DualCube,
+    root: NodeId,
+    values: &[V],
+) -> GatherRun<V> {
     assert_eq!(values.len(), d.num_nodes(), "need one value per node");
     let bags: Vec<Bag<V>> = values
         .iter()
@@ -91,7 +95,7 @@ pub struct AllGatherRun<V> {
 }
 
 /// All-gather: every node ends with every node's value, in node-id order.
-pub fn all_gather<V: Clone + Send + Sync>(d: &DualCube, values: &[V]) -> AllGatherRun<V> {
+pub fn all_gather<V: Clone + Send + Sync + 'static>(d: &DualCube, values: &[V]) -> AllGatherRun<V> {
     assert_eq!(values.len(), d.num_nodes(), "need one value per node");
     let bags: Vec<Bag<V>> = values
         .iter()

@@ -45,7 +45,7 @@ pub struct TreeBroadcastRun<V> {
 /// let run = tree_broadcast(&mc, 7, 0xBEEFu16);
 /// assert!(run.values.iter().all(|v| *v == Some(0xBEEF)));
 /// ```
-pub fn tree_broadcast<T: Topology + ?Sized, V: Clone + Send + Sync>(
+pub fn tree_broadcast<T: Topology + ?Sized, V: Clone + Send + Sync + 'static>(
     topo: &T,
     root: NodeId,
     value: V,

@@ -41,7 +41,11 @@ pub struct ScatterRun<V> {
 /// assert_eq!(run.values, values);
 /// assert_eq!(run.metrics.comm_steps, 4); // 2n
 /// ```
-pub fn scatter<V: Clone + Send + Sync>(d: &DualCube, root: NodeId, values: &[V]) -> ScatterRun<V> {
+pub fn scatter<V: Clone + Send + Sync + 'static>(
+    d: &DualCube,
+    root: NodeId,
+    values: &[V],
+) -> ScatterRun<V> {
     assert!(root < d.num_nodes(), "root {root} out of range");
     assert_eq!(values.len(), d.num_nodes(), "need one value per node");
     let root_class = d.class_of(root);

@@ -78,7 +78,7 @@ pub fn dim_comm_cost(j: u32) -> u64 {
 /// `apply(node, own, partner)`. Costs [`dim_comm_cost`]`(j)` communication
 /// cycles plus one computation cycle. Payloads are counted as one word
 /// each; block algorithms use [`exchange_dim_sized`].
-pub fn exchange_dim<V: Clone + Send + Sync>(
+pub fn exchange_dim<V: Clone + Send + Sync + 'static>(
     machine: &mut Machine<'_, RecDualCube, EmuState<V>>,
     j: u32,
     apply: impl Fn(NodeId, &V, &V) -> V + Sync,
@@ -89,7 +89,7 @@ pub fn exchange_dim<V: Clone + Send + Sync>(
 /// [`exchange_dim`] with explicit payload sizes: `size(value)` reports the
 /// element count of a value in flight (e.g. the block length for
 /// compare-split), feeding [`dc_simulator::Metrics::message_words`].
-pub fn exchange_dim_sized<V: Clone + Send + Sync>(
+pub fn exchange_dim_sized<V: Clone + Send + Sync + 'static>(
     machine: &mut Machine<'_, RecDualCube, EmuState<V>>,
     j: u32,
     apply: impl Fn(NodeId, &V, &V) -> V + Sync,
@@ -156,7 +156,7 @@ pub fn exchange_dim_sized<V: Clone + Send + Sync>(
 /// A full emulated **descend** sweep (dimensions high → low), the shape of
 /// bitonic merging; `apply` is called per dimension as in
 /// [`exchange_dim`].
-pub fn descend<V: Clone + Send + Sync>(
+pub fn descend<V: Clone + Send + Sync + 'static>(
     machine: &mut Machine<'_, RecDualCube, EmuState<V>>,
     apply: impl Fn(u32, NodeId, &V, &V) -> V + Sync,
 ) {
@@ -168,7 +168,7 @@ pub fn descend<V: Clone + Send + Sync>(
 
 /// A full emulated **ascend** sweep (dimensions low → high), the shape of
 /// prefix/reduction algorithms.
-pub fn ascend<V: Clone + Send + Sync>(
+pub fn ascend<V: Clone + Send + Sync + 'static>(
     machine: &mut Machine<'_, RecDualCube, EmuState<V>>,
     apply: impl Fn(u32, NodeId, &V, &V) -> V + Sync,
 ) {

@@ -45,7 +45,7 @@ pub fn mc_machine<'t, V>(mc: &'t Metacube, values: Vec<V>) -> Machine<'t, Metacu
 /// every node has seen its dimension-`j` partner's value and replaced its
 /// own with `apply(node, own, partner)`. `size` reports payload words per
 /// value (use `|_| 1` for scalars).
-pub fn mc_exchange_dim<V: Clone + Send + Sync>(
+pub fn mc_exchange_dim<V: Clone + Send + Sync + 'static>(
     machine: &mut Machine<'_, Metacube, McEmuState<V>>,
     j: u32,
     apply: impl Fn(NodeId, &V, &V) -> V + Sync,

@@ -19,9 +19,11 @@
 ///
 /// `Send + Sync` are supertraits because machine states built from monoid
 /// values cross worker threads under the simulator's parallel execution
-/// backend ([`dc_simulator::ExecMode`]); every value-semantics monoid
-/// satisfies them automatically.
-pub trait Monoid: Clone + Send + Sync {
+/// backend ([`dc_simulator::ExecMode`]); `'static` because messages are
+/// staged in the machine's reusable (type-erased) cycle scratch, which is
+/// what makes steady-state cycles allocation-free. Every value-semantics
+/// monoid satisfies all of them automatically.
+pub trait Monoid: Clone + Send + Sync + 'static {
     /// The identity element of `⊕`.
     fn identity() -> Self;
     /// `self ⊕ rhs` (order matters: `self` is the left operand).

@@ -60,7 +60,7 @@ use dc_topology::{bits::bit, NodeId, RecDualCube, Topology};
 /// assert_eq!(run.metrics.comm_steps, 12); // 6n²−7n+2 at n=2
 /// assert_eq!(run.metrics.comp_steps, 6);  // 2n²−n at n=2
 /// ```
-pub fn d_sort<K: Ord + Clone + Send + Sync>(
+pub fn d_sort<K: Ord + Clone + Send + Sync + 'static>(
     rec: &RecDualCube,
     keys: &[K],
     order: SortOrder,
@@ -137,7 +137,7 @@ pub fn d_sort<K: Ord + Clone + Send + Sync>(
 /// One emulated compare-exchange round over dimension `j`;
 /// `descending(r)` is the merge direction at node `r`. In an ascending
 /// region the node with bit `j` clear keeps the minimum.
-fn compare_round<K: Ord + Clone + Send + Sync>(
+fn compare_round<K: Ord + Clone + Send + Sync + 'static>(
     machine: &mut Machine<'_, RecDualCube, EmuState<K>>,
     j: u32,
     descending: impl Fn(NodeId) -> bool + Sync,
@@ -159,7 +159,7 @@ mod tests {
     use crate::theory;
     use proptest::prelude::*;
 
-    fn sorted_copy<K: Ord + Clone + Send + Sync>(keys: &[K], order: SortOrder) -> Vec<K> {
+    fn sorted_copy<K: Ord + Clone + Send + Sync + 'static>(keys: &[K], order: SortOrder) -> Vec<K> {
         let mut v = keys.to_vec();
         v.sort();
         if order == SortOrder::Descending {

@@ -39,7 +39,7 @@ struct KeyState<K> {
 /// assert_eq!(run.output, vec![1, 2, 3, 4, 5, 7, 8, 9]);
 /// assert_eq!(run.metrics.comm_steps, 6); // m(m+1)/2 = 3·4/2
 /// ```
-pub fn cube_bitonic_sort<K: Ord + Clone + Send + Sync>(
+pub fn cube_bitonic_sort<K: Ord + Clone + Send + Sync + 'static>(
     q: &Hypercube,
     keys: &[K],
     order: SortOrder,
@@ -99,7 +99,7 @@ pub fn cube_bitonic_sort<K: Ord + Clone + Send + Sync>(
 /// One compare-exchange round along dimension `j`; `descending(u)` gives
 /// the merge direction at node `u` (`false` = ascending block). In an
 /// ascending block the node with bit `j` clear keeps the minimum.
-fn compare_exchange_round<K: Ord + Clone + Send + Sync>(
+fn compare_exchange_round<K: Ord + Clone + Send + Sync + 'static>(
     machine: &mut Machine<'_, Hypercube, KeyState<K>>,
     j: u32,
     descending: impl Fn(usize) -> bool + Sync,
@@ -129,7 +129,7 @@ mod tests {
     use crate::theory;
     use proptest::prelude::*;
 
-    fn sorted_copy<K: Ord + Clone + Send + Sync>(keys: &[K], order: SortOrder) -> Vec<K> {
+    fn sorted_copy<K: Ord + Clone + Send + Sync + 'static>(keys: &[K], order: SortOrder) -> Vec<K> {
         let mut v = keys.to_vec();
         v.sort();
         if order == SortOrder::Descending {

@@ -50,7 +50,7 @@ pub fn imbalance(run: &HyperquickRun<impl Clone>, k: usize) -> f64 {
 /// Sorts `keys` (`k = keys.len() / N` per node) on `D_n` by
 /// hyperquicksort. Ascending only (descending = reverse afterwards, as in
 /// compare-split sorting).
-pub fn hyperquicksort<K: Ord + Clone + Send + Sync>(
+pub fn hyperquicksort<K: Ord + Clone + Send + Sync + 'static>(
     rec: &RecDualCube,
     keys: &[K],
 ) -> HyperquickRun<K> {
@@ -175,7 +175,7 @@ pub fn hyperquicksort<K: Ord + Clone + Send + Sync>(
 
 /// Convenience: ascending or descending (descending reverses the
 /// ascending result — a free local pass).
-pub fn hyperquicksort_ordered<K: Ord + Clone + Send + Sync>(
+pub fn hyperquicksort_ordered<K: Ord + Clone + Send + Sync + 'static>(
     rec: &RecDualCube,
     keys: &[K],
     order: SortOrder,

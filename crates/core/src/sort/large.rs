@@ -19,7 +19,11 @@ use dc_topology::{bits::bit, NodeId, RecDualCube, Topology};
 
 /// Merges two sorted blocks and returns the lower (`keep_low`) or upper
 /// half, each of the original block length.
-pub fn compare_split<K: Ord + Clone + Send + Sync>(a: &[K], b: &[K], keep_low: bool) -> Vec<K> {
+pub fn compare_split<K: Ord + Clone + Send + Sync + 'static>(
+    a: &[K],
+    b: &[K],
+    keep_low: bool,
+) -> Vec<K> {
     debug_assert_eq!(a.len(), b.len());
     debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
     debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
@@ -66,7 +70,7 @@ pub fn compare_split<K: Ord + Clone + Send + Sync>(a: &[K], b: &[K], keep_low: b
 /// assert_eq!(run.output, (0..24).collect::<Vec<_>>());
 /// assert_eq!(run.metrics.comm_steps, 12); // same schedule as k = 1
 /// ```
-pub fn d_sort_large<K: Ord + Clone + Send + Sync>(
+pub fn d_sort_large<K: Ord + Clone + Send + Sync + 'static>(
     rec: &RecDualCube,
     keys: &[K],
     order: SortOrder,
@@ -141,7 +145,7 @@ pub fn d_sort_large<K: Ord + Clone + Send + Sync>(
     }
 }
 
-fn split_round<K: Ord + Clone + Send + Sync>(
+fn split_round<K: Ord + Clone + Send + Sync + 'static>(
     machine: &mut dc_simulator::Machine<'_, RecDualCube, crate::emulate::EmuState<Vec<K>>>,
     j: u32,
     _k: usize,

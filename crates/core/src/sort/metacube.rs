@@ -39,7 +39,7 @@ pub fn mc_sort_comm(k: u32, m: u32) -> u64 {
 /// let run = mc_sort(&mc, &keys, SortOrder::Ascending);
 /// assert_eq!(run.output, (0..64).collect::<Vec<_>>());
 /// ```
-pub fn mc_sort<K: Ord + Clone + Send + Sync>(
+pub fn mc_sort<K: Ord + Clone + Send + Sync + 'static>(
     mc: &Metacube,
     keys: &[K],
     order: SortOrder,

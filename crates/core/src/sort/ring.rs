@@ -34,7 +34,7 @@ struct RingState<K> {
 /// assert_eq!(run.output, vec![1, 2, 3, 4, 5, 7, 8, 9]);
 /// assert_eq!(run.metrics.comm_steps, 8); // N rounds
 /// ```
-pub fn ring_sort<K: Ord + Clone + Send + Sync>(
+pub fn ring_sort<K: Ord + Clone + Send + Sync + 'static>(
     rec: &RecDualCube,
     keys: &[K],
     order: SortOrder,

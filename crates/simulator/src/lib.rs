@@ -24,7 +24,14 @@
 //! breakdowns used by the worked-example experiments.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the persistent worker pool (`parallel::pool`) is
+// the one module allowed to opt back in with `#[allow(unsafe_code)]` —
+// keeping threads parked across fork-join rounds requires erasing the
+// job's borrow lifetime, the pattern `std::thread::scope` encapsulates
+// (and which made the previous spawn-per-phase backend fully safe, at the
+// cost of ~0.3–0.5 ms of thread spawn/join per cycle; EXPERIMENTS.md
+// §E22/§E23). Everything outside that module remains unsafe-free.
+#![deny(unsafe_code)]
 
 mod error;
 mod machine;

@@ -5,6 +5,86 @@ use crate::error::SimError;
 use crate::metrics::Metrics;
 use crate::parallel::{par_apply_forced, par_zip_apply, par_zip_apply_mut, ExecMode};
 use dc_topology::{NodeId, Topology};
+use std::any::Any;
+use std::fmt;
+
+/// A reusable, type-erased `Vec<Option<(NodeId, M)>>`: one allocation
+/// that survives across cycles for as long as the message type `M` stays
+/// the same (the steady state of every cycle loop). A cycle with a new
+/// message type swaps in a fresh vector; the old one is dropped.
+struct TypedSlot(Option<Box<dyn Any + Send>>);
+
+impl TypedSlot {
+    const fn new() -> Self {
+        TypedSlot(None)
+    }
+
+    /// The buffer for message type `M`, *cleared* but with its capacity
+    /// intact. Allocates only on first use or when `M` changed since the
+    /// previous cycle.
+    fn cleared<M: Send + 'static>(&mut self) -> &mut Vec<Option<(NodeId, M)>> {
+        let fresh = match &self.0 {
+            Some(b) => !b.is::<Vec<Option<(NodeId, M)>>>(),
+            None => true,
+        };
+        if fresh {
+            self.0 = Some(Box::new(Vec::<Option<(NodeId, M)>>::new()));
+        }
+        let v: &mut Vec<Option<(NodeId, M)>> = self
+            .0
+            .as_mut()
+            .expect("slot populated above")
+            .downcast_mut()
+            .expect("slot typed above");
+        v.clear();
+        v
+    }
+}
+
+/// Per-cycle scratch buffers owned by the machine so that a steady-state
+/// cycle performs **zero heap allocations**: the plan slots, the
+/// receive-conflict table, the deliver inbox, and the pairwise partner
+/// table are all reused across cycles (pinned by the counting-allocator
+/// test in `tests/zero_alloc.rs`). Purely transient — contents never
+/// survive past the cycle that filled them, so cloning a machine starts
+/// the clone with empty scratch and equality/trace semantics are
+/// unaffected.
+struct Scratch {
+    /// `recv_from[dst]` = sending node during validation (`usize::MAX` =
+    /// no sender yet).
+    recv_from: Vec<usize>,
+    /// Pairwise partner choices, reused by `try_pairwise_sized`.
+    partners: Vec<Option<NodeId>>,
+    /// Plan-phase output slots, keyed by message type.
+    plans: TypedSlot,
+    /// Deliver-phase inbox (threaded path only), keyed by message type.
+    inbox: TypedSlot,
+}
+
+impl Scratch {
+    const fn new() -> Self {
+        Scratch {
+            recv_from: Vec::new(),
+            partners: Vec::new(),
+            plans: TypedSlot::new(),
+            inbox: TypedSlot::new(),
+        }
+    }
+}
+
+impl fmt::Debug for Scratch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Scratch { .. }")
+    }
+}
+
+impl Clone for Scratch {
+    /// Scratch is transient per-cycle storage; a cloned machine starts
+    /// with fresh (empty) buffers.
+    fn clone(&self) -> Self {
+        Scratch::new()
+    }
+}
 
 /// A synchronous message-passing machine over a [`Topology`].
 ///
@@ -68,6 +148,7 @@ pub struct Machine<'t, T: Topology + ?Sized, S> {
     metrics: Metrics,
     trace: Option<Vec<Vec<(NodeId, NodeId)>>>,
     exec: ExecMode,
+    scratch: Scratch,
 }
 
 impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
@@ -88,6 +169,7 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
             metrics: Metrics::new(),
             trace: None,
             exec: ExecMode::default(),
+            scratch: Scratch::new(),
         }
     }
 
@@ -169,6 +251,12 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     /// message) this node sends, or `None` to stay silent; `deliver` runs
     /// at each receiving node. Returns the number of messages delivered.
     ///
+    /// Steady-state cycles are **allocation-free** (with tracing off): the
+    /// plan, validation, and inbox buffers live in machine-owned scratch
+    /// storage and are reused across cycles, so a cycle loop touches the
+    /// heap only on its first iteration (or when the message type `M`
+    /// changes between cycles).
+    ///
     /// # Errors
     ///
     /// Any violation of the 1-port synchronous model: sending to a
@@ -176,7 +264,7 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     /// converging on one receiver. On error the cycle is *not* applied and
     /// no step is counted, so a test can probe illegal schedules without
     /// corrupting the machine.
-    pub fn try_exchange<M: Send>(
+    pub fn try_exchange<M: Send + 'static>(
         &mut self,
         plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
         deliver: impl Fn(&mut S, NodeId, M) + Sync,
@@ -191,7 +279,7 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     /// reports how many elements the message carries, feeding
     /// [`Metrics::message_words`] (block-transfer algorithms pass the
     /// block length; everything else uses the 1-word default).
-    pub fn try_exchange_sized<M: Send>(
+    pub fn try_exchange_sized<M: Send + 'static>(
         &mut self,
         plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
         deliver: impl Fn(&mut S, NodeId, M) + Sync,
@@ -203,52 +291,57 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
         let n = self.states.len();
         let threaded = self.threaded();
 
-        // Phase 1 — plan: read-only over the states, one slot per node.
-        let mut plans: Vec<Option<(NodeId, M)>> = if threaded {
-            let mut plans: Vec<Option<(NodeId, M)>> = Vec::with_capacity(n);
+        // Phase 1 — plan: read-only over the states, one slot per node,
+        // written into the reusable scratch buffer.
+        let plans = self.scratch.plans.cleared::<M>();
+        if threaded {
             plans.resize_with(n, || None);
-            par_zip_apply(&mut plans, &self.states, &|u, slot, s| *slot = plan(u, s));
-            plans
+            par_zip_apply(plans, &self.states, &|u, slot, s| *slot = plan(u, s));
         } else {
-            self.states
-                .iter()
-                .enumerate()
-                .map(|(u, s)| plan(u, s))
-                .collect()
-        };
+            plans.extend(self.states.iter().enumerate().map(|(u, s)| plan(u, s)));
+        }
 
         // Phase 2 — validate the cycle before touching any state. Always
         // sequential in node order, so error reporting (which violation is
         // surfaced when several exist) is identical on every backend.
-        let mut recv_from = vec![usize::MAX; n];
+        let recv_from = &mut self.scratch.recv_from;
+        recv_from.clear();
+        recv_from.resize(n, usize::MAX);
         let mut delivered = 0usize;
         let mut total_words = 0u64;
+        let mut violation = None;
         for (src, p) in plans.iter().enumerate() {
             if let Some((dst, msg)) = p {
                 let dst = *dst;
                 if dst >= n {
-                    return Err(SimError::OutOfRange {
+                    violation = Some(SimError::OutOfRange {
                         node: dst,
                         num_nodes: n,
                     });
-                }
-                if dst == src {
-                    return Err(SimError::SelfMessage { node: src });
-                }
-                if !self.topo.is_edge(src, dst) {
-                    return Err(SimError::NotAdjacent { src, dst });
-                }
-                if recv_from[dst] != usize::MAX {
-                    return Err(SimError::RecvConflict {
+                } else if dst == src {
+                    violation = Some(SimError::SelfMessage { node: src });
+                } else if !self.topo.is_edge(src, dst) {
+                    violation = Some(SimError::NotAdjacent { src, dst });
+                } else if recv_from[dst] != usize::MAX {
+                    violation = Some(SimError::RecvConflict {
                         node: dst,
                         first_src: recv_from[dst],
                         second_src: src,
                     });
                 }
+                if violation.is_some() {
+                    break;
+                }
                 recv_from[dst] = src;
                 delivered += 1;
                 total_words += words(msg);
             }
+        }
+        if let Some(e) = violation {
+            // Drop the undelivered messages eagerly rather than letting
+            // them linger in scratch until the next cycle overwrites it.
+            plans.clear();
+            return Err(e);
         }
         if let Some(trace) = self.trace.as_mut() {
             trace.push(
@@ -262,17 +355,17 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
 
         // Phase 3 — deliver. The validated matching guarantees at most one
         // inbound message per node, so the parallel backend scatters the
-        // messages into a per-node inbox and lets each worker mutate only
-        // its own node's state.
+        // messages into a per-node inbox (also reusable scratch) and lets
+        // each worker mutate only its own node's state.
         if threaded {
-            let mut inbox: Vec<Option<(NodeId, M)>> = Vec::with_capacity(n);
+            let inbox = self.scratch.inbox.cleared::<M>();
             inbox.resize_with(n, || None);
             for (src, p) in plans.iter_mut().enumerate() {
                 if let Some((dst, msg)) = p.take() {
                     inbox[dst] = Some((src, msg));
                 }
             }
-            par_zip_apply_mut(&mut self.states, &mut inbox, &|_, s, slot| {
+            par_zip_apply_mut(&mut self.states, inbox, &|_, s, slot| {
                 if let Some((src, msg)) = slot.take() {
                     deliver(s, src, msg);
                 }
@@ -291,9 +384,10 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
 
     /// [`Machine::try_exchange`] that panics on a model violation — the
     /// form algorithm implementations use, since their schedules are
-    /// supposed to be legal by construction.
+    /// supposed to be legal by construction. Steady-state cycles are
+    /// allocation-free — see [`Machine::try_exchange`].
     #[track_caller]
-    pub fn exchange<M: Send>(
+    pub fn exchange<M: Send + 'static>(
         &mut self,
         plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
         deliver: impl Fn(&mut S, NodeId, M) + Sync,
@@ -307,26 +401,24 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
         }
     }
 
-    /// Collects each node's chosen partner, in parallel when threaded.
-    fn collect_partners(
+    /// Fills `out` with each node's chosen partner, in parallel when
+    /// threaded. (`out` is the reusable scratch buffer, moved out of
+    /// `self` during the call so the state borrow stays clean.)
+    fn collect_partners_into(
         &self,
         pair: &(impl Fn(NodeId, &S) -> Option<NodeId> + Sync),
-    ) -> Vec<Option<NodeId>>
-    where
+        out: &mut Vec<Option<NodeId>>,
+    ) where
         S: Send + Sync,
     {
+        out.clear();
         if self.threaded() {
-            let mut partners: Vec<Option<NodeId>> = vec![None; self.states.len()];
-            par_zip_apply(&mut partners, &self.states, &|u, slot, s| {
+            out.resize(self.states.len(), None);
+            par_zip_apply(out, &self.states, &|u, slot, s| {
                 *slot = pair(u, s);
             });
-            partners
         } else {
-            self.states
-                .iter()
-                .enumerate()
-                .map(|(u, s)| pair(u, s))
-                .collect()
+            out.extend(self.states.iter().enumerate().map(|(u, s)| pair(u, s)));
         }
     }
 
@@ -335,11 +427,14 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     /// Every participating node sends `msg(u, state)` to its partner and
     /// `deliver(state, partner, message)` runs at each participant.
     ///
+    /// Like [`Machine::try_exchange`], steady-state cycles perform zero
+    /// heap allocations (the partner table is machine-owned scratch too).
+    ///
     /// # Errors
     ///
     /// [`SimError::AsymmetricPair`] if the matching is not symmetric, plus
     /// everything [`Machine::try_exchange`] can report.
-    pub fn try_pairwise<M: Send>(
+    pub fn try_pairwise<M: Send + 'static>(
         &mut self,
         pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
         msg: impl Fn(NodeId, &S) -> M + Sync,
@@ -353,7 +448,7 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
 
     /// [`Machine::try_pairwise`] with explicit payload sizes (see
     /// [`Machine::try_exchange_sized`]).
-    pub fn try_pairwise_sized<M: Send>(
+    pub fn try_pairwise_sized<M: Send + 'static>(
         &mut self,
         pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
         msg: impl Fn(NodeId, &S) -> M + Sync,
@@ -365,31 +460,42 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     {
         let n = self.states.len();
         // Pre-validate symmetry so the error is precise (try_exchange
-        // would report it as a receive conflict or not at all).
-        let partners = self.collect_partners(&pair);
-        for (u, &p) in partners.iter().enumerate() {
-            if let Some(v) = p {
-                if v >= n {
-                    return Err(SimError::OutOfRange {
-                        node: v,
-                        num_nodes: n,
-                    });
-                }
-                if partners[v] != Some(u) {
-                    return Err(SimError::AsymmetricPair { a: u, b: v });
+        // would report it as a receive conflict or not at all). The
+        // partner table is reusable scratch, moved out for the duration
+        // of the cycle and always restored before returning.
+        let mut partners = std::mem::take(&mut self.scratch.partners);
+        self.collect_partners_into(&pair, &mut partners);
+        let symmetric = (|| {
+            for (u, &p) in partners.iter().enumerate() {
+                if let Some(v) = p {
+                    if v >= n {
+                        return Err(SimError::OutOfRange {
+                            node: v,
+                            num_nodes: n,
+                        });
+                    }
+                    if partners[v] != Some(u) {
+                        return Err(SimError::AsymmetricPair { a: u, b: v });
+                    }
                 }
             }
-        }
-        self.try_exchange_sized(
-            |u, s| partners[u].map(|v| (v, msg(u, s))),
-            |s, from, m| deliver(s, from, m),
-            words,
-        )
+            Ok(())
+        })();
+        let result = match symmetric {
+            Ok(()) => self.try_exchange_sized(
+                |u, s| partners[u].map(|v| (v, msg(u, s))),
+                |s, from, m| deliver(s, from, m),
+                words,
+            ),
+            Err(e) => Err(e),
+        };
+        self.scratch.partners = partners;
+        result
     }
 
     /// Panicking form of [`Machine::try_pairwise_sized`].
     #[track_caller]
-    pub fn pairwise_sized<M: Send>(
+    pub fn pairwise_sized<M: Send + 'static>(
         &mut self,
         pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
         msg: impl Fn(NodeId, &S) -> M + Sync,
@@ -407,7 +513,7 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
 
     /// Panicking form of [`Machine::try_exchange_sized`].
     #[track_caller]
-    pub fn exchange_sized<M: Send>(
+    pub fn exchange_sized<M: Send + 'static>(
         &mut self,
         plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
         deliver: impl Fn(&mut S, NodeId, M) + Sync,
@@ -422,9 +528,10 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
         }
     }
 
-    /// Panicking form of [`Machine::try_pairwise`].
+    /// Panicking form of [`Machine::try_pairwise`]. Steady-state cycles
+    /// are allocation-free — see [`Machine::try_pairwise`].
     #[track_caller]
-    pub fn pairwise<M: Send>(
+    pub fn pairwise<M: Send + 'static>(
         &mut self,
         pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
         msg: impl Fn(NodeId, &S) -> M + Sync,

@@ -9,15 +9,25 @@
 //! backend), and a receiver-driven *deliver* phase in which each worker
 //! mutates only its own node's state; `compute` and `setup` cycles are
 //! chunked directly. The executors here are the primitives for those
-//! phases, built on `std::thread::scope` (rayon and crossbeam are not in
-//! the dependency set; scoped threads give the same fork-join structure
-//! for this fixed-shape workload — see DESIGN.md §6).
+//! phases, built on a lazily-initialised **persistent worker pool**
+//! (the private `pool` module): long-lived threads parked on a condvar between cycles and
+//! woken by an epoch-counter fork-join barrier, so a steady-state cycle
+//! costs three wake/join rounds instead of three rounds of OS thread
+//! spawns (rayon and crossbeam are not in the dependency set — see
+//! DESIGN.md §6 for the pool architecture and the measured difference
+//! against the earlier `std::thread::scope` backend).
 //!
 //! Determinism: workers receive disjoint `(node id, &mut state)` pairs, so
 //! the result is identical to the sequential loop regardless of
 //! scheduling. The determinism tests in `dc-core`'s
 //! `tests/parallel_backend.rs` pin this at the algorithm level: parallel
 //! and sequential runs must agree state-for-state and metric-for-metric.
+//! Panics raised inside the per-node closures are propagated to the
+//! caller (with their original payload) exactly as `std::thread::scope`
+//! would, and leave the pool reusable.
+
+#[allow(unsafe_code)]
+mod pool;
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -136,9 +146,10 @@ pub fn par_apply<S: Send>(states: &mut [S], f: impl Fn(usize, &mut S) + Sync) {
     par_apply_forced(states, &f);
 }
 
-/// [`par_apply`] without the length cutoff: always spawns (unless the host
-/// has a single core or the slice is empty). The machine applies its own
-/// [`ExecMode`] threshold before calling this.
+/// [`par_apply`] without the length cutoff: always dispatches on the
+/// persistent pool (unless the host has a single core or the slice is
+/// empty). The machine applies its own [`ExecMode`] threshold before
+/// calling this.
 pub fn par_apply_forced<S: Send>(states: &mut [S], f: &(impl Fn(usize, &mut S) + Sync)) {
     let len = states.len();
     let threads = available_threads();
@@ -148,17 +159,7 @@ pub fn par_apply_forced<S: Send>(states: &mut [S], f: &(impl Fn(usize, &mut S) +
         }
         return;
     }
-    let chunk = len.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (c, slice) in states.chunks_mut(chunk).enumerate() {
-            scope.spawn(move || {
-                let base = c * chunk;
-                for (i, s) in slice.iter_mut().enumerate() {
-                    f(base + i, s);
-                }
-            });
-        }
-    });
+    pool::apply_chunked(threads, states, f);
 }
 
 /// Applies `f(index, &mut a[i], &b[i])` in parallel over two equal-length
@@ -178,17 +179,7 @@ pub fn par_zip_apply<A: Send, B: Sync>(
         }
         return;
     }
-    let chunk = len.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (c, (sa, sb)) in a.chunks_mut(chunk).zip(b.chunks(chunk)).enumerate() {
-            scope.spawn(move || {
-                let base = c * chunk;
-                for (i, (x, y)) in sa.iter_mut().zip(sb).enumerate() {
-                    f(base + i, x, y);
-                }
-            });
-        }
-    });
+    pool::zip_apply_chunked(threads, a, b, f);
 }
 
 /// Applies `f(index, &mut a[i], &mut b[i])` in parallel over two
@@ -208,17 +199,7 @@ pub fn par_zip_apply_mut<A: Send, B: Send>(
         }
         return;
     }
-    let chunk = len.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (c, (sa, sb)) in a.chunks_mut(chunk).zip(b.chunks_mut(chunk)).enumerate() {
-            scope.spawn(move || {
-                let base = c * chunk;
-                for (i, (x, y)) in sa.iter_mut().zip(sb.iter_mut()).enumerate() {
-                    f(base + i, x, y);
-                }
-            });
-        }
-    });
+    pool::zip_apply_mut_chunked(threads, a, b, f);
 }
 
 /// Upper bound on worker threads, so huge hosts (or careless overrides)
@@ -233,6 +214,11 @@ static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// single-core host still drives the real cross-thread code paths
 /// (oversubscribed), and because the backend is deterministic the results
 /// are identical at any worker count — only wall-clock changes.
+///
+/// The change takes effect at the next parallel dispatch: the persistent
+/// pool resizes itself (retiring parked workers or spawning new ones)
+/// before publishing the next fork-join round, so the count may change
+/// freely between cycles of a running machine.
 pub fn set_worker_threads(n: usize) {
     WORKER_OVERRIDE.store(n.min(MAX_THREADS), Ordering::SeqCst);
 }

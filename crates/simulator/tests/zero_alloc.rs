@@ -1,0 +1,131 @@
+//! Steady-state cycles are allocation-free: after a warm-up cycle has
+//! sized the machine's reusable scratch (plan slab, receiver map, partner
+//! buffer, threaded inbox), further `pairwise`/`exchange`/`compute`
+//! cycles must hit the global allocator **zero** times (with tracing
+//! off). Pinned here with a counting wrapper around the system allocator
+//! — this is the regression guard for the scratch-reuse machinery in
+//! `Machine` (see `machine.rs` rustdoc) and the acceptance criterion of
+//! the persistent-pool PR.
+//!
+//! This lives in its own integration-test binary so the `#[global_allocator]`
+//! swap and the process-wide counter don't interfere with other suites;
+//! the single `#[test]` below keeps the counter single-threaded apart
+//! from the pool's own workers.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dc_simulator::{set_worker_threads, with_default_exec, ExecMode, Machine};
+use dc_topology::{Hypercube, Topology};
+
+/// Counts every allocator call that hands out (or moves) memory.
+/// Deallocations are free of interest: a steady-state cycle that
+/// allocates and frees per cycle still fails the budget.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One representative cycle: a pairwise dimension exchange (partner
+/// collection + plan staging + validation + delivery) and a local
+/// compute step.
+fn one_cycle(m: &mut Machine<'_, Hypercube, u64>, dim: u32) {
+    m.pairwise(
+        move |u, _| Some(u ^ (1usize << dim)),
+        |_, &s| s,
+        |s, _, v: u64| *s = s.wrapping_mul(0x9E37_79B9).wrapping_add(v),
+    );
+    m.compute(1, |u, s| *s = s.rotate_left((u % 7) as u32));
+}
+
+/// Allocator calls observed while running `f`.
+fn alloc_delta(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    f();
+    ALLOC_CALLS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn steady_state_cycles_do_not_allocate() {
+    let q = Hypercube::new(6); // 64 nodes
+    let init: Vec<u64> = (0..q.num_nodes() as u64).collect();
+
+    with_default_exec(ExecMode::Sequential, || {
+        // --- Sequential backend: hard zero. ---
+        let mut m = Machine::with_exec(&q, init.clone(), ExecMode::Sequential);
+        for dim in 0..3 {
+            one_cycle(&mut m, dim); // warm-up sizes the scratch
+        }
+        let seq_delta = alloc_delta(|| {
+            for round in 0..100u32 {
+                one_cycle(&mut m, round % 6);
+            }
+        });
+        assert_eq!(
+            seq_delta, 0,
+            "sequential steady-state cycles allocated {seq_delta} times"
+        );
+
+        // Switching message types re-sizes the typed slots once, then the
+        // new type is steady-state too.
+        m.pairwise(
+            |u, _| Some(u ^ 1),
+            |_, &s| (s, s),
+            |s, _, v: (u64, u64)| *s ^= v.0 ^ v.1,
+        );
+        let retyped_delta = alloc_delta(|| {
+            for _ in 0..50 {
+                m.pairwise(
+                    |u, _| Some(u ^ 1),
+                    |_, &s| (s, s),
+                    |s, _, v: (u64, u64)| *s ^= v.0 ^ v.1,
+                );
+            }
+        });
+        assert_eq!(
+            retyped_delta, 0,
+            "steady-state after a message-type switch allocated {retyped_delta} times"
+        );
+
+        // --- Threaded backend: the persistent pool dispatches without
+        // allocating once its workers exist and the scratch is warm. ---
+        set_worker_threads(4);
+        let mut p = Machine::with_exec(&q, init.clone(), ExecMode::Parallel { threshold: 1 });
+        for dim in 0..3 {
+            one_cycle(&mut p, dim); // spawns the pool + warms the inbox
+        }
+        let par_delta = alloc_delta(|| {
+            for round in 0..100u32 {
+                one_cycle(&mut p, round % 6);
+            }
+        });
+        set_worker_threads(0);
+        assert_eq!(
+            par_delta, 0,
+            "threaded steady-state cycles allocated {par_delta} times"
+        );
+    });
+}

@@ -85,6 +85,28 @@ impl Topology for CubeConnectedCycles {
         3
     }
 
+    /// Closed-form bit test, overriding the default
+    /// `neighbors(u).contains(&v)` — which allocates a fresh `Vec` per
+    /// query and sits inside the simulator's per-cycle validation loop.
+    fn is_edge(&self, u: NodeId, v: NodeId) -> bool {
+        debug_assert!(u < self.num_nodes() && v < self.num_nodes());
+        let (x, p) = self.coords(u);
+        let (y, q) = self.coords(v);
+        if x == y {
+            // Cycle edge: positions adjacent on the d-cycle. (d ≥ 3, so
+            // the two directions are distinct and u == v never matches.)
+            (p + 1) % self.d == q || (q + 1) % self.d == p
+        } else {
+            // Rung edge: same position, cube vertices differ in bit p.
+            p == q && y == flip(x, p)
+        }
+    }
+
+    /// 3-regular: `3·d·2^d / 2` edges, without the handshake-lemma sweep.
+    fn num_edges(&self) -> usize {
+        3 * self.num_nodes() / 2
+    }
+
     fn name(&self) -> String {
         format!("CCC({})", self.d)
     }
@@ -128,6 +150,27 @@ mod tests {
         for d in 3..=6 {
             let c = CubeConnectedCycles::new(d);
             assert_eq!(graph::diameter(&c), c.diameter_formula(), "CCC({d})");
+        }
+    }
+
+    /// The closed-form `is_edge` must agree with the allocating default
+    /// (`neighbors(u).contains(&v)`) on every pair, including the d = 3
+    /// wrap-around cycle and all non-edges.
+    #[test]
+    fn closed_form_is_edge_matches_neighbor_lists() {
+        for d in 3..=5 {
+            let c = CubeConnectedCycles::new(d);
+            let mut nbrs = Vec::new();
+            for u in 0..c.num_nodes() {
+                c.neighbors_into(u, &mut nbrs);
+                for v in 0..c.num_nodes() {
+                    assert_eq!(
+                        c.is_edge(u, v),
+                        nbrs.contains(&v),
+                        "CCC({d}) pair ({u}, {v})"
+                    );
+                }
+            }
         }
     }
 

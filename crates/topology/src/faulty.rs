@@ -89,6 +89,14 @@ impl<T: Topology> Topology for Faulty<T> {
         out.retain(|&v| !self.failed[v]);
     }
 
+    // Allocating-defaults audit (all `Topology` impls): Hypercube,
+    // DualCube, RecDualCube, Metacube, and CubeConnectedCycles override
+    // `degree`/`is_edge`/`num_edges` with closed forms. `Faulty` has no
+    // closed form for `degree`/`num_edges` (they depend on the fault
+    // set), so those keep the neighbour-sweep defaults — but `is_edge`,
+    // the one call on the simulator's per-cycle validation path, is a
+    // pure bit test over the fault mask plus the inner closed form.
+
     fn degree(&self, u: NodeId) -> usize {
         self.neighbors(u).len()
     }

@@ -145,7 +145,7 @@ impl Strategy for &str {
 ///
 /// Supports the forms used in this workspace:
 ///
-/// ```ignore
+/// ```text
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(48))]
 ///     #[test]
