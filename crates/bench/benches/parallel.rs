@@ -4,8 +4,12 @@
 //!
 //! Both backends produce bit-identical runs (pinned by
 //! `tests/parallel_backend.rs`), so the only difference to measure is
-//! wall-clock. The measured ratios on the reference host are recorded in
-//! EXPERIMENTS.md §E22.
+//! wall-clock. Every leg additionally gets a `-nocache` twin with the
+//! schedule capture-and-replay layer disabled
+//! ([`with_schedule_replay`]`(false, …)`), so the replay win is measured
+//! in the same group as the backend win (replay-on vs `-nocache` is
+//! pinned bit-identical by `tests/replay_determinism.rs`). Measured
+//! ratios on the reference host are recorded in EXPERIMENTS.md §§E22–E24.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dc_core::ops::Sum;
@@ -14,7 +18,9 @@ use dc_core::prefix::PrefixKind;
 use dc_core::run::Recording;
 use dc_core::sort::dualcube::d_sort;
 use dc_core::sort::SortOrder;
-use dc_simulator::{set_worker_threads, with_default_exec, ExecMode, Machine};
+use dc_simulator::{
+    set_worker_threads, with_default_exec, with_schedule_replay, ExecMode, Machine, ScheduleKey,
+};
 use dc_topology::{DualCube, RecDualCube, Topology};
 use std::hint::black_box;
 
@@ -30,6 +36,12 @@ fn backends() -> [(&'static str, ExecMode, usize); 3] {
     ]
 }
 
+/// Replay A/B within a leg: the bare label runs with the schedule cache
+/// (the production default), `-nocache` re-validates every cycle.
+fn replay_legs() -> [(&'static str, bool); 2] {
+    [("", true), ("-nocache", false)]
+}
+
 fn bench_prefix_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend/d_prefix");
     let d = DualCube::new(8); // 32 768 nodes
@@ -37,19 +49,24 @@ fn bench_prefix_backends(c: &mut Criterion) {
     group.throughput(Throughput::Elements(d.num_nodes() as u64));
     for (label, mode, workers) in backends() {
         set_worker_threads(workers);
-        group.bench_with_input(BenchmarkId::new("D8", label), &input, |b, inp| {
-            b.iter(|| {
-                with_default_exec(mode, || {
-                    d_prefix(
-                        &d,
-                        black_box(inp),
-                        PrefixKind::Inclusive,
-                        Step5Mode::PaperFaithful,
-                        Recording::Off,
-                    )
+        for (suffix, replay) in replay_legs() {
+            let id = BenchmarkId::new("D8", format!("{label}{suffix}"));
+            group.bench_with_input(id, &input, |b, inp| {
+                b.iter(|| {
+                    with_default_exec(mode, || {
+                        with_schedule_replay(replay, || {
+                            d_prefix(
+                                &d,
+                                black_box(inp),
+                                PrefixKind::Inclusive,
+                                Step5Mode::PaperFaithful,
+                                Recording::Off,
+                            )
+                        })
+                    })
                 })
-            })
-        });
+            });
+        }
         set_worker_threads(0);
     }
     group.finish();
@@ -65,46 +82,74 @@ fn bench_sort_backends(c: &mut Criterion) {
     group.throughput(Throughput::Elements(rec.num_nodes() as u64));
     for (label, mode, workers) in backends() {
         set_worker_threads(workers);
-        group.bench_with_input(BenchmarkId::new("D8", label), &keys, |b, ks| {
-            b.iter(|| {
-                with_default_exec(mode, || {
-                    d_sort(&rec, black_box(ks), SortOrder::Ascending, Recording::Off)
+        for (suffix, replay) in replay_legs() {
+            let id = BenchmarkId::new("D8", format!("{label}{suffix}"));
+            group.bench_with_input(id, &keys, |b, ks| {
+                b.iter(|| {
+                    with_default_exec(mode, || {
+                        with_schedule_replay(replay, || {
+                            d_sort(&rec, black_box(ks), SortOrder::Ascending, Recording::Off)
+                        })
+                    })
                 })
-            })
-        });
+            });
+        }
         set_worker_threads(0);
     }
     group.finish();
 }
 
 /// Pure per-cycle engine overhead, isolated from algorithm payload: one
-/// cross-edge pairwise exchange carrying `()` plus a no-op compute step,
-/// on the headline `D_8` machine. A single machine is reused across
-/// iterations, so after the first cycle warms the scratch this measures
-/// exactly the steady-state cycle cost — partner collection, validation,
-/// delivery, and (on the threaded legs) the executor's fork-join. Under
-/// the old spawn-per-phase executor the forced-4-worker leg paid
-/// thread spawn/join on every phase; the persistent pool reduces that to
-/// a condvar wake. Measured numbers live in EXPERIMENTS.md §E23.
+/// keyed cross-edge pairwise exchange carrying `()` plus a no-op compute
+/// step, on the headline `D_8` machine. A single machine is reused across
+/// iterations, so after the warm-up compiles the schedule this measures
+/// exactly the steady-state cycle cost. On the bare legs the cycle
+/// *replays* — plan evaluation, deviation self-check, delivery, no
+/// sequential validation pass at all; the `-nocache` legs re-validate
+/// every cycle (adjacency queries + conflict detection — parallelised on
+/// the threaded legs, the §E23 sequential pass before that). The leg also
+/// reports the machine's schedule hit/miss counters so a silently
+/// cold cache cannot masquerade as a replay measurement. Numbers live in
+/// EXPERIMENTS.md §§E23–E24.
 fn bench_cycle_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend/cycle_overhead");
     let d = DualCube::new(8); // 32 768 nodes
     group.throughput(Throughput::Elements(d.num_nodes() as u64));
     for (label, mode, workers) in backends() {
         set_worker_threads(workers);
-        group.bench_function(BenchmarkId::new("D8", label), |b| {
-            let mut m = Machine::with_exec(&d, vec![0u8; d.num_nodes()], mode);
-            // Warm cycle: sizes the plan/partner/inbox scratch (and, on
-            // the threaded legs, spawns the pool workers) so iterations
-            // see only steady-state cost.
-            m.pairwise(|u, _| Some(d.cross_neighbor(u)), |_, _| (), |_, _, ()| {});
-            b.iter(|| {
-                let delivered =
-                    m.pairwise(|u, _| Some(d.cross_neighbor(u)), |_, _| (), |_, _, ()| {});
-                m.compute(1, |_, _| {});
-                black_box(delivered);
-            })
-        });
+        for (suffix, replay) in replay_legs() {
+            let id = BenchmarkId::new("D8", format!("{label}{suffix}"));
+            group.bench_function(id, |b| {
+                let mut m = Machine::with_exec(&d, vec![0u8; d.num_nodes()], mode);
+                m.set_schedule_replay(replay);
+                // Warm cycles: size the scratch, spawn the pool workers on
+                // the threaded legs, and (bare legs) compile + first-replay
+                // the schedule, so iterations see only steady-state cost.
+                for _ in 0..2 {
+                    m.pairwise_keyed(
+                        ScheduleKey::Cross,
+                        |u, _| Some(d.cross_neighbor(u)),
+                        |_, _| (),
+                        |_, _, ()| {},
+                    );
+                }
+                b.iter(|| {
+                    let delivered = m.pairwise_keyed(
+                        ScheduleKey::Cross,
+                        |u, _| Some(d.cross_neighbor(u)),
+                        |_, _| (),
+                        |_, _, ()| {},
+                    );
+                    m.compute(1, |_, _| {});
+                    black_box(delivered);
+                });
+                eprintln!(
+                    "cycle_overhead/{label}{suffix}: schedule_hits={} schedule_misses={}",
+                    m.metrics().schedule_hits,
+                    m.metrics().schedule_misses
+                );
+            });
+        }
         set_worker_threads(0);
     }
     group.finish();

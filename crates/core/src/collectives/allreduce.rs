@@ -19,7 +19,7 @@
 //! hypercube butterfly (`6n−5` steps): experiment E9 measures all three.
 
 use crate::ops::Commutative;
-use dc_simulator::{Machine, Metrics};
+use dc_simulator::{Machine, Metrics, ScheduleKey};
 use dc_topology::{DualCube, Topology};
 
 #[derive(Debug, Clone)]
@@ -72,9 +72,13 @@ pub fn allreduce<M: Commutative>(d: &DualCube, values: &[M]) -> AllReduceRun<M> 
     let mut machine = Machine::new(d, states);
 
     // Phase 1: butterfly all-reduce of `own` inside every cluster.
+    // Phases 3 and 4 repeat the communication patterns of phases 1 and 2
+    // exactly (same butterfly rounds, same cross pairwise), so they replay
+    // the schedules compiled here.
     machine.begin_phase("phase 1: cluster all-reduce");
     for i in 0..d.cluster_dim() {
-        machine.pairwise_sized(
+        machine.pairwise_keyed_sized(
+            ScheduleKey::Dim(i),
             |u, _| Some(d.cluster_neighbor(u, i)),
             |_, st: &ArState<M>| st.own.clone(),
             |st, _, v| st.temp = Some(v),
@@ -88,7 +92,8 @@ pub fn allreduce<M: Commutative>(d: &DualCube, values: &[M]) -> AllReduceRun<M> 
 
     // Phase 2: swap cluster totals over the cross-edges.
     machine.begin_phase("phase 2: cross exchange of cluster totals");
-    machine.pairwise_sized(
+    machine.pairwise_keyed_sized(
+        ScheduleKey::Cross,
         |u, _| Some(d.cross_neighbor(u)),
         |_, st: &ArState<M>| st.own.clone(),
         |st, _, v| st.other = v,
@@ -99,7 +104,8 @@ pub fn allreduce<M: Commutative>(d: &DualCube, values: &[M]) -> AllReduceRun<M> 
     // other class's grand total at every node.
     machine.begin_phase("phase 3: cluster all-reduce of received totals");
     for i in 0..d.cluster_dim() {
-        machine.pairwise_sized(
+        machine.pairwise_keyed_sized(
+            ScheduleKey::Dim(i),
             |u, _| Some(d.cluster_neighbor(u, i)),
             |_, st: &ArState<M>| st.other.clone(),
             |st, _, v| st.temp = Some(v),
@@ -113,7 +119,8 @@ pub fn allreduce<M: Commutative>(d: &DualCube, values: &[M]) -> AllReduceRun<M> 
 
     // Phase 4: swap grand totals and combine.
     machine.begin_phase("phase 4: cross exchange of grand totals");
-    machine.pairwise_sized(
+    machine.pairwise_keyed_sized(
+        ScheduleKey::Cross,
         |u, _| Some(d.cross_neighbor(u)),
         |_, st: &ArState<M>| st.other.clone(),
         |st, _, v| st.temp = Some(v),

@@ -13,7 +13,7 @@
 //! 4. every class-`X̄` node sends over its cross-edge, covering all
 //!    remaining class-`X` nodes — 1 step.
 
-use dc_simulator::{Machine, Metrics};
+use dc_simulator::{Machine, Metrics, ScheduleKey};
 use dc_topology::{DualCube, NodeId, Topology};
 
 /// State: the broadcast value once received.
@@ -62,7 +62,8 @@ pub fn broadcast<V: Clone + Send + Sync + 'static>(
     // in bits < i+1 only, so each round exactly doubles the holder set.
     machine.begin_phase("phase 1: binomial tree in root cluster");
     for i in 0..d.cluster_dim() {
-        machine.exchange(
+        machine.exchange_keyed(
+            ScheduleKey::Window { j: 1, hop: i as u8 },
             |u, st: &BcastState<V>| {
                 (d.cluster_index(u) == root_cluster && st.value.is_some())
                     .then(|| (d.cluster_neighbor(u, i), st.value.clone().unwrap()))
@@ -74,7 +75,8 @@ pub fn broadcast<V: Clone + Send + Sync + 'static>(
     // Phase 2: fan out over the cross-edges to one node of every
     // other-class cluster.
     machine.begin_phase("phase 2: cross-edges out of root cluster");
-    machine.exchange(
+    machine.exchange_keyed(
+        ScheduleKey::Custom(2),
         |u, st: &BcastState<V>| {
             (d.cluster_index(u) == root_cluster).then(|| {
                 (
@@ -89,7 +91,8 @@ pub fn broadcast<V: Clone + Send + Sync + 'static>(
     // Phase 3: binomial trees inside every other-class cluster at once.
     machine.begin_phase("phase 3: binomial trees in other-class clusters");
     for i in 0..d.cluster_dim() {
-        machine.exchange(
+        machine.exchange_keyed(
+            ScheduleKey::Window { j: 3, hop: i as u8 },
             |u, st: &BcastState<V>| {
                 (d.class_of(u) != root_class && st.value.is_some())
                     .then(|| (d.cluster_neighbor(u, i), st.value.clone().unwrap()))
@@ -100,7 +103,8 @@ pub fn broadcast<V: Clone + Send + Sync + 'static>(
 
     // Phase 4: cross-edges back, covering the remaining root-class nodes.
     machine.begin_phase("phase 4: cross-edges back");
-    machine.exchange(
+    machine.exchange_keyed(
+        ScheduleKey::Custom(4),
         |u, st: &BcastState<V>| {
             (d.class_of(u) != root_class).then(|| {
                 (

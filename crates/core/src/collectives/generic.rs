@@ -45,7 +45,7 @@ pub struct TreeBroadcastRun<V> {
 /// let run = tree_broadcast(&mc, 7, 0xBEEFu16);
 /// assert!(run.values.iter().all(|v| *v == Some(0xBEEF)));
 /// ```
-pub fn tree_broadcast<T: Topology + ?Sized, V: Clone + Send + Sync + 'static>(
+pub fn tree_broadcast<T: Topology + ?Sized + Sync, V: Clone + Send + Sync + 'static>(
     topo: &T,
     root: NodeId,
     value: V,
@@ -92,6 +92,11 @@ pub fn tree_broadcast<T: Topology + ?Sized, V: Clone + Send + Sync + 'static>(
         })
         .collect();
     let mut machine = Machine::new(topo, states);
+    // Deliberately unkeyed: the sender set changes every cycle (the
+    // informed frontier grows), so no two cycles share a communication
+    // pattern and there is nothing for the schedule cache to replay. This
+    // is the dynamic-schedule case the unkeyed validation path (and its
+    // parallel backend) exists for.
     loop {
         // Snapshot who sends this cycle, so that nodes informed *during*
         // the cycle don't have their child list popped without sending.

@@ -16,7 +16,7 @@
 //! operation must be [`Commutative`].
 
 use crate::ops::Commutative;
-use dc_simulator::{Machine, Metrics};
+use dc_simulator::{Machine, Metrics, ScheduleKey};
 use dc_topology::{DualCube, NodeId, Topology};
 
 /// State: the node's remaining partial contribution (`None` once handed
@@ -72,7 +72,8 @@ pub fn reduce<M: Commutative>(d: &DualCube, root: NodeId, values: &[M]) -> Reduc
 
     // Phase 1: class-X contributions hop across; receivers fold.
     machine.begin_phase("phase 1: root-class contributions cross over");
-    machine.exchange_sized(
+    machine.exchange_keyed_sized(
+        ScheduleKey::Custom(1),
         |u, st: &ReduceState<M>| {
             (d.class_of(u) == root_class)
                 .then(|| (d.cross_neighbor(u), st.acc.clone().expect("unspent")))
@@ -95,7 +96,8 @@ pub fn reduce<M: Commutative>(d: &DualCube, root: NodeId, values: &[M]) -> Reduc
     // representative's exactly at bit i (and nowhere above) move.
     machine.begin_phase("phase 2: cluster reduction in other class");
     for i in (0..d.cluster_dim()).rev() {
-        machine.exchange_sized(
+        machine.exchange_keyed_sized(
+            ScheduleKey::Window { j: 2, hop: i as u8 },
             |u, st: &ReduceState<M>| {
                 if d.class_of(u) == root_class {
                     return None;
@@ -124,7 +126,8 @@ pub fn reduce<M: Commutative>(d: &DualCube, root: NodeId, values: &[M]) -> Reduc
 
     // Phase 3: per-cluster partials cross into the root's cluster.
     machine.begin_phase("phase 3: partials cross into root cluster");
-    machine.exchange_sized(
+    machine.exchange_keyed_sized(
+        ScheduleKey::Custom(3),
         |u, st: &ReduceState<M>| {
             (d.class_of(u) != root_class && d.node_id(u) == rep_position).then(|| {
                 (
@@ -145,7 +148,8 @@ pub fn reduce<M: Commutative>(d: &DualCube, root: NodeId, values: &[M]) -> Reduc
     // Phase 4: binomial reduction inside the root's cluster to the root.
     machine.begin_phase("phase 4: cluster reduction to root");
     for i in (0..d.cluster_dim()).rev() {
-        machine.exchange_sized(
+        machine.exchange_keyed_sized(
+            ScheduleKey::Window { j: 4, hop: i as u8 },
             |u, st: &ReduceState<M>| {
                 if d.cluster_index(u) != d.cluster_index(root) {
                     return None;

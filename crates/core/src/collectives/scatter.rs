@@ -10,7 +10,7 @@
 //! shrinking bags instead of one value. (Stated for a class-0 root; a
 //! class-1 root swaps the roles of part I and part II throughout.)
 
-use dc_simulator::{Machine, Metrics};
+use dc_simulator::{Machine, Metrics, ScheduleKey};
 use dc_topology::{bits::bit, Class, DualCube, NodeId, Topology};
 
 /// Per-node buffer: the `(destination, value)` pairs currently held.
@@ -80,7 +80,8 @@ pub fn scatter<V: Clone + Send + Sync + 'static>(
     // with p above bit i by induction).
     machine.begin_phase("phase 1: binomial scatter in root cluster");
     for i in (0..d.cluster_dim()).rev() {
-        machine.exchange_sized(
+        machine.exchange_keyed_sized(
+            ScheduleKey::Window { j: 1, hop: i as u8 },
             |u, st: &ScatterState<V>| {
                 if d.cluster_index(u) != root_cluster || st.items.is_empty() {
                     return None;
@@ -109,7 +110,8 @@ pub fn scatter<V: Clone + Send + Sync + 'static>(
     // Phase 2: each root-cluster member keeps its own item and crosses
     // with the rest.
     machine.begin_phase("phase 2: cross-edges out of root cluster");
-    machine.exchange_sized(
+    machine.exchange_keyed_sized(
+        ScheduleKey::Custom(2),
         |u, st: &ScatterState<V>| {
             if d.cluster_index(u) != root_cluster {
                 return None;
@@ -137,7 +139,8 @@ pub fn scatter<V: Clone + Send + Sync + 'static>(
     // binomial tree in lockstep.
     machine.begin_phase("phase 3: binomial scatter in other-class clusters");
     for i in (0..d.cluster_dim()).rev() {
-        machine.exchange_sized(
+        machine.exchange_keyed_sized(
+            ScheduleKey::Window { j: 3, hop: i as u8 },
             |u, st: &ScatterState<V>| {
                 if d.class_of(u) == root_class || st.items.is_empty() {
                     return None;
@@ -181,7 +184,8 @@ pub fn scatter<V: Clone + Send + Sync + 'static>(
 
     // Phase 4: deliver the returning items over the cross-edges.
     machine.begin_phase("phase 4: cross-edges back");
-    machine.exchange_sized(
+    machine.exchange_keyed_sized(
+        ScheduleKey::Custom(4),
         |u, st: &ScatterState<V>| {
             if d.class_of(u) == root_class {
                 return None;

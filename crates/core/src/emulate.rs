@@ -28,7 +28,7 @@
 //! Dimension 0 (the cross-edge, present everywhere) costs a single cycle.
 
 use crate::ops::Monoid;
-use dc_simulator::Machine;
+use dc_simulator::{Machine, ScheduleKey};
 use dc_topology::{bits::bit, NodeId, RecDualCube, Topology};
 
 /// Per-node state for emulated dimension exchanges: the algorithm's value
@@ -102,8 +102,10 @@ pub fn exchange_dim_sized<V: Clone + Send + Sync + 'static>(
         rec.name()
     );
     if j == 0 {
-        // Cross-edges exist at every node: a single cycle.
-        machine.pairwise_sized(
+        // Cross-edges exist at every node: a single cycle. The pattern
+        // depends only on the topology, so sweeps replay it by key.
+        machine.pairwise_keyed_sized(
+            ScheduleKey::Cross,
             |r, _| Some(r ^ 1),
             |_, st| st.value.clone(),
             |st, _, v| st.partner = Some(v),
@@ -111,13 +113,15 @@ pub fn exchange_dim_sized<V: Clone + Send + Sync + 'static>(
         );
     } else {
         // Cycle 1: linkless nodes hand their value across dimension 0.
-        machine.exchange_sized(
+        machine.exchange_keyed_sized(
+            ScheduleKey::Window { j, hop: 0 },
             |r, st| (!rec.has_direct_edge(r, j)).then(|| (r ^ 1, st.value.clone())),
             |st, _, v| st.fwd = Some(v),
             &size,
         );
         // Cycle 2: linked nodes exchange (own, forwarded) along dimension j.
-        machine.pairwise_sized(
+        machine.pairwise_keyed_sized(
+            ScheduleKey::Window { j, hop: 1 },
             |r, _| rec.has_direct_edge(r, j).then(|| r ^ (1usize << j)),
             |_, st| {
                 (
@@ -134,7 +138,8 @@ pub fn exchange_dim_sized<V: Clone + Send + Sync + 'static>(
         // Cycle 3: forwarded values return across dimension 0; the
         // received value is exactly the linkless node's partner's value
         // (see the path algebra in the module docs).
-        machine.exchange_sized(
+        machine.exchange_keyed_sized(
+            ScheduleKey::Window { j, hop: 2 },
             |r, st| {
                 rec.has_direct_edge(r, j)
                     .then(|| (r ^ 1, st.fwd.clone().expect("cycle 2 refilled it")))

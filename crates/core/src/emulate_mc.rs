@@ -13,7 +13,7 @@
 //! metacube; [`crate::sort::metacube::mc_sort`] is bitonic sort through
 //! this layer, and at `k = 1` reproduces Theorem 2's step counts exactly.
 
-use dc_simulator::Machine;
+use dc_simulator::{Machine, ScheduleKey};
 use dc_topology::{Metacube, NodeId, Topology};
 
 /// Per-node state: the algorithm's value plus the window's transit
@@ -61,7 +61,8 @@ pub fn mc_exchange_dim<V: Clone + Send + Sync + 'static>(
     let m = mc.m();
     if j < k {
         // Class dimension: direct cross-edges everywhere.
-        machine.pairwise_sized(
+        machine.pairwise_keyed_sized(
+            ScheduleKey::Dim(j),
             |u, _| Some(mc.cross_neighbor(u, j)),
             |_, st: &McEmuState<V>| st.value.clone(),
             |st, _, v| st.recv = Some(v),
@@ -74,8 +75,14 @@ pub fn mc_exchange_dim<V: Clone + Send + Sync + 'static>(
             st.bag = vec![(mc.class_of(u), st.value.clone())];
         });
         // Inbound binomial gather over the class k-cube towards class f.
+        // Hop patterns depend only on (f, stage), not on which bit of the
+        // field is exchanged — same key scheme as `prefix::metacube`.
         for i in 0..k {
-            machine.exchange_sized(
+            machine.exchange_keyed_sized(
+                ScheduleKey::Window {
+                    j: f as u32,
+                    hop: i as u8,
+                },
                 |u, st: &McEmuState<V>| {
                     let rel = mc.class_of(u) ^ f;
                     (rel != 0 && rel.trailing_zeros() == i && !st.bag.is_empty())
@@ -92,7 +99,8 @@ pub fn mc_exchange_dim<V: Clone + Send + Sync + 'static>(
             });
         }
         // Real exchange between class-f companions.
-        machine.pairwise_sized(
+        machine.pairwise_keyed_sized(
+            ScheduleKey::Dim(j),
             |u, st: &McEmuState<V>| {
                 (mc.class_of(u) == f && !st.bag.is_empty())
                     .then(|| mc.cube_neighbor(u, bit_in_field))
@@ -115,7 +123,11 @@ pub fn mc_exchange_dim<V: Clone + Send + Sync + 'static>(
         });
         // Outbound binomial scatter of the partner bag.
         for i in (0..k).rev() {
-            machine.exchange_sized(
+            machine.exchange_keyed_sized(
+                ScheduleKey::Window {
+                    j: f as u32,
+                    hop: (k + i) as u8,
+                },
                 |u, st: &McEmuState<V>| {
                     let rel = mc.class_of(u) ^ f;
                     if rel & ((1 << (i + 1)) - 1) != 0 || st.bag.is_empty() {

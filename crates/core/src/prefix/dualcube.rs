@@ -37,7 +37,7 @@
 use crate::ops::Monoid;
 use crate::prefix::PrefixKind;
 use crate::run::{PhaseSnapshot, Recording};
-use dc_simulator::{Machine, Metrics};
+use dc_simulator::{Machine, Metrics, ScheduleKey};
 use dc_topology::{bits::bit, Class, DualCube, Topology};
 
 /// How to realise step 5 of Algorithm 2 (see the module docs).
@@ -166,9 +166,11 @@ pub fn d_prefix<M: Monoid>(
     }
     snap("(b) prefix inside cluster (t, s)", &machine);
 
-    // Step 2: exchange cluster totals over the cross-edges.
+    // Step 2: exchange cluster totals over the cross-edges (the same
+    // compiled pattern step 4 replays).
     machine.begin_phase("step 2: exchange totals via cross-edges");
-    machine.pairwise(
+    machine.pairwise_keyed(
+        ScheduleKey::Cross,
         |u, _| Some(d.cross_neighbor(u)),
         |_, st| st.t.clone(),
         |st, _, t| st.temp = Some(t),
@@ -191,7 +193,8 @@ pub fn d_prefix<M: Monoid>(
 
     // Step 4: exchange s′ and fold it in on the left everywhere.
     machine.begin_phase("step 4: exchange s' and combine");
-    machine.pairwise(
+    machine.pairwise_keyed(
+        ScheduleKey::Cross,
         |u, _| Some(d.cross_neighbor(u)),
         |_, st| st.s2.clone(),
         |st, _, s2| st.temp = Some(s2),
@@ -207,7 +210,8 @@ pub fn d_prefix<M: Monoid>(
     // theorem's arithmetic counts.
     machine.begin_phase("step 5: class-1 folds in class-0 grand total");
     if step5 == Step5Mode::PaperFaithful {
-        machine.exchange(
+        machine.exchange_keyed(
+            ScheduleKey::Custom(0),
             |u, st| (d.class_of(u) == Class::One).then(|| (d.cross_neighbor(u), st.t2.clone())),
             |st, _, t2| st.temp = Some(t2),
         );
@@ -260,7 +264,10 @@ fn cluster_ascend_round<M: Monoid>(
     i: u32,
     vars: ScanVars,
 ) {
-    machine.pairwise(
+    // Steps 1 and 3 sweep the same cluster dimensions, so step 3 replays
+    // the schedules step 1 compiled.
+    machine.pairwise_keyed(
+        ScheduleKey::Dim(i),
         |u, _| Some(d.cluster_neighbor(u, i)),
         move |_, st| match vars {
             ScanVars::Step1 => st.t.clone(),

@@ -16,7 +16,7 @@
 use crate::ops::Monoid;
 use crate::prefix::PrefixKind;
 use crate::run::{PhaseSnapshot, Recording};
-use dc_simulator::{Machine, Metrics};
+use dc_simulator::{Machine, Metrics, ScheduleKey};
 use dc_topology::{bits::bit, Hypercube, Topology};
 
 /// Per-node state of `Cube_prefix`.
@@ -118,7 +118,8 @@ pub fn cube_prefix<M: Monoid>(
 /// dimension, then fold. (`d_prefix` performs the same round inside every
 /// cluster simultaneously — see `prefix::dualcube`.)
 fn ascend_round<M: Monoid>(machine: &mut Machine<'_, Hypercube, CubeState<M>>, i: u32) {
-    machine.pairwise(
+    machine.pairwise_keyed(
+        ScheduleKey::Dim(i),
         |u, _| Some(u ^ (1usize << i)),
         |_, st| st.t.clone(),
         |st, _, t| st.temp = Some(t),

@@ -35,7 +35,7 @@
 
 use crate::ops::Monoid;
 use crate::prefix::PrefixKind;
-use dc_simulator::{Machine, Metrics};
+use dc_simulator::{Machine, Metrics, ScheduleKey};
 use dc_topology::{bits::bit, Metacube, Topology};
 
 /// Per-node state of the metacube prefix.
@@ -116,7 +116,8 @@ pub fn mc_prefix<M: Monoid>(mc: &Metacube, input: &[M], kind: PrefixKind) -> McP
     for j in 0..mc.address_bits() {
         if j < k {
             // Class dimension: a direct cross-edge at every node.
-            machine.pairwise(
+            machine.pairwise_keyed(
+                ScheduleKey::Dim(j),
                 |u, _| Some(mc.cross_neighbor(u, j)),
                 |_, st: &McState<M>| st.t.clone(),
                 |st, _, t| st.recv = Some(t),
@@ -146,6 +147,14 @@ pub fn mc_prefix<M: Monoid>(mc: &Metacube, input: &[M], kind: PrefixKind) -> McP
 
 /// The `(2k+1)`-cycle window for dimension `j ≥ k` (a bit of field
 /// `(j−k)/m`): gather onto class-`f` companions, exchange, scatter back.
+///
+/// Schedule keys: the gather/scatter hop patterns depend only on the
+/// owning field `f` and the class-cube stage `i` — not on which bit of
+/// the field is exchanged — so every dimension of a field replays the hop
+/// schedules the field's first dimension compiled (keyed
+/// `Window { j: f, hop }` with gather hops `0..k` and scatter hops
+/// `k..2k`). The middle exchange is per-dimension ([`ScheduleKey::Dim`];
+/// the `j` ranges of class and field dimensions are disjoint).
 fn field_dim_window<M: Monoid>(
     mc: &Metacube,
     machine: &mut Machine<'_, Metacube, McState<M>>,
@@ -165,7 +174,11 @@ fn field_dim_window<M: Monoid>(
     // At stage i, nodes whose class differs from f with lowest set bit i
     // forward their whole bag across class bit i.
     for i in 0..k {
-        machine.exchange_sized(
+        machine.exchange_keyed_sized(
+            ScheduleKey::Window {
+                j: f as u32,
+                hop: i as u8,
+            },
             |u, st: &McState<M>| {
                 let rel = mc.class_of(u) ^ f;
                 (rel != 0 && rel.trailing_zeros() == i && !st.bag.is_empty())
@@ -184,7 +197,8 @@ fn field_dim_window<M: Monoid>(
     }
 
     // Exchange: class-f companions swap bags along the real dimension.
-    machine.pairwise_sized(
+    machine.pairwise_keyed_sized(
+        ScheduleKey::Dim(j),
         |u, st: &McState<M>| {
             (mc.class_of(u) == f && !st.bag.is_empty()).then(|| mc.cube_neighbor(u, bit_in_field))
         },
@@ -211,7 +225,11 @@ fn field_dim_window<M: Monoid>(
     // Outbound: binomial scatter of the partner bag back over the class
     // k-cube; each node ends with exactly its class's entry.
     for i in (0..k).rev() {
-        machine.exchange_sized(
+        machine.exchange_keyed_sized(
+            ScheduleKey::Window {
+                j: f as u32,
+                hop: (k + i) as u8,
+            },
             |u, st: &McState<M>| {
                 let rel = mc.class_of(u) ^ f;
                 // Current holders have rel with zero low-(i+1) bits; they

@@ -14,7 +14,7 @@
 
 use crate::run::{PhaseSnapshot, Recording, Run};
 use crate::sort::SortOrder;
-use dc_simulator::Machine;
+use dc_simulator::{Machine, ScheduleKey};
 use dc_topology::{bits::bit, Hypercube, Topology};
 
 /// Per-node state: the key plus the landing buffer.
@@ -104,7 +104,8 @@ fn compare_exchange_round<K: Ord + Clone + Send + Sync + 'static>(
     j: u32,
     descending: impl Fn(usize) -> bool + Sync,
 ) {
-    machine.pairwise(
+    machine.pairwise_keyed(
+        ScheduleKey::Dim(j),
         |u, _| Some(u ^ (1usize << j)),
         |_, st| st.key.clone(),
         |st, _, k| st.recv = Some(k),

@@ -11,7 +11,7 @@
 
 use crate::run::Run;
 use crate::sort::SortOrder;
-use dc_simulator::Machine;
+use dc_simulator::{Machine, ScheduleKey};
 use dc_topology::hamiltonian::hamiltonian_cycle_rec;
 use dc_topology::{NodeId, RecDualCube, Topology};
 
@@ -79,9 +79,12 @@ pub fn ring_sort<K: Ord + Clone + Send + Sync + 'static>(
             (p > 0).then(|| cycle[p - 1])
         }
     };
+    // Only two communication patterns exist (odd and even rounds), so the
+    // whole N-round sweep replays two compiled schedules.
     for round in 0..n_nodes {
         let parity = round % 2;
-        machine.pairwise(
+        machine.pairwise_keyed(
+            ScheduleKey::Custom(parity as u32),
             |u, _| partner(u, parity),
             |_, st: &RingState<K>| st.key.clone(),
             |st, _, k| st.recv = Some(k),

@@ -8,11 +8,12 @@
 //! reported step count is also a machine-checked proof that the schedule
 //! is legal. These are the ways a schedule can be illegal.
 
+use crate::schedule::ScheduleKey;
 use std::fmt;
 
 /// A violation of the synchronous 1-port communication model, or a malformed
 /// exchange plan.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimError {
     /// A node attempted to send to a node it has no link to.
     NotAdjacent {
@@ -51,6 +52,17 @@ pub enum SimError {
         /// The offending node.
         node: usize,
     },
+    /// A keyed cycle's plan deviated from the schedule compiled under the
+    /// same [`ScheduleKey`] — the pattern is not what the key asserted,
+    /// so the machine refuses to replay it (see the `schedule` module
+    /// docs). Reported for the lowest deviating node id, identically on
+    /// every backend and worker count.
+    ScheduleDeviation {
+        /// The key whose compiled schedule was contradicted.
+        key: ScheduleKey,
+        /// The lowest node id whose plan deviated.
+        node: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -82,6 +94,13 @@ impl fmt::Display for SimError {
             }
             SimError::SelfMessage { node } => {
                 write!(f, "node {node} attempted to send a message to itself")
+            }
+            SimError::ScheduleDeviation { key, node } => {
+                write!(
+                    f,
+                    "keyed replay: node {node}'s plan deviated from the \
+                     schedule compiled for key {key}"
+                )
             }
         }
     }

@@ -22,6 +22,15 @@
 //! [`Metrics`] accumulates both counts (plus total messages and
 //! fine-grained element-operation counts) with optional per-phase
 //! breakdowns used by the worked-example experiments.
+//!
+//! Fixed communication patterns — the common case in the paper's
+//! ascend/descend algorithms — can be named with a [`ScheduleKey`] via the
+//! keyed entry points ([`Machine::pairwise_keyed`],
+//! [`Machine::exchange_keyed`]): the first cycle under a key validates and
+//! compiles the pattern, later cycles replay it without the sequential
+//! validation pass while still detecting (and rejecting) any deviation.
+//! See the [`schedule`] module docs for why replay cannot weaken the
+//! model checking.
 
 #![warn(missing_docs)]
 // `deny`, not `forbid`: the persistent worker pool (`parallel::pool`) is
@@ -38,8 +47,10 @@ mod machine;
 mod metrics;
 pub mod parallel;
 pub mod router;
+pub mod schedule;
 
 pub use error::SimError;
 pub use machine::Machine;
 pub use metrics::{Metrics, PhaseMetrics};
 pub use parallel::{set_worker_threads, with_default_exec, ExecMode};
+pub use schedule::{with_schedule_replay, ScheduleKey};

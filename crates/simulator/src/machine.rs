@@ -3,10 +3,14 @@
 
 use crate::error::SimError;
 use crate::metrics::Metrics;
-use crate::parallel::{par_apply_forced, par_zip_apply, par_zip_apply_mut, ExecMode};
+use crate::parallel::{
+    par_apply_forced, par_apply_reduce, par_for_reduce, par_zip_apply, par_zip_apply_mut, ExecMode,
+};
+use crate::schedule::{self, CompiledSchedule, ScheduleCache, ScheduleKey, NO_SRC, SENDS_BIT};
 use dc_topology::{NodeId, Topology};
 use std::any::Any;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A reusable, type-erased `Vec<Option<(NodeId, M)>>`: one allocation
 /// that survives across cycles for as long as the message type `M` stays
@@ -22,7 +26,7 @@ impl TypedSlot {
     /// The buffer for message type `M`, *cleared* but with its capacity
     /// intact. Allocates only on first use or when `M` changed since the
     /// previous cycle.
-    fn cleared<M: Send + 'static>(&mut self) -> &mut Vec<Option<(NodeId, M)>> {
+    fn cleared<M: Send + Sync + 'static>(&mut self) -> &mut Vec<Option<(NodeId, M)>> {
         let fresh = match &self.0 {
             Some(b) => !b.is::<Vec<Option<(NodeId, M)>>>(),
             None => true,
@@ -39,25 +43,62 @@ impl TypedSlot {
         v.clear();
         v
     }
+
+    /// The buffer for message type `M` at length `n`, **contents
+    /// preserved**. The inbox discipline keeps the slab all-`None`
+    /// between cycles (delivery `take`s every slot; error paths clear),
+    /// so when the type and length already match this skips the O(n)
+    /// `None` prefill a cleared slab would need — the difference between
+    /// a replayed cycle doing two passes over the slab and three.
+    fn warm<M: Send + Sync + 'static>(&mut self, n: usize) -> &mut Vec<Option<(NodeId, M)>> {
+        let reusable = match &self.0 {
+            Some(b) => b
+                .downcast_ref::<Vec<Option<(NodeId, M)>>>()
+                .is_some_and(|v| v.len() == n),
+            None => false,
+        };
+        if !reusable {
+            let v = self.cleared::<M>();
+            v.resize_with(n, || None);
+            return v;
+        }
+        let v: &mut Vec<Option<(NodeId, M)>> = self
+            .0
+            .as_mut()
+            .expect("slot populated above")
+            .downcast_mut()
+            .expect("slot typed above");
+        debug_assert!(
+            v.iter().all(Option::is_none),
+            "warm inbox slab must be all-None between cycles"
+        );
+        v
+    }
 }
 
 /// Per-cycle scratch buffers owned by the machine so that a steady-state
 /// cycle performs **zero heap allocations**: the plan slots, the
-/// receive-conflict table, the deliver inbox, and the pairwise partner
-/// table are all reused across cycles (pinned by the counting-allocator
-/// test in `tests/zero_alloc.rs`). Purely transient — contents never
-/// survive past the cycle that filled them, so cloning a machine starts
-/// the clone with empty scratch and equality/trace semantics are
-/// unaffected.
+/// receive-conflict tables (sequential and atomic), the deliver inbox,
+/// and the pairwise partner table are all reused across cycles (pinned by
+/// the counting-allocator test in `tests/zero_alloc.rs`). Purely
+/// transient — contents never survive past the cycle that filled them, so
+/// cloning a machine starts the clone with empty scratch and
+/// equality/trace semantics are unaffected.
 struct Scratch {
-    /// `recv_from[dst]` = sending node during validation (`usize::MAX` =
-    /// no sender yet).
+    /// `recv_from[dst]` = sending node during sequential validation
+    /// (`usize::MAX` = no sender yet).
     recv_from: Vec<usize>,
+    /// The parallel validation passes' claim table: `claims[dst]` =
+    /// lowest locally-valid sender targeting `dst` this cycle
+    /// (`usize::MAX` = none). Reset inside the plan dispatch, so the
+    /// parallel path never pays a separate O(n) clearing pass.
+    claims: Vec<AtomicUsize>,
     /// Pairwise partner choices, reused by `try_pairwise_sized`.
     partners: Vec<Option<NodeId>>,
     /// Plan-phase output slots, keyed by message type.
     plans: TypedSlot,
-    /// Deliver-phase inbox (threaded path only), keyed by message type.
+    /// Deliver-phase inbox (threaded and replay paths), keyed by message
+    /// type.
     inbox: TypedSlot,
 }
 
@@ -65,6 +106,7 @@ impl Scratch {
     const fn new() -> Self {
         Scratch {
             recv_from: Vec::new(),
+            claims: Vec::new(),
             partners: Vec::new(),
             plans: TypedSlot::new(),
             inbox: TypedSlot::new(),
@@ -86,6 +128,59 @@ impl Clone for Scratch {
     }
 }
 
+/// Chunk-local accumulator of the deterministic validation / replay
+/// reductions: message counters plus the lowest-index violation seen.
+/// `Copy` so the per-slot results live in a stack array — the reductions
+/// stay allocation-free.
+#[derive(Clone, Copy)]
+struct CycleAcc {
+    delivered: usize,
+    words: u64,
+    /// Lowest-index violation in this chunk, as `(node index, error)`.
+    violation: Option<(usize, SimError)>,
+}
+
+impl CycleAcc {
+    const EMPTY: CycleAcc = CycleAcc {
+        delivered: 0,
+        words: 0,
+        violation: None,
+    };
+
+    /// Records a violation at `index` unless one at a lower (or equal)
+    /// index is already held.
+    fn violate(&mut self, index: usize, err: SimError) {
+        match self.violation {
+            Some((held, _)) if held <= index => {}
+            _ => self.violation = Some((index, err)),
+        }
+    }
+
+    /// Fold for the slot-order reduction: counters sum; the
+    /// lowest-index violation wins, and on an index tie the **left**
+    /// operand's error wins — left is always the earlier slot, or the
+    /// earlier validation pass (local checks before conflict checks,
+    /// mirroring the sequential per-node check order).
+    fn merge(self, other: CycleAcc) -> CycleAcc {
+        let violation = match (self.violation, other.violation) {
+            (Some((a, _)), Some((b, _))) => {
+                if a <= b {
+                    self.violation
+                } else {
+                    other.violation
+                }
+            }
+            (Some(_), None) => self.violation,
+            (None, v) => v,
+        };
+        CycleAcc {
+            delivered: self.delivered + other.delivered,
+            words: self.words + other.words,
+            violation,
+        }
+    }
+}
+
 /// A synchronous message-passing machine over a [`Topology`].
 ///
 /// Algorithms drive the machine through three primitives:
@@ -104,21 +199,43 @@ impl Clone for Scratch {
 /// same information a real SPMD process would have — which keeps simulated
 /// algorithms honest about what must travel in messages.
 ///
+/// # Keyed cycles: compiled schedules
+///
+/// The paper's algorithms run *fixed, data-oblivious* communication
+/// patterns, repeated across hundreds of cycles. The keyed entry points
+/// ([`Machine::pairwise_keyed`], [`Machine::exchange_keyed`] and their
+/// sized/`try_` forms) let an algorithm name its pattern with a
+/// [`ScheduleKey`]: the first cycle under a key runs full validation and
+/// compiles the matching; later cycles **replay** it, skipping adjacency
+/// queries, the receive-conflict table, and the pairwise symmetry
+/// pre-pass. Replay still re-evaluates every node's plan against the
+/// compiled pattern and rejects any deviation with
+/// [`SimError::ScheduleDeviation`], so a key can never launder an invalid
+/// schedule — see the [`crate::schedule`] module docs.
+///
 /// # Execution backend
 ///
 /// Each cycle's per-node work runs under an [`ExecMode`]. The default,
 /// [`ExecMode::parallel`], spreads the work of machines with at least
 /// [`crate::parallel::PAR_THRESHOLD`] nodes over the host cores; smaller
 /// machines (and any machine under [`ExecMode::Sequential`]) use plain
-/// loops. A communication cycle splits into three phases:
+/// loops. An unkeyed communication cycle splits into three phases:
 ///
 /// 1. **plan** — `plan(u, &state)` for every node, read-only, parallel;
-/// 2. **validate** — the 1-port matching check, always sequential in node
-///    order so [`SimError`] reporting and trace recording are bit-identical
-///    across backends;
+/// 2. **validate** — the 1-port matching check. The threaded backend
+///    runs it as two parallel reduction passes (local checks plus an
+///    atomic lowest-sender claim per receiver, then conflict detection)
+///    whose lowest-node-index violation reduction reproduces the
+///    sequential first-violation-in-node-order report **bit-identically**
+///    at any worker count;
 /// 3. **deliver** — receiver-driven: since a validated cycle delivers at
 ///    most one message per node, messages are scattered into a per-node
 ///    inbox and each worker mutates only its own node's state.
+///
+/// A keyed *replay* cycle collapses plan + validate into one pass (each
+/// receiver evaluates its compiled sender's plan straight into its own
+/// inbox slot) followed by deliver — no sequential O(n) phase on either
+/// backend.
 ///
 /// Simulated metrics never depend on the backend; the parallel backend is
 /// observationally identical and only changes wall-clock time.
@@ -149,9 +266,11 @@ pub struct Machine<'t, T: Topology + ?Sized, S> {
     trace: Option<Vec<Vec<(NodeId, NodeId)>>>,
     exec: ExecMode,
     scratch: Scratch,
+    schedules: ScheduleCache,
+    replay: bool,
 }
 
-impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
+impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     /// Creates a machine with one initial state per node, under the
     /// default [`ExecMode`] (parallel above the size threshold).
     ///
@@ -170,6 +289,8 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
             trace: None,
             exec: ExecMode::default(),
             scratch: Scratch::new(),
+            schedules: ScheduleCache::new(),
+            replay: schedule::replay_default(),
         }
     }
 
@@ -190,6 +311,36 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     /// are observationally equivalent — see the determinism tests).
     pub fn set_exec(&mut self, exec: ExecMode) {
         self.exec = exec;
+    }
+
+    /// Whether keyed cycles use the schedule cache (see
+    /// [`Machine::set_schedule_replay`]).
+    pub fn schedule_replay(&self) -> bool {
+        self.replay
+    }
+
+    /// Enables or disables schedule capture-and-replay for the keyed
+    /// entry points. Off, every keyed cycle takes the full
+    /// validate-every-cycle path (the A/B baseline); results, traces, and
+    /// step metrics are identical either way — only wall-clock and the
+    /// [`Metrics::schedule_hits`] / [`Metrics::schedule_misses`]
+    /// observability counters differ. The initial value comes from
+    /// [`crate::with_schedule_replay`] (default: enabled).
+    pub fn set_schedule_replay(&mut self, enabled: bool) {
+        self.replay = enabled;
+    }
+
+    /// Number of compiled schedules currently cached.
+    pub fn compiled_schedules(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// Drops every compiled schedule. The next cycle under each key
+    /// recompiles (and counts a [`Metrics::schedule_misses`]). Never
+    /// needed for correctness — replay re-checks the pattern every cycle
+    /// — but useful to re-measure cold-cache behaviour.
+    pub fn clear_schedules(&mut self) {
+        self.schedules.clear();
     }
 
     /// Whether this machine's cycles currently run on the threaded
@@ -264,7 +415,7 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     /// converging on one receiver. On error the cycle is *not* applied and
     /// no step is counted, so a test can probe illegal schedules without
     /// corrupting the machine.
-    pub fn try_exchange<M: Send + 'static>(
+    pub fn try_exchange<M: Send + Sync + 'static>(
         &mut self,
         plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
         deliver: impl Fn(&mut S, NodeId, M) + Sync,
@@ -279,11 +430,113 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     /// reports how many elements the message carries, feeding
     /// [`Metrics::message_words`] (block-transfer algorithms pass the
     /// block length; everything else uses the 1-word default).
-    pub fn try_exchange_sized<M: Send + 'static>(
+    pub fn try_exchange_sized<M: Send + Sync + 'static>(
         &mut self,
         plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
         deliver: impl Fn(&mut S, NodeId, M) + Sync,
-        words: impl Fn(&M) -> u64,
+        words: impl Fn(&M) -> u64 + Sync,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        self.exchange_inner(plan, deliver, words, None)
+    }
+
+    /// [`Machine::try_exchange_sized`] under a [`ScheduleKey`]: the first
+    /// cycle with `key` validates fully and compiles the pattern; later
+    /// cycles replay it (see the [`crate::schedule`] module docs).
+    ///
+    /// # Errors
+    ///
+    /// On the compile cycle, exactly [`Machine::try_exchange_sized`]'s
+    /// errors. On a replay cycle, a plan that no longer matches the
+    /// compiled pattern fails with [`SimError::ScheduleDeviation`] (for
+    /// the lowest deviating node, deterministically on every backend);
+    /// the cycle is not applied and no step is counted.
+    pub fn try_exchange_keyed_sized<M: Send + Sync + 'static>(
+        &mut self,
+        key: ScheduleKey,
+        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+        words: impl Fn(&M) -> u64 + Sync,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        if !self.replay {
+            return self.exchange_inner(plan, deliver, words, None);
+        }
+        if self.schedules.contains(key) {
+            let result = self.replay_cycle(key, plan, deliver, words);
+            if result.is_ok() {
+                self.metrics.schedule_hits += 1;
+            }
+            result
+        } else {
+            let result = self.exchange_inner(plan, deliver, words, Some(key));
+            if result.is_ok() {
+                self.metrics.schedule_misses += 1;
+            }
+            result
+        }
+    }
+
+    /// One-word-payload form of [`Machine::try_exchange_keyed_sized`].
+    pub fn try_exchange_keyed<M: Send + Sync + 'static>(
+        &mut self,
+        key: ScheduleKey,
+        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        self.try_exchange_keyed_sized(key, plan, deliver, |_| 1)
+    }
+
+    /// Panicking form of [`Machine::try_exchange_keyed`].
+    #[track_caller]
+    pub fn exchange_keyed<M: Send + Sync + 'static>(
+        &mut self,
+        key: ScheduleKey,
+        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+    ) -> usize
+    where
+        S: Send + Sync,
+    {
+        match self.try_exchange_keyed(key, plan, deliver) {
+            Ok(count) => count,
+            Err(e) => panic!("communication-model violation: {e}"),
+        }
+    }
+
+    /// Panicking form of [`Machine::try_exchange_keyed_sized`].
+    #[track_caller]
+    pub fn exchange_keyed_sized<M: Send + Sync + 'static>(
+        &mut self,
+        key: ScheduleKey,
+        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+        words: impl Fn(&M) -> u64 + Sync,
+    ) -> usize
+    where
+        S: Send + Sync,
+    {
+        match self.try_exchange_keyed_sized(key, plan, deliver, words) {
+            Ok(count) => count,
+            Err(e) => panic!("communication-model violation: {e}"),
+        }
+    }
+
+    /// The full (non-replay) communication cycle: plan, validate,
+    /// optionally compile the pattern under `capture`, deliver.
+    fn exchange_inner<M: Send + Sync + 'static>(
+        &mut self,
+        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+        words: impl Fn(&M) -> u64 + Sync,
+        capture: Option<ScheduleKey>,
     ) -> Result<usize, SimError>
     where
         S: Send + Sync,
@@ -292,52 +545,74 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
         let threaded = self.threaded();
 
         // Phase 1 — plan: read-only over the states, one slot per node,
-        // written into the reusable scratch buffer.
+        // written into the reusable scratch buffer. The threaded path
+        // also resets the claim table inside the same dispatch (each node
+        // resets its own cell), so validation needs no clearing pass.
         let plans = self.scratch.plans.cleared::<M>();
         if threaded {
+            let claims = &mut self.scratch.claims;
+            if claims.len() != n {
+                claims.clear();
+                claims.resize_with(n, || AtomicUsize::new(usize::MAX));
+            }
+            let claims: &[AtomicUsize] = claims;
             plans.resize_with(n, || None);
-            par_zip_apply(plans, &self.states, &|u, slot, s| *slot = plan(u, s));
+            par_zip_apply(plans, &self.states, &|u, slot, s| {
+                claims[u].store(usize::MAX, Ordering::Relaxed);
+                *slot = plan(u, s);
+            });
         } else {
             plans.extend(self.states.iter().enumerate().map(|(u, s)| plan(u, s)));
         }
 
-        // Phase 2 — validate the cycle before touching any state. Always
-        // sequential in node order, so error reporting (which violation is
-        // surfaced when several exist) is identical on every backend.
-        let recv_from = &mut self.scratch.recv_from;
-        recv_from.clear();
-        recv_from.resize(n, usize::MAX);
-        let mut delivered = 0usize;
-        let mut total_words = 0u64;
-        let mut violation = None;
-        for (src, p) in plans.iter().enumerate() {
-            if let Some((dst, msg)) = p {
-                let dst = *dst;
-                if dst >= n {
-                    violation = Some(SimError::OutOfRange {
-                        node: dst,
-                        num_nodes: n,
-                    });
-                } else if dst == src {
-                    violation = Some(SimError::SelfMessage { node: src });
-                } else if !self.topo.is_edge(src, dst) {
-                    violation = Some(SimError::NotAdjacent { src, dst });
-                } else if recv_from[dst] != usize::MAX {
-                    violation = Some(SimError::RecvConflict {
-                        node: dst,
-                        first_src: recv_from[dst],
-                        second_src: src,
-                    });
+        // Phase 2 — validate the cycle before touching any state. The
+        // sequential backend walks the plans in node order and stops at
+        // the first violation. The threaded backend runs two parallel
+        // reduction passes and reports the lowest-index violation, which
+        // is provably the same one (see the doc of `validate_parallel`).
+        let acc = if threaded {
+            Self::validate_parallel(self.topo, plans, &self.scratch.claims, &words, n)
+        } else {
+            let recv_from = &mut self.scratch.recv_from;
+            recv_from.clear();
+            recv_from.resize(n, usize::MAX);
+            let mut acc = CycleAcc::EMPTY;
+            for (src, p) in plans.iter().enumerate() {
+                if let Some((dst, msg)) = p {
+                    let dst = *dst;
+                    if dst >= n {
+                        acc.violate(
+                            src,
+                            SimError::OutOfRange {
+                                node: dst,
+                                num_nodes: n,
+                            },
+                        );
+                    } else if dst == src {
+                        acc.violate(src, SimError::SelfMessage { node: src });
+                    } else if !self.topo.is_edge(src, dst) {
+                        acc.violate(src, SimError::NotAdjacent { src, dst });
+                    } else if recv_from[dst] != usize::MAX {
+                        acc.violate(
+                            src,
+                            SimError::RecvConflict {
+                                node: dst,
+                                first_src: recv_from[dst],
+                                second_src: src,
+                            },
+                        );
+                    }
+                    if acc.violation.is_some() {
+                        break;
+                    }
+                    recv_from[dst] = src;
+                    acc.delivered += 1;
+                    acc.words += words(msg);
                 }
-                if violation.is_some() {
-                    break;
-                }
-                recv_from[dst] = src;
-                delivered += 1;
-                total_words += words(msg);
             }
-        }
-        if let Some(e) = violation {
+            acc
+        };
+        if let Some((_, e)) = acc.violation {
             // Drop the undelivered messages eagerly rather than letting
             // them linger in scratch until the next cycle overwrites it.
             plans.clear();
@@ -353,13 +628,34 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
             );
         }
 
+        // Compile the validated pattern before delivery consumes the
+        // plans (only on a keyed cycle's first sighting — the one place
+        // a steady-state cycle is allowed to allocate).
+        let compiled = capture.map(|key| {
+            assert!(
+                n < NO_SRC as usize,
+                "schedule capture supports machines below 2^31 - 1 nodes"
+            );
+            let mut enc = vec![NO_SRC; n];
+            for (src, p) in plans.iter().enumerate() {
+                if let Some((dst, _)) = p {
+                    enc[src] |= SENDS_BIT;
+                    enc[*dst] = (enc[*dst] & SENDS_BIT) | src as u32;
+                }
+            }
+            CompiledSchedule {
+                key,
+                enc,
+                delivered: acc.delivered,
+            }
+        });
+
         // Phase 3 — deliver. The validated matching guarantees at most one
         // inbound message per node, so the parallel backend scatters the
         // messages into a per-node inbox (also reusable scratch) and lets
         // each worker mutate only its own node's state.
         if threaded {
-            let inbox = self.scratch.inbox.cleared::<M>();
-            inbox.resize_with(n, || None);
+            let inbox = self.scratch.inbox.warm::<M>(n);
             for (src, p) in plans.iter_mut().enumerate() {
                 if let Some((dst, msg)) = p.take() {
                     inbox[dst] = Some((src, msg));
@@ -378,8 +674,181 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
             }
         }
         self.metrics
-            .record_comm_words(delivered as u64, total_words);
-        Ok(delivered)
+            .record_comm_words(acc.delivered as u64, acc.words);
+        if let Some(c) = compiled {
+            self.schedules.insert(c);
+        }
+        Ok(acc.delivered)
+    }
+
+    /// The threaded backend's deterministic validation: two parallel
+    /// reduction passes over the plans.
+    ///
+    /// **Pass 1 (local checks + claims).** Each sender checks, in the
+    /// sequential order, out-of-range → self-message → non-adjacent; a
+    /// locally *valid* sender also publishes itself into its receiver's
+    /// claim cell with an atomic `fetch_min`, so after the pass
+    /// `claims[dst]` holds the lowest locally-valid sender targeting
+    /// `dst`. **Pass 2 (conflicts).** Every sender whose claim cell names
+    /// someone else records a receive conflict. The passes reduce the
+    /// lowest-sender-index violation (counters summing alongside), folded
+    /// in slot order, then pass 1's result merges before pass 2's.
+    ///
+    /// Why this reproduces the sequential report bit-identically: the
+    /// sequential walk surfaces the violation with the lowest sender
+    /// index, checking locally before conflicts at each sender. Local
+    /// violations are position-independent, so pass 1 finds the same set.
+    /// For conflicts, the sequential walk fingers the *second-lowest*
+    /// sender of the contested receiver and names the lowest as
+    /// `first_src` — exactly what `fetch_min` + "am I the claimant?"
+    /// yields, at any worker count, because the claim cell converges to
+    /// the minimum regardless of scheduling. A locally-invalid sender
+    /// never claims, and any bogus conflict pass 2 records for it sits at
+    /// the same index as its pass-1 local violation, which the
+    /// merge-order tiebreak (pass 1 first) discards — mirroring the
+    /// sequential per-sender check order.
+    fn validate_parallel<M: Send + Sync + 'static>(
+        topo: &T,
+        plans: &[Option<(NodeId, M)>],
+        claims: &[AtomicUsize],
+        words: &(impl Fn(&M) -> u64 + Sync),
+        n: usize,
+    ) -> CycleAcc {
+        let local = par_for_reduce(
+            n,
+            CycleAcc::EMPTY,
+            &|src, acc| {
+                if let Some((dst, msg)) = &plans[src] {
+                    let dst = *dst;
+                    if dst >= n {
+                        acc.violate(
+                            src,
+                            SimError::OutOfRange {
+                                node: dst,
+                                num_nodes: n,
+                            },
+                        );
+                    } else if dst == src {
+                        acc.violate(src, SimError::SelfMessage { node: src });
+                    } else if !topo.is_edge(src, dst) {
+                        acc.violate(src, SimError::NotAdjacent { src, dst });
+                    } else {
+                        claims[dst].fetch_min(src, Ordering::Relaxed);
+                        acc.delivered += 1;
+                        acc.words += words(msg);
+                    }
+                }
+            },
+            CycleAcc::merge,
+        );
+        if local.violation.is_none() && local.delivered == 0 {
+            // Nobody spoke: no claims were made, so no conflicts exist.
+            return local;
+        }
+        let conflicts = par_for_reduce(
+            n,
+            CycleAcc::EMPTY,
+            &|src, acc| {
+                if let Some((dst, _)) = &plans[src] {
+                    let dst = *dst;
+                    if dst < n && dst != src {
+                        let first = claims[dst].load(Ordering::Relaxed);
+                        if first != src {
+                            acc.violate(
+                                src,
+                                SimError::RecvConflict {
+                                    node: dst,
+                                    first_src: first,
+                                    second_src: src,
+                                },
+                            );
+                        }
+                    }
+                }
+            },
+            CycleAcc::merge,
+        );
+        local.merge(conflicts)
+    }
+
+    /// A keyed cycle served from the cache: one fused plan+verify+scatter
+    /// pass, then deliver. Each receiver `u` evaluates its compiled
+    /// sender's plan straight into `u`'s own inbox slot (so the pass
+    /// parallelises with zero cross-chunk writes); nodes the schedule
+    /// says are silent evaluate their own plan and check it still is
+    /// silent. Every node's plan is thus evaluated exactly once — same as
+    /// the full path — and any deviation from the compiled pattern fails
+    /// the cycle deterministically before any state is touched.
+    fn replay_cycle<M: Send + Sync + 'static>(
+        &mut self,
+        key: ScheduleKey,
+        plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+        words: impl Fn(&M) -> u64 + Sync,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        let n = self.states.len();
+        let threaded = self.threaded();
+        let sched = self.schedules.get(key).expect("caller checked the cache");
+        let inbox = self.scratch.inbox.warm::<M>(n);
+        let states = &self.states;
+        let enc = &sched.enc[..];
+        let eval = |u: usize, slot: &mut Option<(NodeId, M)>, acc: &mut CycleAcc| {
+            let e = enc[u];
+            let src = (e & NO_SRC) as usize;
+            if src != NO_SRC as usize {
+                match plan(src, &states[src]) {
+                    Some((dst, msg)) if dst == u => {
+                        acc.words += words(&msg);
+                        *slot = Some((src, msg));
+                    }
+                    _ => acc.violate(src, SimError::ScheduleDeviation { key, node: src }),
+                }
+            }
+            if e & SENDS_BIT == 0 && plan(u, &states[u]).is_some() {
+                acc.violate(u, SimError::ScheduleDeviation { key, node: u });
+            }
+        };
+        let acc = if threaded {
+            par_apply_reduce(
+                inbox,
+                CycleAcc::EMPTY,
+                &|u, slot, acc| eval(u, slot, acc),
+                CycleAcc::merge,
+            )
+        } else {
+            let mut acc = CycleAcc::EMPTY;
+            for (u, slot) in inbox.iter_mut().enumerate() {
+                eval(u, slot, &mut acc);
+            }
+            acc
+        };
+        if let Some((_, e)) = acc.violation {
+            // The deviating cycle is not applied: drop anything staged.
+            inbox.clear();
+            return Err(e);
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(sched.trace_pairs());
+        }
+        if threaded {
+            par_zip_apply_mut(&mut self.states, inbox, &|_, s, slot| {
+                if let Some((src, msg)) = slot.take() {
+                    deliver(s, src, msg);
+                }
+            });
+        } else {
+            for (u, slot) in inbox.iter_mut().enumerate() {
+                if let Some((src, msg)) = slot.take() {
+                    deliver(&mut self.states[u], src, msg);
+                }
+            }
+        }
+        self.metrics
+            .record_comm_words(sched.delivered as u64, acc.words);
+        Ok(sched.delivered)
     }
 
     /// [`Machine::try_exchange`] that panics on a model violation — the
@@ -387,7 +856,7 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     /// supposed to be legal by construction. Steady-state cycles are
     /// allocation-free — see [`Machine::try_exchange`].
     #[track_caller]
-    pub fn exchange<M: Send + 'static>(
+    pub fn exchange<M: Send + Sync + 'static>(
         &mut self,
         plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
         deliver: impl Fn(&mut S, NodeId, M) + Sync,
@@ -434,7 +903,7 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     ///
     /// [`SimError::AsymmetricPair`] if the matching is not symmetric, plus
     /// everything [`Machine::try_exchange`] can report.
-    pub fn try_pairwise<M: Send + 'static>(
+    pub fn try_pairwise<M: Send + Sync + 'static>(
         &mut self,
         pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
         msg: impl Fn(NodeId, &S) -> M + Sync,
@@ -448,12 +917,140 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
 
     /// [`Machine::try_pairwise`] with explicit payload sizes (see
     /// [`Machine::try_exchange_sized`]).
-    pub fn try_pairwise_sized<M: Send + 'static>(
+    pub fn try_pairwise_sized<M: Send + Sync + 'static>(
         &mut self,
         pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
         msg: impl Fn(NodeId, &S) -> M + Sync,
         deliver: impl Fn(&mut S, NodeId, M) + Sync,
-        words: impl Fn(&M) -> u64,
+        words: impl Fn(&M) -> u64 + Sync,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        self.pairwise_inner(pair, msg, deliver, words, None)
+    }
+
+    /// [`Machine::try_pairwise_sized`] under a [`ScheduleKey`]. A replay
+    /// cycle skips the symmetry pre-pass along with the rest of
+    /// validation: symmetry is a property of the pattern, and the pattern
+    /// is re-checked against the compiled schedule (an asymmetric
+    /// deviation surfaces as [`SimError::ScheduleDeviation`]).
+    ///
+    /// ```
+    /// use dc_simulator::{Machine, ScheduleKey};
+    /// use dc_topology::Hypercube;
+    ///
+    /// let q = Hypercube::new(3);
+    /// let mut m = Machine::new(&q, (0..8u64).collect::<Vec<_>>());
+    /// for sweep in 0..2 {
+    ///     for i in 0..3u32 {
+    ///         m.pairwise_keyed(
+    ///             ScheduleKey::Dim(i),
+    ///             move |u, _| Some(u ^ (1 << i)),
+    ///             |_, &s| s,
+    ///             |s, _, v| *s += v,
+    ///         );
+    ///     }
+    /// }
+    /// // The second sweep replayed the three patterns the first compiled.
+    /// assert_eq!(m.metrics().schedule_misses, 3);
+    /// assert_eq!(m.metrics().schedule_hits, 3);
+    /// ```
+    pub fn try_pairwise_keyed_sized<M: Send + Sync + 'static>(
+        &mut self,
+        key: ScheduleKey,
+        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        msg: impl Fn(NodeId, &S) -> M + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+        words: impl Fn(&M) -> u64 + Sync,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        if !self.replay {
+            return self.pairwise_inner(pair, msg, deliver, words, None);
+        }
+        if self.schedules.contains(key) {
+            let result = self.replay_cycle(
+                key,
+                |u, s| pair(u, s).map(|v| (v, msg(u, s))),
+                deliver,
+                words,
+            );
+            if result.is_ok() {
+                self.metrics.schedule_hits += 1;
+            }
+            result
+        } else {
+            let result = self.pairwise_inner(pair, msg, deliver, words, Some(key));
+            if result.is_ok() {
+                self.metrics.schedule_misses += 1;
+            }
+            result
+        }
+    }
+
+    /// One-word-payload form of [`Machine::try_pairwise_keyed_sized`].
+    pub fn try_pairwise_keyed<M: Send + Sync + 'static>(
+        &mut self,
+        key: ScheduleKey,
+        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        msg: impl Fn(NodeId, &S) -> M + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        self.try_pairwise_keyed_sized(key, pair, msg, deliver, |_| 1)
+    }
+
+    /// Panicking form of [`Machine::try_pairwise_keyed`].
+    #[track_caller]
+    pub fn pairwise_keyed<M: Send + Sync + 'static>(
+        &mut self,
+        key: ScheduleKey,
+        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        msg: impl Fn(NodeId, &S) -> M + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+    ) -> usize
+    where
+        S: Send + Sync,
+    {
+        match self.try_pairwise_keyed(key, pair, msg, deliver) {
+            Ok(count) => count,
+            Err(e) => panic!("communication-model violation: {e}"),
+        }
+    }
+
+    /// Panicking form of [`Machine::try_pairwise_keyed_sized`].
+    #[track_caller]
+    pub fn pairwise_keyed_sized<M: Send + Sync + 'static>(
+        &mut self,
+        key: ScheduleKey,
+        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        msg: impl Fn(NodeId, &S) -> M + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+        words: impl Fn(&M) -> u64 + Sync,
+    ) -> usize
+    where
+        S: Send + Sync,
+    {
+        match self.try_pairwise_keyed_sized(key, pair, msg, deliver, words) {
+            Ok(count) => count,
+            Err(e) => panic!("communication-model violation: {e}"),
+        }
+    }
+
+    /// The full (non-replay) pairwise cycle: partner collection, symmetry
+    /// pre-validation, then the exchange (optionally compiling under
+    /// `capture`).
+    fn pairwise_inner<M: Send + Sync + 'static>(
+        &mut self,
+        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        msg: impl Fn(NodeId, &S) -> M + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+        words: impl Fn(&M) -> u64 + Sync,
+        capture: Option<ScheduleKey>,
     ) -> Result<usize, SimError>
     where
         S: Send + Sync,
@@ -465,27 +1062,59 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
         // of the cycle and always restored before returning.
         let mut partners = std::mem::take(&mut self.scratch.partners);
         self.collect_partners_into(&pair, &mut partners);
-        let symmetric = (|| {
-            for (u, &p) in partners.iter().enumerate() {
-                if let Some(v) = p {
-                    if v >= n {
-                        return Err(SimError::OutOfRange {
-                            node: v,
-                            num_nodes: n,
-                        });
+        let symmetric = if self.threaded() {
+            // Parallel symmetry check: pure reads of the shared partner
+            // table, reduced to the lowest-index violation — identical
+            // to the sequential first-hit-in-node-order report.
+            let table = &partners[..];
+            let acc = par_for_reduce(
+                n,
+                CycleAcc::EMPTY,
+                &|u, acc| {
+                    if let Some(v) = table[u] {
+                        if v >= n {
+                            acc.violate(
+                                u,
+                                SimError::OutOfRange {
+                                    node: v,
+                                    num_nodes: n,
+                                },
+                            );
+                        } else if table[v] != Some(u) {
+                            acc.violate(u, SimError::AsymmetricPair { a: u, b: v });
+                        }
                     }
-                    if partners[v] != Some(u) {
-                        return Err(SimError::AsymmetricPair { a: u, b: v });
+                },
+                CycleAcc::merge,
+            );
+            match acc.violation {
+                Some((_, e)) => Err(e),
+                None => Ok(()),
+            }
+        } else {
+            (|| {
+                for (u, &p) in partners.iter().enumerate() {
+                    if let Some(v) = p {
+                        if v >= n {
+                            return Err(SimError::OutOfRange {
+                                node: v,
+                                num_nodes: n,
+                            });
+                        }
+                        if partners[v] != Some(u) {
+                            return Err(SimError::AsymmetricPair { a: u, b: v });
+                        }
                     }
                 }
-            }
-            Ok(())
-        })();
+                Ok(())
+            })()
+        };
         let result = match symmetric {
-            Ok(()) => self.try_exchange_sized(
+            Ok(()) => self.exchange_inner(
                 |u, s| partners[u].map(|v| (v, msg(u, s))),
                 |s, from, m| deliver(s, from, m),
                 words,
+                capture,
             ),
             Err(e) => Err(e),
         };
@@ -495,12 +1124,12 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
 
     /// Panicking form of [`Machine::try_pairwise_sized`].
     #[track_caller]
-    pub fn pairwise_sized<M: Send + 'static>(
+    pub fn pairwise_sized<M: Send + Sync + 'static>(
         &mut self,
         pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
         msg: impl Fn(NodeId, &S) -> M + Sync,
         deliver: impl Fn(&mut S, NodeId, M) + Sync,
-        words: impl Fn(&M) -> u64,
+        words: impl Fn(&M) -> u64 + Sync,
     ) -> usize
     where
         S: Send + Sync,
@@ -513,11 +1142,11 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
 
     /// Panicking form of [`Machine::try_exchange_sized`].
     #[track_caller]
-    pub fn exchange_sized<M: Send + 'static>(
+    pub fn exchange_sized<M: Send + Sync + 'static>(
         &mut self,
         plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
         deliver: impl Fn(&mut S, NodeId, M) + Sync,
-        words: impl Fn(&M) -> u64,
+        words: impl Fn(&M) -> u64 + Sync,
     ) -> usize
     where
         S: Send + Sync,
@@ -531,7 +1160,7 @@ impl<'t, T: Topology + ?Sized, S> Machine<'t, T, S> {
     /// Panicking form of [`Machine::try_pairwise`]. Steady-state cycles
     /// are allocation-free — see [`Machine::try_pairwise`].
     #[track_caller]
-    pub fn pairwise<M: Send + 'static>(
+    pub fn pairwise<M: Send + Sync + 'static>(
         &mut self,
         pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
         msg: impl Fn(NodeId, &S) -> M + Sync,
@@ -747,6 +1376,173 @@ mod tests {
     }
 
     #[test]
+    fn keyed_pairwise_compiles_then_replays_identically() {
+        let mut plain = machine(3);
+        let mut keyed = machine(3);
+        plain.enable_trace();
+        keyed.enable_trace();
+        for _ in 0..4 {
+            plain.pairwise(|u, _| Some(u ^ 1), |_, &s| s, |s, _, v| *s += v);
+            keyed.pairwise_keyed(
+                ScheduleKey::Dim(0),
+                |u, _| Some(u ^ 1),
+                |_, &s| s,
+                |s, _, v| *s += v,
+            );
+        }
+        assert_eq!(plain.states(), keyed.states());
+        assert_eq!(plain.trace(), keyed.trace());
+        assert_eq!(plain.metrics().comm_steps, keyed.metrics().comm_steps);
+        assert_eq!(plain.metrics().messages, keyed.metrics().messages);
+        assert_eq!(plain.metrics().message_words, keyed.metrics().message_words);
+        assert_eq!(keyed.metrics().schedule_misses, 1);
+        assert_eq!(keyed.metrics().schedule_hits, 3);
+        assert_eq!(keyed.compiled_schedules(), 1);
+    }
+
+    #[test]
+    fn keyed_exchange_partial_pattern_replays() {
+        // A one-way, partial exchange (only node 0 speaks) exercises the
+        // silent-node self-check of the replay pass.
+        let mut m = machine(2);
+        for round in 0..3u64 {
+            let delivered = m.exchange_keyed(
+                ScheduleKey::Custom(7),
+                |u, &s| (u == 0).then_some((1, s)),
+                |s, _, v| *s += v,
+            );
+            assert_eq!(delivered, 1, "round {round}");
+        }
+        assert_eq!(m.metrics().schedule_misses, 1);
+        assert_eq!(m.metrics().schedule_hits, 2);
+        assert_eq!(m.metrics().messages, 3);
+    }
+
+    #[test]
+    fn deviating_replay_rejected_and_machine_untouched() {
+        let mut m = machine(2);
+        m.pairwise_keyed(
+            ScheduleKey::Cross,
+            |u, _| Some(u ^ 1),
+            |_, &s| s,
+            |s, _, v| *s = v,
+        );
+        let before = m.states().to_vec();
+        let comm = m.metrics().comm_steps;
+        // Same key, different pattern: nodes pair across dim 1 instead.
+        let err = m
+            .try_pairwise_keyed(
+                ScheduleKey::Cross,
+                |u, _| Some(u ^ 2),
+                |_, &s| s,
+                |s, _, v| *s = v,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ScheduleDeviation {
+                key: ScheduleKey::Cross,
+                node: 0
+            }
+        );
+        assert_eq!(m.states(), &before[..], "deviating cycle must not apply");
+        assert_eq!(m.metrics().comm_steps, comm, "no step charged");
+        assert_eq!(m.metrics().schedule_hits, 0);
+        // The compiled schedule is still intact and replayable.
+        m.pairwise_keyed(
+            ScheduleKey::Cross,
+            |u, _| Some(u ^ 1),
+            |_, &s| s,
+            |s, _, v| *s = v,
+        );
+        assert_eq!(m.metrics().schedule_hits, 1);
+    }
+
+    #[test]
+    fn newly_speaking_node_rejected_on_replay() {
+        let mut m = machine(2);
+        // Compile: only {0, 1} exchange.
+        m.pairwise_keyed(
+            ScheduleKey::Custom(1),
+            |u, _| (u < 2).then_some(u ^ 1),
+            |_, &s| s,
+            |s, _, v| *s = v,
+        );
+        // Replay with node 2 and 3 joining in: deviation at node 2.
+        let err = m
+            .try_pairwise_keyed(
+                ScheduleKey::Custom(1),
+                |u, _| Some(u ^ 1),
+                |_, &s| s,
+                |s, _, v| *s = v,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ScheduleDeviation {
+                key: ScheduleKey::Custom(1),
+                node: 2
+            }
+        );
+    }
+
+    #[test]
+    fn replay_disabled_machine_never_caches() {
+        let mut m = machine(2);
+        m.set_schedule_replay(false);
+        assert!(!m.schedule_replay());
+        for _ in 0..3 {
+            m.pairwise_keyed(
+                ScheduleKey::Cross,
+                |u, _| Some(u ^ 1),
+                |_, &s| s,
+                |s, _, v| *s += v,
+            );
+        }
+        assert_eq!(m.compiled_schedules(), 0);
+        assert_eq!(m.metrics().schedule_hits, 0);
+        assert_eq!(m.metrics().schedule_misses, 0);
+        assert_eq!(m.metrics().comm_steps, 3);
+    }
+
+    #[test]
+    fn clear_schedules_forces_recompile() {
+        let mut m = machine(2);
+        m.pairwise_keyed(
+            ScheduleKey::Cross,
+            |u, _| Some(u ^ 1),
+            |_, &s| s,
+            |s, _, v| *s += v,
+        );
+        assert_eq!(m.compiled_schedules(), 1);
+        m.clear_schedules();
+        assert_eq!(m.compiled_schedules(), 0);
+        m.pairwise_keyed(
+            ScheduleKey::Cross,
+            |u, _| Some(u ^ 1),
+            |_, &s| s,
+            |s, _, v| *s += v,
+        );
+        assert_eq!(m.metrics().schedule_misses, 2);
+    }
+
+    #[test]
+    fn keyed_try_probe_errors_identically_on_compile_cycle() {
+        // The compile cycle runs full validation, so an illegal keyed
+        // plan reports exactly the unkeyed error.
+        let mut keyed = machine(2);
+        let mut plain = machine(2);
+        let plan = |u: usize, &s: &u64| if u == 0 { Some((3, s)) } else { None };
+        let a = keyed
+            .try_exchange_keyed(ScheduleKey::Custom(9), plan, |_, _, _: u64| {})
+            .unwrap_err();
+        let b = plain.try_exchange(plan, |_, _, _: u64| {}).unwrap_err();
+        assert_eq!(a, b);
+        // The failed cycle compiled nothing.
+        assert_eq!(keyed.compiled_schedules(), 0);
+    }
+
+    #[test]
     fn compute_counts_steps_and_ops() {
         let mut m = machine(2);
         m.compute(1, |_, s| *s *= 2);
@@ -836,6 +1632,46 @@ mod tests {
         assert_eq!(seq.2, par.2, "traces");
     }
 
+    /// Keyed replay on the threaded backend must match the sequential
+    /// validate-every-cycle run bit-for-bit (Q_13 clears PAR_THRESHOLD).
+    #[test]
+    fn keyed_replay_matches_across_backends_on_large_machine() {
+        let topo: &'static Hypercube = Box::leak(Box::new(Hypercube::new(13)));
+        let n = topo.num_nodes();
+        let run = |exec: ExecMode, replay: bool| {
+            let mut m = Machine::with_exec(topo, (0..n as u64).collect(), exec);
+            m.set_schedule_replay(replay);
+            m.enable_trace();
+            for sweep in 0..3 {
+                for i in 0..13u32 {
+                    m.pairwise_keyed(
+                        ScheduleKey::Dim(i),
+                        move |u, _| Some(u ^ (1usize << i)),
+                        |_, &s| s,
+                        move |s, _, v| *s = s.wrapping_mul(31).wrapping_add(v + sweep),
+                    );
+                }
+            }
+            let trace = m.trace().to_vec();
+            let (states, mut metrics) = m.into_parts();
+            // The observability counters are the one intended difference
+            // between the replay-on and replay-off legs.
+            metrics.schedule_hits = 0;
+            metrics.schedule_misses = 0;
+            (states, metrics, trace)
+        };
+        let _guard = crate::parallel::test_override_guard();
+        let baseline = run(ExecMode::Sequential, false);
+        let seq_replay = run(ExecMode::Sequential, true);
+        assert_eq!(baseline, seq_replay, "sequential replay");
+        crate::parallel::set_worker_threads(4);
+        let par_replay = run(ExecMode::parallel(), true);
+        let par_baseline = run(ExecMode::parallel(), false);
+        crate::parallel::set_worker_threads(0);
+        assert_eq!(baseline, par_replay, "threaded replay");
+        assert_eq!(baseline, par_baseline, "threaded validate-every-cycle");
+    }
+
     /// Model violations must be reported identically (same variant, same
     /// nodes) by both backends, with the machine left untouched.
     #[test]
@@ -859,5 +1695,40 @@ mod tests {
         let par = probe(ExecMode::parallel());
         crate::parallel::set_worker_threads(0);
         assert_eq!(seq, par);
+    }
+
+    /// A pure receive-conflict (no local violations): the parallel
+    /// reduction must finger the second-lowest sender and name the lowest
+    /// as `first_src`, exactly like the sequential walk.
+    #[test]
+    fn parallel_conflict_attribution_matches_sequential() {
+        let topo: &'static Hypercube = Box::leak(Box::new(Hypercube::new(13)));
+        let n = topo.num_nodes();
+        let probe = |exec: ExecMode| {
+            let mut m = Machine::with_exec(topo, vec![0u64; n], exec);
+            // Nodes 8 and 512 both target node 0 (dims 3 and 9); node
+            // 2048 targets it too (dim 11). Lowest sender 8 claims,
+            // second-lowest 512 is reported.
+            m.try_exchange(
+                |u, _| matches!(u, 8 | 512 | 2048).then_some((0usize, u as u64)),
+                |_, _, _| {},
+            )
+            .unwrap_err()
+        };
+        let _guard = crate::parallel::test_override_guard();
+        let seq = probe(ExecMode::Sequential);
+        assert_eq!(
+            seq,
+            SimError::RecvConflict {
+                node: 0,
+                first_src: 8,
+                second_src: 512
+            }
+        );
+        for workers in [2, 3, 4, 7] {
+            crate::parallel::set_worker_threads(workers);
+            assert_eq!(probe(ExecMode::parallel()), seq, "at {workers} workers");
+        }
+        crate::parallel::set_worker_threads(0);
     }
 }

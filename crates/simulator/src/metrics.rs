@@ -54,6 +54,14 @@ pub struct Metrics {
     pub message_words: u64,
     /// Total element operations across all nodes over the whole run.
     pub element_ops: u64,
+    /// Keyed communication cycles served by replaying a compiled
+    /// schedule (see the `schedule` module). Pure observability — a cold
+    /// cache changes wall-clock, never results — surfaced so benches can
+    /// assert the cache is actually warm.
+    pub schedule_hits: u64,
+    /// Keyed communication cycles that compiled their schedule (first
+    /// sight of the key). Unkeyed cycles count under neither counter.
+    pub schedule_misses: u64,
     /// Per-phase breakdown, in phase order. Empty if the run never called
     /// [`Metrics::begin_phase`].
     pub phases: Vec<PhaseMetrics>,
@@ -113,6 +121,8 @@ impl Metrics {
         self.messages += other.messages;
         self.message_words += other.message_words;
         self.element_ops += other.element_ops;
+        self.schedule_hits += other.schedule_hits;
+        self.schedule_misses += other.schedule_misses;
         self.phases.extend(other.phases.iter().cloned());
     }
 

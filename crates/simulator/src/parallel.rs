@@ -202,6 +202,69 @@ pub fn par_zip_apply_mut<A: Send, B: Send>(
     pool::zip_apply_mut_chunked(threads, a, b, f);
 }
 
+/// Folds `f(i, &mut acc)` over `0..len` with a chunk-local accumulator
+/// per worker, then folds the per-chunk results **in slot order** — the
+/// shape of the parallel validation passes (read shared plan slots /
+/// atomic claim cells, reduce a lowest-index violation plus counters).
+///
+/// Determinism: the slot → index-range partition is fixed by `len` and
+/// the worker count, and the final fold runs left-to-right over the slot
+/// results on the calling thread. With an associative, commutative
+/// `fold` whose `init` is an identity (sums, min-index reductions — the
+/// only uses here), the result is bit-identical to the sequential loop
+/// at **any** worker count.
+pub fn par_for_reduce<R: Copy + Send + Sync>(
+    len: usize,
+    init: R,
+    f: &(impl Fn(usize, &mut R) + Sync),
+    fold: impl Fn(R, R) -> R,
+) -> R {
+    let threads = available_threads();
+    if threads == 1 || len <= 1 {
+        let mut acc = init;
+        for i in 0..len {
+            f(i, &mut acc);
+        }
+        return acc;
+    }
+    let mut out = [init; MAX_THREADS];
+    pool::for_reduce_chunked(threads, len, init, f, &mut out[..threads]);
+    out[..threads]
+        .iter()
+        .copied()
+        .reduce(fold)
+        .expect("threads >= 2")
+}
+
+/// [`par_for_reduce`] fused with a mutable pass over `items` (each index
+/// may write only its own element) — the replay pass's shape: stage node
+/// `i`'s inbound message into its inbox slot while reducing the deviation
+/// check and word count. Same determinism contract as
+/// [`par_for_reduce`].
+pub fn par_apply_reduce<A: Send, R: Copy + Send + Sync>(
+    items: &mut [A],
+    init: R,
+    f: &(impl Fn(usize, &mut A, &mut R) + Sync),
+    fold: impl Fn(R, R) -> R,
+) -> R {
+    let len = items.len();
+    let threads = available_threads();
+    if threads == 1 || len <= 1 {
+        let mut acc = init;
+        for (i, x) in items.iter_mut().enumerate() {
+            f(i, x, &mut acc);
+        }
+        return acc;
+    }
+    let mut out = [init; MAX_THREADS];
+    pool::apply_reduce_chunked(threads, items, init, f, &mut out[..threads]);
+    out[..threads]
+        .iter()
+        .copied()
+        .reduce(fold)
+        .expect("threads >= 2")
+}
+
 /// Upper bound on worker threads, so huge hosts (or careless overrides)
 /// don't oversubscribe.
 const MAX_THREADS: usize = 32;
@@ -332,6 +395,68 @@ mod tests {
             assert_eq!(s, expect);
         }
         assert!(inbox.iter().all(|slot| slot.is_none()));
+    }
+
+    #[test]
+    fn for_reduce_matches_sequential_fold_at_any_worker_count() {
+        let _guard = test_override_guard();
+        let len = PAR_THRESHOLD + 13;
+        let expect: u64 = (0..len as u64).sum();
+        for &workers in &[1usize, 2, 3, 5, 8] {
+            set_worker_threads(workers);
+            let got = par_for_reduce(len, 0u64, &|i, acc| *acc += i as u64, |a, b| a + b);
+            assert_eq!(got, expect, "at {workers} workers");
+        }
+        set_worker_threads(0);
+    }
+
+    #[test]
+    fn for_reduce_min_index_is_worker_count_invariant() {
+        let _guard = test_override_guard();
+        // "Violations" at a scatter of indices: the reduction must pick
+        // the lowest regardless of chunk boundaries.
+        let len = PAR_THRESHOLD * 2 + 7;
+        let hot = [4097usize, 5000, 731, 8190, 731 + PAR_THRESHOLD];
+        let min = |a: Option<usize>, b: Option<usize>| match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, None) => x,
+            (None, y) => y,
+        };
+        for &workers in &[1usize, 2, 4, 7] {
+            set_worker_threads(workers);
+            let got = par_for_reduce(
+                len,
+                None,
+                &|i, acc: &mut Option<usize>| {
+                    if hot.contains(&i) {
+                        *acc = min(*acc, Some(i));
+                    }
+                },
+                min,
+            );
+            assert_eq!(got, Some(731), "at {workers} workers");
+        }
+        set_worker_threads(0);
+    }
+
+    #[test]
+    fn apply_reduce_mutates_and_reduces() {
+        let _guard = test_override_guard();
+        set_worker_threads(4);
+        let n = PAR_THRESHOLD + 5;
+        let mut v = vec![0u64; n];
+        let sum = par_apply_reduce(
+            &mut v,
+            0u64,
+            &|i, s, acc| {
+                *s = i as u64 * 2;
+                *acc += *s;
+            },
+            |a, b| a + b,
+        );
+        assert_eq!(sum, (0..n as u64).map(|i| i * 2).sum::<u64>());
+        assert!(v.iter().enumerate().all(|(i, &s)| s == i as u64 * 2));
+        set_worker_threads(0);
     }
 
     #[test]

@@ -426,6 +426,73 @@ pub(super) fn zip_apply_chunked<A: Send, B: Sync>(
     });
 }
 
+/// Pool-backed form of [`super::par_for_reduce`]: pure index-space
+/// iteration with a per-slot accumulator. `f` only receives the index —
+/// any slices it reads are captured shared, so cross-chunk *reads* (the
+/// validation passes read arbitrary plan slots and atomic claim cells)
+/// are legal without carving the data into chunks. Each slot folds its
+/// own range into a private accumulator and deposits it at `out[slot]`;
+/// empty slots deposit `init`, so the caller can fold the whole `out`
+/// prefix in slot order.
+pub(super) fn for_reduce_chunked<R: Copy + Send + Sync>(
+    slots: usize,
+    len: usize,
+    init: R,
+    f: &(impl Fn(usize, &mut R) + Sync),
+    out: &mut [R],
+) {
+    debug_assert_eq!(out.len(), slots);
+    let chunk = len.div_ceil(slots);
+    let base = SendPtr(out.as_mut_ptr());
+    fork_join(slots, &|slot| {
+        let mut acc = init;
+        for i in slot_range(slot, chunk, len) {
+            f(i, &mut acc);
+        }
+        // SAFETY: slot `k` writes only `out[k]` — disjoint by
+        // construction — and the fork-join barrier keeps the `out`
+        // borrow alive until every slot has deposited.
+        unsafe {
+            *base.get().add(slot) = acc;
+        }
+    });
+}
+
+/// Pool-backed form of [`super::par_apply_reduce`]: chunked `&mut`
+/// iteration (the replay pass writes each node's inbox slot) fused with
+/// the per-slot accumulator of [`for_reduce_chunked`].
+pub(super) fn apply_reduce_chunked<A: Send, R: Copy + Send + Sync>(
+    slots: usize,
+    items: &mut [A],
+    init: R,
+    f: &(impl Fn(usize, &mut A, &mut R) + Sync),
+    out: &mut [R],
+) {
+    debug_assert_eq!(out.len(), slots);
+    let len = items.len();
+    let chunk = len.div_ceil(slots);
+    let base = SendPtr(items.as_mut_ptr());
+    let out_base = SendPtr(out.as_mut_ptr());
+    fork_join(slots, &|slot| {
+        let range = slot_range(slot, chunk, len);
+        let mut acc = init;
+        if !range.is_empty() {
+            let start = range.start;
+            // SAFETY: disjoint item ranges + fork-join barrier, as in
+            // `apply_chunked`.
+            let part =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(start), range.len()) };
+            for (i, x) in part.iter_mut().enumerate() {
+                f(start + i, x, &mut acc);
+            }
+        }
+        // SAFETY: slot-private `out` cell, as in `for_reduce_chunked`.
+        unsafe {
+            *out_base.get().add(slot) = acc;
+        }
+    });
+}
+
 /// Pool-backed form of [`super::par_zip_apply_mut`]: both slices mutable.
 pub(super) fn zip_apply_mut_chunked<A: Send, B: Send>(
     slots: usize,

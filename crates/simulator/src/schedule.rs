@@ -1,0 +1,268 @@
+//! Compiled communication schedules: capture-and-replay for the fixed,
+//! data-oblivious exchange patterns every paper algorithm runs.
+//!
+//! `D_prefix`'s 2n+1 steps and `D_sort`'s 6n²−7n+2 steps are the *same*
+//! partner pattern on every invocation — an ascend round at cluster
+//! dimension `i`, a cross-edge swap, one hop of an emulated window
+//! exchange — repeated across hundreds of cycles per run. Validating the
+//! 1-port matching from scratch every cycle (adjacency query per sender,
+//! receive-conflict table, pairwise symmetry pre-pass) is therefore pure
+//! repeated work. This module gives those patterns names
+//! ([`ScheduleKey`]) and a per-machine cache (`ScheduleCache`): the
+//! first cycle with a key runs full validation and **compiles** the
+//! matching into one packed `u32` per node (inbound source + sends flag;
+//! trace pairs are reconstructed on demand); subsequent cycles with the
+//! same key **replay** it — CUDA-graph style — skipping every validation
+//! structure, so a replayed cycle is plan → scatter → deliver with no
+//! sequential O(N) phase.
+//!
+//! # Why replay cannot launder an invalid schedule
+//!
+//! A compiled schedule proves that *one specific matching* is legal. A
+//! replayed cycle re-evaluates every node's plan exactly once (each
+//! receiver evaluates its compiled sender's plan; nodes the schedule says
+//! are silent check that they still are) and compares it against the
+//! compiled pattern. Any deviation — a different destination, a new
+//! sender, a silent node speaking up — fails the cycle with
+//! [`SimError::ScheduleDeviation`](crate::SimError::ScheduleDeviation)
+//! *before any state is touched*, reported deterministically for the
+//! lowest deviating node id regardless of backend or worker count. A key
+//! therefore asserts "this cycle's pattern equals the compiled one", and
+//! the machine checks the assertion every cycle; what replay skips is
+//! only the re-*derivation* of legality (adjacency, conflict-freedom,
+//! symmetry), which depends on the pattern alone.
+
+use dc_topology::NodeId;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Sentinel (and mask) for the source field of a packed schedule entry:
+/// all 31 low bits set = "nothing inbound". Doubles as the field mask.
+pub(crate) const NO_SRC: u32 = (1 << 31) - 1;
+
+/// Top bit of a packed schedule entry: "this node sends this cycle".
+pub(crate) const SENDS_BIT: u32 = 1 << 31;
+
+/// Names a fixed communication pattern so the machine can cache its
+/// compiled schedule. Two cycles may share a key **iff** they produce the
+/// identical (destination, silence) pattern; the machine verifies this on
+/// every replay and rejects deviations, so a wrong key is an error, never
+/// a wrong answer.
+///
+/// The variants mirror the patterns the paper's algorithms actually run;
+/// [`ScheduleKey::Custom`] covers anything algorithm-specific (ring
+/// parities, per-round collective trees, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleKey {
+    /// A full pairwise exchange along dimension `i` (`u ↔ u ^ (1 << i)`),
+    /// the ascend/descend-round shape.
+    Dim(u32),
+    /// The dual-cube cross-edge swap (`u ↔ ū₀`), present at every node.
+    Cross,
+    /// One hop of an emulated dimension-`j` window exchange (the 3-cycle
+    /// schedule of Algorithm 3, or a metacube gather/scatter hop).
+    Window {
+        /// The emulated dimension.
+        j: u32,
+        /// Position of this cycle within the emulation schedule.
+        hop: u8,
+    },
+    /// An algorithm-scoped pattern with caller-chosen discriminant.
+    Custom(u32),
+}
+
+impl fmt::Display for ScheduleKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ScheduleKey::Dim(i) => write!(f, "dim({i})"),
+            ScheduleKey::Cross => write!(f, "cross"),
+            ScheduleKey::Window { j, hop } => write!(f, "window({j}, hop {hop})"),
+            ScheduleKey::Custom(c) => write!(f, "custom({c})"),
+        }
+    }
+}
+
+/// A validated communication pattern, compiled on the first cycle with
+/// its key and replayed on every subsequent one.
+///
+/// The pattern is packed into **one `u32` per node**: replay reads
+/// exactly one array entry per receiver, and a run using dozens of keys
+/// (`D_sort` on `D_8` uses ~45) keeps its whole schedule cache ~4×
+/// smaller than a two-`Vec<usize>` layout would — small enough that
+/// replaying a key whose last use was hundreds of cycles ago streams
+/// 128 KiB instead of re-faulting half a megabyte per cycle. (That
+/// footprint, not the replay arithmetic, is what dominates a many-key
+/// run's wall-clock.)
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledSchedule {
+    /// The key this schedule was compiled under.
+    pub key: ScheduleKey,
+    /// `enc[u]`: low 31 bits = index of the node whose message `u`
+    /// receives ([`NO_SRC`] = nothing inbound); [`SENDS_BIT`] = `u`
+    /// sends this cycle. Capped at `2³¹ − 1` nodes — 5 orders of
+    /// magnitude above the paper's headline machine.
+    pub enc: Vec<u32>,
+    /// Messages the pattern delivers.
+    pub delivered: usize,
+}
+
+impl CompiledSchedule {
+    /// The `(src, dst)` pairs in `src` order — exactly what a traced
+    /// validate-every-cycle run records. Materialised on demand (tracing
+    /// is a diagnostics mode; compile and replay never pay for it).
+    pub fn trace_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut pairs: Vec<(NodeId, NodeId)> = self
+            .enc
+            .iter()
+            .enumerate()
+            .filter_map(|(dst, &e)| {
+                let src = e & NO_SRC;
+                (src != NO_SRC).then_some((src as NodeId, dst))
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+}
+
+/// Per-machine store of compiled schedules. Lookup is a linear scan: runs
+/// use a handful of keys (`D_sort` on `D_8` uses ~45) and the scan is a
+/// few dozen `Copy` compares against cycles that move 2^15 messages.
+///
+/// Cloning a machine clones the cache: compiled schedules depend only on
+/// the topology and node count, which the clone shares.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ScheduleCache {
+    entries: Vec<CompiledSchedule>,
+}
+
+impl ScheduleCache {
+    pub const fn new() -> Self {
+        ScheduleCache {
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn get(&self, key: ScheduleKey) -> Option<&CompiledSchedule> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+
+    pub fn contains(&self, key: ScheduleKey) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn insert(&mut self, compiled: CompiledSchedule) {
+        debug_assert!(
+            !self.contains(compiled.key),
+            "schedule {} compiled twice",
+            compiled.key
+        );
+        self.entries.push(compiled);
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Process-wide default for whether keyed cycles use the schedule cache
+/// (`true` unless overridden). Encoded as "replay disabled" so the
+/// zero-state default is on.
+static REPLAY_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Serialises [`with_schedule_replay`] sections. Deliberately *not* the
+/// executor's override lock: benches nest the two overrides
+/// (`with_default_exec(mode, || with_schedule_replay(off, …))`), which a
+/// shared non-reentrant mutex would deadlock. Like that lock it is not
+/// reentrant — don't nest [`with_schedule_replay`] inside itself; when
+/// combining with [`crate::with_default_exec`], take the exec override
+/// outermost.
+static REPLAY_OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Whether machines are created with schedule replay enabled right now.
+pub(crate) fn replay_default() -> bool {
+    !REPLAY_DISABLED.load(Ordering::SeqCst)
+}
+
+/// Runs `f` with the process-wide schedule-replay default set to
+/// `enabled`, restoring the previous default afterwards (also on panic).
+///
+/// The cache-on/off A/B lever for code that builds machines internally,
+/// mirroring [`crate::with_default_exec`]. Both settings produce
+/// identical states, traces, and step metrics (only the
+/// [`Metrics::schedule_hits`](crate::Metrics::schedule_hits) /
+/// [`Metrics::schedule_misses`](crate::Metrics::schedule_misses)
+/// observability counters differ), so this only ever affects wall-clock.
+pub fn with_schedule_replay<T>(enabled: bool, f: impl FnOnce() -> T) -> T {
+    let _guard = REPLAY_OVERRIDE_LOCK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            REPLAY_DISABLED.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _restore = Restore(REPLAY_DISABLED.swap(!enabled, Ordering::SeqCst));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_round_trips_by_key() {
+        let mut cache = ScheduleCache::new();
+        assert!(!cache.contains(ScheduleKey::Cross));
+        cache.insert(CompiledSchedule {
+            key: ScheduleKey::Cross,
+            enc: vec![SENDS_BIT | 1, SENDS_BIT], // 0 ↔ 1 swap
+            delivered: 2,
+        });
+        assert!(cache.contains(ScheduleKey::Cross));
+        assert!(!cache.contains(ScheduleKey::Dim(0)));
+        let got = cache.get(ScheduleKey::Cross).unwrap();
+        assert_eq!(got.delivered, 2);
+        assert_eq!(got.trace_pairs(), vec![(0, 1), (1, 0)]);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn keys_discriminate() {
+        assert_ne!(ScheduleKey::Dim(1), ScheduleKey::Dim(2));
+        assert_ne!(
+            ScheduleKey::Window { j: 1, hop: 0 },
+            ScheduleKey::Window { j: 1, hop: 1 }
+        );
+        assert_ne!(ScheduleKey::Custom(0), ScheduleKey::Custom(1));
+        assert_eq!(ScheduleKey::Cross, ScheduleKey::Cross);
+    }
+
+    #[test]
+    fn display_names_the_pattern() {
+        assert_eq!(ScheduleKey::Dim(3).to_string(), "dim(3)");
+        assert_eq!(
+            ScheduleKey::Window { j: 2, hop: 1 }.to_string(),
+            "window(2, hop 1)"
+        );
+    }
+
+    #[test]
+    fn replay_override_scopes_and_restores() {
+        assert!(replay_default());
+        with_schedule_replay(false, || {
+            assert!(!replay_default());
+        });
+        assert!(replay_default());
+        with_schedule_replay(true, || assert!(replay_default()));
+        assert!(replay_default());
+    }
+}

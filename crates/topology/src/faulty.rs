@@ -22,6 +22,11 @@ pub struct Faulty<T> {
     inner: T,
     failed: Vec<bool>,
     num_failed: usize,
+    /// Surviving degree of every node, precomputed at construction (the
+    /// fault set is immutable) so `degree` needs no neighbour sweep.
+    degrees: Vec<usize>,
+    /// Surviving edge count, by the same precomputation.
+    num_edges: usize,
 }
 
 impl<T: Topology> Faulty<T> {
@@ -34,10 +39,22 @@ impl<T: Topology> Faulty<T> {
             failed[f] = true;
         }
         let num_failed = failed.iter().filter(|&&b| b).count();
+        let mut degrees = vec![0; failed.len()];
+        let mut scratch = Vec::new();
+        for (u, d) in degrees.iter_mut().enumerate() {
+            if !failed[u] {
+                inner.neighbors_into(u, &mut scratch);
+                *d = scratch.iter().filter(|&&v| !failed[v]).count();
+            }
+        }
+        let degree_sum: usize = degrees.iter().sum();
+        debug_assert!(degree_sum.is_multiple_of(2), "handshake lemma");
         Faulty {
             inner,
             failed,
             num_failed,
+            degrees,
+            num_edges: degree_sum / 2,
         }
     }
 
@@ -92,17 +109,21 @@ impl<T: Topology> Topology for Faulty<T> {
     // Allocating-defaults audit (all `Topology` impls): Hypercube,
     // DualCube, RecDualCube, Metacube, and CubeConnectedCycles override
     // `degree`/`is_edge`/`num_edges` with closed forms. `Faulty` has no
-    // closed form for `degree`/`num_edges` (they depend on the fault
-    // set), so those keep the neighbour-sweep defaults — but `is_edge`,
-    // the one call on the simulator's per-cycle validation path, is a
-    // pure bit test over the fault mask plus the inner closed form.
+    // closed form (both depend on the fault set) but the fault set is
+    // frozen at construction, so all three are precomputed there; the
+    // `faulty_overrides_match_default_answers` test pins them to the
+    // neighbour-sweep defaults exhaustively.
 
     fn degree(&self, u: NodeId) -> usize {
-        self.neighbors(u).len()
+        self.degrees[u]
     }
 
     fn is_edge(&self, u: NodeId, v: NodeId) -> bool {
         !self.failed[u] && !self.failed[v] && self.inner.is_edge(u, v)
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
     }
 
     fn name(&self) -> String {
@@ -177,6 +198,44 @@ mod tests {
             assert!(f.is_edge(w[0], w[1]));
         }
         assert!(path.iter().all(|&u| !f.is_failed(u)));
+    }
+
+    /// The precomputed `degree`/`num_edges`/`is_edge` overrides must give
+    /// exactly the answers the `Topology` trait defaults derive from
+    /// `neighbors_into` — exhaustively, over every node (and every node
+    /// pair) of assorted topologies and fault sets, including the empty
+    /// and the everyone-failed set.
+    #[test]
+    fn faulty_overrides_match_default_answers() {
+        fn check(label: &str, f: &Faulty<impl Topology>) {
+            let n = f.num_nodes();
+            let mut degree_sum = 0;
+            for u in 0..n {
+                let nbrs = f.neighbors(u);
+                assert_eq!(f.degree(u), nbrs.len(), "{label}: degree({u})");
+                degree_sum += nbrs.len();
+                for v in 0..n {
+                    assert_eq!(
+                        f.is_edge(u, v),
+                        nbrs.contains(&v),
+                        "{label}: is_edge({u}, {v})"
+                    );
+                }
+            }
+            assert_eq!(f.num_edges(), degree_sum / 2, "{label}: num_edges");
+        }
+        let h = Hypercube::new(4);
+        let d = DualCube::new(2);
+        check("H4 fault-free", &Faulty::new(h, &[]));
+        check("H4 two faults", &Faulty::new(h, &[0, 9]));
+        check(
+            "H4 all failed",
+            &Faulty::new(h, &(0..16).collect::<Vec<_>>()),
+        );
+        check("D2 fault-free", &Faulty::new(d, &[]));
+        check("D2 three faults", &Faulty::new(d, &[1, 2, 7]));
+        // A fault set isolating a node (its whole neighbourhood fails).
+        check("D2 isolated 0", &Faulty::new(d, &d.neighbors(0)));
     }
 
     #[test]
