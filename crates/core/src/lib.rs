@@ -40,6 +40,7 @@ pub mod apps;
 pub mod collectives;
 pub mod emulate;
 pub mod emulate_mc;
+pub mod fault;
 pub mod model;
 pub mod ops;
 pub mod prefix;

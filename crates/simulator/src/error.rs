@@ -63,6 +63,23 @@ pub enum SimError {
         /// The lowest node id whose plan deviated.
         node: usize,
     },
+    /// A cycle's plan involved a crashed node (as sender or receiver).
+    /// Crashes are injected with [`crate::FaultPlan`]; a crashed node
+    /// neither sends nor receives, so any schedule touching it is
+    /// illegal until rerouted around.
+    NodeFailed {
+        /// The crashed node the plan touched.
+        node: usize,
+    },
+    /// A cycle's plan routed a message across a link taken down by a
+    /// [`crate::FaultPlan`]. Both endpoints are alive; only this edge
+    /// refuses traffic.
+    LinkDown {
+        /// Sending node.
+        src: usize,
+        /// Intended destination.
+        dst: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -102,6 +119,12 @@ impl fmt::Display for SimError {
                      schedule compiled for key {key}"
                 )
             }
+            SimError::NodeFailed { node } => {
+                write!(f, "node {node} has crashed and cannot send or receive")
+            }
+            SimError::LinkDown { src, dst } => {
+                write!(f, "link {{{src}, {dst}}} is down; message refused")
+            }
         }
     }
 }
@@ -125,6 +148,14 @@ mod tests {
         assert_eq!(
             SimError::NotAdjacent { src: 0, dst: 5 }.to_string(),
             "node 0 attempted to send to non-neighbour 5"
+        );
+        assert_eq!(
+            SimError::NodeFailed { node: 7 }.to_string(),
+            "node 7 has crashed and cannot send or receive"
+        );
+        assert_eq!(
+            SimError::LinkDown { src: 2, dst: 6 }.to_string(),
+            "link {2, 6} is down; message refused"
         );
     }
 

@@ -31,6 +31,14 @@
 //! validation pass while still detecting (and rejecting) any deviation.
 //! See the [`schedule`] module docs for why replay cannot weaken the
 //! model checking.
+//!
+//! Faults are first-class: a [`FaultPlan`] scripts seed-deterministic
+//! node crashes, link cuts, and message drops on the cycle timeline
+//! ([`Machine::set_fault_plan`]), surfacing as [`SimError::NodeFailed`] /
+//! [`SimError::LinkDown`] when a schedule touches the damage; each crash
+//! or cut bumps a *fault epoch* that invalidates every compiled schedule,
+//! so replay can never outlive the fault state that validated it. See the
+//! [`fault`] module docs.
 
 #![warn(missing_docs)]
 // `deny`, not `forbid`: the persistent worker pool (`parallel::pool`) is
@@ -43,6 +51,7 @@
 #![deny(unsafe_code)]
 
 mod error;
+pub mod fault;
 mod machine;
 mod metrics;
 pub mod parallel;
@@ -50,6 +59,7 @@ pub mod router;
 pub mod schedule;
 
 pub use error::SimError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use machine::Machine;
 pub use metrics::{Metrics, PhaseMetrics};
 pub use parallel::{set_worker_threads, with_default_exec, ExecMode};

@@ -2,6 +2,7 @@
 //! communication and computation cycles under 1-port validation.
 
 use crate::error::SimError;
+use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::metrics::Metrics;
 use crate::parallel::{
     par_apply_forced, par_apply_reduce, par_for_reduce, par_zip_apply, par_zip_apply_mut, ExecMode,
@@ -240,6 +241,21 @@ impl CycleAcc {
 /// Simulated metrics never depend on the backend; the parallel backend is
 /// observationally identical and only changes wall-clock time.
 ///
+/// # Fault injection
+///
+/// [`Machine::set_fault_plan`] arms a scripted [`FaultPlan`] (and
+/// [`Machine::inject_fault`] applies one fault immediately): node
+/// crashes and link cuts make any cycle whose plan touches the damage
+/// fail with [`SimError::NodeFailed`] / [`SimError::LinkDown`] — and
+/// bump the machine's *fault epoch*, invalidating every compiled
+/// schedule so a pre-fault pattern is recompiled under full validation
+/// instead of replayed (see the [`crate::fault`] module docs). Scripted
+/// message drops silently lose one cycle's deliveries to a node
+/// (counted in [`Metrics::dropped_messages`]). Crashed nodes' states
+/// freeze: computation phases skip them. Fault handling is
+/// deterministic on every backend; a fault-free machine pays only a
+/// couple of flag checks per cycle.
+///
 /// ```
 /// use dc_simulator::Machine;
 /// use dc_topology::Hypercube;
@@ -268,6 +284,7 @@ pub struct Machine<'t, T: Topology + ?Sized, S> {
     scratch: Scratch,
     schedules: ScheduleCache,
     replay: bool,
+    faults: FaultState,
 }
 
 impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
@@ -291,6 +308,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             scratch: Scratch::new(),
             schedules: ScheduleCache::new(),
             replay: schedule::replay_default(),
+            faults: FaultState::new(),
         }
     }
 
@@ -341,6 +359,66 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     /// — but useful to re-measure cold-cache behaviour.
     pub fn clear_schedules(&mut self) {
         self.schedules.clear();
+    }
+
+    /// Arms a scripted [`FaultPlan`]: its events apply at the
+    /// communication-cycle boundaries they name (merging with any
+    /// still-pending events from earlier plans). See the
+    /// [`crate::fault`] module docs for the semantics of each
+    /// [`FaultKind`]. Panics if an event names an out-of-range node.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults.arm(plan, self.states.len());
+    }
+
+    /// Applies one fault immediately (between cycles), without waiting
+    /// for a scripted boundary. A crash or link cut bumps the fault
+    /// epoch, invalidating every compiled schedule; a message drop arms
+    /// for the next communication cycle only.
+    pub fn inject_fault(&mut self, kind: FaultKind) {
+        if self.faults.apply(kind, self.states.len()) {
+            self.schedules.set_epoch(self.faults.epoch());
+        }
+    }
+
+    /// The machine's current fault epoch: 0 until the first crash or
+    /// link cut, +1 for each one since. Compiled schedules from earlier
+    /// epochs are never replayed (see [`crate::fault`]).
+    pub fn fault_epoch(&self) -> u64 {
+        self.faults.epoch()
+    }
+
+    /// Whether node `u` has crashed (by script or injection).
+    pub fn is_failed(&self, u: NodeId) -> bool {
+        self.faults.is_failed(u)
+    }
+
+    /// Ids of the nodes that have crashed so far, ascending.
+    pub fn failed_nodes(&self) -> Vec<NodeId> {
+        self.faults
+            .failed_mask()
+            .iter()
+            .enumerate()
+            .filter_map(|(u, &dead)| dead.then_some(u))
+            .collect()
+    }
+
+    /// The links taken down so far, endpoint-normalised (`a < b`).
+    pub fn links_down(&self) -> &[(NodeId, NodeId)] {
+        self.faults.links_down()
+    }
+
+    /// Applies scripted fault events due at this communication-cycle
+    /// boundary (the machine's completed `comm_steps` is the index of
+    /// the cycle about to run) and syncs the schedule cache's epoch.
+    /// Idempotent per boundary — events are consumed — and free when
+    /// nothing is pending.
+    fn advance_faults(&mut self) {
+        if self
+            .faults
+            .advance(self.metrics.comm_steps, self.states.len())
+        {
+            self.schedules.set_epoch(self.faults.epoch());
+        }
     }
 
     /// Whether this machine's cycles currently run on the threaded
@@ -466,6 +544,9 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         if !self.replay {
             return self.exchange_inner(plan, deliver, words, None);
         }
+        // Apply due fault events *before* consulting the cache: a crash
+        // at this boundary bumps the epoch and must veto the replay.
+        self.advance_faults();
         if self.schedules.contains(key) {
             let result = self.replay_cycle(key, plan, deliver, words);
             if result.is_ok() {
@@ -541,6 +622,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     where
         S: Send + Sync,
     {
+        self.advance_faults();
         let n = self.states.len();
         let threaded = self.threaded();
 
@@ -571,7 +653,14 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         // reduction passes and reports the lowest-index violation, which
         // is provably the same one (see the doc of `validate_parallel`).
         let acc = if threaded {
-            Self::validate_parallel(self.topo, plans, &self.scratch.claims, &words, n)
+            Self::validate_parallel(
+                self.topo,
+                plans,
+                &self.scratch.claims,
+                &self.faults,
+                &words,
+                n,
+            )
         } else {
             let recv_from = &mut self.scratch.recv_from;
             recv_from.clear();
@@ -590,8 +679,14 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                         );
                     } else if dst == src {
                         acc.violate(src, SimError::SelfMessage { node: src });
+                    } else if self.faults.is_failed(src) {
+                        acc.violate(src, SimError::NodeFailed { node: src });
+                    } else if self.faults.is_failed(dst) {
+                        acc.violate(src, SimError::NodeFailed { node: dst });
                     } else if !self.topo.is_edge(src, dst) {
                         acc.violate(src, SimError::NotAdjacent { src, dst });
+                    } else if self.faults.link_is_down(src, dst) {
+                        acc.violate(src, SimError::LinkDown { src, dst });
                     } else if recv_from[dst] != usize::MAX {
                         acc.violate(
                             src,
@@ -647,18 +742,31 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                 key,
                 enc,
                 delivered: acc.delivered,
+                epoch: self.faults.epoch(),
             }
         });
 
         // Phase 3 — deliver. The validated matching guarantees at most one
         // inbound message per node, so the parallel backend scatters the
         // messages into a per-node inbox (also reusable scratch) and lets
-        // each worker mutate only its own node's state.
+        // each worker mutate only its own node's state. Messages to a
+        // node with an armed drop are lost here — after validation (the
+        // sender cannot tell) but before delivery, excluded from the
+        // delivered/words counters. The compiled pattern above keeps the
+        // *full* matching: drops are transient, schedules are not.
+        let drops_active = self.faults.has_drops();
+        let mut dropped = 0u64;
+        let mut dropped_words = 0u64;
         if threaded {
             let inbox = self.scratch.inbox.warm::<M>(n);
             for (src, p) in plans.iter_mut().enumerate() {
                 if let Some((dst, msg)) = p.take() {
-                    inbox[dst] = Some((src, msg));
+                    if drops_active && self.faults.dropped(dst) {
+                        dropped += 1;
+                        dropped_words += words(&msg);
+                    } else {
+                        inbox[dst] = Some((src, msg));
+                    }
                 }
             }
             par_zip_apply_mut(&mut self.states, inbox, &|_, s, slot| {
@@ -669,23 +777,33 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         } else {
             for (src, p) in plans.iter_mut().enumerate() {
                 if let Some((dst, msg)) = p.take() {
-                    deliver(&mut self.states[dst], src, msg);
+                    if drops_active && self.faults.dropped(dst) {
+                        dropped += 1;
+                        dropped_words += words(&msg);
+                    } else {
+                        deliver(&mut self.states[dst], src, msg);
+                    }
                 }
             }
         }
         self.metrics
-            .record_comm_words(acc.delivered as u64, acc.words);
+            .record_comm_words(acc.delivered as u64 - dropped, acc.words - dropped_words);
+        self.metrics.dropped_messages += dropped;
+        if drops_active {
+            self.faults.clear_drops();
+        }
         if let Some(c) = compiled {
             self.schedules.insert(c);
         }
-        Ok(acc.delivered)
+        Ok(acc.delivered - dropped as usize)
     }
 
     /// The threaded backend's deterministic validation: two parallel
     /// reduction passes over the plans.
     ///
     /// **Pass 1 (local checks + claims).** Each sender checks, in the
-    /// sequential order, out-of-range → self-message → non-adjacent; a
+    /// sequential order, out-of-range → self-message → failed endpoint →
+    /// non-adjacent → downed link (all position-independent); a
     /// locally *valid* sender also publishes itself into its receiver's
     /// claim cell with an atomic `fetch_min`, so after the pass
     /// `claims[dst]` holds the lowest locally-valid sender targeting
@@ -711,6 +829,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         topo: &T,
         plans: &[Option<(NodeId, M)>],
         claims: &[AtomicUsize],
+        faults: &FaultState,
         words: &(impl Fn(&M) -> u64 + Sync),
         n: usize,
     ) -> CycleAcc {
@@ -730,8 +849,14 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                         );
                     } else if dst == src {
                         acc.violate(src, SimError::SelfMessage { node: src });
+                    } else if faults.is_failed(src) {
+                        acc.violate(src, SimError::NodeFailed { node: src });
+                    } else if faults.is_failed(dst) {
+                        acc.violate(src, SimError::NodeFailed { node: dst });
                     } else if !topo.is_edge(src, dst) {
                         acc.violate(src, SimError::NotAdjacent { src, dst });
+                    } else if faults.link_is_down(src, dst) {
+                        acc.violate(src, SimError::LinkDown { src, dst });
                     } else {
                         claims[dst].fetch_min(src, Ordering::Relaxed);
                         acc.delivered += 1;
@@ -794,6 +919,12 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         let sched = self.schedules.get(key).expect("caller checked the cache");
         let inbox = self.scratch.inbox.warm::<M>(n);
         let states = &self.states;
+        let faults = &self.faults;
+        // Crashes and link cuts bump the epoch, which evicts the
+        // schedule before we get here — so a replayed pattern is legal
+        // by construction and only *drops* (transient, no bump) need
+        // handling: the dropped message is validated but never staged.
+        let drops_active = faults.has_drops();
         let enc = &sched.enc[..];
         let eval = |u: usize, slot: &mut Option<(NodeId, M)>, acc: &mut CycleAcc| {
             let e = enc[u];
@@ -801,8 +932,13 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             if src != NO_SRC as usize {
                 match plan(src, &states[src]) {
                     Some((dst, msg)) if dst == u => {
-                        acc.words += words(&msg);
-                        *slot = Some((src, msg));
+                        if drops_active && faults.dropped(u) {
+                            // Lost in flight; counted after the pass.
+                        } else {
+                            acc.delivered += 1;
+                            acc.words += words(&msg);
+                            *slot = Some((src, msg));
+                        }
                     }
                     _ => acc.violate(src, SimError::ScheduleDeviation { key, node: src }),
                 }
@@ -846,9 +982,14 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                 }
             }
         }
-        self.metrics
-            .record_comm_words(sched.delivered as u64, acc.words);
-        Ok(sched.delivered)
+        let delivered = acc.delivered;
+        let dropped = (sched.delivered - delivered) as u64;
+        self.metrics.record_comm_words(delivered as u64, acc.words);
+        self.metrics.dropped_messages += dropped;
+        if drops_active {
+            self.faults.clear_drops();
+        }
+        Ok(delivered)
     }
 
     /// [`Machine::try_exchange`] that panics on a model violation — the
@@ -970,6 +1111,9 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         if !self.replay {
             return self.pairwise_inner(pair, msg, deliver, words, None);
         }
+        // As in `try_exchange_keyed_sized`: fault events first, so an
+        // epoch bump at this boundary forces the recompile path.
+        self.advance_faults();
         if self.schedules.contains(key) {
             let result = self.replay_cycle(
                 key,
@@ -1175,15 +1319,34 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         }
     }
 
-    /// Runs `f` once per node, on the configured backend.
-    fn apply(&mut self, f: impl Fn(NodeId, &mut S) + Sync)
+    /// Runs `f` once per node, on the configured backend. With
+    /// `respect_faults`, crashed nodes are skipped — their states are
+    /// frozen at the moment of the crash (computation phases honour
+    /// this; out-of-band [`Machine::setup`] does not).
+    fn apply(&mut self, f: impl Fn(NodeId, &mut S) + Sync, respect_faults: bool)
     where
         S: Send,
     {
-        if self.threaded() {
-            par_apply_forced(&mut self.states, &f);
+        let threaded = self.threaded();
+        let faults = &self.faults;
+        let states = &mut self.states;
+        if respect_faults && faults.any_failed() {
+            let frozen = |u: NodeId, s: &mut S| {
+                if !faults.is_failed(u) {
+                    f(u, s);
+                }
+            };
+            if threaded {
+                par_apply_forced(states, &frozen);
+            } else {
+                for (u, s) in states.iter_mut().enumerate() {
+                    frozen(u, s);
+                }
+            }
+        } else if threaded {
+            par_apply_forced(states, &f);
         } else {
-            for (u, s) in self.states.iter_mut().enumerate() {
+            for (u, s) in states.iter_mut().enumerate() {
                 f(u, s);
             }
         }
@@ -1211,7 +1374,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         S: Send,
     {
         let ops = steps * self.states.len() as u64;
-        self.apply(f);
+        self.apply(f, true);
         self.metrics.record_comp(steps, ops);
     }
 
@@ -1226,7 +1389,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     ) where
         S: Send,
     {
-        self.apply(f);
+        self.apply(f, true);
         self.metrics.record_comp(steps, element_ops);
     }
 
@@ -1237,7 +1400,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     where
         S: Send,
     {
-        self.apply(f);
+        self.apply(f, false);
     }
 }
 
@@ -1695,6 +1858,145 @@ mod tests {
         let par = probe(ExecMode::parallel());
         crate::parallel::set_worker_threads(0);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn crashed_node_rejects_sends_in_both_directions() {
+        let mut m = machine(2);
+        m.inject_fault(FaultKind::NodeCrash { node: 1 });
+        assert!(m.is_failed(1));
+        assert_eq!(m.failed_nodes(), vec![1]);
+        assert_eq!(m.fault_epoch(), 1);
+        // 1 as sender: NodeFailed{1} (node 0 stays silent).
+        let err = m
+            .try_exchange(|u, &s| (u == 1).then_some((0, s)), |_, _, _: u64| {})
+            .unwrap_err();
+        assert_eq!(err, SimError::NodeFailed { node: 1 });
+        // 1 as receiver: also NodeFailed{1}.
+        let err = m
+            .try_exchange(|u, &s| (u == 0).then_some((1, s)), |_, _, _: u64| {})
+            .unwrap_err();
+        assert_eq!(err, SimError::NodeFailed { node: 1 });
+        // Machine untouched, no cycle charged.
+        assert_eq!(m.metrics().comm_steps, 0);
+        // Traffic avoiding node 1 still flows.
+        let n = m.try_exchange(|u, &s| (u == 2).then_some((3, s)), |s, _, v: u64| *s += v);
+        assert_eq!(n, Ok(1));
+    }
+
+    #[test]
+    fn downed_link_refuses_traffic_but_endpoints_live() {
+        let mut m = machine(2);
+        m.inject_fault(FaultKind::LinkDown { a: 0, b: 1 });
+        assert_eq!(m.links_down(), &[(0, 1)]);
+        let err = m
+            .try_exchange(|u, &s| (u == 1).then_some((0, s)), |_, _, _: u64| {})
+            .unwrap_err();
+        assert_eq!(err, SimError::LinkDown { src: 1, dst: 0 });
+        // Both endpoints still talk over their other links.
+        let n = m.try_pairwise(|u, _| Some(u ^ 2), |_, &s| s, |s, _, v| *s += v);
+        assert_eq!(n, Ok(4));
+    }
+
+    #[test]
+    fn crashed_node_state_frozen_through_compute() {
+        let mut m = machine(2);
+        m.inject_fault(FaultKind::NodeCrash { node: 2 });
+        m.compute(1, |_, s| *s += 100);
+        assert_eq!(m.states(), &[100, 101, 2, 103], "node 2 frozen");
+        // Setup is out-of-band and ignores the crash.
+        m.setup(|_, s| *s = 0);
+        assert_eq!(m.states(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn scripted_message_drop_loses_one_cycles_deliveries() {
+        let mut m = machine(2);
+        m.set_fault_plan(FaultPlan::new().message_drop(1, 0));
+        // Cycle 0: no drop armed yet.
+        let n = m.pairwise(|u, _| Some(u ^ 1), |_, &s| s, |s, _, v| *s += v);
+        assert_eq!(n, 4);
+        // Cycle 1: messages to node 0 vanish; everyone else delivers.
+        let n = m.pairwise(|u, _| Some(u ^ 1), |_, &s| s, |s, _, v| *s += v);
+        assert_eq!(n, 3);
+        assert_eq!(m.metrics().dropped_messages, 1);
+        // Cycle 2: transient — back to full delivery.
+        let n = m.pairwise(|u, _| Some(u ^ 1), |_, &s| s, |s, _, v| *s += v);
+        assert_eq!(n, 4);
+        assert_eq!(m.metrics().messages, 11);
+        assert_eq!(m.metrics().comm_steps, 3);
+        assert_eq!(m.fault_epoch(), 0, "drops never bump the epoch");
+    }
+
+    /// The tentpole's latent-bug fix: a schedule compiled pre-fault must
+    /// not be replayed post-fault. The crash bumps the epoch, the next
+    /// keyed cycle takes the recompile path, and full validation rejects
+    /// the now-illegal pattern with `NodeFailed` (not a stale replay, and
+    /// not a `ScheduleDeviation`).
+    #[test]
+    fn fault_epoch_invalidates_compiled_schedule() {
+        let mut m = machine(2);
+        m.pairwise_keyed(
+            ScheduleKey::Dim(0),
+            |u, _| Some(u ^ 1),
+            |_, &s| s,
+            |s, _, v| *s += v,
+        );
+        assert_eq!(m.metrics().schedule_misses, 1);
+        assert_eq!(m.compiled_schedules(), 1);
+        m.inject_fault(FaultKind::NodeCrash { node: 3 });
+        assert_eq!(m.compiled_schedules(), 0, "epoch bump evicts the entry");
+        let err = m
+            .try_pairwise_keyed(
+                ScheduleKey::Dim(0),
+                |u, _| Some(u ^ 1),
+                |_, &s| s,
+                |s, _, v| *s += v,
+            )
+            .unwrap_err();
+        // Lowest offending sender is 2, whose receiver 3 is the corpse.
+        assert_eq!(err, SimError::NodeFailed { node: 3 });
+        assert_eq!(m.metrics().schedule_hits, 0, "never replayed post-fault");
+        // A rerouted pattern that avoids node 3 recompiles under the new
+        // epoch and replays thereafter.
+        for _ in 0..2 {
+            m.pairwise_keyed(
+                ScheduleKey::Dim(0),
+                |u, _| (u < 2).then_some(u ^ 1),
+                |_, &s| s,
+                |s, _, v| *s += v,
+            );
+        }
+        assert_eq!(m.metrics().schedule_misses, 2);
+        assert_eq!(m.metrics().schedule_hits, 1);
+    }
+
+    /// Scripted faults land at their cycle boundary even when every cycle
+    /// is a keyed replay — the boundary check runs before the cache is
+    /// consulted.
+    #[test]
+    fn scripted_crash_vetoes_replay_at_its_boundary() {
+        let mut m = machine(2);
+        m.set_fault_plan(FaultPlan::new().node_crash(2, 0));
+        let run = |m: &mut Machine<'static, Hypercube, u64>| {
+            m.try_pairwise_keyed(
+                ScheduleKey::Cross,
+                |u, _| Some(u ^ 1),
+                |_, &s| s,
+                |s, _, v| *s += v,
+            )
+        };
+        assert!(run(&mut m).is_ok(), "cycle 0 compiles");
+        assert!(run(&mut m).is_ok(), "cycle 1 replays");
+        assert_eq!(m.metrics().schedule_hits, 1);
+        let err = run(&mut m).unwrap_err();
+        assert_eq!(err, SimError::NodeFailed { node: 0 });
+        assert_eq!(m.fault_epoch(), 1);
+        assert_eq!(
+            m.metrics().schedule_hits,
+            1,
+            "the pre-fault schedule must not serve the post-fault cycle"
+        );
     }
 
     /// A pure receive-conflict (no local violations): the parallel

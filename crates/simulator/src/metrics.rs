@@ -62,6 +62,21 @@ pub struct Metrics {
     /// Keyed communication cycles that compiled their schedule (first
     /// sight of the key). Unkeyed cycles count under neither counter.
     pub schedule_misses: u64,
+    /// Communication cycles re-issued because an earlier attempt was
+    /// spoiled by a fault (a dropped message, a failed probe). Charged
+    /// by the fault-tolerant algorithms in dc-core, on top of the
+    /// `comm_steps` the retried cycles themselves cost.
+    pub retries: u64,
+    /// Messages lost in flight to a scripted
+    /// [`FaultKind::MessageDrop`](crate::FaultKind::MessageDrop): they
+    /// were validated and sent but never delivered (and are excluded
+    /// from `messages`/`message_words`).
+    pub dropped_messages: u64,
+    /// Extra communication steps a fault-tolerant run spent versus its
+    /// fault-free baseline — the routing *dilation* failures force.
+    /// Charged by dc-core's fault-tolerant algorithms (the simulator
+    /// has no baseline to subtract from).
+    pub dilation_hops: u64,
     /// Per-phase breakdown, in phase order. Empty if the run never called
     /// [`Metrics::begin_phase`].
     pub phases: Vec<PhaseMetrics>,
@@ -112,9 +127,15 @@ impl Metrics {
         }
     }
 
-    /// Adds another run's totals into this one (phases are appended).
-    /// Used by algorithms composed of several machine runs (e.g. radix
-    /// sort's per-pass scans, hyperquicksort's pivot broadcasts).
+    /// Adds another run's totals into this one. Used by algorithms
+    /// composed of several machine runs (e.g. radix sort's per-pass
+    /// scans, hyperquicksort's pivot broadcasts).
+    ///
+    /// Phases with a label this run has already seen are **merged**
+    /// (counter-wise sum) into the existing entry rather than appended:
+    /// absorbing two runs that both have a `"step 1"` phase must leave
+    /// [`Metrics::phase`]`("step 1")` describing both, not silently the
+    /// first. Unseen labels are appended in `other`'s phase order.
     pub fn absorb(&mut self, other: &Metrics) {
         self.comm_steps += other.comm_steps;
         self.comp_steps += other.comp_steps;
@@ -123,7 +144,20 @@ impl Metrics {
         self.element_ops += other.element_ops;
         self.schedule_hits += other.schedule_hits;
         self.schedule_misses += other.schedule_misses;
-        self.phases.extend(other.phases.iter().cloned());
+        self.retries += other.retries;
+        self.dropped_messages += other.dropped_messages;
+        self.dilation_hops += other.dilation_hops;
+        for p in &other.phases {
+            if let Some(mine) = self.phases.iter_mut().find(|m| m.label == p.label) {
+                mine.comm_steps += p.comm_steps;
+                mine.comp_steps += p.comp_steps;
+                mine.messages += p.messages;
+                mine.message_words += p.message_words;
+                mine.element_ops += p.element_ops;
+            } else {
+                self.phases.push(p.clone());
+            }
+        }
     }
 
     /// `T_comm + T_comp`: the paper's implicit total time when
@@ -142,14 +176,28 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "comm={} comp={} (messages={}, element_ops={})",
-            self.comm_steps, self.comp_steps, self.messages, self.element_ops
+            "comm={} comp={} (messages={}, words={}, element_ops={}, \
+             schedule hits={}/misses={})",
+            self.comm_steps,
+            self.comp_steps,
+            self.messages,
+            self.message_words,
+            self.element_ops,
+            self.schedule_hits,
+            self.schedule_misses
         )?;
+        if self.retries != 0 || self.dropped_messages != 0 || self.dilation_hops != 0 {
+            write!(
+                f,
+                " [faults: retries={}, dropped={}, dilation={}]",
+                self.retries, self.dropped_messages, self.dilation_hops
+            )?;
+        }
         for p in &self.phases {
             write!(
                 f,
-                "\n  {:<40} comm={:>4} comp={:>4} msgs={:>8}",
-                p.label, p.comm_steps, p.comp_steps, p.messages
+                "\n  {:<40} comm={:>4} comp={:>4} msgs={:>8} words={:>8}",
+                p.label, p.comm_steps, p.comp_steps, p.messages, p.message_words
             )?;
         }
         Ok(())
@@ -206,20 +254,75 @@ mod tests {
         let mut b = Metrics::new();
         b.begin_phase("x");
         b.record_comm(1);
+        b.retries = 2;
+        b.dropped_messages = 3;
+        b.dilation_hops = 4;
         a.absorb(&b);
         assert_eq!(a.comm_steps, 2);
         assert_eq!(a.messages, 3);
         assert_eq!(a.message_words, 6);
         assert_eq!(a.phases.len(), 1);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.dropped_messages, 3);
+        assert_eq!(a.dilation_hops, 4);
+    }
+
+    /// Regression: absorbing two runs that used the same phase label must
+    /// merge the phases, not leave two entries of which `phase(label)`
+    /// silently returns only the first.
+    #[test]
+    fn absorb_merges_same_labelled_phases() {
+        let mut pass = Metrics::new();
+        pass.begin_phase("scan");
+        pass.record_comm_words(4, 8);
+        pass.record_comp(1, 4);
+
+        let mut total = Metrics::new();
+        total.absorb(&pass);
+        total.absorb(&pass); // a second pass with the identical label
+
+        assert_eq!(total.phases.len(), 1, "same label must merge");
+        let scan = total.phase("scan").unwrap();
+        assert_eq!(scan.comm_steps, 2);
+        assert_eq!(scan.comp_steps, 2);
+        assert_eq!(scan.messages, 8);
+        assert_eq!(scan.message_words, 16);
+        assert_eq!(scan.element_ops, 8);
+        // Totals agree with the (previously-correct) run-level sums.
+        assert_eq!(total.comm_steps, 2);
+        assert_eq!(total.messages, 8);
+        // Distinct labels still append, in arrival order.
+        let mut other = Metrics::new();
+        other.begin_phase("combine");
+        other.record_comp(1, 2);
+        total.absorb(&other);
+        assert_eq!(total.phases.len(), 2);
+        assert_eq!(total.phases[1].label, "combine");
     }
 
     #[test]
     fn display_contains_counts() {
         let mut m = Metrics::new();
         m.begin_phase("phase x");
-        m.record_comm(7);
+        m.record_comm_words(7, 21);
+        m.schedule_hits = 5;
+        m.schedule_misses = 2;
         let s = m.to_string();
         assert!(s.contains("comm=1"));
         assert!(s.contains("phase x"));
+        // Regression: words and cache counters used to be dropped, making
+        // a cold cache indistinguishable from a warm one in bench logs.
+        assert!(s.contains("words=21"));
+        assert!(s.contains("hits=5"));
+        assert!(s.contains("misses=2"));
+        // Fault counters stay quiet on fault-free runs…
+        assert!(!s.contains("retries"));
+        // …and appear once any of them is nonzero.
+        m.retries = 1;
+        m.dropped_messages = 2;
+        let s = m.to_string();
+        assert!(s.contains("retries=1"));
+        assert!(s.contains("dropped=2"));
+        assert!(s.contains("dilation=0"));
     }
 }

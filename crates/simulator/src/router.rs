@@ -422,4 +422,84 @@ mod tests {
         assert_eq!(r.max_latency(), r.makespan);
         assert!(r.mean_latency() >= 2.0);
     }
+
+    mod arbitration_properties {
+        use super::*;
+        use dc_topology::DualCube;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// No starvation under adversarial traffic: the "fewest
+            /// remaining hops first, ties by packet id" arbitration always
+            /// advances at least one packet per cycle, so any batch —
+            /// including hot-spot batches where every packet fights for the
+            /// same receive port — finishes within `total_hops` cycles,
+            /// with every non-trivial packet arriving exactly once.
+            #[test]
+            fn random_batches_finish_within_total_hops(
+                seed: u64,
+                m in 2u32..=4,
+                len in 1usize..=48,
+            ) {
+                let q = Hypercube::new(m);
+                let n = q.num_nodes();
+                let mut x = seed | 1;
+                let mut next = move || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x };
+                let batch: Vec<Packet> = (0..len)
+                    .map(|_| Packet {
+                        src: next() as usize % n,
+                        dst: next() as usize % n,
+                    })
+                    .collect();
+                let r = route_batch(&q, &batch, |a, b| q.route(a, b)).unwrap();
+                // Global progress bound: ≥ 1 hop consumed per cycle.
+                prop_assert!(
+                    r.makespan <= r.total_hops,
+                    "makespan {} exceeds total hops {}",
+                    r.makespan, r.total_hops
+                );
+                // Lower bound: nobody beats their own path length.
+                for (i, p) in batch.iter().enumerate() {
+                    let dist = (p.src ^ p.dst).count_ones() as u64;
+                    prop_assert!(r.latencies[i] >= dist, "packet {i} {p:?}");
+                }
+                // Conservation: every non-trivial packet arrived (a starved
+                // packet would keep latency 0 and hang the loop instead).
+                let nontrivial = batch.iter().filter(|p| p.src != p.dst).count();
+                prop_assert_eq!(
+                    r.latencies.iter().filter(|&&l| l > 0).count(),
+                    nontrivial
+                );
+            }
+
+            /// The same bound on the dual-cube with its two-phase
+            /// cluster/cross routing, where a single node sits on many
+            /// routes (hot-spot pressure on cross-edge endpoints).
+            #[test]
+            fn dualcube_hotspot_batches_finish_within_total_hops(
+                seed: u64,
+                hot in 0usize..8,
+                len in 1usize..=32,
+            ) {
+                let d = DualCube::new(2);
+                let n = d.num_nodes();
+                let mut x = seed | 1;
+                let mut next = move || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x };
+                // Half the batch converges on one hot node.
+                let batch: Vec<Packet> = (0..len)
+                    .map(|i| Packet {
+                        src: next() as usize % n,
+                        dst: if i % 2 == 0 { hot % n } else { next() as usize % n },
+                    })
+                    .collect();
+                let r = route_batch(&d, &batch, |a, b| d.route(a, b)).unwrap();
+                prop_assert!(r.makespan <= r.total_hops);
+                let nontrivial = batch.iter().filter(|p| p.src != p.dst).count();
+                prop_assert_eq!(
+                    r.latencies.iter().filter(|&&l| l > 0).count(),
+                    nontrivial
+                );
+            }
+        }
+    }
 }

@@ -105,6 +105,10 @@ pub(crate) struct CompiledSchedule {
     pub enc: Vec<u32>,
     /// Messages the pattern delivers.
     pub delivered: usize,
+    /// The fault epoch this schedule's legality was proved under. A
+    /// cache whose epoch has moved on refuses to serve it (see
+    /// [`ScheduleCache::get`]).
+    pub epoch: u64,
 }
 
 impl CompiledSchedule {
@@ -130,43 +134,89 @@ impl CompiledSchedule {
 /// use a handful of keys (`D_sort` on `D_8` uses ~45) and the scan is a
 /// few dozen `Copy` compares against cycles that move 2^15 messages.
 ///
+/// The cache carries the machine's current **fault epoch** (see the
+/// `fault` module): every entry is stamped with the epoch it was
+/// compiled under, and [`ScheduleCache::get`] refuses entries from an
+/// older epoch. A crash or link cut bumps the epoch, so every schedule
+/// whose legality proof predates the fault is invalidated *by
+/// construction* — the next keyed cycle recompiles under full
+/// validation instead of replaying a pattern the damaged network may no
+/// longer support. Stale entries are physically evicted when their key
+/// recompiles.
+///
 /// Cloning a machine clones the cache: compiled schedules depend only on
-/// the topology and node count, which the clone shares.
+/// the topology, node count, and fault history, which the clone shares.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct ScheduleCache {
     entries: Vec<CompiledSchedule>,
+    /// Mirror of the machine's fault epoch ([`ScheduleCache::set_epoch`]
+    /// keeps it in sync). Entries stamped below this are dead.
+    epoch: u64,
 }
 
 impl ScheduleCache {
     pub const fn new() -> Self {
         ScheduleCache {
             entries: Vec::new(),
+            epoch: 0,
         }
     }
 
+    /// The compiled schedule for `key`, **iff** it was compiled in the
+    /// current fault epoch. A hit from a previous epoch is treated as
+    /// absent — replayed schedules never outlive the fault state that
+    /// validated them.
     pub fn get(&self, key: ScheduleKey) -> Option<&CompiledSchedule> {
-        self.entries.iter().find(|e| e.key == key)
+        self.entries
+            .iter()
+            .find(|e| e.key == key && e.epoch == self.epoch)
     }
 
     pub fn contains(&self, key: ScheduleKey) -> bool {
         self.get(key).is_some()
     }
 
+    /// Stores a freshly compiled schedule, evicting any stale-epoch
+    /// entry under the same key (recompiling after a fault replaces the
+    /// pre-fault schedule).
     pub fn insert(&mut self, compiled: CompiledSchedule) {
         debug_assert!(
+            compiled.epoch == self.epoch,
+            "schedule {} compiled under epoch {} but cache is at {}",
+            compiled.key,
+            compiled.epoch,
+            self.epoch
+        );
+        debug_assert!(
             !self.contains(compiled.key),
-            "schedule {} compiled twice",
+            "schedule {} compiled twice in one epoch",
             compiled.key
         );
-        self.entries.push(compiled);
+        if let Some(stale) = self.entries.iter_mut().find(|e| e.key == compiled.key) {
+            *stale = compiled;
+        } else {
+            self.entries.push(compiled);
+        }
+    }
+
+    /// Moves the cache to `epoch` (monotone; called when the machine's
+    /// fault state bumps). All entries stamped earlier become invisible
+    /// to [`ScheduleCache::get`] at once.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        debug_assert!(epoch >= self.epoch, "fault epoch must be monotone");
+        self.epoch = epoch;
     }
 
     pub fn clear(&mut self) {
         self.entries.clear();
     }
 
+    /// Number of entries valid in the current epoch.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries
+            .iter()
+            .filter(|e| e.epoch == self.epoch)
+            .count()
     }
 }
 
@@ -224,6 +274,7 @@ mod tests {
             key: ScheduleKey::Cross,
             enc: vec![SENDS_BIT | 1, SENDS_BIT], // 0 ↔ 1 swap
             delivered: 2,
+            epoch: 0,
         });
         assert!(cache.contains(ScheduleKey::Cross));
         assert!(!cache.contains(ScheduleKey::Dim(0)));
@@ -233,6 +284,37 @@ mod tests {
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert_eq!(cache.len(), 0);
+    }
+
+    /// The PR-4 invariant: bumping the fault epoch makes every earlier
+    /// compilation invisible, and recompiling under the new epoch
+    /// replaces (not duplicates) the stale entry.
+    #[test]
+    fn epoch_bump_invalidates_compiled_schedules() {
+        let mut cache = ScheduleCache::new();
+        cache.insert(CompiledSchedule {
+            key: ScheduleKey::Dim(0),
+            enc: vec![SENDS_BIT | 1, SENDS_BIT],
+            delivered: 2,
+            epoch: 0,
+        });
+        assert!(cache.contains(ScheduleKey::Dim(0)));
+        cache.set_epoch(1);
+        assert!(
+            !cache.contains(ScheduleKey::Dim(0)),
+            "pre-fault schedule must not be served post-fault"
+        );
+        assert_eq!(cache.len(), 0);
+        // Recompile under the new epoch: visible again, stale entry gone.
+        cache.insert(CompiledSchedule {
+            key: ScheduleKey::Dim(0),
+            enc: vec![NO_SRC, NO_SRC],
+            delivered: 0,
+            epoch: 1,
+        });
+        let got = cache.get(ScheduleKey::Dim(0)).unwrap();
+        assert_eq!(got.delivered, 0, "must serve the new compilation");
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

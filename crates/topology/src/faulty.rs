@@ -1,14 +1,16 @@
-//! Fault injection: a topology with failed nodes masked out.
+//! Fault injection: a topology with failed nodes and links masked out.
 //!
 //! The dual-cube literature the paper builds on (its reference \[4\] is Lee
 //! & Hayes' fault-tolerant hypercube communication scheme, and the
 //! authors' own follow-up work covers fault-tolerant routing in
-//! dual-cubes) studies behaviour under node failures. [`Faulty`] wraps any
-//! [`Topology`] and removes a set of nodes: failed nodes keep their ids
-//! (so the address arithmetic of the healthy nodes is undisturbed) but
-//! report no neighbours and disappear from everyone's adjacency.
+//! dual-cubes) studies behaviour under node *and* link failures.
+//! [`Faulty`] wraps any [`Topology`] and removes a set of nodes and/or
+//! edges: failed nodes keep their ids (so the address arithmetic of the
+//! healthy nodes is undisturbed) but report no neighbours and disappear
+//! from everyone's adjacency; failed links vanish from both endpoints'
+//! adjacency while the endpoints stay alive.
 //!
-//! With fewer than κ(G) failures the surviving graph stays connected
+//! With fewer than κ(G) node failures the surviving graph stays connected
 //! (Menger; κ is computed exactly in [`crate::connectivity`]) — measured
 //! over random fault sets in experiment E15, together with the routing
 //! *dilation* failures force on shortest paths.
@@ -16,12 +18,16 @@
 use crate::traits::{NodeId, Topology};
 
 /// A topology with a fault set removed. Node ids are preserved; faulty
-/// nodes are isolated (degree 0).
+/// nodes are isolated (degree 0); faulty links are absent from both
+/// endpoints' adjacency.
 #[derive(Debug, Clone)]
 pub struct Faulty<T> {
     inner: T,
     failed: Vec<bool>,
     num_failed: usize,
+    /// Failed links, endpoint-normalised (`a < b`), deduplicated. Small
+    /// in every studied scenario; membership is a linear scan.
+    dead_links: Vec<(NodeId, NodeId)>,
     /// Surviving degree of every node, precomputed at construction (the
     /// fault set is immutable) so `degree` needs no neighbour sweep.
     degrees: Vec<usize>,
@@ -33,29 +39,57 @@ impl<T: Topology> Faulty<T> {
     /// Marks `faults` as failed in `inner`. Duplicate ids are accepted;
     /// out-of-range ids panic.
     pub fn new(inner: T, faults: &[NodeId]) -> Self {
-        let mut failed = vec![false; inner.num_nodes()];
+        Faulty::with_link_faults(inner, faults, &[])
+    }
+
+    /// Marks `faults` as failed nodes and `link_faults` as failed edges.
+    /// Link endpoints may be given in either order; duplicates (either
+    /// orientation) are accepted, as are links incident to failed nodes
+    /// (already absent; harmless). Out-of-range ids, self-loops, and
+    /// pairs that are not edges of `inner` panic.
+    pub fn with_link_faults(inner: T, faults: &[NodeId], link_faults: &[(NodeId, NodeId)]) -> Self {
+        let n = inner.num_nodes();
+        let mut failed = vec![false; n];
         for &f in faults {
-            assert!(f < failed.len(), "fault id {f} out of range");
+            assert!(f < n, "fault id {f} out of range");
             failed[f] = true;
         }
         let num_failed = failed.iter().filter(|&&b| b).count();
-        let mut degrees = vec![0; failed.len()];
-        let mut scratch = Vec::new();
-        for (u, d) in degrees.iter_mut().enumerate() {
-            if !failed[u] {
-                inner.neighbors_into(u, &mut scratch);
-                *d = scratch.iter().filter(|&&v| !failed[v]).count();
+        let mut dead_links: Vec<(NodeId, NodeId)> = Vec::with_capacity(link_faults.len());
+        for &(a, b) in link_faults {
+            assert!(a < n && b < n, "link fault ({a}, {b}) out of range");
+            assert_ne!(a, b, "link fault ({a}, {b}) is a self-loop");
+            assert!(
+                inner.is_edge(a, b),
+                "link fault ({a}, {b}) is not an edge of {}",
+                inner.name()
+            );
+            let key = (a.min(b), a.max(b));
+            if !dead_links.contains(&key) {
+                dead_links.push(key);
             }
         }
-        let degree_sum: usize = degrees.iter().sum();
-        debug_assert!(degree_sum.is_multiple_of(2), "handshake lemma");
-        Faulty {
+        let mut me = Faulty {
             inner,
             failed,
             num_failed,
-            degrees,
-            num_edges: degree_sum / 2,
+            dead_links,
+            degrees: vec![0; n],
+            num_edges: 0,
+        };
+        let mut scratch = Vec::new();
+        let mut degree_sum = 0;
+        for u in 0..n {
+            // Route through `neighbors_into` (which applies both fault
+            // kinds) so the precomputed answers match the trait defaults
+            // by construction.
+            me.neighbors_into(u, &mut scratch);
+            me.degrees[u] = scratch.len();
+            degree_sum += scratch.len();
         }
+        debug_assert!(degree_sum.is_multiple_of(2), "handshake lemma");
+        me.num_edges = degree_sum / 2;
+        me
     }
 
     /// The wrapped fault-free topology.
@@ -69,9 +103,29 @@ impl<T: Topology> Faulty<T> {
         self.failed[u]
     }
 
+    /// Whether the link `{u, v}` was explicitly failed (regardless of
+    /// orientation; false for links merely incident to failed nodes).
+    #[inline]
+    pub fn is_link_failed(&self, u: NodeId, v: NodeId) -> bool {
+        !self.dead_links.is_empty() && self.dead_links.contains(&(u.min(v), u.max(v)))
+    }
+
     /// Number of failed nodes.
     pub fn num_failed(&self) -> usize {
         self.num_failed
+    }
+
+    /// The failed links, endpoint-normalised (`a < b`), deduplicated.
+    pub fn failed_links(&self) -> &[(NodeId, NodeId)] {
+        &self.dead_links
+    }
+
+    /// Whether the fault set killed **every** node. In this degenerate
+    /// case there are no survivors, so [`Faulty::survivors_connected`]
+    /// is vacuously true — callers sampling fault sets should check this
+    /// signal rather than read connectedness into an empty graph.
+    pub fn all_failed(&self) -> bool {
+        self.num_failed == self.failed.len()
     }
 
     /// Ids of the surviving nodes.
@@ -82,6 +136,11 @@ impl<T: Topology> Faulty<T> {
     }
 
     /// Whether every pair of surviving nodes can still reach each other.
+    ///
+    /// **Vacuously true when there are no survivors** (the BFS has
+    /// nothing to disconnect): a caller that may have failed every node
+    /// must consult [`Faulty::all_failed`] first — experiment E15 asserts
+    /// on it rather than sampling around the degenerate case.
     pub fn survivors_connected(&self) -> bool {
         let survivors = self.survivors();
         let Some(&start) = survivors.first() else {
@@ -103,7 +162,7 @@ impl<T: Topology> Topology for Faulty<T> {
             return;
         }
         self.inner.neighbors_into(u, out);
-        out.retain(|&v| !self.failed[v]);
+        out.retain(|&v| !self.failed[v] && !self.is_link_failed(u, v));
     }
 
     // Allocating-defaults audit (all `Topology` impls): Hypercube,
@@ -119,7 +178,7 @@ impl<T: Topology> Topology for Faulty<T> {
     }
 
     fn is_edge(&self, u: NodeId, v: NodeId) -> bool {
-        !self.failed[u] && !self.failed[v] && self.inner.is_edge(u, v)
+        !self.failed[u] && !self.failed[v] && !self.is_link_failed(u, v) && self.inner.is_edge(u, v)
     }
 
     fn num_edges(&self) -> usize {
@@ -127,7 +186,16 @@ impl<T: Topology> Topology for Faulty<T> {
     }
 
     fn name(&self) -> String {
-        format!("{} − {} faults", self.inner.name(), self.num_failed)
+        if self.dead_links.is_empty() {
+            format!("{} − {} faults", self.inner.name(), self.num_failed)
+        } else {
+            format!(
+                "{} − {} node / {} link faults",
+                self.inner.name(),
+                self.num_failed,
+                self.dead_links.len()
+            )
+        }
     }
 }
 
@@ -242,6 +310,87 @@ mod tests {
     fn duplicate_faults_counted_once() {
         let f = Faulty::new(Hypercube::new(2), &[1, 1, 1]);
         assert_eq!(f.num_failed(), 1);
+    }
+
+    #[test]
+    fn link_faults_cut_the_edge_but_not_the_endpoints() {
+        let h = Hypercube::new(3);
+        let full_edges = h.num_edges();
+        // Either endpoint order must name the same edge; duplicates fold.
+        let f = Faulty::with_link_faults(h, &[], &[(0, 1), (1, 0), (4, 0)]);
+        assert_eq!(f.failed_links(), &[(0, 1), (0, 4)]);
+        assert!(!f.is_edge(0, 1));
+        assert!(!f.is_edge(1, 0));
+        assert!(!f.is_edge(0, 4));
+        assert!(f.is_edge(0, 2), "other edges untouched");
+        assert!(f.is_link_failed(1, 0));
+        assert!(!f.is_link_failed(0, 2));
+        // Endpoints live: degree reduced, not zeroed.
+        assert_eq!(f.degree(0), 1);
+        assert_eq!(f.degree(1), 2);
+        assert_eq!(f.num_edges(), full_edges - 2);
+        assert_eq!(f.num_failed(), 0);
+        assert!(!f.neighbors(0).contains(&1));
+        assert!(f.neighbors(0).contains(&2));
+        assert!(graph::check_simple_undirected(&f).is_empty());
+        assert!(f.name().contains("2 link faults"));
+    }
+
+    #[test]
+    fn link_faults_combine_with_node_faults() {
+        let d = DualCube::new(2);
+        let f = Faulty::with_link_faults(d, &[3], &[(0, 1)]);
+        assert!(f.neighbors(3).is_empty());
+        assert!(!f.is_edge(0, 1));
+        // Precomputed overrides still match the trait defaults.
+        for u in 0..f.num_nodes() {
+            let nbrs = f.neighbors(u);
+            assert_eq!(f.degree(u), nbrs.len());
+            for v in 0..f.num_nodes() {
+                assert_eq!(f.is_edge(u, v), nbrs.contains(&v), "is_edge({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn enough_link_faults_disconnect_survivors() {
+        // Cutting every edge at node 0 isolates it without killing it.
+        let d = DualCube::new(2);
+        let cuts: Vec<_> = d.neighbors(0).into_iter().map(|v| (0, v)).collect();
+        let f = Faulty::with_link_faults(d, &[], &cuts);
+        assert_eq!(f.degree(0), 0);
+        assert!(!f.is_failed(0), "node 0 is alive, just cut off");
+        assert!(!f.survivors_connected());
+    }
+
+    /// The satellite bugfix: an all-nodes-failed set used to be silently
+    /// accepted with `survivors_connected() == true` (vacuous BFS). The
+    /// explicit signal lets callers assert instead of sampling around it.
+    #[test]
+    fn all_failed_is_signalled_not_silently_connected() {
+        let h = Hypercube::new(2);
+        let everyone: Vec<_> = (0..h.num_nodes()).collect();
+        let f = Faulty::new(h, &everyone);
+        assert!(f.all_failed());
+        assert!(f.survivors().is_empty());
+        // The vacuous truth is documented and kept (an empty graph is
+        // trivially connected) — the signal is how callers distinguish it.
+        assert!(f.survivors_connected());
+        assert!(!Faulty::new(Hypercube::new(2), &[0]).all_failed());
+        assert!(!Faulty::new(Hypercube::new(2), &[]).all_failed());
+    }
+
+    #[test]
+    #[should_panic(expected = "not an edge")]
+    fn non_edge_link_fault_rejected() {
+        // 0 and 3 differ in two bits: not a hypercube edge.
+        Faulty::with_link_faults(Hypercube::new(2), &[], &[(0, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_link_fault_rejected() {
+        Faulty::with_link_faults(Hypercube::new(2), &[], &[(1, 1)]);
     }
 
     #[test]
