@@ -19,7 +19,8 @@ use dc_core::run::Recording;
 use dc_core::sort::dualcube::d_sort;
 use dc_core::sort::SortOrder;
 use dc_simulator::{
-    set_worker_threads, with_default_exec, with_schedule_replay, ExecMode, Machine, ScheduleKey,
+    set_worker_threads, with_default_exec, with_schedule_replay, ExecMode, JsonlSink, Machine,
+    MemorySink, ScheduleKey,
 };
 use dc_topology::{DualCube, RecDualCube, Topology};
 use std::hint::black_box;
@@ -155,10 +156,62 @@ fn bench_cycle_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observability tax on the steady-state cycle of
+/// [`bench_cycle_overhead`] (sequential backend, replay on): recorder
+/// off (the production default — one `Option` check per cycle, pinned
+/// allocation-free by `tests/zero_alloc.rs`), a [`MemorySink`] ring
+/// buffer, and a [`JsonlSink`] serialising every event into
+/// `std::io::sink()` (serialisation cost without filesystem noise).
+/// Numbers live in EXPERIMENTS.md §E25.
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend/recorder_overhead");
+    let d = DualCube::new(8); // 32 768 nodes
+    group.throughput(Throughput::Elements(d.num_nodes() as u64));
+    type SinkMaker = fn() -> Option<dc_simulator::SharedSink>;
+    let legs: [(&str, SinkMaker); 3] = [
+        ("off", || None),
+        ("memory-ring", || {
+            Some(dc_simulator::obs::shared(MemorySink::ring(4096)))
+        }),
+        ("jsonl-devnull", || {
+            Some(dc_simulator::obs::shared(JsonlSink::new(std::io::sink())))
+        }),
+    ];
+    for (label, make_sink) in legs {
+        let id = BenchmarkId::new("D8", label);
+        group.bench_function(id, |b| {
+            let mut m = Machine::with_exec(&d, vec![0u8; d.num_nodes()], ExecMode::Sequential);
+            if let Some(sink) = make_sink() {
+                m.record_into(sink);
+            }
+            for _ in 0..2 {
+                m.pairwise_keyed(
+                    ScheduleKey::Cross,
+                    |u, _| Some(d.cross_neighbor(u)),
+                    |_, _| (),
+                    |_, _, ()| {},
+                );
+            }
+            b.iter(|| {
+                let delivered = m.pairwise_keyed(
+                    ScheduleKey::Cross,
+                    |u, _| Some(d.cross_neighbor(u)),
+                    |_, _| (),
+                    |_, _, ()| {},
+                );
+                m.compute(1, |_, _| {});
+                black_box(delivered);
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_prefix_backends,
     bench_sort_backends,
-    bench_cycle_overhead
+    bench_cycle_overhead,
+    bench_recorder_overhead
 );
 criterion_main!(benches);

@@ -11,17 +11,35 @@ pub enum Command {
     Info { n: u32 },
     /// `route <n> <src> <dst>` — shortest path in `D_n`.
     Route { n: u32, src: usize, dst: usize },
-    /// `prefix <n> [--k K] [--op sum|max|concat] [--seed S]`.
+    /// `prefix <n> [--k K] [--op sum|max|concat] [--seed S] [--metrics-json]`.
     Prefix {
         n: u32,
         k: usize,
         op: OpKind,
         seed: u64,
+        metrics_json: bool,
     },
-    /// `sort <n> [--algo bitonic|radix|ring|hypercube] [--seed S]`.
-    Sort { n: u32, algo: SortAlgo, seed: u64 },
-    /// `broadcast <n> <root>`.
-    Broadcast { n: u32, root: usize },
+    /// `sort <n> [--algo bitonic|radix|ring|hypercube] [--seed S] [--metrics-json]`.
+    Sort {
+        n: u32,
+        algo: SortAlgo,
+        seed: u64,
+        metrics_json: bool,
+    },
+    /// `broadcast <n> <root> [--metrics-json]`.
+    Broadcast {
+        n: u32,
+        root: usize,
+        metrics_json: bool,
+    },
+    /// `trace <prefix|sort> [--n N] [--out FILE] [--format perfetto|jsonl]`
+    /// — record a run's cycle events and export them.
+    Trace {
+        which: DiagramKind,
+        n: u32,
+        out: Option<String>,
+        format: TraceFormat,
+    },
     /// `experiments [id…]` — print experiment reports (all by default).
     Experiments { ids: Vec<String> },
     /// `diagram <n> <prefix|sort>` — space-time diagram of a schedule.
@@ -41,6 +59,15 @@ pub enum DiagramKind {
     Prefix,
     /// `D_sort` (Algorithm 3).
     Sort,
+}
+
+/// Export format for the `trace` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome/Perfetto trace-event JSON (open in ui.perfetto.dev).
+    Perfetto,
+    /// One JSON object per event, one per line.
+    Jsonl,
 }
 
 /// Prefix operator choices.
@@ -98,6 +125,11 @@ fn flag(args: &[String], name: &str) -> Result<Option<String>, ParseError> {
     Ok(None)
 }
 
+/// A value-less switch: present or absent.
+fn switch(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
 /// Parses the argument list (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let Some(cmd) = args.first() else {
@@ -135,7 +167,13 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 })
                 .transpose()?
                 .unwrap_or(2008);
-            Ok(Command::Prefix { n, k, op, seed })
+            Ok(Command::Prefix {
+                n,
+                k,
+                op,
+                seed,
+                metrics_json: switch(args, "--metrics-json"),
+            })
         }
         "sort" => {
             let n = req(args, 1, "n")?;
@@ -153,12 +191,44 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 })
                 .transpose()?
                 .unwrap_or(2008);
-            Ok(Command::Sort { n, algo, seed })
+            Ok(Command::Sort {
+                n,
+                algo,
+                seed,
+                metrics_json: switch(args, "--metrics-json"),
+            })
         }
         "broadcast" => Ok(Command::Broadcast {
             n: req(args, 1, "n")?,
             root: req(args, 2, "root")?,
+            metrics_json: switch(args, "--metrics-json"),
         }),
+        "trace" => {
+            let which = match args.get(1).map(String::as_str) {
+                Some("prefix") => DiagramKind::Prefix,
+                Some("sort") => DiagramKind::Sort,
+                Some(other) => return Err(ParseError(format!("unknown trace target {other:?}"))),
+                None => return Err(ParseError("trace needs <prefix|sort>".into())),
+            };
+            let n = flag(args, "--n")?
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| ParseError(format!("invalid --n: {v}")))
+                })
+                .transpose()?
+                .unwrap_or(6);
+            let format = match flag(args, "--format")?.as_deref() {
+                None | Some("perfetto") => TraceFormat::Perfetto,
+                Some("jsonl") => TraceFormat::Jsonl,
+                Some(other) => return Err(ParseError(format!("unknown --format: {other}"))),
+            };
+            Ok(Command::Trace {
+                which,
+                n,
+                out: flag(args, "--out")?,
+                format,
+            })
+        }
         "experiments" => Ok(Command::Experiments {
             ids: args[1..].to_vec(),
         }),
@@ -190,13 +260,18 @@ dual-cube — Prefix Computation and Sorting in Dual-Cube (ICPP 2008), reproduce
 USAGE:
   dual-cube info <n>                          topology properties of D_n
   dual-cube route <n> <src> <dst>             shortest path in D_n
-  dual-cube prefix <n> [--k K] [--op sum|max|concat] [--seed S]
+  dual-cube prefix <n> [--k K] [--op sum|max|concat] [--seed S] [--metrics-json]
                                               run D_prefix (K values/node)
-  dual-cube sort <n> [--algo bitonic|radix|ring|hypercube] [--seed S]
+  dual-cube sort <n> [--algo bitonic|radix|ring|hypercube] [--seed S] [--metrics-json]
                                               run a network sort
-  dual-cube broadcast <n> <root>              broadcast from a root node
+  dual-cube broadcast <n> <root> [--metrics-json]
+                                              broadcast from a root node
   dual-cube experiments [E1 E4 …]             print experiment reports
   dual-cube diagram <n> [prefix|sort]         space-time diagram of a schedule
+  dual-cube trace <prefix|sort> [--n N] [--out FILE] [--format perfetto|jsonl]
+                                              record a run's cycle events and
+                                              export them (default: Perfetto
+                                              JSON for ui.perfetto.dev)
   dual-cube hamiltonian <n>                   the dilation-1 ring embedding
   dual-cube dot <n>                           Graphviz source for D_n
   dual-cube help                              this text
@@ -222,7 +297,22 @@ mod tests {
                 dst: 31
             })
         );
-        assert_eq!(p("broadcast 2 5"), Ok(Command::Broadcast { n: 2, root: 5 }));
+        assert_eq!(
+            p("broadcast 2 5"),
+            Ok(Command::Broadcast {
+                n: 2,
+                root: 5,
+                metrics_json: false
+            })
+        );
+        assert_eq!(
+            p("broadcast 2 5 --metrics-json"),
+            Ok(Command::Broadcast {
+                n: 2,
+                root: 5,
+                metrics_json: true
+            })
+        );
         assert_eq!(p("help"), Ok(Command::Help));
         assert_eq!(p(""), Ok(Command::Help));
     }
@@ -235,7 +325,18 @@ mod tests {
                 n: 4,
                 k: 8,
                 op: OpKind::Max,
-                seed: 1
+                seed: 1,
+                metrics_json: false
+            })
+        );
+        assert_eq!(
+            p("prefix 4 --metrics-json --k 2"),
+            Ok(Command::Prefix {
+                n: 4,
+                k: 2,
+                op: OpKind::Sum,
+                seed: 2008,
+                metrics_json: true
             })
         );
         assert_eq!(
@@ -244,7 +345,8 @@ mod tests {
                 n: 4,
                 k: 1,
                 op: OpKind::Sum,
-                seed: 2008
+                seed: 2008,
+                metrics_json: false
             })
         );
     }
@@ -262,7 +364,8 @@ mod tests {
                 Ok(Command::Sort {
                     n: 3,
                     algo: a,
-                    seed: 2008
+                    seed: 2008,
+                    metrics_json: false
                 })
             );
         }
@@ -298,6 +401,32 @@ mod tests {
                 ids: vec!["E1".into(), "E4".into()]
             })
         );
+    }
+
+    #[test]
+    fn parses_trace() {
+        assert_eq!(
+            p("trace prefix --n 8 --out run.perfetto.json"),
+            Ok(Command::Trace {
+                which: DiagramKind::Prefix,
+                n: 8,
+                out: Some("run.perfetto.json".into()),
+                format: TraceFormat::Perfetto
+            })
+        );
+        assert_eq!(
+            p("trace sort --format jsonl"),
+            Ok(Command::Trace {
+                which: DiagramKind::Sort,
+                n: 6,
+                out: None,
+                format: TraceFormat::Jsonl
+            })
+        );
+        assert!(p("trace").is_err());
+        assert!(p("trace pie").is_err());
+        assert!(p("trace prefix --format xml").is_err());
+        assert!(p("trace prefix --n nope").is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Command implementations: each returns the text to print, so the whole
 //! surface is unit-testable without capturing stdout.
 
-use crate::args::{Command, DiagramKind, OpKind, SortAlgo, HELP};
+use crate::args::{Command, DiagramKind, OpKind, SortAlgo, TraceFormat, HELP};
 use dc_core::apps::radix_sort;
 use dc_core::collectives::broadcast;
 use dc_core::ops::{Concat, Max, Sum};
@@ -26,9 +26,30 @@ pub fn run(cmd: Command) -> Result<String, String> {
         Command::Help => Ok(HELP.to_string()),
         Command::Info { n } => info(n),
         Command::Route { n, src, dst } => route(n, src, dst),
-        Command::Prefix { n, k, op, seed } => prefix(n, k, op, seed),
-        Command::Sort { n, algo, seed } => sort(n, algo, seed),
-        Command::Broadcast { n, root } => bcast(n, root),
+        Command::Prefix {
+            n,
+            k,
+            op,
+            seed,
+            metrics_json,
+        } => prefix(n, k, op, seed, metrics_json),
+        Command::Sort {
+            n,
+            algo,
+            seed,
+            metrics_json,
+        } => sort(n, algo, seed, metrics_json),
+        Command::Broadcast {
+            n,
+            root,
+            metrics_json,
+        } => bcast(n, root, metrics_json),
+        Command::Trace {
+            which,
+            n,
+            out,
+            format,
+        } => trace_cmd(n, which, out, format),
         Command::Experiments { ids } => experiments(&ids),
         Command::Diagram { n, which } => diagram(n, which),
         Command::Hamiltonian { n } => hamiltonian(n),
@@ -124,7 +145,7 @@ fn route(n: u32, src: usize, dst: usize) -> Result<String, String> {
     Ok(out)
 }
 
-fn prefix(n: u32, k: usize, op: OpKind, seed: u64) -> Result<String, String> {
+fn prefix(n: u32, k: usize, op: OpKind, seed: u64, metrics_json: bool) -> Result<String, String> {
     let d = check_n(n)?;
     if k == 0 || k > 4096 {
         return Err("--k must be in 1..=4096".into());
@@ -188,10 +209,13 @@ fn prefix(n: u32, k: usize, op: OpKind, seed: u64) -> Result<String, String> {
         metrics.comp_steps
     )
     .unwrap();
+    if metrics_json {
+        writeln!(out, "{}", dc_simulator::obs::metrics_json(&metrics)).unwrap();
+    }
     Ok(out)
 }
 
-fn sort(n: u32, algo: SortAlgo, seed: u64) -> Result<String, String> {
+fn sort(n: u32, algo: SortAlgo, seed: u64, metrics_json: bool) -> Result<String, String> {
     let d = check_n(n)?;
     if n < 2 && matches!(algo, SortAlgo::Ring) {
         return Err("ring sort needs n ≥ 2 (D_1 has no Hamiltonian cycle)".into());
@@ -253,10 +277,13 @@ fn sort(n: u32, algo: SortAlgo, seed: u64) -> Result<String, String> {
         theory::sort_comp_exact(n)
     )
     .unwrap();
+    if metrics_json {
+        writeln!(out, "{}", dc_simulator::obs::metrics_json(&metrics)).unwrap();
+    }
     Ok(out)
 }
 
-fn bcast(n: u32, root: usize) -> Result<String, String> {
+fn bcast(n: u32, root: usize, metrics_json: bool) -> Result<String, String> {
     let d = check_n(n)?;
     if root >= d.num_nodes() {
         return Err(format!("root must be < {}", d.num_nodes()));
@@ -265,13 +292,78 @@ fn bcast(n: u32, root: usize) -> Result<String, String> {
     if !run.values.iter().all(|&v| v == root as u64) {
         return Err("broadcast failed to reach every node — this is a bug".into());
     }
-    Ok(format!(
+    let mut out = format!(
         "broadcast from node {root} on {}: reached all {} nodes in {} steps (diameter {})\n",
         d.name(),
         d.num_nodes(),
         run.metrics.comm_steps,
         d.diameter_formula()
-    ))
+    );
+    if metrics_json {
+        writeln!(out, "{}", dc_simulator::obs::metrics_json(&run.metrics)).unwrap();
+    }
+    Ok(out)
+}
+
+/// Runs a canonical prefix/sort workload with a recorder installed and
+/// exports the event stream (Perfetto trace JSON or JSONL). With
+/// `--out` the payload is written to disk and a one-line summary is
+/// printed; otherwise the payload itself goes to stdout.
+fn trace_cmd(
+    n: u32,
+    which: DiagramKind,
+    out_path: Option<String>,
+    format: TraceFormat,
+) -> Result<String, String> {
+    if !(1..=8).contains(&n) {
+        return Err("trace supports n in 1..=8".into());
+    }
+    let sink = dc_simulator::obs::shared(dc_simulator::MemorySink::new());
+    let shared_sink: dc_simulator::SharedSink = sink.clone();
+    let (name, metrics) = dc_simulator::with_recording(shared_sink, || match which {
+        DiagramKind::Prefix => {
+            let d = DualCube::new(n);
+            let input: Vec<Sum> = (0..d.num_nodes() as i64).map(Sum).collect();
+            let run = d_prefix(
+                &d,
+                &input,
+                PrefixKind::Inclusive,
+                Step5Mode::PaperFaithful,
+                Recording::Off,
+            );
+            (format!("D_prefix on {}", d.name()), run.metrics)
+        }
+        DiagramKind::Sort => {
+            let rec = RecDualCube::new(n);
+            let keys: Vec<u32> = (0..rec.num_nodes() as u32).rev().collect();
+            let run = d_sort(&rec, &keys, SortOrder::Ascending, Recording::Off);
+            (format!("D_sort on {}", rec.name()), run.metrics)
+        }
+    });
+    let events = sink.lock().unwrap().events();
+    let payload = match format {
+        TraceFormat::Perfetto => dc_simulator::obs::export_perfetto(&events),
+        TraceFormat::Jsonl => {
+            let mut s = String::new();
+            for e in &events {
+                s.push_str(&dc_simulator::obs::event_to_json(e));
+                s.push('\n');
+            }
+            s
+        }
+    };
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &payload).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!(
+                "{name}: recorded {} events ({} comm / {} comp steps) → {path}\n",
+                events.len(),
+                metrics.comm_steps,
+                metrics.comp_steps
+            ))
+        }
+        None => Ok(payload),
+    }
 }
 
 fn diagram(n: u32, which: DiagramKind) -> Result<String, String> {
@@ -441,6 +533,51 @@ mod tests {
     }
 
     #[test]
+    fn metrics_json_appends_machine_readable_line() {
+        let out = exec("prefix 2 --metrics-json").unwrap();
+        let json = out.lines().last().unwrap();
+        assert!(json.starts_with("{\"comm_steps\":"), "{json}");
+        assert!(json.contains("\"link_util\":"), "{json}");
+        assert!(json.contains("\"phases\":["), "{json}");
+        assert!(exec("sort 2 --metrics-json")
+            .unwrap()
+            .lines()
+            .last()
+            .unwrap()
+            .contains("\"comp_steps\""));
+        assert!(exec("broadcast 2 0 --metrics-json")
+            .unwrap()
+            .contains("\"comm_steps\""));
+    }
+
+    #[test]
+    fn trace_exports_perfetto_and_jsonl() {
+        let perfetto = exec("trace prefix --n 2").unwrap();
+        assert!(perfetto.starts_with("{\"traceEvents\":["), "{perfetto}");
+        assert!(perfetto.contains("\"ph\":\"X\""), "has phase durations");
+        assert!(perfetto.contains("\"ph\":\"i\""), "has cycle instants");
+
+        let jsonl = exec("trace sort --n 2 --format jsonl").unwrap();
+        assert!(jsonl.lines().count() > 4);
+        assert!(jsonl.contains("\"type\":\"cycle\""), "{jsonl}");
+        assert!(jsonl.contains("\"type\":\"phase\""), "{jsonl}");
+
+        assert!(exec("trace prefix --n 99").is_err());
+    }
+
+    #[test]
+    fn trace_writes_out_file() {
+        let path = std::env::temp_dir().join("dc-cli-trace-test.perfetto.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = exec(&format!("trace prefix --n 2 --out {path_str}")).unwrap();
+        assert!(out.contains("recorded"), "{out}");
+        assert!(out.contains(&path_str));
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.starts_with("{\"traceEvents\":["));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn errors_are_user_facing() {
         assert!(exec("info 77").unwrap_err().contains("1..=10"));
         assert!(exec("route 2 0 99").unwrap_err().contains("node ids"));
@@ -458,6 +595,8 @@ mod tests {
             "sort",
             "broadcast",
             "experiments",
+            "trace",
+            "--metrics-json",
         ] {
             assert!(out.contains(c), "{c}");
         }

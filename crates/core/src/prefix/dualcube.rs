@@ -228,7 +228,11 @@ pub fn d_prefix<M: Monoid>(
     });
     snap("(f) final result", &machine);
 
-    let trace = machine.trace().to_vec();
+    let trace = machine
+        .phased_trace()
+        .iter()
+        .map(|(_, msgs)| msgs.clone())
+        .collect();
     let (states, metrics) = machine.into_parts();
     let mut prefixes: Vec<Option<M>> = vec![None; states.len()];
     for (u, st) in states.into_iter().enumerate() {

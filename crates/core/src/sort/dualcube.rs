@@ -124,7 +124,11 @@ pub fn d_sort<K: Ord + Clone + Send + Sync + 'static>(
         }
     }
 
-    let trace = machine.trace().to_vec();
+    let trace = machine
+        .phased_trace()
+        .iter()
+        .map(|(_, msgs)| msgs.clone())
+        .collect();
     let (states, metrics) = machine.into_parts();
     Run {
         output: states.into_iter().map(|s| s.value).collect(),

@@ -86,7 +86,11 @@ pub fn cube_bitonic_sort<K: Ord + Clone + Send + Sync + 'static>(
         }
         snap(format!("after stage {k}"), &machine);
     }
-    let trace = machine.trace().to_vec();
+    let trace = machine
+        .phased_trace()
+        .iter()
+        .map(|(_, msgs)| msgs.clone())
+        .collect();
     let (states, metrics) = machine.into_parts();
     Run {
         output: states.into_iter().map(|s| s.key).collect(),

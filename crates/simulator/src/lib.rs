@@ -39,6 +39,13 @@
 //! or cut bumps a *fault epoch* that invalidates every compiled schedule,
 //! so replay can never outlive the fault state that validated it. See the
 //! [`fault`] module docs.
+//!
+//! Observability is opt-in and zero-cost when off: installing a recorder
+//! ([`Machine::record_into`], or [`with_recording`] around code that
+//! builds machines internally) streams one structured [`Event`] per
+//! phase and per cycle into a pluggable [`Sink`], with per-link
+//! utilization counters and a Perfetto trace exporter on top. See the
+//! [`obs`] module docs.
 
 #![warn(missing_docs)]
 // `deny`, not `forbid`: the persistent worker pool (`parallel::pool`) is
@@ -54,13 +61,18 @@ mod error;
 pub mod fault;
 mod machine;
 mod metrics;
+pub mod obs;
 pub mod parallel;
 pub mod router;
 pub mod schedule;
 
 pub use error::SimError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
-pub use machine::Machine;
-pub use metrics::{Metrics, PhaseMetrics};
+pub use machine::{Machine, TraceEntry};
+pub use metrics::{LinkUtil, Metrics, PhaseMetrics};
+pub use obs::{
+    with_recording, CycleEvent, Event, JsonlSink, LinkReport, MemorySink, PhaseEvent, Recorder,
+    SharedSink, Sink,
+};
 pub use parallel::{set_worker_threads, with_default_exec, ExecMode};
 pub use schedule::{with_schedule_replay, ScheduleKey};

@@ -4,6 +4,10 @@
 use crate::error::SimError;
 use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::metrics::Metrics;
+use crate::obs::{
+    Backend, CacheStatus, CycleEvent, CycleKind, Event, LinkReport, PhaseEvent, PoolDispatchStats,
+    Recorder, SharedSink,
+};
 use crate::parallel::{
     par_apply_forced, par_apply_reduce, par_for_reduce, par_zip_apply, par_zip_apply_mut, ExecMode,
 };
@@ -12,6 +16,7 @@ use dc_topology::{NodeId, Topology};
 use std::any::Any;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// A reusable, type-erased `Vec<Option<(NodeId, M)>>`: one allocation
 /// that survives across cycles for as long as the message type `M` stays
@@ -182,6 +187,34 @@ impl CycleAcc {
     }
 }
 
+/// Observability context threaded from a cycle's public entry point down
+/// to the emission site: which [`ScheduleKey`] named the cycle (if any),
+/// how the schedule cache treated it, and the wall-clock start captured
+/// at the entry point (`None` whenever no recorder is installed, so the
+/// disabled path never reads the clock).
+#[derive(Clone, Copy)]
+struct ObsCtx {
+    key: Option<ScheduleKey>,
+    cache: CacheStatus,
+    start: Option<Instant>,
+}
+
+impl ObsCtx {
+    fn unkeyed(start: Option<Instant>) -> Self {
+        ObsCtx {
+            key: None,
+            cache: CacheStatus::Unkeyed,
+            start,
+        }
+    }
+}
+
+/// One space-time trace entry ([`Machine::phased_trace`]): the index of
+/// the metrics phase open when the cycle ran (`None` before the first
+/// [`Machine::begin_phase`]) and the `(src, dst)` pairs the cycle
+/// delivered.
+pub type TraceEntry = (Option<u32>, Vec<(NodeId, NodeId)>);
+
 /// A synchronous message-passing machine over a [`Topology`].
 ///
 /// Algorithms drive the machine through three primitives:
@@ -279,12 +312,13 @@ pub struct Machine<'t, T: Topology + ?Sized, S> {
     topo: &'t T,
     states: Vec<S>,
     metrics: Metrics,
-    trace: Option<Vec<Vec<(NodeId, NodeId)>>>,
+    trace: Option<Vec<TraceEntry>>,
     exec: ExecMode,
     scratch: Scratch,
     schedules: ScheduleCache,
     replay: bool,
     faults: FaultState,
+    recorder: Option<Recorder>,
 }
 
 impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
@@ -309,6 +343,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             schedules: ScheduleCache::new(),
             replay: schedule::replay_default(),
             faults: FaultState::new(),
+            recorder: crate::obs::default_recorder(),
         }
     }
 
@@ -428,16 +463,62 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     }
 
     /// Starts recording a space-time trace: each subsequent communication
-    /// cycle appends the list of `(src, dst)` messages it delivered.
+    /// cycle appends the list of `(src, dst)` messages it delivered,
+    /// tagged with the metrics phase active when the cycle ran.
     /// Costly for big machines; meant for the worked-example diagrams.
     pub fn enable_trace(&mut self) {
         self.trace = Some(Vec::new());
     }
 
-    /// The recorded trace, one entry per communication cycle (empty unless
-    /// [`Machine::enable_trace`] was called before the cycles ran).
-    pub fn trace(&self) -> &[Vec<(NodeId, NodeId)>] {
+    /// The recorded space-time trace: one entry per communication cycle
+    /// (empty unless [`Machine::enable_trace`] was called before the
+    /// cycles ran). Each entry is `(phase, messages)` where `phase`
+    /// indexes into [`Metrics::phases`] — the phase open when the cycle
+    /// ran, or `None` for cycles before the first
+    /// [`Machine::begin_phase`].
+    pub fn phased_trace(&self) -> &[TraceEntry] {
         self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// The recorded trace without phase attribution, one message list
+    /// per communication cycle. Clones every entry — prefer
+    /// [`Machine::phased_trace`], which borrows and also reports which
+    /// phase each cycle ran under.
+    #[deprecated(note = "use `phased_trace`; trace entries now carry the active phase index")]
+    pub fn trace(&self) -> Vec<Vec<(NodeId, NodeId)>> {
+        self.phased_trace()
+            .iter()
+            .map(|(_, msgs)| msgs.clone())
+            .collect()
+    }
+
+    /// Installs a recorder: every subsequent phase boundary and cycle
+    /// emits one structured [`Event`] into `sink`, and per-link
+    /// utilization counters start accumulating (see the [`crate::obs`]
+    /// module docs). Replaces any previously installed recorder.
+    pub fn record_into(&mut self, sink: SharedSink) {
+        self.recorder = Some(Recorder::new(sink));
+    }
+
+    /// Whether a recorder is currently installed (via
+    /// [`Machine::record_into`] or an ambient [`crate::with_recording`]
+    /// scope at construction time).
+    pub fn is_recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Uninstalls the recorder and returns it, so callers can still ask
+    /// the detached recorder for its [`Recorder::link_report`]. Returns
+    /// `None` if no recorder was installed.
+    pub fn stop_recording(&mut self) -> Option<Recorder> {
+        self.recorder.take()
+    }
+
+    /// The per-link utilization report accumulated so far, or `None` if
+    /// no recorder is installed (link accounting only runs while
+    /// recording — see [`crate::obs::LinkReport`]).
+    pub fn link_report(&self) -> Option<LinkReport> {
+        self.recorder.as_ref().map(Recorder::link_report)
     }
 
     /// The underlying topology.
@@ -472,8 +553,123 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     }
 
     /// Opens a labelled metrics phase (see [`Metrics::begin_phase`]).
+    /// With a recorder installed, also emits a [`Event::Phase`] marker
+    /// carrying the new phase's index and label.
     pub fn begin_phase(&mut self, label: impl Into<String>) {
+        let label = label.into();
+        if let Some(rec) = self.recorder.as_mut() {
+            let event = Event::Phase(PhaseEvent {
+                seq: rec.next_seq(),
+                index: self.metrics.phases.len() as u32,
+                label: label.clone(),
+                at_ns: rec.now_ns(),
+            });
+            rec.send(&event);
+        }
         self.metrics.begin_phase(label);
+    }
+
+    /// The index (into [`Metrics::phases`]) of the currently open phase,
+    /// or `None` before the first [`Machine::begin_phase`].
+    fn current_phase(&self) -> Option<u32> {
+        self.metrics.phases.len().checked_sub(1).map(|i| i as u32)
+    }
+
+    /// Entry-point half of cycle observability: with no recorder this is
+    /// a single `Option` check (no clock read, no allocation — the
+    /// zero-cost-when-off contract). With one, it drains any pool
+    /// dispatch stats left over from out-of-band work so the cycle's
+    /// event sees only its own dispatches, and captures the start time.
+    fn obs_cycle_start(&self) -> Option<Instant> {
+        self.recorder.as_ref()?;
+        let _ = crate::parallel::take_dispatch_stats();
+        Some(Instant::now())
+    }
+
+    /// Emits the [`Event::Cycle`] for a communication cycle that just
+    /// charged its metrics. No-op without a recorder.
+    fn emit_comm(&mut self, obs: ObsCtx, threaded: bool, messages: u64, words: u64, dropped: u64) {
+        let phase = self.current_phase();
+        let fault_epoch = self.faults.epoch();
+        let cycle = self.metrics.comm_steps - 1;
+        let Some(rec) = self.recorder.as_mut() else {
+            return;
+        };
+        let (dispatches, queue_ns, exec_ns) = crate::parallel::take_dispatch_stats();
+        let event = Event::Cycle(CycleEvent {
+            seq: rec.next_seq(),
+            kind: CycleKind::Comm,
+            cycle,
+            steps: 1,
+            phase,
+            key: obs.key,
+            cache: obs.cache,
+            fault_epoch,
+            messages,
+            words,
+            dropped,
+            ops: 0,
+            backend: if threaded {
+                Backend::Threaded {
+                    workers: crate::parallel::available_threads(),
+                }
+            } else {
+                Backend::Sequential
+            },
+            at_ns: rec.now_ns(),
+            dur_ns: obs
+                .start
+                .map(|t| t.elapsed().as_nanos() as u64)
+                .unwrap_or(0),
+            pool: (dispatches > 0).then_some(PoolDispatchStats {
+                dispatches,
+                queue_ns,
+                exec_ns,
+            }),
+        });
+        rec.send(&event);
+    }
+
+    /// Emits the [`Event::Cycle`] for a computation phase that just
+    /// charged `steps` cycles and `ops` element operations. No-op
+    /// without a recorder.
+    fn emit_comp(&mut self, start: Option<Instant>, threaded: bool, steps: u64, ops: u64) {
+        let phase = self.current_phase();
+        let fault_epoch = self.faults.epoch();
+        let cycle = self.metrics.comp_steps - steps;
+        let Some(rec) = self.recorder.as_mut() else {
+            return;
+        };
+        let (dispatches, queue_ns, exec_ns) = crate::parallel::take_dispatch_stats();
+        let event = Event::Cycle(CycleEvent {
+            seq: rec.next_seq(),
+            kind: CycleKind::Comp,
+            cycle,
+            steps,
+            phase,
+            key: None,
+            cache: CacheStatus::Unkeyed,
+            fault_epoch,
+            messages: 0,
+            words: 0,
+            dropped: 0,
+            ops,
+            backend: if threaded {
+                Backend::Threaded {
+                    workers: crate::parallel::available_threads(),
+                }
+            } else {
+                Backend::Sequential
+            },
+            at_ns: rec.now_ns(),
+            dur_ns: start.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+            pool: (dispatches > 0).then_some(PoolDispatchStats {
+                dispatches,
+                queue_ns,
+                exec_ns,
+            }),
+        });
+        rec.send(&event);
     }
 
     /// One communication cycle. `plan(u, state)` returns the (destination,
@@ -517,7 +713,8 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     where
         S: Send + Sync,
     {
-        self.exchange_inner(plan, deliver, words, None)
+        let start = self.obs_cycle_start();
+        self.exchange_inner(plan, deliver, words, None, ObsCtx::unkeyed(start))
     }
 
     /// [`Machine::try_exchange_sized`] under a [`ScheduleKey`]: the first
@@ -541,20 +738,51 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     where
         S: Send + Sync,
     {
+        let start = self.obs_cycle_start();
         if !self.replay {
-            return self.exchange_inner(plan, deliver, words, None);
+            return self.exchange_inner(
+                plan,
+                deliver,
+                words,
+                None,
+                ObsCtx {
+                    key: Some(key),
+                    cache: CacheStatus::Bypass,
+                    start,
+                },
+            );
         }
         // Apply due fault events *before* consulting the cache: a crash
         // at this boundary bumps the epoch and must veto the replay.
         self.advance_faults();
         if self.schedules.contains(key) {
-            let result = self.replay_cycle(key, plan, deliver, words);
+            let result = self.replay_cycle(
+                key,
+                plan,
+                deliver,
+                words,
+                ObsCtx {
+                    key: Some(key),
+                    cache: CacheStatus::Hit,
+                    start,
+                },
+            );
             if result.is_ok() {
                 self.metrics.schedule_hits += 1;
             }
             result
         } else {
-            let result = self.exchange_inner(plan, deliver, words, Some(key));
+            let result = self.exchange_inner(
+                plan,
+                deliver,
+                words,
+                Some(key),
+                ObsCtx {
+                    key: Some(key),
+                    cache: CacheStatus::Miss,
+                    start,
+                },
+            );
             if result.is_ok() {
                 self.metrics.schedule_misses += 1;
             }
@@ -618,6 +846,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         deliver: impl Fn(&mut S, NodeId, M) + Sync,
         words: impl Fn(&M) -> u64 + Sync,
         capture: Option<ScheduleKey>,
+        obs: ObsCtx,
     ) -> Result<usize, SimError>
     where
         S: Send + Sync,
@@ -714,13 +943,15 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             return Err(e);
         }
         if let Some(trace) = self.trace.as_mut() {
-            trace.push(
+            let phase = self.metrics.phases.len().checked_sub(1).map(|i| i as u32);
+            trace.push((
+                phase,
                 plans
                     .iter()
                     .enumerate()
                     .filter_map(|(src, p)| p.as_ref().map(|&(dst, _)| (src, dst)))
                     .collect(),
-            );
+            ));
         }
 
         // Compile the validated pattern before delivery consumes the
@@ -755,6 +986,10 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         // delivered/words counters. The compiled pattern above keeps the
         // *full* matching: drops are transient, schedules are not.
         let drops_active = self.faults.has_drops();
+        // Link accounting (simulated utilization, not wall-clock) runs
+        // only while a recorder is installed — the `false` branch keeps
+        // the common path to one boolean test per delivered message.
+        let record_links = self.recorder.is_some();
         let mut dropped = 0u64;
         let mut dropped_words = 0u64;
         if threaded {
@@ -765,6 +1000,14 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                         dropped += 1;
                         dropped_words += words(&msg);
                     } else {
+                        if record_links {
+                            let w = words(&msg);
+                            let cross = self.topo.is_cross_edge(src, dst);
+                            self.metrics.link_util.record(cross, w);
+                            if let Some(rec) = self.recorder.as_mut() {
+                                rec.record_link(src, dst, w, cross);
+                            }
+                        }
                         inbox[dst] = Some((src, msg));
                     }
                 }
@@ -781,6 +1024,14 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                         dropped += 1;
                         dropped_words += words(&msg);
                     } else {
+                        if record_links {
+                            let w = words(&msg);
+                            let cross = self.topo.is_cross_edge(src, dst);
+                            self.metrics.link_util.record(cross, w);
+                            if let Some(rec) = self.recorder.as_mut() {
+                                rec.record_link(src, dst, w, cross);
+                            }
+                        }
                         deliver(&mut self.states[dst], src, msg);
                     }
                 }
@@ -795,6 +1046,13 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         if let Some(c) = compiled {
             self.schedules.insert(c);
         }
+        self.emit_comm(
+            obs,
+            threaded,
+            acc.delivered as u64 - dropped,
+            acc.words - dropped_words,
+            dropped,
+        );
         Ok(acc.delivered - dropped as usize)
     }
 
@@ -910,6 +1168,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         plan: impl Fn(NodeId, &S) -> Option<(NodeId, M)> + Sync,
         deliver: impl Fn(&mut S, NodeId, M) + Sync,
         words: impl Fn(&M) -> u64 + Sync,
+        obs: ObsCtx,
     ) -> Result<usize, SimError>
     where
         S: Send + Sync,
@@ -967,7 +1226,23 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             return Err(e);
         }
         if let Some(trace) = self.trace.as_mut() {
-            trace.push(sched.trace_pairs());
+            let phase = self.metrics.phases.len().checked_sub(1).map(|i| i as u32);
+            trace.push((phase, sched.trace_pairs()));
+        }
+        // Link accounting over the staged inbox (one slot per delivered
+        // message — drops were excluded during the fused pass), mirroring
+        // the full path's per-delivery accounting exactly.
+        if self.recorder.is_some() {
+            for (dst, slot) in inbox.iter().enumerate() {
+                if let Some((src, msg)) = slot {
+                    let w = words(msg);
+                    let cross = self.topo.is_cross_edge(*src, dst);
+                    self.metrics.link_util.record(cross, w);
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record_link(*src, dst, w, cross);
+                    }
+                }
+            }
         }
         if threaded {
             par_zip_apply_mut(&mut self.states, inbox, &|_, s, slot| {
@@ -989,6 +1264,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         if drops_active {
             self.faults.clear_drops();
         }
+        self.emit_comm(obs, threaded, delivered as u64, acc.words, dropped);
         Ok(delivered)
     }
 
@@ -1068,7 +1344,8 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     where
         S: Send + Sync,
     {
-        self.pairwise_inner(pair, msg, deliver, words, None)
+        let start = self.obs_cycle_start();
+        self.pairwise_inner(pair, msg, deliver, words, None, ObsCtx::unkeyed(start))
     }
 
     /// [`Machine::try_pairwise_sized`] under a [`ScheduleKey`]. A replay
@@ -1108,8 +1385,20 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     where
         S: Send + Sync,
     {
+        let start = self.obs_cycle_start();
         if !self.replay {
-            return self.pairwise_inner(pair, msg, deliver, words, None);
+            return self.pairwise_inner(
+                pair,
+                msg,
+                deliver,
+                words,
+                None,
+                ObsCtx {
+                    key: Some(key),
+                    cache: CacheStatus::Bypass,
+                    start,
+                },
+            );
         }
         // As in `try_exchange_keyed_sized`: fault events first, so an
         // epoch bump at this boundary forces the recompile path.
@@ -1120,13 +1409,29 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                 |u, s| pair(u, s).map(|v| (v, msg(u, s))),
                 deliver,
                 words,
+                ObsCtx {
+                    key: Some(key),
+                    cache: CacheStatus::Hit,
+                    start,
+                },
             );
             if result.is_ok() {
                 self.metrics.schedule_hits += 1;
             }
             result
         } else {
-            let result = self.pairwise_inner(pair, msg, deliver, words, Some(key));
+            let result = self.pairwise_inner(
+                pair,
+                msg,
+                deliver,
+                words,
+                Some(key),
+                ObsCtx {
+                    key: Some(key),
+                    cache: CacheStatus::Miss,
+                    start,
+                },
+            );
             if result.is_ok() {
                 self.metrics.schedule_misses += 1;
             }
@@ -1195,6 +1500,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         deliver: impl Fn(&mut S, NodeId, M) + Sync,
         words: impl Fn(&M) -> u64 + Sync,
         capture: Option<ScheduleKey>,
+        obs: ObsCtx,
     ) -> Result<usize, SimError>
     where
         S: Send + Sync,
@@ -1259,6 +1565,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                 |s, from, m| deliver(s, from, m),
                 words,
                 capture,
+                obs,
             ),
             Err(e) => Err(e),
         };
@@ -1373,9 +1680,12 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     where
         S: Send,
     {
+        let start = self.obs_cycle_start();
+        let threaded = self.threaded();
         let ops = steps * self.states.len() as u64;
         self.apply(f, true);
         self.metrics.record_comp(steps, ops);
+        self.emit_comp(start, threaded, steps, ops);
     }
 
     /// Like [`Machine::compute`] but charges exactly `element_ops` total
@@ -1389,8 +1699,11 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     ) where
         S: Send,
     {
+        let start = self.obs_cycle_start();
+        let threaded = self.threaded();
         self.apply(f, true);
         self.metrics.record_comp(steps, element_ops);
+        self.emit_comp(start, threaded, steps, element_ops);
     }
 
     /// Applies `f` to every node *without* charging any simulated cost —
@@ -1554,7 +1867,7 @@ mod tests {
             );
         }
         assert_eq!(plain.states(), keyed.states());
-        assert_eq!(plain.trace(), keyed.trace());
+        assert_eq!(plain.phased_trace(), keyed.phased_trace());
         assert_eq!(plain.metrics().comm_steps, keyed.metrics().comm_steps);
         assert_eq!(plain.metrics().messages, keyed.metrics().messages);
         assert_eq!(plain.metrics().message_words, keyed.metrics().message_words);
@@ -1779,7 +2092,7 @@ mod tests {
                 m.pairwise(|u, _| Some(u ^ (1 << i)), |_, &s| s, |s, _, v| *s += v);
                 m.compute(1, |u, s| *s = s.wrapping_add(u as u64));
             }
-            let trace = m.trace().to_vec();
+            let trace = m.phased_trace().to_vec();
             let (states, metrics) = m.into_parts();
             (states, metrics, trace)
         };
@@ -1815,7 +2128,7 @@ mod tests {
                     );
                 }
             }
-            let trace = m.trace().to_vec();
+            let trace = m.phased_trace().to_vec();
             let (states, mut metrics) = m.into_parts();
             // The observability counters are the one intended difference
             // between the replay-on and replay-off legs.
@@ -2032,5 +2345,115 @@ mod tests {
             assert_eq!(probe(ExecMode::parallel()), seq, "at {workers} workers");
         }
         crate::parallel::set_worker_threads(0);
+    }
+
+    #[test]
+    fn phased_trace_attributes_cycles_and_flat_accessor_agrees() {
+        let mut m = machine(2);
+        m.enable_trace();
+        m.pairwise(|u, _| Some(u ^ 1), |_, &s| s, |s, _, v| *s += v);
+        m.begin_phase("a");
+        m.pairwise(|u, _| Some(u ^ 2), |_, &s| s, |s, _, v| *s += v);
+        m.begin_phase("b");
+        m.pairwise(|u, _| Some(u ^ 1), |_, &s| s, |s, _, v| *s += v);
+        let phases: Vec<Option<u32>> = m.phased_trace().iter().map(|(p, _)| *p).collect();
+        assert_eq!(phases, vec![None, Some(0), Some(1)]);
+        #[allow(deprecated)]
+        let flat = m.trace();
+        let expected: Vec<Vec<(usize, usize)>> = m
+            .phased_trace()
+            .iter()
+            .map(|(_, msgs)| msgs.clone())
+            .collect();
+        assert_eq!(flat, expected);
+        assert_eq!(flat[0], vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
+    }
+
+    #[test]
+    fn recorder_streams_phase_and_cycle_events() {
+        let _guard = crate::obs::test_recorder_guard();
+        let mut m = machine(2);
+        let sink = crate::obs::shared(crate::obs::MemorySink::new());
+        m.record_into(sink.clone());
+        assert!(m.is_recording());
+        m.begin_phase("sweep");
+        for _ in 0..2 {
+            m.pairwise_keyed(
+                ScheduleKey::Dim(0),
+                |u, _| Some(u ^ 1),
+                |_, &s| s,
+                |s, _, v| *s += v,
+            );
+        }
+        m.compute(2, |_, s| *s += 1);
+        // A failed cycle emits nothing (it charges no step either).
+        let before = sink.lock().unwrap().len();
+        let _ = m
+            .try_exchange(|u, &s| (u == 0).then_some((3, s)), |_, _, _: u64| {})
+            .unwrap_err();
+        assert_eq!(
+            sink.lock().unwrap().len(),
+            before,
+            "failed cycles emit no event"
+        );
+        let report = m.link_report().expect("recording is on");
+        assert_eq!(report.cross_links, 0, "hypercubes have no cross edges");
+        assert_eq!(report.cube_messages, 8);
+        assert_eq!(m.metrics().link_util.cube_messages, 8);
+        assert_eq!(m.metrics().link_util.cross_messages, 0);
+        assert!(m.stop_recording().is_some());
+        assert!(!m.is_recording());
+        let events = sink.lock().unwrap().events();
+        assert_eq!(events.len(), 4);
+        match &events[0] {
+            crate::obs::Event::Phase(p) => {
+                assert_eq!(p.index, 0);
+                assert_eq!(p.label, "sweep");
+            }
+            other => panic!("expected a phase event, got {other:?}"),
+        }
+        let cycle = |e: &crate::obs::Event| match e {
+            crate::obs::Event::Cycle(c) => c.clone(),
+            other => panic!("expected a cycle event, got {other:?}"),
+        };
+        let c1 = cycle(&events[1]);
+        assert_eq!(c1.kind, CycleKind::Comm);
+        assert_eq!(c1.cycle, 0);
+        assert_eq!(c1.key, Some(ScheduleKey::Dim(0)));
+        assert_eq!(c1.cache, CacheStatus::Miss);
+        assert_eq!(c1.phase, Some(0));
+        assert_eq!(c1.messages, 4);
+        assert_eq!(c1.words, 4);
+        let c2 = cycle(&events[2]);
+        assert_eq!(c2.cache, CacheStatus::Hit, "second keyed cycle replays");
+        assert_eq!(c2.cycle, 1);
+        assert_eq!(c2.messages, 4);
+        let c3 = cycle(&events[3]);
+        assert_eq!(c3.kind, CycleKind::Comp);
+        assert_eq!(c3.cycle, 0);
+        assert_eq!(c3.steps, 2);
+        assert_eq!(c3.ops, 8);
+        assert!(events
+            .iter()
+            .map(|e| match e {
+                crate::obs::Event::Phase(p) => p.seq,
+                crate::obs::Event::Cycle(c) => c.seq,
+            })
+            .eq(0..4));
+    }
+
+    #[test]
+    fn ambient_with_recording_installs_recorder_on_new_machines() {
+        let _guard = crate::obs::test_recorder_guard();
+        let sink = crate::obs::shared(crate::obs::MemorySink::new());
+        let shared: crate::obs::SharedSink = sink.clone();
+        crate::obs::with_recording(shared, || {
+            let mut m = machine(2);
+            assert!(m.is_recording());
+            m.pairwise(|u, _| Some(u ^ 1), |_, &s| s, |s, _, v| *s += v);
+        });
+        let m = machine(2);
+        assert!(!m.is_recording(), "scope ended, new machines are bare");
+        assert_eq!(sink.lock().unwrap().len(), 1);
     }
 }

@@ -37,6 +37,45 @@ pub struct PhaseMetrics {
     pub element_ops: u64,
 }
 
+/// Cross-edge vs. cube-edge traffic rollup, populated **only while a
+/// recorder is installed** (see the `obs` module) — classifying every
+/// delivered message costs a topology query per message, which the
+/// recorder-off hot path refuses to pay. Zero on unrecorded runs.
+///
+/// Dual-cube cross edges are the scarce resource (one per node, versus
+/// `n−1` cluster edges), so this split is the first-order utilization
+/// picture; the full per-link histogram lives on
+/// `Recorder::link_report`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkUtil {
+    /// Messages delivered over cross edges.
+    pub cross_messages: u64,
+    /// Payload words delivered over cross edges.
+    pub cross_words: u64,
+    /// Messages delivered over cube (non-cross) edges.
+    pub cube_messages: u64,
+    /// Payload words delivered over cube (non-cross) edges.
+    pub cube_words: u64,
+}
+
+impl LinkUtil {
+    /// Counts one delivered message of `words` payload.
+    pub fn record(&mut self, cross: bool, words: u64) {
+        if cross {
+            self.cross_messages += 1;
+            self.cross_words += words;
+        } else {
+            self.cube_messages += 1;
+            self.cube_words += words;
+        }
+    }
+
+    /// Whether nothing has been recorded (the unrecorded-run state).
+    pub fn is_empty(&self) -> bool {
+        *self == LinkUtil::default()
+    }
+}
+
 /// Cumulative step counts for a simulated run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
@@ -77,6 +116,9 @@ pub struct Metrics {
     /// Charged by dc-core's fault-tolerant algorithms (the simulator
     /// has no baseline to subtract from).
     pub dilation_hops: u64,
+    /// Cross-edge vs. cube-edge traffic split. Populated only while a
+    /// recorder is installed (see [`LinkUtil`]); zero otherwise.
+    pub link_util: LinkUtil,
     /// Per-phase breakdown, in phase order. Empty if the run never called
     /// [`Metrics::begin_phase`].
     pub phases: Vec<PhaseMetrics>,
@@ -147,6 +189,10 @@ impl Metrics {
         self.retries += other.retries;
         self.dropped_messages += other.dropped_messages;
         self.dilation_hops += other.dilation_hops;
+        self.link_util.cross_messages += other.link_util.cross_messages;
+        self.link_util.cross_words += other.link_util.cross_words;
+        self.link_util.cube_messages += other.link_util.cube_messages;
+        self.link_util.cube_words += other.link_util.cube_words;
         for p in &other.phases {
             if let Some(mine) = self.phases.iter_mut().find(|m| m.label == p.label) {
                 mine.comm_steps += p.comm_steps;
@@ -191,6 +237,16 @@ impl fmt::Display for Metrics {
                 f,
                 " [faults: retries={}, dropped={}, dilation={}]",
                 self.retries, self.dropped_messages, self.dilation_hops
+            )?;
+        }
+        if !self.link_util.is_empty() {
+            write!(
+                f,
+                " [links: cross={} msgs/{} words, cube={} msgs/{} words]",
+                self.link_util.cross_messages,
+                self.link_util.cross_words,
+                self.link_util.cube_messages,
+                self.link_util.cube_words
             )?;
         }
         for p in &self.phases {
@@ -298,6 +354,30 @@ mod tests {
         total.absorb(&other);
         assert_eq!(total.phases.len(), 2);
         assert_eq!(total.phases[1].label, "combine");
+    }
+
+    /// Regression: `absorb` must merge the link-utilization counters too
+    /// — a multi-machine recorded run (radix sort's per-pass scans) would
+    /// otherwise silently report only its last machine's link traffic.
+    #[test]
+    fn absorb_sums_link_utilization() {
+        let mut pass = Metrics::new();
+        pass.link_util.record(true, 3);
+        pass.link_util.record(false, 5);
+        pass.link_util.record(false, 5);
+
+        let mut total = Metrics::new();
+        total.absorb(&pass);
+        total.absorb(&pass);
+        assert_eq!(total.link_util.cross_messages, 2);
+        assert_eq!(total.link_util.cross_words, 6);
+        assert_eq!(total.link_util.cube_messages, 4);
+        assert_eq!(total.link_util.cube_words, 20);
+        assert!(!total.link_util.is_empty());
+        // Unrecorded runs stay empty and keep Display quiet.
+        assert!(Metrics::new().link_util.is_empty());
+        assert!(!Metrics::new().to_string().contains("links:"));
+        assert!(total.to_string().contains("cross=2 msgs/6 words"));
     }
 
     #[test]

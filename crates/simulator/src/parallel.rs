@@ -29,9 +29,34 @@
 #[allow(unsafe_code)]
 mod pool;
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    /// Per-thread `(dispatches, queue_ns, exec_ns)` accumulated by the
+    /// pool's fork-join entry since the last [`take_dispatch_stats`].
+    /// Thread-local because the dispatcher *is* the machine's thread —
+    /// the machine drains its own cycle's dispatches at event emission.
+    static DISPATCH_STATS: Cell<(u64, u64, u64)> = const { Cell::new((0, 0, 0)) };
+}
+
+/// Adds one fork-join dispatch's timing to the calling thread's
+/// accumulator. Called by the pool only while a recorder is live (see
+/// `obs::pool_timing_active`).
+pub(crate) fn record_dispatch(queue_ns: u64, exec_ns: u64) {
+    DISPATCH_STATS.with(|c| {
+        let (d, q, e) = c.get();
+        c.set((d + 1, q + queue_ns, e + exec_ns));
+    });
+}
+
+/// Drains the calling thread's accumulated `(dispatches, queue_ns,
+/// exec_ns)`, resetting it to zero.
+pub(crate) fn take_dispatch_stats() -> (u64, u64, u64) {
+    DISPATCH_STATS.with(|c| c.replace((0, 0, 0)))
+}
 
 /// Minimum number of nodes before threads are spawned; below this the
 /// sequential loop wins on overhead. The default threshold of

@@ -257,6 +257,10 @@ impl Pool {
     }
 
     fn fork_join(&mut self, slots: usize, job: &(dyn Fn(usize) + Sync)) {
+        // Per-dispatch timing is gated on a live recorder so an
+        // unobserved process never reads the clock here (pinned by the
+        // recorder-off legs of the `cycle_overhead` bench).
+        let t0 = crate::obs::pool_timing_active().then(std::time::Instant::now);
         self.resize(slots - 1);
         // SAFETY (lifetime erasure): the reference is only reachable by
         // workers between the publish below and the `remaining == 0`
@@ -278,6 +282,7 @@ impl Pool {
             // find the cursor already drained by the dispatcher.
             self.shared.work.notify_one();
         }
+        let t1 = t0.map(|_| std::time::Instant::now());
         // The dispatcher takes slot 0 so no core idles. Its panic must
         // *not* unwind before the barrier (workers still hold the job).
         let caller = catch_unwind(AssertUnwindSafe(|| job(0)));
@@ -297,6 +302,13 @@ impl Pool {
         st.job = None;
         let worker_panic = st.panic.take();
         drop(st);
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            let t2 = std::time::Instant::now();
+            super::record_dispatch(
+                t1.duration_since(t0).as_nanos() as u64,
+                t2.duration_since(t1).as_nanos() as u64,
+            );
+        }
         if let Err(p) = caller {
             resume_unwind(p);
         }

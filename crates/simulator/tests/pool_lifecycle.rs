@@ -84,7 +84,7 @@ fn worker_count_changes_between_cycles_preserve_determinism() {
 
         assert_eq!(seq.states(), par.states(), "end states diverged");
         assert_eq!(seq.metrics(), par.metrics(), "metrics diverged");
-        assert_eq!(seq.trace(), par.trace(), "traces diverged");
+        assert_eq!(seq.phased_trace(), par.phased_trace(), "traces diverged");
     });
 }
 
@@ -165,7 +165,11 @@ proptest! {
 
             assert_eq!(reference.states(), mixed.states(), "states diverged");
             assert_eq!(reference.metrics(), mixed.metrics(), "metrics diverged");
-            assert_eq!(reference.trace(), mixed.trace(), "traces diverged");
+            assert_eq!(
+                reference.phased_trace(),
+                mixed.phased_trace(),
+                "traces diverged"
+            );
         });
     }
 }

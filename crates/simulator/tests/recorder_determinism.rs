@@ -1,0 +1,276 @@
+//! Recorder determinism matrix: with a recorder installed, the event
+//! stream a program emits must be **identical modulo timing** across
+//! every execution configuration — sequential or threaded backend, any
+//! worker count, schedule replay on or off.
+//!
+//! "Modulo timing" is [`Event::normalized`]: `at_ns`/`dur_ns` zeroed,
+//! pool dispatch stats cleared, backend collapsed. Everything else —
+//! sequence numbers, kinds, cycle indices, phase attribution, schedule
+//! keys, fault epochs, message/word/drop counts — is part of the
+//! simulated execution and must not depend on how the host ran it. The
+//! one *intended* cross-configuration difference is the schedule-cache
+//! disposition: a replay-enabled run reports `miss` then `hit` where a
+//! replay-disabled run reports `bypass`, so comparisons across replay
+//! settings additionally collapse the cache status of keyed cycles.
+
+use dc_simulator::obs::{self, CacheStatus, MemorySink};
+use dc_simulator::{
+    set_worker_threads, with_default_exec, with_schedule_replay, Event, ExecMode, FaultKind,
+    FaultPlan, Machine, ScheduleKey,
+};
+use dc_topology::{Hypercube, Topology};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Forces the threaded code path regardless of machine size.
+const FORCE_PARALLEL: ExecMode = ExecMode::Parallel { threshold: 1 };
+
+/// Pins the executor worker count, restoring the automatic count on drop
+/// (also on assertion panic).
+struct PinnedWorkers;
+
+impl PinnedWorkers {
+    fn pin(n: usize) -> Self {
+        set_worker_threads(n);
+        PinnedWorkers
+    }
+}
+
+impl Drop for PinnedWorkers {
+    fn drop(&mut self) {
+        set_worker_threads(0);
+    }
+}
+
+/// Every (backend, replay, workers) configuration the matrix runs.
+fn configs() -> Vec<(ExecMode, bool, usize)> {
+    vec![
+        (ExecMode::Sequential, false, 0),
+        (ExecMode::Sequential, true, 0),
+        (FORCE_PARALLEL, false, 2),
+        (FORCE_PARALLEL, true, 2),
+        (FORCE_PARALLEL, true, 4),
+    ]
+}
+
+fn normalized(events: &[Event]) -> Vec<Event> {
+    events.iter().map(Event::normalized).collect()
+}
+
+/// [`normalized`] with keyed cycles' cache status collapsed to one
+/// canonical value, for comparisons across replay settings (hit/miss vs
+/// bypass is the one legitimate difference).
+fn cache_collapsed(events: &[Event]) -> Vec<Event> {
+    events
+        .iter()
+        .map(|e| {
+            let mut e = e.normalized();
+            if let Event::Cycle(c) = &mut e {
+                if c.key.is_some() {
+                    c.cache = CacheStatus::Bypass;
+                }
+            }
+            e
+        })
+        .collect()
+}
+
+/// Runs `scenario` on a fresh recorded machine under one configuration,
+/// returning the emitted events and the end states.
+fn record_run(
+    mode: ExecMode,
+    replay: bool,
+    workers: usize,
+    dim: u32,
+    scenario: impl Fn(&mut Machine<'_, Hypercube, u64>),
+) -> (Vec<Event>, Vec<u64>) {
+    with_default_exec(mode, || {
+        with_schedule_replay(replay, || {
+            let _pin = (workers > 0).then(|| PinnedWorkers::pin(workers));
+            let q = Hypercube::new(dim);
+            let mut m = Machine::new(&q, (0..q.num_nodes() as u64).collect());
+            let sink = obs::shared(MemorySink::new());
+            m.record_into(sink.clone());
+            scenario(&mut m);
+            let events = sink.lock().unwrap().events();
+            (events, m.into_parts().0)
+        })
+    })
+}
+
+/// Interprets one random byte as a machine operation. The mix covers
+/// every emission site: keyed pairwise (compile + replay), keyed
+/// half-speaking exchange, unkeyed pairwise, multi-step compute, and
+/// phase boundaries.
+fn step(m: &mut Machine<'_, Hypercube, u64>, op: u8, phase_no: &mut u32) {
+    let dim = (op >> 3) as usize % 4;
+    match op % 5 {
+        0 => {
+            m.pairwise_keyed(
+                ScheduleKey::Dim(dim as u32),
+                move |u, _| Some(u ^ (1usize << dim)),
+                |_, &s| s,
+                |s, _, v: u64| *s = s.wrapping_mul(0x9E37_79B9).wrapping_add(v),
+            );
+        }
+        1 => {
+            m.exchange_keyed(
+                ScheduleKey::Window {
+                    j: dim as u32,
+                    hop: 0,
+                },
+                move |u, &s| (u & (1usize << dim) == 0).then(|| (u | (1usize << dim), s)),
+                |s, _, v| *s ^= v,
+            );
+        }
+        2 => {
+            m.pairwise(
+                move |u, _| Some(u ^ (1usize << dim)),
+                |_, &s| (s, 1u64),
+                |s, _, v: (u64, u64)| *s = s.rotate_left(1).wrapping_add(v.0 + v.1),
+            );
+        }
+        3 => {
+            m.compute(1 + (op % 3) as u64, |u, s| {
+                *s = s.rotate_left((u % 13) as u32);
+            });
+        }
+        _ => {
+            *phase_no += 1;
+            m.begin_phase(format!("phase {phase_no}"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random programs (with scripted message drops armed) emit the same
+    /// event stream under every configuration.
+    #[test]
+    fn event_streams_identical_across_the_matrix(ops in vec(any::<u8>(), 1..40)) {
+        let scenario = |m: &mut Machine<'_, Hypercube, u64>| {
+            m.set_fault_plan(FaultPlan::new().message_drop(2, 1).message_drop(5, 0));
+            let mut phase_no = 0;
+            for &op in &ops {
+                step(m, op, &mut phase_no);
+            }
+        };
+        let baseline = record_run(ExecMode::Sequential, true, 0, 4, scenario);
+        prop_assert!(!baseline.0.is_empty());
+        for (mode, replay, workers) in configs() {
+            let got = record_run(mode, replay, workers, 4, scenario);
+            prop_assert_eq!(
+                &got.1, &baseline.1,
+                "states diverged ({:?}, replay={}, workers={})", mode, replay, workers
+            );
+            if replay {
+                prop_assert_eq!(
+                    normalized(&got.0), normalized(&baseline.0),
+                    "events diverged ({:?}, replay={}, workers={})", mode, replay, workers
+                );
+            } else {
+                prop_assert_eq!(
+                    cache_collapsed(&got.0), cache_collapsed(&baseline.0),
+                    "events diverged ({:?}, replay={}, workers={})", mode, replay, workers
+                );
+            }
+        }
+    }
+}
+
+/// A crash mid-program: post-crash cycles carry the bumped fault epoch,
+/// failed cycles emit nothing, and the whole stream is identical across
+/// the matrix.
+#[test]
+fn fault_epoch_surfaces_identically_in_events() {
+    let scenario = |m: &mut Machine<'_, Hypercube, u64>| {
+        m.begin_phase("pre-fault");
+        for _ in 0..2 {
+            m.pairwise_keyed(
+                ScheduleKey::Dim(0),
+                |u, _| Some(u ^ 1),
+                |_, &s| s,
+                |s, _, v| *s = s.wrapping_add(v),
+            );
+        }
+        m.inject_fault(FaultKind::NodeCrash { node: 3 });
+        m.begin_phase("post-fault");
+        // The old pattern now touches the corpse: the failed attempt must
+        // emit no event.
+        let err = m.try_pairwise_keyed(
+            ScheduleKey::Dim(0),
+            |u, _| Some(u ^ 1),
+            |_, &s| s,
+            |s, _, v| *s = s.wrapping_add(v),
+        );
+        assert!(err.is_err());
+        // Rerouted traffic avoiding node 3 flows under the new epoch.
+        for _ in 0..2 {
+            m.pairwise_keyed(
+                ScheduleKey::Custom(1),
+                |u, _| (u < 2).then_some(u ^ 1),
+                |_, &s| s,
+                |s, _, v| *s = s.wrapping_add(v),
+            );
+        }
+        m.compute(1, |_, s| *s = s.wrapping_add(1));
+    };
+    let baseline = record_run(ExecMode::Sequential, true, 0, 3, scenario);
+    let epochs: Vec<(u64, u64)> = baseline
+        .0
+        .iter()
+        .filter_map(|e| match e {
+            Event::Cycle(c) => Some((c.fault_epoch, c.messages)),
+            Event::Phase(_) => None,
+        })
+        .collect();
+    // Two pre-fault cycles at epoch 0, then two rerouted + one compute at
+    // epoch 1 (the failed attempt emitted nothing).
+    assert_eq!(epochs, vec![(0, 8), (0, 8), (1, 2), (1, 2), (1, 0)]);
+    for (mode, replay, workers) in configs() {
+        let got = record_run(mode, replay, workers, 3, scenario);
+        assert_eq!(got.1, baseline.1, "states diverged");
+        let (want, have) = if replay {
+            (normalized(&baseline.0), normalized(&got.0))
+        } else {
+            (cache_collapsed(&baseline.0), cache_collapsed(&got.0))
+        };
+        assert_eq!(
+            have, want,
+            "events diverged ({mode:?}, replay={replay}, workers={workers})"
+        );
+    }
+}
+
+/// The Perfetto export of a recorded run is structurally stable across
+/// backends: same number of phase-duration events and cycle instants.
+#[test]
+fn perfetto_export_is_well_formed_on_both_backends() {
+    let scenario = |m: &mut Machine<'_, Hypercube, u64>| {
+        m.begin_phase("sweep 1");
+        for dim in 0..3usize {
+            m.pairwise_keyed(
+                ScheduleKey::Dim(dim as u32),
+                move |u, _| Some(u ^ (1usize << dim)),
+                |_, &s| s,
+                |s, _, v| *s = s.wrapping_add(v),
+            );
+        }
+        m.begin_phase("sweep 2");
+        m.compute(2, |_, s| *s = s.wrapping_mul(3));
+    };
+    for (mode, replay, workers) in configs() {
+        let (events, _) = record_run(mode, replay, workers, 3, scenario);
+        let json = obs::export_perfetto(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}\n") || json.ends_with("]}"));
+        let durations = json.matches("\"ph\":\"X\"").count();
+        let instants = json.matches("\"ph\":\"i\"").count();
+        assert_eq!(
+            durations, 2,
+            "one duration event per phase ({mode:?}, replay={replay}, workers={workers})"
+        );
+        assert_eq!(instants, 4, "one instant per cycle event");
+    }
+}

@@ -176,6 +176,32 @@ fn steady_state_cycles_do_not_allocate() {
             "Faulty-wrapped steady-state cycles allocated {faulty_delta} times"
         );
 
+        // --- Recorder lifecycle: while a recorder is installed, cycles
+        // may allocate (events are heap data by design), but once it is
+        // removed the machine must return to the hard-zero steady state
+        // — the disabled path's only observability cost is one `Option`
+        // check per cycle (no clock reads, no event construction). ---
+        let mut r = Machine::with_exec(&q, init.clone(), ExecMode::Sequential);
+        r.record_into(dc_simulator::obs::shared(dc_simulator::MemorySink::ring(
+            64,
+        )));
+        for dim in 0..3 {
+            one_cycle(&mut r, dim); // recorded warm-up
+        }
+        assert!(r.stop_recording().is_some());
+        for dim in 0..3 {
+            one_cycle(&mut r, dim); // re-warm with the recorder off
+        }
+        let recorder_off_delta = steady_delta(3, || {
+            for round in 0..100u32 {
+                one_cycle(&mut r, round % 6);
+            }
+        });
+        assert_eq!(
+            recorder_off_delta, 0,
+            "disabled-recorder steady-state cycles allocated {recorder_off_delta} times"
+        );
+
         // --- Threaded backend: the persistent pool dispatches without
         // allocating once its workers exist and the scratch is warm. ---
         set_worker_threads(4);

@@ -298,6 +298,12 @@ impl Topology for DualCube {
         (self.n as usize) << (2 * self.n - 2)
     }
 
+    fn is_cross_edge(&self, u: NodeId, v: NodeId) -> bool {
+        // An edge joins distinct classes exactly when it is the unique
+        // cross edge (cluster edges never touch the class bit).
+        u ^ v == 1usize << self.class_bit()
+    }
+
     fn name(&self) -> String {
         format!("D_{}", self.n)
     }

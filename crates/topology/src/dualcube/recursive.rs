@@ -195,6 +195,13 @@ impl Topology for RecDualCube {
         self.inner.num_edges()
     }
 
+    fn is_cross_edge(&self, r: NodeId, s: NodeId) -> bool {
+        // In recursive coordinates bit 0 is the class indicator, so the
+        // cross edge is exactly the dimension-0 edge (present at every
+        // node).
+        r ^ s == 1
+    }
+
     fn name(&self) -> String {
         format!("D_{} (recursive presentation)", self.inner.n())
     }

@@ -185,6 +185,12 @@ impl<T: Topology> Topology for Faulty<T> {
         self.num_edges
     }
 
+    fn is_cross_edge(&self, u: NodeId, v: NodeId) -> bool {
+        // Fault status does not change an edge's class; delegate so a
+        // faulty dual-cube still classifies its surviving cross links.
+        self.inner.is_cross_edge(u, v)
+    }
+
     fn name(&self) -> String {
         if self.dead_links.is_empty() {
             format!("{} − {} faults", self.inner.name(), self.num_failed)

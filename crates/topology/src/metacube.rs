@@ -152,6 +152,13 @@ impl Topology for Metacube {
         self.degree(0) * self.num_nodes() / 2
     }
 
+    fn is_cross_edge(&self, u: NodeId, v: NodeId) -> bool {
+        // Cross dimensions flip a class-field bit (index < k); cube
+        // dimensions never touch the class field.
+        let d = u ^ v;
+        d.count_ones() == 1 && d.trailing_zeros() < self.k
+    }
+
     fn name(&self) -> String {
         format!("MC({},{})", self.k, self.m)
     }

@@ -48,6 +48,17 @@ pub trait Topology {
         total / 2
     }
 
+    /// Whether `{u, v}` is a **cross edge** — an inter-cluster link of the
+    /// class-partitioned topologies (the dual-cube's unique `u ↔ ū₀` link,
+    /// a metacube cross dimension). Topologies without a class structure
+    /// keep the default (`false` for every pair). Only meaningful when
+    /// `is_edge(u, v)` holds; implementations need not validate adjacency.
+    /// Must be allocation-free (the simulator's link-utilization
+    /// accounting calls it once per delivered message).
+    fn is_cross_edge(&self, _u: NodeId, _v: NodeId) -> bool {
+        false
+    }
+
     /// Human-readable name, e.g. `"D_3"` or `"Q_5"`.
     fn name(&self) -> String;
 }

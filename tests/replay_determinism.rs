@@ -62,7 +62,7 @@ fn scrubbed(mut m: Metrics) -> Metrics {
 /// end states, scrubbed metrics, full trace. `switch` changes the worker
 /// count mid-program, proving replay determinism is insensitive to
 /// resizes between cycles.
-type ProgramRun = (Vec<u64>, Metrics, Vec<Vec<(usize, usize)>>);
+type ProgramRun = (Vec<u64>, Metrics, Vec<(Option<u32>, Vec<(usize, usize)>)>);
 
 fn keyed_program(
     q: &Hypercube,
@@ -103,7 +103,7 @@ fn keyed_program(
                 }
             }
         }
-        let trace = m.trace().to_vec();
+        let trace = m.phased_trace().to_vec();
         let (states, metrics) = m.into_parts();
         (states, scrubbed(metrics), trace)
     })
