@@ -156,6 +156,57 @@ fn bench_cycle_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Lane amortization on the steady-state cycle of
+/// [`bench_cycle_overhead`]: the same keyed cross-edge exchange, but
+/// lane-batched — K independent `u64` payloads per node ride one
+/// schedule replay, one delivery sweep, and one K-wide fold per cycle
+/// (`pairwise_lanes_keyed`, DESIGN.md §10). The interesting number is
+/// the *per-instance* cost: leg time ÷ K, vs the K=1 leg. Sequential
+/// backend, replay on — the §E24 reference configuration. The
+/// seven-run-median protocol lives in the `bench_lanes` binary, which
+/// emits `BENCH_lanes.json`; numbers live in EXPERIMENTS.md §E26.
+fn bench_lane_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend/lane_overhead");
+    let d = DualCube::new(8); // 32 768 nodes
+    group.throughput(Throughput::Elements(d.num_nodes() as u64));
+    for lanes in [1usize, 4, 16, 64] {
+        let id = BenchmarkId::new("D8", format!("K{lanes}"));
+        group.bench_function(id, |b| {
+            let mut m = Machine::with_exec(&d, vec![0u64; d.num_nodes()], ExecMode::Sequential);
+            for _ in 0..2 {
+                lane_cycle(&mut m, &d, lanes);
+            }
+            b.iter(|| black_box(lane_cycle(&mut m, &d, lanes)));
+            eprintln!(
+                "lane_overhead/K{lanes}: schedule_hits={} schedule_misses={}",
+                m.metrics().schedule_hits,
+                m.metrics().schedule_misses
+            );
+        });
+    }
+    group.finish();
+}
+
+/// One steady-state lane-batched cycle: keyed cross-edge exchange of K
+/// `u64` lanes plus a no-op compute step (the lane analog of the §E24
+/// probe cycle).
+fn lane_cycle(m: &mut Machine<'_, DualCube, u64>, d: &DualCube, lanes: usize) -> usize {
+    let delivered = m.pairwise_lanes_keyed(
+        ScheduleKey::Cross,
+        lanes,
+        &0u64,
+        |u, _| Some(d.cross_neighbor(u)),
+        |_, &s, window| window.fill(s),
+        |s, _, window| {
+            for w in window.iter() {
+                *s = s.wrapping_add(*w);
+            }
+        },
+    );
+    m.compute(1, |_, _| {});
+    delivered
+}
+
 /// Observability tax on the steady-state cycle of
 /// [`bench_cycle_overhead`] (sequential backend, replay on): recorder
 /// off (the production default — one `Option` check per cycle, pinned
@@ -212,6 +263,7 @@ criterion_group!(
     bench_prefix_backends,
     bench_sort_backends,
     bench_cycle_overhead,
+    bench_lane_overhead,
     bench_recorder_overhead
 );
 criterion_main!(benches);

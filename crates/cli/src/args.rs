@@ -11,18 +11,22 @@ pub enum Command {
     Info { n: u32 },
     /// `route <n> <src> <dst>` — shortest path in `D_n`.
     Route { n: u32, src: usize, dst: usize },
-    /// `prefix <n> [--k K] [--op sum|max|concat] [--seed S] [--metrics-json]`.
+    /// `prefix <n> [--k K] [--lanes L] [--op sum|max|concat] [--seed S]
+    /// [--metrics-json]`.
     Prefix {
         n: u32,
         k: usize,
+        lanes: usize,
         op: OpKind,
         seed: u64,
         metrics_json: bool,
     },
-    /// `sort <n> [--algo bitonic|radix|ring|hypercube] [--seed S] [--metrics-json]`.
+    /// `sort <n> [--algo bitonic|radix|ring|hypercube] [--lanes L]
+    /// [--seed S] [--metrics-json]`.
     Sort {
         n: u32,
         algo: SortAlgo,
+        lanes: usize,
         seed: u64,
         metrics_json: bool,
     },
@@ -130,6 +134,22 @@ fn switch(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
+/// `--lanes L`: independent instances batched through one schedule
+/// (default 1; zero is rejected here so commands can assume `lanes >= 1`).
+fn parse_lanes(args: &[String]) -> Result<usize, ParseError> {
+    let lanes = flag(args, "--lanes")?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| ParseError(format!("invalid --lanes: {v}")))
+        })
+        .transpose()?
+        .unwrap_or(1usize);
+    if lanes == 0 {
+        return Err(ParseError("--lanes must be at least 1".into()));
+    }
+    Ok(lanes)
+}
+
 /// Parses the argument list (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let Some(cmd) = args.first() else {
@@ -154,6 +174,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 })
                 .transpose()?
                 .unwrap_or(1);
+            let lanes = parse_lanes(args)?;
             let op = match flag(args, "--op")?.as_deref() {
                 None | Some("sum") => OpKind::Sum,
                 Some("max") => OpKind::Max,
@@ -170,6 +191,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Prefix {
                 n,
                 k,
+                lanes,
                 op,
                 seed,
                 metrics_json: switch(args, "--metrics-json"),
@@ -184,6 +206,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 Some("hypercube") => SortAlgo::Hypercube,
                 Some(other) => return Err(ParseError(format!("unknown --algo: {other}"))),
             };
+            let lanes = parse_lanes(args)?;
             let seed = flag(args, "--seed")?
                 .map(|v| {
                     v.parse()
@@ -194,6 +217,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Sort {
                 n,
                 algo,
+                lanes,
                 seed,
                 metrics_json: switch(args, "--metrics-json"),
             })
@@ -260,10 +284,12 @@ dual-cube — Prefix Computation and Sorting in Dual-Cube (ICPP 2008), reproduce
 USAGE:
   dual-cube info <n>                          topology properties of D_n
   dual-cube route <n> <src> <dst>             shortest path in D_n
-  dual-cube prefix <n> [--k K] [--op sum|max|concat] [--seed S] [--metrics-json]
-                                              run D_prefix (K values/node)
-  dual-cube sort <n> [--algo bitonic|radix|ring|hypercube] [--seed S] [--metrics-json]
-                                              run a network sort
+  dual-cube prefix <n> [--k K] [--lanes L] [--op sum|max|concat] [--seed S] [--metrics-json]
+                                              run D_prefix (K values/node;
+                                              L instances share one schedule)
+  dual-cube sort <n> [--algo bitonic|radix|ring|hypercube] [--lanes L] [--seed S] [--metrics-json]
+                                              run a network sort (L bitonic
+                                              instances share one schedule)
   dual-cube broadcast <n> <root> [--metrics-json]
                                               broadcast from a root node
   dual-cube experiments [E1 E4 …]             print experiment reports
@@ -324,6 +350,7 @@ mod tests {
             Ok(Command::Prefix {
                 n: 4,
                 k: 8,
+                lanes: 1,
                 op: OpKind::Max,
                 seed: 1,
                 metrics_json: false
@@ -334,6 +361,7 @@ mod tests {
             Ok(Command::Prefix {
                 n: 4,
                 k: 2,
+                lanes: 1,
                 op: OpKind::Sum,
                 seed: 2008,
                 metrics_json: true
@@ -344,11 +372,40 @@ mod tests {
             Ok(Command::Prefix {
                 n: 4,
                 k: 1,
+                lanes: 1,
                 op: OpKind::Sum,
                 seed: 2008,
                 metrics_json: false
             })
         );
+    }
+
+    #[test]
+    fn parses_lanes() {
+        assert_eq!(
+            p("prefix 4 --lanes 16"),
+            Ok(Command::Prefix {
+                n: 4,
+                k: 1,
+                lanes: 16,
+                op: OpKind::Sum,
+                seed: 2008,
+                metrics_json: false
+            })
+        );
+        assert_eq!(
+            p("sort 3 --lanes 4 --seed 7"),
+            Ok(Command::Sort {
+                n: 3,
+                algo: SortAlgo::Bitonic,
+                lanes: 4,
+                seed: 7,
+                metrics_json: false
+            })
+        );
+        assert!(p("prefix 4 --lanes 0").is_err());
+        assert!(p("sort 3 --lanes many").is_err());
+        assert!(p("prefix 4 --lanes").is_err());
     }
 
     #[test]
@@ -364,6 +421,7 @@ mod tests {
                 Ok(Command::Sort {
                     n: 3,
                     algo: a,
+                    lanes: 1,
                     seed: 2008,
                     metrics_json: false
                 })

@@ -5,11 +5,11 @@ use crate::args::{Command, DiagramKind, OpKind, SortAlgo, TraceFormat, HELP};
 use dc_core::apps::radix_sort;
 use dc_core::collectives::broadcast;
 use dc_core::ops::{Concat, Max, Sum};
-use dc_core::prefix::dualcube::{d_prefix, Step5Mode};
+use dc_core::prefix::dualcube::{batched_d_prefix, d_prefix, Step5Mode};
 use dc_core::prefix::large::d_prefix_large;
 use dc_core::prefix::PrefixKind;
 use dc_core::run::Recording;
-use dc_core::sort::dualcube::d_sort;
+use dc_core::sort::dualcube::{batched_d_sort, d_sort};
 use dc_core::sort::hypercube::cube_bitonic_sort;
 use dc_core::sort::ring::ring_sort;
 use dc_core::sort::SortOrder;
@@ -29,16 +29,18 @@ pub fn run(cmd: Command) -> Result<String, String> {
         Command::Prefix {
             n,
             k,
+            lanes,
             op,
             seed,
             metrics_json,
-        } => prefix(n, k, op, seed, metrics_json),
+        } => prefix(n, k, lanes, op, seed, metrics_json),
         Command::Sort {
             n,
             algo,
+            lanes,
             seed,
             metrics_json,
-        } => sort(n, algo, seed, metrics_json),
+        } => sort(n, algo, lanes, seed, metrics_json),
         Command::Broadcast {
             n,
             root,
@@ -145,10 +147,20 @@ fn route(n: u32, src: usize, dst: usize) -> Result<String, String> {
     Ok(out)
 }
 
-fn prefix(n: u32, k: usize, op: OpKind, seed: u64, metrics_json: bool) -> Result<String, String> {
+fn prefix(
+    n: u32,
+    k: usize,
+    lanes: usize,
+    op: OpKind,
+    seed: u64,
+    metrics_json: bool,
+) -> Result<String, String> {
     let d = check_n(n)?;
     if k == 0 || k > 4096 {
         return Err("--k must be in 1..=4096".into());
+    }
+    if lanes > 1 {
+        return prefix_lanes(&d, n, k, lanes, op, seed, metrics_json);
     }
     let total = d.num_nodes() * k;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -215,10 +227,109 @@ fn prefix(n: u32, k: usize, op: OpKind, seed: u64, metrics_json: bool) -> Result
     Ok(out)
 }
 
-fn sort(n: u32, algo: SortAlgo, seed: u64, metrics_json: bool) -> Result<String, String> {
+/// `--lanes L` variant of [`prefix`]: L independent instances advance
+/// through one schedule lookup / validation / delivery sweep per cycle
+/// via [`batched_d_prefix`]. Lane batching carries one value per node,
+/// so it composes with `--k 1` only.
+fn prefix_lanes(
+    d: &DualCube,
+    n: u32,
+    k: usize,
+    lanes: usize,
+    op: OpKind,
+    seed: u64,
+    metrics_json: bool,
+) -> Result<String, String> {
+    if k != 1 {
+        return Err("--lanes supports only --k 1 (one value per node per lane)".into());
+    }
+    if lanes > 4096 {
+        return Err("--lanes must be in 1..=4096".into());
+    }
+    let nodes = d.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (first, last, metrics) = match op {
+        OpKind::Sum => {
+            let inputs: Vec<Vec<Sum>> = (0..lanes)
+                .map(|_| (0..nodes).map(|_| Sum(rng.gen_range(0..100))).collect())
+                .collect();
+            let run = batched_d_prefix(d, &inputs, PrefixKind::Inclusive, Step5Mode::PaperFaithful);
+            (
+                format!("{:?}", run.prefixes[0].first().map(|s| s.0)),
+                format!("{:?}", run.prefixes[lanes - 1].last().map(|s| s.0)),
+                run.metrics,
+            )
+        }
+        OpKind::Max => {
+            let inputs: Vec<Vec<Max>> = (0..lanes)
+                .map(|_| (0..nodes).map(|_| Max(rng.gen_range(0..1000))).collect())
+                .collect();
+            let run = batched_d_prefix(d, &inputs, PrefixKind::Inclusive, Step5Mode::PaperFaithful);
+            (
+                format!("{:?}", run.prefixes[0].first().map(|s| s.0)),
+                format!("{:?}", run.prefixes[lanes - 1].last().map(|s| s.0)),
+                run.metrics,
+            )
+        }
+        OpKind::Concat => {
+            let inputs: Vec<Vec<Concat>> = (0..lanes)
+                .map(|lane| {
+                    (0..nodes)
+                        .map(|i| Concat(((b'a' + ((i + lane) % 26) as u8) as char).to_string()))
+                        .collect()
+                })
+                .collect();
+            let run = batched_d_prefix(d, &inputs, PrefixKind::Inclusive, Step5Mode::PaperFaithful);
+            (
+                format!("{:?}", run.prefixes[0].first().map(|s| s.0.clone())),
+                format!("{:?}", run.prefixes[lanes - 1].last().map(|s| s.0.clone())),
+                run.metrics,
+            )
+        }
+    };
+    let mut out = String::new();
+    writeln!(
+        out,
+        "D_prefix on {} ({lanes} lanes × {nodes} items, op {op:?}, one shared schedule):",
+        d.name()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  lane 0: s[0] = {first}; lane {}: s[{}] = {last}",
+        lanes - 1,
+        nodes - 1
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {} comm steps (Theorem 1: {}), {} comp steps — amortised over {lanes} lanes ({} words / {} messages)",
+        metrics.comm_steps,
+        theory::prefix_comm(n),
+        metrics.comp_steps,
+        metrics.message_words,
+        metrics.messages
+    )
+    .unwrap();
+    if metrics_json {
+        writeln!(out, "{}", dc_simulator::obs::metrics_json(&metrics)).unwrap();
+    }
+    Ok(out)
+}
+
+fn sort(
+    n: u32,
+    algo: SortAlgo,
+    lanes: usize,
+    seed: u64,
+    metrics_json: bool,
+) -> Result<String, String> {
     let d = check_n(n)?;
     if n < 2 && matches!(algo, SortAlgo::Ring) {
         return Err("ring sort needs n ≥ 2 (D_1 has no Hamiltonian cycle)".into());
+    }
+    if lanes > 1 {
+        return sort_lanes(&d, n, algo, lanes, seed, metrics_json);
     }
     let nodes = d.num_nodes();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -279,6 +390,65 @@ fn sort(n: u32, algo: SortAlgo, seed: u64, metrics_json: bool) -> Result<String,
     .unwrap();
     if metrics_json {
         writeln!(out, "{}", dc_simulator::obs::metrics_json(&metrics)).unwrap();
+    }
+    Ok(out)
+}
+
+/// `--lanes L` variant of [`sort`]: L independent key sets ride one
+/// compiled schedule per compare-exchange cycle via [`batched_d_sort`].
+/// Only Algorithm 3 has a lane-batched form — the other algorithms are
+/// baselines and stay single-instance.
+fn sort_lanes(
+    d: &DualCube,
+    n: u32,
+    algo: SortAlgo,
+    lanes: usize,
+    seed: u64,
+    metrics_json: bool,
+) -> Result<String, String> {
+    if !matches!(algo, SortAlgo::Bitonic) {
+        return Err("--lanes supports only --algo bitonic (D_sort)".into());
+    }
+    if lanes > 4096 {
+        return Err("--lanes must be in 1..=4096".into());
+    }
+    let nodes = d.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys: Vec<Vec<u64>> = (0..lanes)
+        .map(|_| (0..nodes).map(|_| rng.gen_range(0..100_000)).collect())
+        .collect();
+    let rec = RecDualCube::new(n);
+    let run = batched_d_sort(&rec, &keys, SortOrder::Ascending);
+    for (k, (input, output)) in keys.iter().zip(&run.outputs).enumerate() {
+        let mut expect = input.clone();
+        expect.sort();
+        if output != &expect {
+            return Err(format!(
+                "D_sort lane {k} produced an unsorted result — this is a bug"
+            ));
+        }
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "D_sort (Algorithm 3) on {} ({lanes} lanes × {nodes} keys, seed {seed}, one shared schedule):",
+        d.name()
+    )
+    .unwrap();
+    writeln!(out, "  all {lanes} lanes ✓ sorted").unwrap();
+    writeln!(
+        out,
+        "  {} comm steps, {} comparison steps (Theorem 2 exact: {} / {}) — amortised over {lanes} lanes ({} words / {} messages)",
+        run.metrics.comm_steps,
+        run.metrics.comp_steps,
+        theory::sort_comm_exact(n),
+        theory::sort_comp_exact(n),
+        run.metrics.message_words,
+        run.metrics.messages
+    )
+    .unwrap();
+    if metrics_json {
+        writeln!(out, "{}", dc_simulator::obs::metrics_json(&run.metrics)).unwrap();
     }
     Ok(out)
 }
@@ -516,6 +686,39 @@ mod tests {
             let out = exec(&format!("sort 3 --algo {algo}")).unwrap();
             assert!(out.contains("✓ sorted"), "{algo}: {out}");
         }
+    }
+
+    #[test]
+    fn prefix_lanes_share_one_schedule() {
+        let out = exec("prefix 3 --lanes 4").unwrap();
+        assert!(out.contains("4 lanes × 32 items"), "{out}");
+        assert!(out.contains("Theorem 1: 7"), "{out}");
+        // Lane-batched step counts match a single run; words scale by 4.
+        let single = exec("prefix 3 --metrics-json").unwrap();
+        let batched = exec("prefix 3 --lanes 4 --metrics-json").unwrap();
+        let steps = |s: &str| {
+            let json = s.lines().last().unwrap().to_string();
+            json.split("\"messages\":")
+                .nth(1)
+                .unwrap()
+                .split(',')
+                .next()
+                .unwrap()
+                .parse::<u64>()
+                .unwrap()
+        };
+        assert_eq!(steps(&single), steps(&batched), "same message count");
+        assert!(batched.contains("amortised over 4 lanes"), "{batched}");
+        assert!(exec("prefix 3 --lanes 4 --op concat").is_ok());
+        assert!(exec("prefix 3 --lanes 4 --k 2").is_err());
+    }
+
+    #[test]
+    fn sort_lanes_all_sorted() {
+        let out = exec("sort 3 --lanes 4").unwrap();
+        assert!(out.contains("all 4 lanes ✓ sorted"), "{out}");
+        assert!(out.contains("amortised over 4 lanes"), "{out}");
+        assert!(exec("sort 3 --lanes 4 --algo radix").is_err());
     }
 
     #[test]

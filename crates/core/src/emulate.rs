@@ -158,6 +158,119 @@ pub fn exchange_dim_sized<V: Clone + Send + Sync + 'static>(
     });
 }
 
+/// Per-node state for **lane-batched** emulated dimension exchanges: K
+/// independent values in structure-of-arrays layout plus the two K-wide
+/// transit buffers the 3-cycle schedule needs.
+#[derive(Debug, Clone)]
+pub struct BatchedEmuState<V> {
+    /// The node's K current values, lane `k` belonging to instance `k`.
+    pub values: Vec<V>,
+    fwd: Vec<V>,
+    partner: Vec<V>,
+}
+
+/// Builds a machine over the recursive presentation carrying K lanes per
+/// node: `values[r]` (length K) is placed on recursive node `r`.
+pub fn batched_emu_machine<'t, V: Clone>(
+    rec: &'t RecDualCube,
+    values: Vec<Vec<V>>,
+    seed: &V,
+) -> Machine<'t, RecDualCube, BatchedEmuState<V>> {
+    let lanes = values.first().map(Vec::len).unwrap_or(0);
+    Machine::new(
+        rec,
+        values
+            .into_iter()
+            .map(|v| {
+                assert_eq!(v.len(), lanes, "every node must carry the same lane count");
+                BatchedEmuState {
+                    values: v,
+                    fwd: vec![seed.clone(); lanes],
+                    partner: vec![seed.clone(); lanes],
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Lane-batched [`exchange_dim`]: one emulated dimension-`j` exchange
+/// advancing all K lanes at once. The schedule is identical to the
+/// single-lane one — the same [`dim_comm_cost`]`(j)` cycles under the
+/// same [`ScheduleKey`]s — but each cycle moves K values per message
+/// (cycle 2 of the 3-hop window moves 2K: the sender's own K lanes plus
+/// the K it is forwarding), so `message_words` scales exactly as K
+/// single-lane runs while the engine overhead is paid once.
+pub fn exchange_dim_lanes<V: Clone + Send + Sync + 'static>(
+    machine: &mut Machine<'_, RecDualCube, BatchedEmuState<V>>,
+    j: u32,
+    lanes: usize,
+    seed: &V,
+    apply: impl Fn(NodeId, &V, &V) -> V + Sync,
+) {
+    let rec = *machine.topology();
+    assert!(
+        j < rec.dims(),
+        "dimension {j} out of range for {}",
+        rec.name()
+    );
+    let swap_into = |buf: &mut [V], window: &mut [V]| {
+        for (b, w) in buf.iter_mut().zip(window) {
+            std::mem::swap(b, w);
+        }
+    };
+    if j == 0 {
+        machine.pairwise_lanes_keyed(
+            ScheduleKey::Cross,
+            lanes,
+            seed,
+            |r, _| Some(r ^ 1),
+            |_, st, window| window.clone_from_slice(&st.values),
+            |st, _, window| swap_into(&mut st.partner, window),
+        );
+    } else {
+        // Cycle 1: linkless nodes hand their K values across dimension 0.
+        machine.exchange_lanes_keyed(
+            ScheduleKey::Window { j, hop: 0 },
+            lanes,
+            seed,
+            |r, _| (!rec.has_direct_edge(r, j)).then_some(r ^ 1),
+            |_, st, window| window.clone_from_slice(&st.values),
+            |st, _, window| swap_into(&mut st.fwd, window),
+        );
+        // Cycle 2: linked nodes exchange (own, forwarded) along dimension
+        // j — 2K lanes per message, own values first.
+        machine.pairwise_lanes_keyed(
+            ScheduleKey::Window { j, hop: 1 },
+            2 * lanes,
+            seed,
+            |r, _| rec.has_direct_edge(r, j).then(|| r ^ (1usize << j)),
+            |_, st, window| {
+                window[..lanes].clone_from_slice(&st.values);
+                window[lanes..].clone_from_slice(&st.fwd);
+            },
+            |st, _, window| {
+                let (own, fwd) = window.split_at_mut(lanes);
+                swap_into(&mut st.partner, own);
+                swap_into(&mut st.fwd, fwd);
+            },
+        );
+        // Cycle 3: forwarded values return across dimension 0.
+        machine.exchange_lanes_keyed(
+            ScheduleKey::Window { j, hop: 2 },
+            lanes,
+            seed,
+            |r, _| rec.has_direct_edge(r, j).then_some(r ^ 1),
+            |_, st, window| window.clone_from_slice(&st.fwd),
+            |st, _, window| swap_into(&mut st.partner, window),
+        );
+    }
+    machine.compute(1, |r, st| {
+        for k in 0..st.values.len() {
+            st.values[k] = apply(r, &st.values[k], &st.partner[k]);
+        }
+    });
+}
+
 /// A full emulated **descend** sweep (dimensions high → low), the shape of
 /// bitonic merging; `apply` is called per dimension as in
 /// [`exchange_dim`].
@@ -290,5 +403,50 @@ mod tests {
         let rec = RecDualCube::new(2);
         let mut m = emu_machine(&rec, vec![0u8; rec.num_nodes()]);
         exchange_dim(&mut m, 5, |_, &a, _| a);
+    }
+
+    #[test]
+    fn lane_exchange_delivers_partner_values_every_dimension() {
+        // Lane-batched analogue of the single-lane delivery test: with
+        // apply = "keep partner", node r's lane k must hold the original
+        // lane-k value of r ^ (1 << j), for every lane.
+        let lanes = 3;
+        for n in 1..=3u32 {
+            let rec = RecDualCube::new(n);
+            for j in 0..rec.dims() {
+                let values: Vec<Vec<usize>> = (0..rec.num_nodes())
+                    .map(|r| (0..lanes).map(|k| r * 10 + k).collect())
+                    .collect();
+                let mut m = batched_emu_machine(&rec, values, &0);
+                exchange_dim_lanes(&mut m, j, lanes, &0, |_, _, &p| p);
+                let (states, metrics) = m.into_parts();
+                for (r, st) in states.iter().enumerate() {
+                    let partner = r ^ (1 << j);
+                    for k in 0..lanes {
+                        assert_eq!(st.values[k], partner * 10 + k, "n={n} j={j} r={r} k={k}");
+                    }
+                }
+                assert_eq!(metrics.comm_steps, dim_comm_cost(j), "n={n} j={j}");
+                assert_eq!(metrics.comp_steps, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_exchange_charges_k_words_per_message() {
+        // Every hop of the emulated window must charge lanes words per
+        // message (2·lanes on the piggyback hop), matching K single runs.
+        let lanes = 4;
+        let rec = RecDualCube::new(2);
+        let single_words = {
+            let mut m = emu_machine(&rec, (0..rec.num_nodes()).collect::<Vec<_>>());
+            exchange_dim(&mut m, 2, |_, _, &p| p);
+            m.into_parts().1.message_words
+        };
+        let values: Vec<Vec<usize>> = (0..rec.num_nodes()).map(|r| vec![r; lanes]).collect();
+        let mut m = batched_emu_machine(&rec, values, &0);
+        exchange_dim_lanes(&mut m, 2, lanes, &0, |_, _, &p| p);
+        let metrics = m.into_parts().1;
+        assert_eq!(metrics.message_words, single_words * lanes as u64);
     }
 }

@@ -249,6 +249,219 @@ pub fn d_prefix<M: Monoid>(
     }
 }
 
+/// Per-node state of [`batched_d_prefix`]: the five variables of
+/// Algorithm 2 in structure-of-arrays layout, lane `k` of every vector
+/// belonging to instance `k`.
+#[derive(Debug, Clone)]
+pub struct BatchedDPrefixState<M> {
+    /// Cluster totals, one per lane.
+    pub t: Vec<M>,
+    /// Running prefixes, one per lane; the final answers after step 5.
+    pub s: Vec<M>,
+    /// Step-3 totals `t′`, one per lane.
+    pub t2: Vec<M>,
+    /// Step-3 diminished prefixes `s′`, one per lane.
+    pub s2: Vec<M>,
+    temp: Vec<M>,
+}
+
+/// Result of a [`batched_d_prefix`] run.
+#[derive(Debug, Clone)]
+pub struct BatchedDPrefixRun<M> {
+    /// `prefixes[k][i]` — instance `k`'s prefix at data index `i`; each
+    /// inner vector equals the `prefixes` of a single-lane [`d_prefix`]
+    /// run on `inputs[k]`.
+    pub prefixes: Vec<Vec<M>>,
+    /// Step counts: identical to a single-lane run (`2n+1` comm, `2n`
+    /// comp under [`Step5Mode::PaperFaithful`]) — the whole batch shares
+    /// one schedule per cycle — with `message_words` scaled by K.
+    pub metrics: Metrics,
+}
+
+/// Runs K independent instances of Algorithm 2 through lane-batched
+/// machine cycles: `inputs[k]` is instance `k`'s input in data-index
+/// order. One schedule lookup / validation / delivery sweep per cycle
+/// advances all K instances; results are bit-identical to K separate
+/// [`d_prefix`] runs.
+pub fn batched_d_prefix<M: Monoid>(
+    d: &DualCube,
+    inputs: &[Vec<M>],
+    kind: PrefixKind,
+    step5: Step5Mode,
+) -> BatchedDPrefixRun<M> {
+    let lanes = inputs.len();
+    assert!(lanes > 0, "a batched prefix needs at least one instance");
+    for (k, input) in inputs.iter().enumerate() {
+        assert_eq!(
+            input.len(),
+            d.num_nodes(),
+            "instance {k}: need one input value per node of {}",
+            d.name()
+        );
+    }
+    let states: Vec<BatchedDPrefixState<M>> = (0..d.num_nodes())
+        .map(|u| {
+            let c: Vec<M> = inputs
+                .iter()
+                .map(|inp| inp[d.linear_index(u)].clone())
+                .collect();
+            BatchedDPrefixState {
+                s: c.iter()
+                    .map(|c| match kind {
+                        PrefixKind::Inclusive => c.clone(),
+                        PrefixKind::Diminished => M::identity(),
+                    })
+                    .collect(),
+                t: c,
+                t2: vec![M::identity(); lanes],
+                s2: vec![M::identity(); lanes],
+                temp: vec![M::identity(); lanes],
+            }
+        })
+        .collect();
+    let mut machine = Machine::new(d, states);
+    let seed = M::identity();
+
+    // Step 1: Cube_prefix inside every cluster, all lanes at once.
+    machine.begin_phase("step 1: Cube_prefix inside clusters");
+    for i in 0..d.cluster_dim() {
+        batched_cluster_ascend_round(d, &mut machine, i, lanes, &seed, ScanVars::Step1);
+    }
+
+    // Step 2: exchange cluster totals over the cross-edges.
+    machine.begin_phase("step 2: exchange totals via cross-edges");
+    machine.pairwise_lanes_keyed(
+        ScheduleKey::Cross,
+        lanes,
+        &seed,
+        |u, _| Some(d.cross_neighbor(u)),
+        |_, st, window| window.clone_from_slice(&st.t),
+        |st, _, window| {
+            for (t, w) in st.temp.iter_mut().zip(window) {
+                std::mem::swap(t, w);
+            }
+        },
+    );
+    machine.setup(|_, st| {
+        for k in 0..st.t2.len() {
+            st.t2[k] = std::mem::replace(&mut st.temp[k], M::identity());
+            st.s2[k] = M::identity();
+        }
+    });
+
+    // Step 3: diminished Cube_prefix over the received totals.
+    machine.begin_phase("step 3: Cube_prefix over received totals");
+    for i in 0..d.cluster_dim() {
+        batched_cluster_ascend_round(d, &mut machine, i, lanes, &seed, ScanVars::Step3);
+    }
+
+    // Step 4: exchange s′ and fold it in on the left everywhere.
+    machine.begin_phase("step 4: exchange s' and combine");
+    machine.pairwise_lanes_keyed(
+        ScheduleKey::Cross,
+        lanes,
+        &seed,
+        |u, _| Some(d.cross_neighbor(u)),
+        |_, st, window| window.clone_from_slice(&st.s2),
+        |st, _, window| {
+            for (t, w) in st.temp.iter_mut().zip(window) {
+                std::mem::swap(t, w);
+            }
+        },
+    );
+    machine.compute(1, |_, st| {
+        for k in 0..st.s.len() {
+            let temp = std::mem::replace(&mut st.temp[k], M::identity());
+            st.s[k] = temp.combine(&st.s[k]);
+        }
+    });
+
+    // Step 5: class-1 nodes fold in the class-0 grand total.
+    machine.begin_phase("step 5: class-1 folds in class-0 grand total");
+    if step5 == Step5Mode::PaperFaithful {
+        machine.exchange_lanes_keyed(
+            ScheduleKey::Custom(0),
+            lanes,
+            &seed,
+            |u, _| (d.class_of(u) == Class::One).then(|| d.cross_neighbor(u)),
+            |_, st, window| window.clone_from_slice(&st.t2),
+            // Delivered values are the receiver's own class's grand
+            // totals — discarded, as in the single-lane run.
+            |_, _, _| {},
+        );
+    }
+    machine.compute(1, |u, st| {
+        if d.class_of(u) == Class::One {
+            for k in 0..st.s.len() {
+                st.s[k] = st.t2[k].combine(&st.s[k]);
+            }
+        }
+    });
+
+    let (states, metrics) = machine.into_parts();
+    let mut prefixes = vec![Vec::new(); lanes];
+    for p in &mut prefixes {
+        p.resize(states.len(), None);
+    }
+    for (u, st) in states.into_iter().enumerate() {
+        for (k, s) in st.s.into_iter().enumerate() {
+            prefixes[k][d.linear_index(u)] = Some(s);
+        }
+    }
+    BatchedDPrefixRun {
+        prefixes: prefixes
+            .into_iter()
+            .map(|p| p.into_iter().map(|s| s.expect("bijection")).collect())
+            .collect(),
+        metrics,
+    }
+}
+
+/// Lane-batched [`cluster_ascend_round`]: one K-wide exchange of the
+/// scanned totals, then a K-wide fold per node.
+fn batched_cluster_ascend_round<M: Monoid>(
+    d: &DualCube,
+    machine: &mut Machine<'_, DualCube, BatchedDPrefixState<M>>,
+    i: u32,
+    lanes: usize,
+    seed: &M,
+    vars: ScanVars,
+) {
+    machine.pairwise_lanes_keyed(
+        ScheduleKey::Dim(i),
+        lanes,
+        seed,
+        |u, _| Some(d.cluster_neighbor(u, i)),
+        move |_, st, window| {
+            window.clone_from_slice(match vars {
+                ScanVars::Step1 => &st.t,
+                ScanVars::Step3 => &st.t2,
+            })
+        },
+        |st, _, window| {
+            for (t, w) in st.temp.iter_mut().zip(window) {
+                std::mem::swap(t, w);
+            }
+        },
+    );
+    machine.compute(1, |u, st| {
+        let high_side = bit(d.node_id(u), i);
+        let (t, s) = match vars {
+            ScanVars::Step1 => (&mut st.t, &mut st.s),
+            ScanVars::Step3 => (&mut st.t2, &mut st.s2),
+        };
+        for k in 0..t.len() {
+            let temp = std::mem::replace(&mut st.temp[k], M::identity());
+            if high_side {
+                t[k] = temp.combine(&t[k]);
+                s[k] = temp.combine(&s[k]);
+            } else {
+                t[k] = t[k].combine(&temp);
+            }
+        }
+    });
+}
+
 /// Which `(total, prefix)` variable pair an ascend round scans: step 1
 /// works on `(t, s)`, step 3 on `(t′, s′)`.
 #[derive(Clone, Copy)]

@@ -114,6 +114,138 @@ pub fn cube_prefix<M: Monoid>(
     }
 }
 
+/// Per-node state of [`batched_cube_prefix`]: K independent instances in
+/// structure-of-arrays layout — lane `k` of every vector belongs to
+/// instance `k`.
+#[derive(Debug, Clone)]
+pub struct BatchedCubeState<M> {
+    /// Running subcube totals, one per lane.
+    pub t: Vec<M>,
+    /// Running subcube prefixes, one per lane.
+    pub s: Vec<M>,
+    /// Landing buffer for the partner's totals (K wide).
+    temp: Vec<M>,
+}
+
+/// Result of a [`batched_cube_prefix`] run.
+#[derive(Debug, Clone)]
+pub struct BatchedCubePrefixRun<M> {
+    /// `prefixes[k][u]` — instance `k`'s prefix at node `u`; each inner
+    /// vector equals the `prefixes` of a single-lane [`cube_prefix`] run
+    /// on `inputs[k]`.
+    pub prefixes: Vec<Vec<M>>,
+    /// `totals[k]` — instance `k`'s grand total.
+    pub totals: Vec<M>,
+    /// Step counts: still `m` comm and `m` comp — the batch shares one
+    /// schedule per round — with `message_words` scaled by K.
+    pub metrics: Metrics,
+}
+
+/// Runs K independent instances of Algorithm 1 through one lane-batched
+/// machine cycle per round: `inputs[k]` is instance `k`'s input (one
+/// value per node). All K instances share a single schedule lookup,
+/// validation/replay pass, and delivery sweep per dimension, with the
+/// fold running K-wide per node; results are bit-identical to K separate
+/// [`cube_prefix`] runs.
+///
+/// ```
+/// use dc_core::prefix::{hypercube::batched_cube_prefix, PrefixKind};
+/// use dc_core::ops::Sum;
+/// use dc_topology::Hypercube;
+///
+/// let q = Hypercube::new(3);
+/// let inputs: Vec<Vec<Sum>> = (0..4)
+///     .map(|k| (1..=8).map(|x| Sum(x * (k + 1))).collect())
+///     .collect();
+/// let run = batched_cube_prefix(&q, &inputs, PrefixKind::Inclusive);
+/// assert_eq!(run.totals[0].0, 36);
+/// assert_eq!(run.totals[3].0, 4 * 36);
+/// assert_eq!(run.metrics.comm_steps, 3); // shared across all 4 lanes
+/// assert_eq!(run.metrics.message_words, 4 * run.metrics.messages);
+/// ```
+pub fn batched_cube_prefix<M: Monoid>(
+    q: &Hypercube,
+    inputs: &[Vec<M>],
+    kind: PrefixKind,
+) -> BatchedCubePrefixRun<M> {
+    let lanes = inputs.len();
+    assert!(lanes > 0, "a batched prefix needs at least one instance");
+    for (k, input) in inputs.iter().enumerate() {
+        assert_eq!(
+            input.len(),
+            q.num_nodes(),
+            "instance {k}: need one input value per node of {}",
+            q.name()
+        );
+    }
+    let states: Vec<BatchedCubeState<M>> = (0..q.num_nodes())
+        .map(|u| BatchedCubeState {
+            t: inputs.iter().map(|inp| inp[u].clone()).collect(),
+            s: inputs
+                .iter()
+                .map(|inp| match kind {
+                    PrefixKind::Inclusive => inp[u].clone(),
+                    PrefixKind::Diminished => M::identity(),
+                })
+                .collect(),
+            temp: vec![M::identity(); lanes],
+        })
+        .collect();
+    let mut machine = Machine::new(q, states);
+    let seed = M::identity();
+    for i in 0..q.dim() {
+        machine.begin_phase(format!("dimension {i}"));
+        batched_ascend_round(&mut machine, i, lanes, &seed);
+    }
+    let (states, metrics) = machine.into_parts();
+    let totals = states[0].t.clone();
+    let mut prefixes = vec![Vec::with_capacity(q.num_nodes()); lanes];
+    for st in states {
+        for (k, s) in st.s.into_iter().enumerate() {
+            prefixes[k].push(s);
+        }
+    }
+    BatchedCubePrefixRun {
+        prefixes,
+        totals,
+        metrics,
+    }
+}
+
+/// The lane-batched dimension-`i` round: one K-wide exchange of the `t`
+/// lanes, then a K-wide fold — the vectorizable inner loop of the batch.
+fn batched_ascend_round<M: Monoid>(
+    machine: &mut Machine<'_, Hypercube, BatchedCubeState<M>>,
+    i: u32,
+    lanes: usize,
+    seed: &M,
+) {
+    machine.pairwise_lanes_keyed(
+        ScheduleKey::Dim(i),
+        lanes,
+        seed,
+        |u, _| Some(u ^ (1usize << i)),
+        |_, st, window| window.clone_from_slice(&st.t),
+        |st, _, window| {
+            for (t, w) in st.temp.iter_mut().zip(window) {
+                std::mem::swap(t, w);
+            }
+        },
+    );
+    machine.compute(1, |u, st| {
+        let high = bit(u, i);
+        for k in 0..st.t.len() {
+            let temp = std::mem::replace(&mut st.temp[k], M::identity());
+            if high {
+                st.t[k] = temp.combine(&st.t[k]);
+                st.s[k] = temp.combine(&st.s[k]);
+            } else {
+                st.t[k] = st.t[k].combine(&temp);
+            }
+        }
+    });
+}
+
 /// One dimension-`i` round of the ascend sweep: exchange `t` across the
 /// dimension, then fold. (`d_prefix` performs the same round inside every
 /// cluster simultaneously — see `prefix::dualcube`.)
@@ -219,6 +351,47 @@ mod tests {
             PrefixKind::Inclusive,
             Recording::Off,
         );
+    }
+
+    #[test]
+    fn batched_matches_independent_single_lane_runs() {
+        let q = Hypercube::new(4);
+        for kind in [PrefixKind::Inclusive, PrefixKind::Diminished] {
+            let inputs: Vec<Vec<Sum>> = (0..5)
+                .map(|k| (0..16).map(|u| Sum((u * 7 + k * 13) % 29 - 11)).collect())
+                .collect();
+            let run = batched_cube_prefix(&q, &inputs, kind);
+            for (k, input) in inputs.iter().enumerate() {
+                let single = cube_prefix(&q, input, kind, Recording::Off);
+                assert_eq!(run.prefixes[k], single.prefixes, "lane {k} {kind:?}");
+                assert_eq!(run.totals[k], single.total, "lane {k} {kind:?}");
+            }
+            // One schedule per dimension, each message carrying 5 lanes.
+            assert_eq!(run.metrics.comm_steps, 4);
+            assert_eq!(run.metrics.message_words, 5 * run.metrics.messages);
+        }
+    }
+
+    #[test]
+    fn batched_noncommutative_lanes_stay_independent() {
+        let q = Hypercube::new(3);
+        let inputs: Vec<Vec<Concat>> = (0..3)
+            .map(|k| {
+                (0..8u8)
+                    .map(|i| Concat(((b'a' + 8 * k + i) as char).to_string()))
+                    .collect()
+            })
+            .collect();
+        let run = batched_cube_prefix(&q, &inputs, PrefixKind::Inclusive);
+        assert_eq!(run.prefixes[0][7].0, "abcdefgh");
+        assert_eq!(run.prefixes[1][7].0, "ijklmnop");
+        assert_eq!(run.prefixes[2][3].0, "qrst");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn batched_zero_instances_rejected() {
+        batched_cube_prefix::<Sum>(&Hypercube::new(2), &[], PrefixKind::Inclusive);
     }
 
     proptest! {

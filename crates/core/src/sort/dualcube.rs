@@ -37,10 +37,12 @@
 //! every cycle. Totals: `6n² − 7n + 2` communication and `2n² − n`
 //! comparison steps exactly (within the theorem's `6n²`/`2n²`).
 
-use crate::emulate::{emu_machine, exchange_dim, EmuState};
+use crate::emulate::{
+    batched_emu_machine, emu_machine, exchange_dim, exchange_dim_lanes, BatchedEmuState, EmuState,
+};
 use crate::run::{PhaseSnapshot, Recording, Run};
 use crate::sort::SortOrder;
-use dc_simulator::Machine;
+use dc_simulator::{Machine, Metrics};
 use dc_topology::{bits::bit, NodeId, RecDualCube, Topology};
 
 /// Sorts one key per node of `D_n` (recursive presentation) with
@@ -136,6 +138,113 @@ pub fn d_sort<K: Ord + Clone + Send + Sync + 'static>(
         phases,
         trace,
     }
+}
+
+/// Result of a [`batched_d_sort`] run.
+#[derive(Debug, Clone)]
+pub struct BatchedSortRun<K> {
+    /// `outputs[k][r]` — instance `k`'s key on recursive node `r`; each
+    /// inner vector equals the `output` of a single-lane [`d_sort`] run
+    /// on `keys[k]`.
+    pub outputs: Vec<Vec<K>>,
+    /// Step counts: identical to a single-lane run (`6n²−7n+2` comm,
+    /// `2n²−n` comp) — the batch shares every schedule — with
+    /// `message_words` scaled by the lane count.
+    pub metrics: Metrics,
+}
+
+/// Sorts K independent key sets with Algorithm 3 through lane-batched
+/// emulated exchanges: `keys[k]` is instance `k`'s input (one key per
+/// recursive node). All K instances ride one schedule lookup /
+/// validation / delivery sweep per cycle, with the compare-exchange fold
+/// running K-wide per node; each instance's output is bit-identical to a
+/// separate [`d_sort`] run.
+///
+/// ```
+/// use dc_core::sort::{dualcube::batched_d_sort, SortOrder};
+/// use dc_topology::RecDualCube;
+///
+/// let rec = RecDualCube::new(2);
+/// let keys = vec![vec![5, 3, 8, 1, 9, 2, 7, 4], vec![7, 7, 0, 2, 5, 1, 3, 6]];
+/// let run = batched_d_sort(&rec, &keys, SortOrder::Ascending);
+/// assert_eq!(run.outputs[0], vec![1, 2, 3, 4, 5, 7, 8, 9]);
+/// assert_eq!(run.outputs[1], vec![0, 1, 2, 3, 5, 6, 7, 7]);
+/// assert_eq!(run.metrics.comm_steps, 12); // shared across both lanes
+/// ```
+pub fn batched_d_sort<K: Ord + Clone + Send + Sync + 'static>(
+    rec: &RecDualCube,
+    keys: &[Vec<K>],
+    order: SortOrder,
+) -> BatchedSortRun<K> {
+    let lanes = keys.len();
+    assert!(lanes > 0, "a batched sort needs at least one instance");
+    for (k, instance) in keys.iter().enumerate() {
+        assert_eq!(
+            instance.len(),
+            rec.num_nodes(),
+            "instance {k}: need one key per node of {}",
+            rec.name()
+        );
+    }
+    let n = rec.n();
+    let seed = keys[0][0].clone();
+    let values: Vec<Vec<K>> = (0..rec.num_nodes())
+        .map(|r| keys.iter().map(|inst| inst[r].clone()).collect())
+        .collect();
+    let mut machine = batched_emu_machine(rec, values, &seed);
+
+    for level in 1..=n {
+        let top = 2 * level - 2;
+        if level >= 2 {
+            machine.begin_phase(format!(
+                "level {level}: merge loop 1 (dims {}..=0)",
+                top - 1
+            ));
+            for j in (0..top).rev() {
+                batched_compare_round(&mut machine, j, lanes, &seed, move |r| bit(r, top));
+            }
+        }
+        machine.begin_phase(format!("level {level}: merge loop 2 (dims {top}..=0)"));
+        let tag = order.tag();
+        for j in (0..=top).rev() {
+            batched_compare_round(&mut machine, j, lanes, &seed, move |r| {
+                if level == n {
+                    tag
+                } else {
+                    bit(r, 2 * level - 1)
+                }
+            });
+        }
+    }
+
+    let (states, metrics) = machine.into_parts();
+    let mut outputs = vec![Vec::with_capacity(rec.num_nodes()); lanes];
+    for st in states {
+        for (k, v) in st.values.into_iter().enumerate() {
+            outputs[k].push(v);
+        }
+    }
+    BatchedSortRun { outputs, metrics }
+}
+
+/// Lane-batched [`compare_round`]: the same emulated dimension-`j`
+/// schedule, with the keep-min/keep-max comparison applied per lane.
+fn batched_compare_round<K: Ord + Clone + Send + Sync + 'static>(
+    machine: &mut Machine<'_, RecDualCube, BatchedEmuState<K>>,
+    j: u32,
+    lanes: usize,
+    seed: &K,
+    descending: impl Fn(NodeId) -> bool + Sync,
+) {
+    exchange_dim_lanes(machine, j, lanes, seed, |r, own, other| {
+        let keep_min = bit(r, j) == descending(r);
+        let own_is_kept = if keep_min { own <= other } else { own >= other };
+        if own_is_kept {
+            own.clone()
+        } else {
+            other.clone()
+        }
+    });
 }
 
 /// One emulated compare-exchange round over dimension `j`;
@@ -280,6 +389,34 @@ mod tests {
         let mut expect = keys.clone();
         expect.sort();
         assert_eq!(run.output, expect);
+    }
+
+    #[test]
+    fn batched_matches_independent_single_lane_runs() {
+        let rec = RecDualCube::new(3);
+        let keys: Vec<Vec<u32>> = (0..4)
+            .map(|k| (0..32).map(|r| (r * 11 + k * 17) % 37).collect())
+            .collect();
+        for order in [SortOrder::Ascending, SortOrder::Descending] {
+            let run = batched_d_sort(&rec, &keys, order);
+            for (k, instance) in keys.iter().enumerate() {
+                let single = d_sort(&rec, instance, order, Recording::Off);
+                assert_eq!(run.outputs[k], single.output, "lane {k} {order:?}");
+            }
+            // The batch pays the single-lane schedule once; words scale
+            // with the lane count.
+            let single = d_sort(&rec, &keys[0], order, Recording::Off);
+            assert_eq!(run.metrics.comm_steps, single.metrics.comm_steps);
+            assert_eq!(run.metrics.comp_steps, single.metrics.comp_steps);
+            assert_eq!(run.metrics.messages, single.metrics.messages);
+            assert_eq!(run.metrics.message_words, 4 * single.metrics.message_words);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn batched_zero_instances_rejected() {
+        batched_d_sort::<u32>(&RecDualCube::new(2), &[], SortOrder::Ascending);
     }
 
     proptest! {

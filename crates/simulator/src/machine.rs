@@ -9,7 +9,8 @@ use crate::obs::{
     Recorder, SharedSink,
 };
 use crate::parallel::{
-    par_apply_forced, par_apply_reduce, par_for_reduce, par_zip_apply, par_zip_apply_mut, ExecMode,
+    par_apply_forced, par_apply_reduce, par_for_reduce, par_lane_apply, par_lane_reduce,
+    par_zip_apply, par_zip_apply_mut, ExecMode,
 };
 use crate::schedule::{self, CompiledSchedule, ScheduleCache, ScheduleKey, NO_SRC, SENDS_BIT};
 use dc_topology::{NodeId, Topology};
@@ -82,6 +83,48 @@ impl TypedSlot {
     }
 }
 
+/// A reusable, type-erased **lane buffer** `Vec<V>` of length
+/// `n × lanes`: node `u` owns the window `[u·lanes, (u+1)·lanes)`. The
+/// lane-batched cycle stages K payload values per delivered message into
+/// the receiver's window (SoA layout — lane `k` of every node sits at a
+/// fixed offset inside its window, so the K-wide compute folds
+/// vectorize). Reallocated only when the value type or total length
+/// changes; stale contents between cycles are fine because
+/// `Scratch::lane_src` gates which windows delivery reads and a staged
+/// window is always fully overwritten by `fill` first.
+struct LaneSlot(Option<Box<dyn Any + Send>>);
+
+impl LaneSlot {
+    const fn new() -> Self {
+        LaneSlot(None)
+    }
+
+    /// The lane buffer for value type `V` at total length `len`,
+    /// contents unspecified (stale from earlier cycles). Allocates only
+    /// on first use, on a type change, or on a length change — never in
+    /// the steady state. `seed` initialises any newly created slots.
+    fn strided<V: Clone + Send + Sync + 'static>(&mut self, len: usize, seed: &V) -> &mut Vec<V> {
+        let fresh = match &self.0 {
+            Some(b) => !b.is::<Vec<V>>(),
+            None => true,
+        };
+        if fresh {
+            self.0 = Some(Box::new(Vec::<V>::new()));
+        }
+        let v: &mut Vec<V> = self
+            .0
+            .as_mut()
+            .expect("slot populated above")
+            .downcast_mut()
+            .expect("slot typed above");
+        if v.len() != len {
+            v.clear();
+            v.resize(len, seed.clone());
+        }
+        v
+    }
+}
+
 /// Per-cycle scratch buffers owned by the machine so that a steady-state
 /// cycle performs **zero heap allocations**: the plan slots, the
 /// receive-conflict tables (sequential and atomic), the deliver inbox,
@@ -106,6 +149,12 @@ struct Scratch {
     /// Deliver-phase inbox (threaded and replay paths), keyed by message
     /// type.
     inbox: TypedSlot,
+    /// Staged lane senders: `lane_src[dst]` names the node whose lane
+    /// window was filled for `dst` this cycle (`usize::MAX` = silent).
+    lane_src: Vec<usize>,
+    /// Lane payload windows (`lanes` values per node), keyed by value
+    /// type.
+    lanebuf: LaneSlot,
 }
 
 impl Scratch {
@@ -116,6 +165,8 @@ impl Scratch {
             partners: Vec::new(),
             plans: TypedSlot::new(),
             inbox: TypedSlot::new(),
+            lane_src: Vec::new(),
+            lanebuf: LaneSlot::new(),
         }
     }
 }
@@ -480,18 +531,6 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         self.trace.as_deref().unwrap_or(&[])
     }
 
-    /// The recorded trace without phase attribution, one message list
-    /// per communication cycle. Clones every entry — prefer
-    /// [`Machine::phased_trace`], which borrows and also reports which
-    /// phase each cycle ran under.
-    #[deprecated(note = "use `phased_trace`; trace entries now carry the active phase index")]
-    pub fn trace(&self) -> Vec<Vec<(NodeId, NodeId)>> {
-        self.phased_trace()
-            .iter()
-            .map(|(_, msgs)| msgs.clone())
-            .collect()
-    }
-
     /// Installs a recorder: every subsequent phase boundary and cycle
     /// emits one structured [`Event`] into `sink`, and per-link
     /// utilization counters start accumulating (see the [`crate::obs`]
@@ -588,7 +627,15 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
 
     /// Emits the [`Event::Cycle`] for a communication cycle that just
     /// charged its metrics. No-op without a recorder.
-    fn emit_comm(&mut self, obs: ObsCtx, threaded: bool, messages: u64, words: u64, dropped: u64) {
+    fn emit_comm(
+        &mut self,
+        obs: ObsCtx,
+        threaded: bool,
+        messages: u64,
+        words: u64,
+        dropped: u64,
+        lanes: u32,
+    ) {
         let phase = self.current_phase();
         let fault_epoch = self.faults.epoch();
         let cycle = self.metrics.comm_steps - 1;
@@ -608,6 +655,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             messages,
             words,
             dropped,
+            lanes,
             ops: 0,
             backend: if threaded {
                 Backend::Threaded {
@@ -653,6 +701,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             messages: 0,
             words: 0,
             dropped: 0,
+            lanes: 1,
             ops,
             backend: if threaded {
                 Backend::Threaded {
@@ -891,50 +940,14 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                 n,
             )
         } else {
-            let recv_from = &mut self.scratch.recv_from;
-            recv_from.clear();
-            recv_from.resize(n, usize::MAX);
-            let mut acc = CycleAcc::EMPTY;
-            for (src, p) in plans.iter().enumerate() {
-                if let Some((dst, msg)) = p {
-                    let dst = *dst;
-                    if dst >= n {
-                        acc.violate(
-                            src,
-                            SimError::OutOfRange {
-                                node: dst,
-                                num_nodes: n,
-                            },
-                        );
-                    } else if dst == src {
-                        acc.violate(src, SimError::SelfMessage { node: src });
-                    } else if self.faults.is_failed(src) {
-                        acc.violate(src, SimError::NodeFailed { node: src });
-                    } else if self.faults.is_failed(dst) {
-                        acc.violate(src, SimError::NodeFailed { node: dst });
-                    } else if !self.topo.is_edge(src, dst) {
-                        acc.violate(src, SimError::NotAdjacent { src, dst });
-                    } else if self.faults.link_is_down(src, dst) {
-                        acc.violate(src, SimError::LinkDown { src, dst });
-                    } else if recv_from[dst] != usize::MAX {
-                        acc.violate(
-                            src,
-                            SimError::RecvConflict {
-                                node: dst,
-                                first_src: recv_from[dst],
-                                second_src: src,
-                            },
-                        );
-                    }
-                    if acc.violation.is_some() {
-                        break;
-                    }
-                    recv_from[dst] = src;
-                    acc.delivered += 1;
-                    acc.words += words(msg);
-                }
-            }
-            acc
+            Self::validate_sequential(
+                self.topo,
+                plans,
+                &mut self.scratch.recv_from,
+                &self.faults,
+                &words,
+                n,
+            )
         };
         if let Some((_, e)) = acc.violation {
             // Drop the undelivered messages eagerly rather than letting
@@ -1052,8 +1065,65 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             acc.delivered as u64 - dropped,
             acc.words - dropped_words,
             dropped,
+            1,
         );
         Ok(acc.delivered - dropped as usize)
+    }
+
+    /// The sequential backend's validation: one walk over the plans in
+    /// node order, stopping at the first violation. `recv_from` is the
+    /// reusable receive-conflict table (reset here each cycle).
+    fn validate_sequential<M: Send + Sync + 'static>(
+        topo: &T,
+        plans: &[Option<(NodeId, M)>],
+        recv_from: &mut Vec<usize>,
+        faults: &FaultState,
+        words: &(impl Fn(&M) -> u64 + Sync),
+        n: usize,
+    ) -> CycleAcc {
+        recv_from.clear();
+        recv_from.resize(n, usize::MAX);
+        let mut acc = CycleAcc::EMPTY;
+        for (src, p) in plans.iter().enumerate() {
+            if let Some((dst, msg)) = p {
+                let dst = *dst;
+                if dst >= n {
+                    acc.violate(
+                        src,
+                        SimError::OutOfRange {
+                            node: dst,
+                            num_nodes: n,
+                        },
+                    );
+                } else if dst == src {
+                    acc.violate(src, SimError::SelfMessage { node: src });
+                } else if faults.is_failed(src) {
+                    acc.violate(src, SimError::NodeFailed { node: src });
+                } else if faults.is_failed(dst) {
+                    acc.violate(src, SimError::NodeFailed { node: dst });
+                } else if !topo.is_edge(src, dst) {
+                    acc.violate(src, SimError::NotAdjacent { src, dst });
+                } else if faults.link_is_down(src, dst) {
+                    acc.violate(src, SimError::LinkDown { src, dst });
+                } else if recv_from[dst] != usize::MAX {
+                    acc.violate(
+                        src,
+                        SimError::RecvConflict {
+                            node: dst,
+                            first_src: recv_from[dst],
+                            second_src: src,
+                        },
+                    );
+                }
+                if acc.violation.is_some() {
+                    break;
+                }
+                recv_from[dst] = src;
+                acc.delivered += 1;
+                acc.words += words(msg);
+            }
+        }
+        acc
     }
 
     /// The threaded backend's deterministic validation: two parallel
@@ -1264,7 +1334,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         if drops_active {
             self.faults.clear_drops();
         }
-        self.emit_comm(obs, threaded, delivered as u64, acc.words, dropped);
+        self.emit_comm(obs, threaded, delivered as u64, acc.words, dropped, 1);
         Ok(delivered)
     }
 
@@ -1490,33 +1560,17 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         }
     }
 
-    /// The full (non-replay) pairwise cycle: partner collection, symmetry
-    /// pre-validation, then the exchange (optionally compiling under
-    /// `capture`).
-    fn pairwise_inner<M: Send + Sync + 'static>(
-        &mut self,
-        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
-        msg: impl Fn(NodeId, &S) -> M + Sync,
-        deliver: impl Fn(&mut S, NodeId, M) + Sync,
-        words: impl Fn(&M) -> u64 + Sync,
-        capture: Option<ScheduleKey>,
-        obs: ObsCtx,
-    ) -> Result<usize, SimError>
-    where
-        S: Send + Sync,
-    {
-        let n = self.states.len();
-        // Pre-validate symmetry so the error is precise (try_exchange
-        // would report it as a receive conflict or not at all). The
-        // partner table is reusable scratch, moved out for the duration
-        // of the cycle and always restored before returning.
-        let mut partners = std::mem::take(&mut self.scratch.partners);
-        self.collect_partners_into(&pair, &mut partners);
-        let symmetric = if self.threaded() {
-            // Parallel symmetry check: pure reads of the shared partner
-            // table, reduced to the lowest-index violation — identical
-            // to the sequential first-hit-in-node-order report.
-            let table = &partners[..];
+    /// The pairwise symmetry pre-check: every named partner must name
+    /// back. The threaded form is pure reads of the shared partner table
+    /// reduced to the lowest-index violation — identical to the
+    /// sequential first-hit-in-node-order report.
+    fn validate_symmetry(
+        partners: &[Option<NodeId>],
+        n: usize,
+        threaded: bool,
+    ) -> Result<(), SimError> {
+        if threaded {
+            let table = partners;
             let acc = par_for_reduce(
                 n,
                 CycleAcc::EMPTY,
@@ -1542,23 +1596,46 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                 None => Ok(()),
             }
         } else {
-            (|| {
-                for (u, &p) in partners.iter().enumerate() {
-                    if let Some(v) = p {
-                        if v >= n {
-                            return Err(SimError::OutOfRange {
-                                node: v,
-                                num_nodes: n,
-                            });
-                        }
-                        if partners[v] != Some(u) {
-                            return Err(SimError::AsymmetricPair { a: u, b: v });
-                        }
+            for (u, &p) in partners.iter().enumerate() {
+                if let Some(v) = p {
+                    if v >= n {
+                        return Err(SimError::OutOfRange {
+                            node: v,
+                            num_nodes: n,
+                        });
+                    }
+                    if partners[v] != Some(u) {
+                        return Err(SimError::AsymmetricPair { a: u, b: v });
                     }
                 }
-                Ok(())
-            })()
-        };
+            }
+            Ok(())
+        }
+    }
+
+    /// The full (non-replay) pairwise cycle: partner collection, symmetry
+    /// pre-validation, then the exchange (optionally compiling under
+    /// `capture`).
+    fn pairwise_inner<M: Send + Sync + 'static>(
+        &mut self,
+        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        msg: impl Fn(NodeId, &S) -> M + Sync,
+        deliver: impl Fn(&mut S, NodeId, M) + Sync,
+        words: impl Fn(&M) -> u64 + Sync,
+        capture: Option<ScheduleKey>,
+        obs: ObsCtx,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        let n = self.states.len();
+        // Pre-validate symmetry so the error is precise (try_exchange
+        // would report it as a receive conflict or not at all). The
+        // partner table is reusable scratch, moved out for the duration
+        // of the cycle and always restored before returning.
+        let mut partners = std::mem::take(&mut self.scratch.partners);
+        self.collect_partners_into(&pair, &mut partners);
+        let symmetric = Self::validate_symmetry(&partners, n, self.threaded());
         let result = match symmetric {
             Ok(()) => self.exchange_inner(
                 |u, s| partners[u].map(|v| (v, msg(u, s))),
@@ -1624,6 +1701,617 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             Ok(count) => count,
             Err(e) => panic!("communication-model violation: {e}"),
         }
+    }
+
+    /// One **lane-batched** communication cycle: K independent payload
+    /// values ride each delivered message through a single plan /
+    /// validate / deliver pass. `plan(u, state)` names the destination
+    /// (payload-free — lanes are filled separately); `fill(src, state,
+    /// window)` writes the sender's K lane values into the receiver's
+    /// window of the machine-owned lane buffer; `deliver(state, src,
+    /// window)` folds the window into the receiver. Each message is
+    /// charged `lanes` words ([`Metrics::message_words`] =
+    /// K·messages), so K batched instances cost exactly K single-lane
+    /// runs in simulated words while sharing one cycle's engine
+    /// overhead. Steady-state cycles are allocation-free: the lane
+    /// buffer (`n × lanes` values) and the staged-sender table are
+    /// machine-owned scratch, reused while `V` and `lanes` stay fixed.
+    ///
+    /// Within one cycle every `fill` observes the senders' *pre-cycle*
+    /// states (staging completes before delivery mutates anything), so
+    /// symmetric exchanges where both sides read each other are exact.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Machine::try_exchange`]'s errors; on error the cycle is
+    /// not applied and no step is counted.
+    ///
+    /// # Panics
+    ///
+    /// If `lanes == 0`.
+    pub fn try_exchange_lanes<V: Clone + Send + Sync + 'static>(
+        &mut self,
+        lanes: usize,
+        seed: &V,
+        plan: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        fill: impl Fn(NodeId, &S, &mut [V]) + Sync,
+        deliver: impl Fn(&mut S, NodeId, &mut [V]) + Sync,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        let start = self.obs_cycle_start();
+        self.lanes_inner(
+            lanes,
+            seed,
+            plan,
+            fill,
+            deliver,
+            None,
+            ObsCtx::unkeyed(start),
+        )
+    }
+
+    /// [`Machine::try_exchange_lanes`] under a [`ScheduleKey`]: the
+    /// first cycle compiles the pattern, later cycles replay it — one
+    /// schedule lookup and one fused verify+stage pass for all K lanes
+    /// (see [`Machine::try_exchange_keyed_sized`] for the replay
+    /// contract).
+    pub fn try_exchange_lanes_keyed<V: Clone + Send + Sync + 'static>(
+        &mut self,
+        key: ScheduleKey,
+        lanes: usize,
+        seed: &V,
+        plan: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        fill: impl Fn(NodeId, &S, &mut [V]) + Sync,
+        deliver: impl Fn(&mut S, NodeId, &mut [V]) + Sync,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        let start = self.obs_cycle_start();
+        if !self.replay {
+            return self.lanes_inner(
+                lanes,
+                seed,
+                plan,
+                fill,
+                deliver,
+                None,
+                ObsCtx {
+                    key: Some(key),
+                    cache: CacheStatus::Bypass,
+                    start,
+                },
+            );
+        }
+        // As in `try_exchange_keyed_sized`: fault events first, so an
+        // epoch bump at this boundary forces the recompile path.
+        self.advance_faults();
+        if self.schedules.contains(key) {
+            let result = self.replay_lanes_cycle(
+                key,
+                lanes,
+                seed,
+                plan,
+                fill,
+                deliver,
+                ObsCtx {
+                    key: Some(key),
+                    cache: CacheStatus::Hit,
+                    start,
+                },
+            );
+            if result.is_ok() {
+                self.metrics.schedule_hits += 1;
+            }
+            result
+        } else {
+            let result = self.lanes_inner(
+                lanes,
+                seed,
+                plan,
+                fill,
+                deliver,
+                Some(key),
+                ObsCtx {
+                    key: Some(key),
+                    cache: CacheStatus::Miss,
+                    start,
+                },
+            );
+            if result.is_ok() {
+                self.metrics.schedule_misses += 1;
+            }
+            result
+        }
+    }
+
+    /// Panicking form of [`Machine::try_exchange_lanes_keyed`].
+    #[track_caller]
+    pub fn exchange_lanes_keyed<V: Clone + Send + Sync + 'static>(
+        &mut self,
+        key: ScheduleKey,
+        lanes: usize,
+        seed: &V,
+        plan: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        fill: impl Fn(NodeId, &S, &mut [V]) + Sync,
+        deliver: impl Fn(&mut S, NodeId, &mut [V]) + Sync,
+    ) -> usize
+    where
+        S: Send + Sync,
+    {
+        match self.try_exchange_lanes_keyed(key, lanes, seed, plan, fill, deliver) {
+            Ok(count) => count,
+            Err(e) => panic!("communication-model violation: {e}"),
+        }
+    }
+
+    /// Lane-batched form of [`Machine::try_pairwise`]: a symmetric
+    /// matching with K payload values per message (see
+    /// [`Machine::try_exchange_lanes`] for the lane contract).
+    pub fn try_pairwise_lanes<V: Clone + Send + Sync + 'static>(
+        &mut self,
+        lanes: usize,
+        seed: &V,
+        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        fill: impl Fn(NodeId, &S, &mut [V]) + Sync,
+        deliver: impl Fn(&mut S, NodeId, &mut [V]) + Sync,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        let start = self.obs_cycle_start();
+        self.pairwise_lanes_inner(
+            lanes,
+            seed,
+            pair,
+            fill,
+            deliver,
+            None,
+            ObsCtx::unkeyed(start),
+        )
+    }
+
+    /// [`Machine::try_pairwise_lanes`] under a [`ScheduleKey`]. As with
+    /// [`Machine::try_pairwise_keyed_sized`], a replay cycle skips the
+    /// symmetry pre-pass: the pattern is re-checked against the compiled
+    /// schedule instead.
+    pub fn try_pairwise_lanes_keyed<V: Clone + Send + Sync + 'static>(
+        &mut self,
+        key: ScheduleKey,
+        lanes: usize,
+        seed: &V,
+        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        fill: impl Fn(NodeId, &S, &mut [V]) + Sync,
+        deliver: impl Fn(&mut S, NodeId, &mut [V]) + Sync,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        let start = self.obs_cycle_start();
+        if !self.replay {
+            return self.pairwise_lanes_inner(
+                lanes,
+                seed,
+                pair,
+                fill,
+                deliver,
+                None,
+                ObsCtx {
+                    key: Some(key),
+                    cache: CacheStatus::Bypass,
+                    start,
+                },
+            );
+        }
+        self.advance_faults();
+        if self.schedules.contains(key) {
+            let result = self.replay_lanes_cycle(
+                key,
+                lanes,
+                seed,
+                pair,
+                fill,
+                deliver,
+                ObsCtx {
+                    key: Some(key),
+                    cache: CacheStatus::Hit,
+                    start,
+                },
+            );
+            if result.is_ok() {
+                self.metrics.schedule_hits += 1;
+            }
+            result
+        } else {
+            let result = self.pairwise_lanes_inner(
+                lanes,
+                seed,
+                pair,
+                fill,
+                deliver,
+                Some(key),
+                ObsCtx {
+                    key: Some(key),
+                    cache: CacheStatus::Miss,
+                    start,
+                },
+            );
+            if result.is_ok() {
+                self.metrics.schedule_misses += 1;
+            }
+            result
+        }
+    }
+
+    /// Panicking form of [`Machine::try_pairwise_lanes_keyed`].
+    #[track_caller]
+    pub fn pairwise_lanes_keyed<V: Clone + Send + Sync + 'static>(
+        &mut self,
+        key: ScheduleKey,
+        lanes: usize,
+        seed: &V,
+        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        fill: impl Fn(NodeId, &S, &mut [V]) + Sync,
+        deliver: impl Fn(&mut S, NodeId, &mut [V]) + Sync,
+    ) -> usize
+    where
+        S: Send + Sync,
+    {
+        match self.try_pairwise_lanes_keyed(key, lanes, seed, pair, fill, deliver) {
+            Ok(count) => count,
+            Err(e) => panic!("communication-model violation: {e}"),
+        }
+    }
+
+    /// The full (non-replay) lane-batched pairwise cycle: partner
+    /// collection and symmetry pre-validation exactly as
+    /// [`Machine::try_pairwise`], then the lane exchange.
+    #[allow(clippy::too_many_arguments)]
+    fn pairwise_lanes_inner<V: Clone + Send + Sync + 'static>(
+        &mut self,
+        lanes: usize,
+        seed: &V,
+        pair: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        fill: impl Fn(NodeId, &S, &mut [V]) + Sync,
+        deliver: impl Fn(&mut S, NodeId, &mut [V]) + Sync,
+        capture: Option<ScheduleKey>,
+        obs: ObsCtx,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        let n = self.states.len();
+        // The partner table is reusable scratch, moved out for the
+        // duration of the cycle and always restored before returning —
+        // as in `pairwise_inner`.
+        let mut partners = std::mem::take(&mut self.scratch.partners);
+        self.collect_partners_into(&pair, &mut partners);
+        let symmetric = Self::validate_symmetry(&partners, n, self.threaded());
+        let result = match symmetric {
+            Ok(()) => {
+                self.lanes_inner(lanes, seed, |u, _| partners[u], fill, deliver, capture, obs)
+            }
+            Err(e) => Err(e),
+        };
+        self.scratch.partners = partners;
+        result
+    }
+
+    /// The full (non-replay) lane-batched communication cycle: plan
+    /// (destinations only), validate, optionally compile under
+    /// `capture`, then stage every delivered message's K lane values
+    /// into the receivers' windows and deliver. The validated pattern is
+    /// identical to what [`Machine::try_exchange`] would compute for the
+    /// same destinations, so lane cycles share the schedule cache with
+    /// their single-lane counterparts.
+    #[allow(clippy::too_many_arguments)]
+    fn lanes_inner<V: Clone + Send + Sync + 'static>(
+        &mut self,
+        lanes: usize,
+        seed: &V,
+        plan: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        fill: impl Fn(NodeId, &S, &mut [V]) + Sync,
+        deliver: impl Fn(&mut S, NodeId, &mut [V]) + Sync,
+        capture: Option<ScheduleKey>,
+        obs: ObsCtx,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        assert!(lanes > 0, "a lane-batched cycle needs at least one lane");
+        self.advance_faults();
+        let n = self.states.len();
+        let threaded = self.threaded();
+        let lane_words = lanes as u64;
+
+        // Phase 1 — plan. Destinations only: payloads go straight into
+        // the lane windows after validation, so the plan slab carries
+        // unit messages.
+        let plans = self.scratch.plans.cleared::<()>();
+        if threaded {
+            let claims = &mut self.scratch.claims;
+            if claims.len() != n {
+                claims.clear();
+                claims.resize_with(n, || AtomicUsize::new(usize::MAX));
+            }
+            let claims: &[AtomicUsize] = claims;
+            plans.resize_with(n, || None);
+            par_zip_apply(plans, &self.states, &|u, slot, s| {
+                claims[u].store(usize::MAX, Ordering::Relaxed);
+                *slot = plan(u, s).map(|dst| (dst, ()));
+            });
+        } else {
+            plans.extend(
+                self.states
+                    .iter()
+                    .enumerate()
+                    .map(|(u, s)| plan(u, s).map(|dst| (dst, ()))),
+            );
+        }
+
+        // Phase 2 — validate, with every message charged `lanes` words.
+        let acc = if threaded {
+            Self::validate_parallel(
+                self.topo,
+                plans,
+                &self.scratch.claims,
+                &self.faults,
+                &|_: &()| lane_words,
+                n,
+            )
+        } else {
+            Self::validate_sequential(
+                self.topo,
+                plans,
+                &mut self.scratch.recv_from,
+                &self.faults,
+                &|_: &()| lane_words,
+                n,
+            )
+        };
+        if let Some((_, e)) = acc.violation {
+            plans.clear();
+            return Err(e);
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            let phase = self.metrics.phases.len().checked_sub(1).map(|i| i as u32);
+            trace.push((
+                phase,
+                plans
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(src, p)| p.as_ref().map(|&(dst, _)| (src, dst)))
+                    .collect(),
+            ));
+        }
+        let compiled = capture.map(|key| {
+            assert!(
+                n < NO_SRC as usize,
+                "schedule capture supports machines below 2^31 - 1 nodes"
+            );
+            let mut enc = vec![NO_SRC; n];
+            for (src, p) in plans.iter().enumerate() {
+                if let Some((dst, _)) = p {
+                    enc[src] |= SENDS_BIT;
+                    enc[*dst] = (enc[*dst] & SENDS_BIT) | src as u32;
+                }
+            }
+            CompiledSchedule {
+                key,
+                enc,
+                delivered: acc.delivered,
+                epoch: self.faults.epoch(),
+            }
+        });
+
+        // Phase 3 — stage + deliver. Staging fills each receiver's lane
+        // window from its sender's *pre-cycle* state (states are only
+        // read here); delivery then folds the windows in, each worker
+        // touching only its own node's state and window.
+        let drops_active = self.faults.has_drops();
+        let record_links = self.recorder.is_some();
+        let mut dropped = 0u64;
+        let lane_src = &mut self.scratch.lane_src;
+        lane_src.clear();
+        lane_src.resize(n, usize::MAX);
+        let lanebuf = self.scratch.lanebuf.strided::<V>(n * lanes, seed);
+        for (src, p) in plans.iter_mut().enumerate() {
+            if let Some((dst, ())) = p.take() {
+                if drops_active && self.faults.dropped(dst) {
+                    dropped += 1;
+                } else {
+                    if record_links {
+                        let cross = self.topo.is_cross_edge(src, dst);
+                        self.metrics.link_util.record(cross, lane_words);
+                        if let Some(rec) = self.recorder.as_mut() {
+                            rec.record_link(src, dst, lane_words, cross);
+                        }
+                    }
+                    fill(
+                        src,
+                        &self.states[src],
+                        &mut lanebuf[dst * lanes..(dst + 1) * lanes],
+                    );
+                    lane_src[dst] = src;
+                }
+            }
+        }
+        if threaded {
+            let srcs: &[usize] = lane_src;
+            par_lane_apply(&mut self.states, lanes, lanebuf, &|u, s, window| {
+                if srcs[u] != usize::MAX {
+                    deliver(s, srcs[u], window);
+                }
+            });
+        } else {
+            for (u, (s, window)) in self
+                .states
+                .iter_mut()
+                .zip(lanebuf.chunks_exact_mut(lanes))
+                .enumerate()
+            {
+                if lane_src[u] != usize::MAX {
+                    deliver(s, lane_src[u], window);
+                }
+            }
+        }
+        let delivered = acc.delivered as u64 - dropped;
+        self.metrics
+            .record_comm_words(delivered, delivered * lane_words);
+        self.metrics.dropped_messages += dropped;
+        if drops_active {
+            self.faults.clear_drops();
+        }
+        if let Some(c) = compiled {
+            self.schedules.insert(c);
+        }
+        self.emit_comm(
+            obs,
+            threaded,
+            delivered,
+            delivered * lane_words,
+            dropped,
+            lanes as u32,
+        );
+        Ok(acc.delivered - dropped as usize)
+    }
+
+    /// A lane-batched keyed cycle served from the cache: one fused
+    /// verify+stage pass over the compiled pattern (each receiver checks
+    /// its compiled sender's plan and fills its own lane window), then
+    /// deliver — the replay contract of [`Machine::try_exchange_keyed_sized`]
+    /// with K values riding each message.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_lanes_cycle<V: Clone + Send + Sync + 'static>(
+        &mut self,
+        key: ScheduleKey,
+        lanes: usize,
+        seed: &V,
+        plan: impl Fn(NodeId, &S) -> Option<NodeId> + Sync,
+        fill: impl Fn(NodeId, &S, &mut [V]) + Sync,
+        deliver: impl Fn(&mut S, NodeId, &mut [V]) + Sync,
+        obs: ObsCtx,
+    ) -> Result<usize, SimError>
+    where
+        S: Send + Sync,
+    {
+        assert!(lanes > 0, "a lane-batched cycle needs at least one lane");
+        let n = self.states.len();
+        let threaded = self.threaded();
+        let lane_words = lanes as u64;
+        let sched = self.schedules.get(key).expect("caller checked the cache");
+        let lane_src = &mut self.scratch.lane_src;
+        // Every entry is written by the fused pass below, so only the
+        // length matters — no clearing pass.
+        lane_src.resize(n, usize::MAX);
+        let lanebuf = self.scratch.lanebuf.strided::<V>(n * lanes, seed);
+        let states = &self.states;
+        let faults = &self.faults;
+        let drops_active = faults.has_drops();
+        let enc = &sched.enc[..];
+        let eval = |u: usize, src_slot: &mut usize, window: &mut [V], acc: &mut CycleAcc| {
+            *src_slot = usize::MAX;
+            let e = enc[u];
+            let src = (e & NO_SRC) as usize;
+            if src != NO_SRC as usize {
+                match plan(src, &states[src]) {
+                    Some(dst) if dst == u => {
+                        if drops_active && faults.dropped(u) {
+                            // Lost in flight; counted after the pass.
+                        } else {
+                            acc.delivered += 1;
+                            acc.words += lane_words;
+                            fill(src, &states[src], window);
+                            *src_slot = src;
+                        }
+                    }
+                    _ => acc.violate(src, SimError::ScheduleDeviation { key, node: src }),
+                }
+            }
+            if e & SENDS_BIT == 0 && plan(u, &states[u]).is_some() {
+                acc.violate(u, SimError::ScheduleDeviation { key, node: u });
+            }
+        };
+        let acc = if threaded {
+            par_lane_reduce(
+                lane_src,
+                lanes,
+                lanebuf,
+                CycleAcc::EMPTY,
+                &|u, src_slot, window, acc| eval(u, src_slot, window, acc),
+                CycleAcc::merge,
+            )
+        } else {
+            let mut acc = CycleAcc::EMPTY;
+            for (u, (src_slot, window)) in lane_src
+                .iter_mut()
+                .zip(lanebuf.chunks_exact_mut(lanes))
+                .enumerate()
+            {
+                eval(u, src_slot, window, &mut acc);
+            }
+            acc
+        };
+        if let Some((_, e)) = acc.violation {
+            // The deviating cycle is not applied: delivery never runs,
+            // and the stale staged windows are gated off by the next
+            // cycle's own staging.
+            return Err(e);
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            let phase = self.metrics.phases.len().checked_sub(1).map(|i| i as u32);
+            trace.push((phase, sched.trace_pairs()));
+        }
+        // Link accounting over the staged senders (drops were excluded
+        // during the fused pass), mirroring the full path exactly.
+        if self.recorder.is_some() {
+            for (dst, &src) in lane_src.iter().enumerate() {
+                if src != usize::MAX {
+                    let cross = self.topo.is_cross_edge(src, dst);
+                    self.metrics.link_util.record(cross, lane_words);
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record_link(src, dst, lane_words, cross);
+                    }
+                }
+            }
+        }
+        if threaded {
+            let srcs: &[usize] = lane_src;
+            par_lane_apply(&mut self.states, lanes, lanebuf, &|u, s, window| {
+                if srcs[u] != usize::MAX {
+                    deliver(s, srcs[u], window);
+                }
+            });
+        } else {
+            for (u, (s, window)) in self
+                .states
+                .iter_mut()
+                .zip(lanebuf.chunks_exact_mut(lanes))
+                .enumerate()
+            {
+                if lane_src[u] != usize::MAX {
+                    deliver(s, lane_src[u], window);
+                }
+            }
+        }
+        let delivered = acc.delivered;
+        let dropped = (sched.delivered - delivered) as u64;
+        self.metrics.record_comm_words(delivered as u64, acc.words);
+        self.metrics.dropped_messages += dropped;
+        if drops_active {
+            self.faults.clear_drops();
+        }
+        self.emit_comm(
+            obs,
+            threaded,
+            delivered as u64,
+            acc.words,
+            dropped,
+            lanes as u32,
+        );
+        Ok(delivered)
     }
 
     /// Runs `f` once per node, on the configured backend. With
@@ -2348,7 +3036,7 @@ mod tests {
     }
 
     #[test]
-    fn phased_trace_attributes_cycles_and_flat_accessor_agrees() {
+    fn phased_trace_attributes_cycles_to_their_phases() {
         let mut m = machine(2);
         m.enable_trace();
         m.pairwise(|u, _| Some(u ^ 1), |_, &s| s, |s, _, v| *s += v);
@@ -2358,15 +3046,11 @@ mod tests {
         m.pairwise(|u, _| Some(u ^ 1), |_, &s| s, |s, _, v| *s += v);
         let phases: Vec<Option<u32>> = m.phased_trace().iter().map(|(p, _)| *p).collect();
         assert_eq!(phases, vec![None, Some(0), Some(1)]);
-        #[allow(deprecated)]
-        let flat = m.trace();
-        let expected: Vec<Vec<(usize, usize)>> = m
-            .phased_trace()
-            .iter()
-            .map(|(_, msgs)| msgs.clone())
-            .collect();
-        assert_eq!(flat, expected);
-        assert_eq!(flat[0], vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
+        assert_eq!(
+            m.phased_trace()[0].1,
+            vec![(0, 1), (1, 0), (2, 3), (3, 2)],
+            "message pairs are recorded in sender order"
+        );
     }
 
     #[test]
@@ -2440,6 +3124,260 @@ mod tests {
                 crate::obs::Event::Cycle(c) => c.seq,
             })
             .eq(0..4));
+    }
+
+    /// One K-lane batched run must be bit-identical, lane by lane, to K
+    /// independent single-lane runs over the same keyed schedule — the
+    /// core lane-batching contract (compile cycle AND replay cycles).
+    #[test]
+    fn lane_batched_pairwise_matches_k_single_lane_runs() {
+        const K: usize = 4;
+        let topo: &'static Hypercube = Box::leak(Box::new(Hypercube::new(3)));
+        let n = topo.num_nodes();
+        let singles: Vec<Vec<u64>> = (0..K)
+            .map(|k| {
+                let mut m = Machine::new(topo, (0..n as u64).map(|u| u + 100 * k as u64).collect());
+                for _ in 0..2 {
+                    for i in 0..3 {
+                        m.pairwise_keyed(
+                            ScheduleKey::Dim(i),
+                            move |u, _| Some(u ^ (1usize << i)),
+                            |_, &s| s,
+                            |s, _, v| *s = s.wrapping_mul(31).wrapping_add(v),
+                        );
+                    }
+                }
+                m.into_parts().0
+            })
+            .collect();
+        let init: Vec<Vec<u64>> = (0..n as u64)
+            .map(|u| (0..K as u64).map(|k| u + 100 * k).collect())
+            .collect();
+        let mut m = Machine::new(topo, init);
+        for _ in 0..2 {
+            for i in 0..3 {
+                m.pairwise_lanes_keyed(
+                    ScheduleKey::Dim(i),
+                    K,
+                    &0u64,
+                    move |u, _| Some(u ^ (1usize << i)),
+                    |_, s, w| w.copy_from_slice(s),
+                    |s, _, w| {
+                        for (x, v) in s.iter_mut().zip(w.iter()) {
+                            *x = x.wrapping_mul(31).wrapping_add(*v);
+                        }
+                    },
+                );
+            }
+        }
+        for (u, state) in m.states().iter().enumerate() {
+            for (k, single) in singles.iter().enumerate() {
+                assert_eq!(state[k], single[u], "node {u} lane {k}");
+            }
+        }
+        // One schedule compile + replay per key, K words per message.
+        assert_eq!(m.metrics().schedule_misses, 3);
+        assert_eq!(m.metrics().schedule_hits, 3);
+        assert_eq!(m.metrics().messages, 6 * n as u64);
+        assert_eq!(m.metrics().message_words, 6 * n as u64 * K as u64);
+    }
+
+    /// Lane cycles share the schedule cache with their single-lane
+    /// counterparts: the compiled pattern encodes destinations only.
+    #[test]
+    fn lane_replay_shares_cache_with_single_lane_cycles() {
+        let mut m = machine(2);
+        m.pairwise_keyed(
+            ScheduleKey::Dim(0),
+            |u, _| Some(u ^ 1),
+            |_, &s| s,
+            |s, _, v| *s += v,
+        );
+        assert_eq!(m.metrics().schedule_misses, 1);
+        m.pairwise_lanes_keyed(
+            ScheduleKey::Dim(0),
+            2,
+            &0u64,
+            |u, _| Some(u ^ 1),
+            |_, &s, w| w.fill(s),
+            |s, _, w| *s += w[0] + w[1],
+        );
+        assert_eq!(m.metrics().schedule_hits, 1);
+        assert_eq!(m.metrics().schedule_misses, 1);
+    }
+
+    #[test]
+    fn lane_replay_deviation_rejected_and_machine_untouched() {
+        let mut m = machine(2);
+        m.exchange_lanes_keyed(
+            ScheduleKey::Custom(3),
+            2,
+            &0u64,
+            |u, _| (u == 0).then_some(1),
+            |_, &s, w| w.fill(s),
+            |s, _, w| *s += w[0] + w[1],
+        );
+        let before = m.states().to_vec();
+        let comm = m.metrics().comm_steps;
+        let err = m
+            .try_exchange_lanes_keyed(
+                ScheduleKey::Custom(3),
+                2,
+                &0u64,
+                |u, _| (u == 1).then_some(0),
+                |_, &s, w| w.fill(s),
+                |s, _, w| *s += w[0] + w[1],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ScheduleDeviation {
+                key: ScheduleKey::Custom(3),
+                node: 0
+            }
+        );
+        assert_eq!(m.states(), &before[..], "deviating cycle must not apply");
+        assert_eq!(m.metrics().comm_steps, comm, "no step charged");
+    }
+
+    /// A scripted drop under lanes loses ONE message (all K lanes of
+    /// it): counters charge per message and K words per message.
+    #[test]
+    fn lane_message_drop_counts_one_message_k_words() {
+        let mut m = machine(2);
+        m.set_fault_plan(FaultPlan::new().message_drop(0, 0));
+        let delivered = m
+            .try_pairwise_lanes(
+                4,
+                &0u64,
+                |u, _| Some(u ^ 1),
+                |_, &s, w| w.fill(s),
+                |s, _, w| *s += w.iter().sum::<u64>(),
+            )
+            .unwrap();
+        assert_eq!(delivered, 3, "the drop loses node 0's inbound message");
+        assert_eq!(m.metrics().dropped_messages, 1);
+        assert_eq!(m.metrics().messages, 3);
+        assert_eq!(m.metrics().message_words, 12);
+    }
+
+    /// Recorded lane cycles charge `lanes` words per delivered message
+    /// into both metrics and the per-link counters, stamp the lane count
+    /// on their [`CycleEvent`], and absorb across runs without double- or
+    /// under-counting.
+    #[test]
+    fn recorded_lane_cycles_scale_link_accounting_by_lane_count() {
+        let _guard = crate::obs::test_recorder_guard();
+        const K: usize = 4;
+        let run_once = || {
+            let mut m = machine(2);
+            let sink = crate::obs::shared(crate::obs::MemorySink::new());
+            m.record_into(sink.clone());
+            // One compile + one replay cycle under the same key.
+            for _ in 0..2 {
+                m.pairwise_lanes_keyed(
+                    ScheduleKey::Dim(0),
+                    K,
+                    &0u64,
+                    |u, _| Some(u ^ 1),
+                    |_, &s, w| w.fill(s),
+                    |s, _, w| *s += w[0],
+                );
+            }
+            let events = sink.lock().unwrap().events();
+            for e in &events {
+                if let crate::obs::Event::Cycle(c) = e {
+                    assert_eq!(c.lanes, K as u32, "lane count stamped on the event");
+                    assert_eq!(c.words, c.messages * K as u64);
+                }
+            }
+            m.into_parts().1
+        };
+        let a = run_once();
+        assert_eq!(a.messages, 8, "4 nodes x 2 cycles");
+        assert_eq!(a.message_words, 8 * K as u64);
+        assert_eq!(a.link_util.cube_messages, 8);
+        assert_eq!(a.link_util.cube_words, 8 * K as u64);
+        // Absorbing a second identical run doubles everything exactly.
+        let mut total = a.clone();
+        total.absorb(&run_once());
+        assert_eq!(total.messages, 16);
+        assert_eq!(total.message_words, 16 * K as u64);
+        assert_eq!(total.link_util.cube_words, 16 * K as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        let mut m = machine(2);
+        let _ = m.try_exchange_lanes(
+            0,
+            &0u64,
+            |_, _| None::<usize>,
+            |_, _, _: &mut [u64]| {},
+            |_, _, _| {},
+        );
+    }
+
+    /// Lane cycles are deterministic across backends, worker counts, and
+    /// replay settings (Q_13 clears PAR_THRESHOLD so the threaded legs
+    /// really dispatch on the pool).
+    #[test]
+    fn lane_cycles_match_across_backends_and_replay() {
+        let topo: &'static Hypercube = Box::leak(Box::new(Hypercube::new(13)));
+        let n = topo.num_nodes();
+        const K: usize = 3;
+        let run = |exec: ExecMode, replay: bool| {
+            let mut m = Machine::with_exec(
+                topo,
+                (0..n as u64)
+                    .map(|u| vec![u, u.wrapping_mul(7), u ^ 0x55])
+                    .collect(),
+                exec,
+            );
+            m.set_schedule_replay(replay);
+            for _ in 0..3 {
+                for i in 0..4u32 {
+                    m.pairwise_lanes_keyed(
+                        ScheduleKey::Dim(i),
+                        K,
+                        &0u64,
+                        move |u, _| Some(u ^ (1usize << i)),
+                        |_, s, w| w.copy_from_slice(s),
+                        |s, _, w| {
+                            for (x, v) in s.iter_mut().zip(w.iter()) {
+                                *x = x.wrapping_mul(5).wrapping_add(*v);
+                            }
+                        },
+                    );
+                }
+            }
+            let (states, mut metrics) = m.into_parts();
+            metrics.schedule_hits = 0;
+            metrics.schedule_misses = 0;
+            (states, metrics)
+        };
+        let _guard = crate::parallel::test_override_guard();
+        let baseline = run(ExecMode::Sequential, false);
+        assert_eq!(
+            baseline,
+            run(ExecMode::Sequential, true),
+            "sequential replay"
+        );
+        for workers in [2usize, 4] {
+            crate::parallel::set_worker_threads(workers);
+            assert_eq!(
+                baseline,
+                run(ExecMode::parallel(), true),
+                "threaded replay at {workers} workers"
+            );
+            assert_eq!(
+                baseline,
+                run(ExecMode::parallel(), false),
+                "threaded validate-every-cycle at {workers} workers"
+            );
+        }
+        crate::parallel::set_worker_threads(0);
     }
 
     #[test]

@@ -380,6 +380,43 @@ mod tests {
         assert!(total.to_string().contains("cross=2 msgs/6 words"));
     }
 
+    /// Regression for the lane/metrics contract: a lane-batched cycle
+    /// charges `words = K·messages`, and absorbing several lane-strided
+    /// runs that share phase labels must sum — not double- or
+    /// under-count — both the run totals and the per-phase and link
+    /// counters. (The collision scenario: two K-lane passes with the
+    /// identical phase label merged into one rollup.)
+    #[test]
+    fn absorb_keeps_lane_scaled_words_consistent() {
+        let lanes = 4u64;
+        let make_pass = || {
+            let mut p = Metrics::new();
+            p.begin_phase("lane sweep");
+            // Two cycles of 8 messages, each message carrying K lanes.
+            p.record_comm_words(8, 8 * lanes);
+            p.record_comm_words(8, 8 * lanes);
+            for _ in 0..16 {
+                p.link_util.record(false, lanes);
+            }
+            p
+        };
+        let mut total = Metrics::new();
+        total.absorb(&make_pass());
+        total.absorb(&make_pass());
+        // Run totals: K·messages words, exactly once per delivered message.
+        assert_eq!(total.messages, 32);
+        assert_eq!(total.message_words, 32 * lanes);
+        // The colliding phase merged, with the same K scaling.
+        assert_eq!(total.phases.len(), 1);
+        let sweep = total.phase("lane sweep").unwrap();
+        assert_eq!(sweep.messages, 32);
+        assert_eq!(sweep.message_words, 32 * lanes);
+        // Link utilization agrees with the run totals: every delivered
+        // message appears on exactly one link, at lane-scaled words.
+        assert_eq!(total.link_util.cube_messages, total.messages);
+        assert_eq!(total.link_util.cube_words, total.message_words);
+    }
+
     #[test]
     fn display_contains_counts() {
         let mut m = Metrics::new();

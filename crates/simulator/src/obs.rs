@@ -171,6 +171,10 @@ pub struct CycleEvent {
     pub words: u64,
     /// Messages lost to scripted drops this cycle.
     pub dropped: u64,
+    /// Payload lanes carried per message: `1` for ordinary cycles (and
+    /// `Comp` events), `K` for lane-batched communication cycles —
+    /// `words = lanes × messages` for full-lane cycles.
+    pub lanes: u32,
     /// Element operations charged, `0` for `Comm`.
     pub ops: u64,
     /// Backend that executed the cycle.
@@ -631,8 +635,8 @@ pub fn event_to_json(event: &Event) -> String {
             s.push(',');
             push_str_field(&mut s, "cache", c.cache.as_str());
             s.push_str(&format!(
-                ",\"fault_epoch\":{},\"messages\":{},\"words\":{},\"dropped\":{},\"ops\":{}",
-                c.fault_epoch, c.messages, c.words, c.dropped, c.ops
+                ",\"fault_epoch\":{},\"messages\":{},\"words\":{},\"dropped\":{},\"lanes\":{},\"ops\":{}",
+                c.fault_epoch, c.messages, c.words, c.dropped, c.lanes, c.ops
             ));
             let backend = match c.backend {
                 Backend::Sequential => "sequential".to_string(),
@@ -725,8 +729,8 @@ pub fn export_perfetto(events: &[Event]) -> String {
                 push_str_field(&mut out, "cache", c.cache.as_str());
                 out.push_str(&format!(
                     ",\"fault_epoch\":{},\"messages\":{},\"words\":{},\"dropped\":{},\
-                     \"ops\":{},\"dur_ns\":{}}}}}",
-                    c.fault_epoch, c.messages, c.words, c.dropped, c.ops, c.dur_ns
+                     \"lanes\":{},\"ops\":{},\"dur_ns\":{}}}}}",
+                    c.fault_epoch, c.messages, c.words, c.dropped, c.lanes, c.ops, c.dur_ns
                 ));
             }
         }
@@ -797,6 +801,7 @@ mod tests {
             messages: 8,
             words: 8,
             dropped: 0,
+            lanes: 1,
             ops: 0,
             backend: Backend::Threaded { workers: 4 },
             at_ns: 100 * seq,

@@ -290,6 +290,51 @@ pub fn par_apply_reduce<A: Send, R: Copy + Send + Sync>(
         .expect("threads >= 2")
 }
 
+/// [`par_apply_reduce`] over an element slice plus a **lane-strided**
+/// companion buffer: element `i` owns `lanes[i*stride..(i+1)*stride]`,
+/// and `f` receives both mutably along with the chunk-local accumulator.
+/// The shape of the lane-batched staging/delivery passes: each receiver
+/// writes its own lane window and nothing else. Same determinism
+/// contract as [`par_for_reduce`].
+pub fn par_lane_reduce<A: Send, V: Send, R: Copy + Send + Sync>(
+    a: &mut [A],
+    stride: usize,
+    lanes: &mut [V],
+    init: R,
+    f: &(impl Fn(usize, &mut A, &mut [V], &mut R) + Sync),
+    fold: impl Fn(R, R) -> R,
+) -> R {
+    let len = a.len();
+    assert_eq!(lanes.len(), len * stride, "lane buffer must be len*stride");
+    let threads = available_threads();
+    if threads == 1 || len <= 1 {
+        let mut acc = init;
+        for (i, (x, w)) in a.iter_mut().zip(lanes.chunks_exact_mut(stride)).enumerate() {
+            f(i, x, w, &mut acc);
+        }
+        return acc;
+    }
+    let mut out = [init; MAX_THREADS];
+    pool::zip_strided_reduce_chunked(threads, a, stride, lanes, init, f, &mut out[..threads]);
+    out[..threads]
+        .iter()
+        .copied()
+        .reduce(fold)
+        .expect("threads >= 2")
+}
+
+/// [`par_lane_reduce`] without the accumulator — the lane *delivery*
+/// phase's shape (each worker folds node `i`'s lane window into node
+/// `i`'s state, and nothing else).
+pub fn par_lane_apply<A: Send, V: Send>(
+    a: &mut [A],
+    stride: usize,
+    lanes: &mut [V],
+    f: &(impl Fn(usize, &mut A, &mut [V]) + Sync),
+) {
+    par_lane_reduce(a, stride, lanes, (), &|i, x, w, _| f(i, x, w), |_, _| ());
+}
+
 /// Upper bound on worker threads, so huge hosts (or careless overrides)
 /// don't oversubscribe.
 const MAX_THREADS: usize = 32;

@@ -505,6 +505,57 @@ pub(super) fn apply_reduce_chunked<A: Send, R: Copy + Send + Sync>(
     });
 }
 
+/// Pool-backed form of [`super::par_lane_reduce`]: chunked `&mut`
+/// iteration over `a` fused with the matching **stride-scaled** chunk of
+/// the lane buffer `v` (`v[i*stride..(i+1)*stride]` belongs to element
+/// `i`) and a per-slot accumulator. Slot `k` owns `a[k·chunk, (k+1)·chunk)`
+/// and `v[k·chunk·stride, (k+1)·chunk·stride)` — the same partition
+/// arithmetic as the other chunked entry points, scaled by the stride, so
+/// the element → lane-window mapping is fixed and disjoint.
+pub(super) fn zip_strided_reduce_chunked<A: Send, V: Send, R: Copy + Send + Sync>(
+    slots: usize,
+    a: &mut [A],
+    stride: usize,
+    v: &mut [V],
+    init: R,
+    f: &(impl Fn(usize, &mut A, &mut [V], &mut R) + Sync),
+    out: &mut [R],
+) {
+    debug_assert_eq!(out.len(), slots);
+    let len = a.len();
+    debug_assert_eq!(v.len(), len * stride);
+    let chunk = len.div_ceil(slots);
+    let base_a = SendPtr(a.as_mut_ptr());
+    let base_v = SendPtr(v.as_mut_ptr());
+    let out_base = SendPtr(out.as_mut_ptr());
+    fork_join(slots, &|slot| {
+        let range = slot_range(slot, chunk, len);
+        let mut acc = init;
+        if !range.is_empty() {
+            let start = range.start;
+            // SAFETY: disjoint element ranges of `a`, and the identical
+            // ranges of `v` scaled by `stride` (still disjoint), plus the
+            // fork-join barrier, as in `apply_reduce_chunked`.
+            let (pa, pv) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(base_a.get().add(start), range.len()),
+                    std::slice::from_raw_parts_mut(
+                        base_v.get().add(start * stride),
+                        range.len() * stride,
+                    ),
+                )
+            };
+            for (i, (x, lanes)) in pa.iter_mut().zip(pv.chunks_exact_mut(stride)).enumerate() {
+                f(start + i, x, lanes, &mut acc);
+            }
+        }
+        // SAFETY: slot-private `out` cell, as in `for_reduce_chunked`.
+        unsafe {
+            *out_base.get().add(slot) = acc;
+        }
+    });
+}
+
 /// Pool-backed form of [`super::par_zip_apply_mut`]: both slices mutable.
 pub(super) fn zip_apply_mut_chunked<A: Send, B: Send>(
     slots: usize,

@@ -100,11 +100,13 @@ fn record_run(
 
 /// Interprets one random byte as a machine operation. The mix covers
 /// every emission site: keyed pairwise (compile + replay), keyed
-/// half-speaking exchange, unkeyed pairwise, multi-step compute, and
-/// phase boundaries.
+/// half-speaking exchange, unkeyed pairwise, multi-step compute,
+/// lane-batched keyed pairwise (sharing the `Dim` keys with the
+/// single-lane op, so replay crosses between the two forms), and phase
+/// boundaries.
 fn step(m: &mut Machine<'_, Hypercube, u64>, op: u8, phase_no: &mut u32) {
     let dim = (op >> 3) as usize % 4;
-    match op % 5 {
+    match op % 6 {
         0 => {
             m.pairwise_keyed(
                 ScheduleKey::Dim(dim as u32),
@@ -134,6 +136,25 @@ fn step(m: &mut Machine<'_, Hypercube, u64>, op: u8, phase_no: &mut u32) {
             m.compute(1 + (op % 3) as u64, |u, s| {
                 *s = s.rotate_left((u % 13) as u32);
             });
+        }
+        4 => {
+            let lanes = 2 + (op >> 6) as usize; // 2..=5
+            m.pairwise_lanes_keyed(
+                ScheduleKey::Dim(dim as u32),
+                lanes,
+                &0u64,
+                move |u, _| Some(u ^ (1usize << dim)),
+                |_, &s, window| {
+                    for (k, w) in window.iter_mut().enumerate() {
+                        *w = s.wrapping_add(k as u64);
+                    }
+                },
+                |s, _, window| {
+                    for w in window.iter() {
+                        *s = s.rotate_left(3) ^ w;
+                    }
+                },
+            );
         }
         _ => {
             *phase_no += 1;
@@ -240,6 +261,159 @@ fn fault_epoch_surfaces_identically_in_events() {
             have, want,
             "events diverged ({mode:?}, replay={replay}, workers={workers})"
         );
+    }
+}
+
+/// Scripted message drops must be **excluded** from the per-link
+/// [`LinkReport`](dc_simulator::obs::LinkReport) counters — a dropped
+/// message never traverses its link — and identically so on the
+/// sequential and threaded backends, with and without replay, for both
+/// single-lane and lane-batched cycles (the satellite audit of
+/// `MessageDrop` vs. per-link accounting).
+#[test]
+fn message_drops_excluded_from_link_report_across_matrix() {
+    let scenario = |m: &mut Machine<'_, Hypercube, u64>| {
+        // Cycle 0: drop the delivery into node 1. Cycle 1: drop into 0.
+        // Cycles 2+ run clean (replay path after compile at cycle 0).
+        m.set_fault_plan(FaultPlan::new().message_drop(0, 1).message_drop(1, 0));
+        for _ in 0..3 {
+            m.pairwise_keyed(
+                ScheduleKey::Dim(0),
+                |u, _| Some(u ^ 1),
+                |_, &s| s,
+                |s, _, v| *s = s.wrapping_add(v),
+            );
+        }
+        // A lane-batched cycle under the same key: 3 lanes per message,
+        // so each undropped message adds 3 words to its link.
+        m.pairwise_lanes_keyed(
+            ScheduleKey::Dim(0),
+            3,
+            &0u64,
+            |u, _| Some(u ^ 1),
+            |_, &s, window| window.fill(s),
+            |s, _, window| *s = s.wrapping_add(window[0]),
+        );
+    };
+    let q = Hypercube::new(2);
+    let (baseline_report, baseline_events) = with_default_exec(ExecMode::Sequential, || {
+        with_schedule_replay(true, || {
+            let mut m = Machine::new(&q, (0..4u64).collect());
+            let sink = obs::shared(MemorySink::new());
+            m.record_into(sink.clone());
+            scenario(&mut m);
+            let report = m.link_report().expect("recording is on");
+            let events = sink.lock().unwrap().events();
+            (report, events)
+        })
+    });
+    // 4 nodes over dimension-0 links: 4 messages/cycle when clean. Cycles
+    // 0 and 1 each lose one; the lane cycle carries 4 messages × 3 words.
+    // Dropped messages contribute to *no* counter.
+    assert_eq!(baseline_report.cube_links, 2);
+    assert_eq!(baseline_report.cube_messages, 3 + 3 + 4 + 4);
+    assert_eq!(baseline_report.cube_words, 3 + 3 + 4 + 4 * 3);
+    assert_eq!(baseline_report.cross_links, 0);
+    let dropped: u64 = baseline_events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Cycle(c) => Some(c.dropped),
+            Event::Phase(_) => None,
+        })
+        .sum();
+    assert_eq!(dropped, 2);
+    for (mode, replay, workers) in configs() {
+        let report = with_default_exec(mode, || {
+            with_schedule_replay(replay, || {
+                let _pin = (workers > 0).then(|| PinnedWorkers::pin(workers));
+                let mut m = Machine::new(&q, (0..4u64).collect());
+                m.record_into(obs::shared(MemorySink::new()));
+                scenario(&mut m);
+                m.link_report().expect("recording is on")
+            })
+        });
+        assert_eq!(
+            report, baseline_report,
+            "link report diverged ({mode:?}, replay={replay}, workers={workers})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A K-lane batched run is bit-identical to K independent single-lane
+    /// runs, under every (backend, replay, workers) configuration — the
+    /// lane determinism contract of DESIGN.md §10.
+    #[test]
+    fn lane_batched_equals_k_single_lane_runs(
+        lanes in 1usize..=5,
+        sweeps in 1usize..=3,
+        seed: u64,
+    ) {
+        let dim = 3u32;
+        let q = Hypercube::new(dim);
+        let n = q.num_nodes();
+        let init = |k: usize, u: usize| {
+            seed.wrapping_mul(k as u64 + 1).wrapping_add((u as u64) << 7)
+        };
+        // Reference: K single-lane machines, sequential with replay.
+        let singles: Vec<Vec<u64>> = (0..lanes)
+            .map(|k| {
+                with_default_exec(ExecMode::Sequential, || {
+                    with_schedule_replay(true, || {
+                        let mut m = Machine::new(&q, (0..n).map(|u| init(k, u)).collect());
+                        for _ in 0..sweeps {
+                            for d in 0..dim {
+                                m.pairwise_keyed(
+                                    ScheduleKey::Dim(d),
+                                    move |u, _| Some(u ^ (1usize << d)),
+                                    |_, &s| s,
+                                    |s, _, v| *s = s.rotate_left(5).wrapping_add(v),
+                                );
+                            }
+                        }
+                        m.into_parts().0
+                    })
+                })
+            })
+            .collect();
+        for (mode, replay, workers) in configs() {
+            let batched: Vec<Vec<u64>> = with_default_exec(mode, || {
+                with_schedule_replay(replay, || {
+                    let _pin = (workers > 0).then(|| PinnedWorkers::pin(workers));
+                    let states: Vec<Vec<u64>> = (0..n)
+                        .map(|u| (0..lanes).map(|k| init(k, u)).collect())
+                        .collect();
+                    let mut m = Machine::new(&q, states);
+                    for _ in 0..sweeps {
+                        for d in 0..dim {
+                            m.pairwise_lanes_keyed(
+                                ScheduleKey::Dim(d),
+                                lanes,
+                                &0u64,
+                                move |u, _| Some(u ^ (1usize << d)),
+                                |_, s, window| window.clone_from_slice(s),
+                                |s, _, window| {
+                                    for (x, w) in s.iter_mut().zip(window) {
+                                        *x = x.rotate_left(5).wrapping_add(*w);
+                                    }
+                                },
+                            );
+                        }
+                    }
+                    m.into_parts().0
+                })
+            });
+            for (k, single) in singles.iter().enumerate() {
+                let lane_k: Vec<u64> = batched.iter().map(|s| s[k]).collect();
+                prop_assert_eq!(
+                    &lane_k, single,
+                    "lane {} diverged ({:?}, replay={}, workers={})",
+                    k, mode, replay, workers
+                );
+            }
+        }
     }
 }
 

@@ -219,6 +219,87 @@ fn steady_state_cycles_do_not_allocate() {
             "threaded steady-state cycles allocated {par_delta} times"
         );
 
+        // --- Lane-batched cycles: once the lane-strided buffer and the
+        // staged-sender table are sized (one warm-up compile + one
+        // replay), K-lane keyed cycles are allocation-free on both the
+        // full and the replay path. ---
+        let lanes = 8usize;
+        let mut lm = Machine::with_exec(&q, init.clone(), ExecMode::Sequential);
+        for _ in 0..2 {
+            lm.pairwise_lanes_keyed(
+                ScheduleKey::Dim(3),
+                lanes,
+                &0u64,
+                |u, _| Some(u ^ 8),
+                |_, &s, window| window.fill(s),
+                |s, _, window| {
+                    for w in window.iter() {
+                        *s = s.wrapping_add(*w);
+                    }
+                },
+            );
+        }
+        let lane_delta = steady_delta(3, || {
+            for _ in 0..100 {
+                lm.pairwise_lanes_keyed(
+                    ScheduleKey::Dim(3),
+                    lanes,
+                    &0u64,
+                    |u, _| Some(u ^ 8),
+                    |_, &s, window| window.fill(s),
+                    |s, _, window| {
+                        for w in window.iter() {
+                            *s = s.wrapping_add(*w);
+                        }
+                    },
+                );
+            }
+        });
+        assert_eq!(
+            lane_delta, 0,
+            "lane-batched steady-state cycles allocated {lane_delta} times"
+        );
+
+        // --- Threaded lane-batched replay: same guarantee on the pool
+        // path (fused verify+stage pass and strided delivery sweep). ---
+        set_worker_threads(4);
+        let mut lp = Machine::with_exec(&q, init.clone(), ExecMode::Parallel { threshold: 1 });
+        for _ in 0..2 {
+            lp.pairwise_lanes_keyed(
+                ScheduleKey::Dim(3),
+                lanes,
+                &0u64,
+                |u, _| Some(u ^ 8),
+                |_, &s, window| window.fill(s),
+                |s, _, window| {
+                    for w in window.iter() {
+                        *s = s.wrapping_add(*w);
+                    }
+                },
+            );
+        }
+        let lane_par_delta = steady_delta(3, || {
+            for _ in 0..100 {
+                lp.pairwise_lanes_keyed(
+                    ScheduleKey::Dim(3),
+                    lanes,
+                    &0u64,
+                    |u, _| Some(u ^ 8),
+                    |_, &s, window| window.fill(s),
+                    |s, _, window| {
+                        for w in window.iter() {
+                            *s = s.wrapping_add(*w);
+                        }
+                    },
+                );
+            }
+        });
+        set_worker_threads(0);
+        assert_eq!(
+            lane_par_delta, 0,
+            "threaded lane-batched steady-state cycles allocated {lane_par_delta} times"
+        );
+
         // --- Threaded keyed replay: same guarantee on the pool path. ---
         let mut pk = Machine::with_exec(&q, init.clone(), ExecMode::Parallel { threshold: 1 });
         for _ in 0..2 {

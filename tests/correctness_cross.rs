@@ -215,3 +215,29 @@ fn zero_one_principle_exhaustive_d3_sampled_dense() {
         );
     }
 }
+
+/// The README's payload-lanes example, kept honest: 16 lanes through
+/// `batched_d_prefix` are bit-identical to 16 single runs, share one
+/// schedule's step counts, and charge `K × messages` words.
+#[test]
+fn readme_payload_lanes_example() {
+    use dc_core::prefix::dualcube::batched_d_prefix;
+
+    let d = DualCube::new(3);
+    let inputs: Vec<Vec<Sum>> = (0..16)
+        .map(|k| (0..32).map(|i| Sum(k + i)).collect())
+        .collect();
+    let batch = batched_d_prefix(&d, &inputs, PrefixKind::Inclusive, Step5Mode::PaperFaithful);
+    for (input, lane) in inputs.iter().zip(&batch.prefixes) {
+        let single = d_prefix(
+            &d,
+            input,
+            PrefixKind::Inclusive,
+            Step5Mode::PaperFaithful,
+            Recording::Off,
+        );
+        assert_eq!(lane, &single.prefixes);
+    }
+    assert_eq!(batch.metrics.comm_steps, 7);
+    assert_eq!(batch.metrics.message_words, 16 * batch.metrics.messages);
+}
