@@ -197,9 +197,11 @@ pub(crate) struct FaultState {
     /// first unapplied one.
     pending: Vec<FaultEvent>,
     next: usize,
-    /// `failed[u]` — lazily allocated on the first crash, so fault-free
-    /// machines pay nothing.
-    failed: Vec<bool>,
+    /// Crash mask, packed 64 nodes per word (bit `u & 63` of word
+    /// `u >> 6`) — 128 KiB for the 8M-node D_12 where a `Vec<bool>` costs
+    /// 8 MiB. Lazily allocated on the first crash, so fault-free machines
+    /// pay nothing.
+    failed: Vec<u64>,
     any_failed: bool,
     /// Downed links, endpoint-normalised (`a < b`). A handful at most;
     /// linear scan.
@@ -248,11 +250,13 @@ impl FaultState {
         match kind {
             FaultKind::NodeCrash { node } => {
                 assert!(node < num_nodes, "fault event {kind} out of range");
-                if self.failed.len() != num_nodes {
-                    self.failed.resize(num_nodes, false);
+                let words = num_nodes.div_ceil(64);
+                if self.failed.len() != words {
+                    self.failed.resize(words, 0);
                 }
-                if !self.failed[node] {
-                    self.failed[node] = true;
+                let bit = 1u64 << (node & 63);
+                if self.failed[node >> 6] & bit == 0 {
+                    self.failed[node >> 6] |= bit;
                     self.any_failed = true;
                     self.epoch += 1;
                     return true;
@@ -301,7 +305,7 @@ impl FaultState {
 
     #[inline]
     pub(crate) fn is_failed(&self, u: NodeId) -> bool {
-        self.any_failed && self.failed[u]
+        self.any_failed && self.failed[u >> 6] >> (u & 63) & 1 == 1
     }
 
     #[inline]
@@ -309,9 +313,25 @@ impl FaultState {
         self.any_failed
     }
 
-    /// The failed-node mask (empty until the first crash).
-    pub(crate) fn failed_mask(&self) -> &[bool] {
-        &self.failed
+    /// Ids of the crashed nodes so far, ascending (empty until the first
+    /// crash). Materialises from the packed mask — diagnostics only, not
+    /// a hot path.
+    pub(crate) fn failed_nodes(&self) -> Vec<NodeId> {
+        self.failed
+            .iter()
+            .enumerate()
+            .flat_map(|(w, &word)| {
+                let mut bits = word;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(w * 64 + b)
+                })
+            })
+            .collect()
     }
 
     #[inline]

@@ -9,20 +9,24 @@ use crate::obs::{
     Recorder, SharedSink,
 };
 use crate::parallel::{
-    par_apply_forced, par_apply_reduce, par_for_reduce, par_lane_apply, par_lane_reduce,
-    par_zip_apply, par_zip_apply_mut, ExecMode,
+    par_apply_forced, par_for_reduce, par_lane_apply, par_lane_reduce, par_zip_apply,
+    par_zip_apply_mut, ExecMode,
 };
 use crate::schedule::{self, CompiledSchedule, ScheduleCache, ScheduleKey, NO_SRC, SENDS_BIT};
 use dc_topology::{NodeId, Topology};
 use std::any::Any;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Instant;
 
-/// A reusable, type-erased `Vec<Option<(NodeId, M)>>`: one allocation
-/// that survives across cycles for as long as the message type `M` stays
-/// the same (the steady state of every cycle loop). A cycle with a new
-/// message type swaps in a fresh vector; the old one is dropped.
+/// A reusable, type-erased `Vec<E>`: one allocation that survives across
+/// cycles for as long as the element type `E` stays the same (the steady
+/// state of every cycle loop). A cycle with a new element type swaps in a
+/// fresh vector; the old one is dropped. The plan slab instantiates it at
+/// `E = Option<(NodeId, M)>`; the delivery payload slab at
+/// `E = Option<M>` — sources travel separately in the dense `u32`
+/// `Scratch::inbox_src` array, so small-`M` payload slots stop paying the
+/// `usize` source plus its padding.
 struct TypedSlot(Option<Box<dyn Any + Send>>);
 
 impl TypedSlot {
@@ -30,18 +34,18 @@ impl TypedSlot {
         TypedSlot(None)
     }
 
-    /// The buffer for message type `M`, *cleared* but with its capacity
-    /// intact. Allocates only on first use or when `M` changed since the
+    /// The buffer for element type `E`, *cleared* but with its capacity
+    /// intact. Allocates only on first use or when `E` changed since the
     /// previous cycle.
-    fn cleared<M: Send + Sync + 'static>(&mut self) -> &mut Vec<Option<(NodeId, M)>> {
+    fn cleared<E: Send + Sync + 'static>(&mut self) -> &mut Vec<E> {
         let fresh = match &self.0 {
-            Some(b) => !b.is::<Vec<Option<(NodeId, M)>>>(),
+            Some(b) => !b.is::<Vec<E>>(),
             None => true,
         };
         if fresh {
-            self.0 = Some(Box::new(Vec::<Option<(NodeId, M)>>::new()));
+            self.0 = Some(Box::new(Vec::<E>::new()));
         }
-        let v: &mut Vec<Option<(NodeId, M)>> = self
+        let v: &mut Vec<E> = self
             .0
             .as_mut()
             .expect("slot populated above")
@@ -51,25 +55,25 @@ impl TypedSlot {
         v
     }
 
-    /// The buffer for message type `M` at length `n`, **contents
+    /// The payload slab for message type `M` at length `n`, **contents
     /// preserved**. The inbox discipline keeps the slab all-`None`
     /// between cycles (delivery `take`s every slot; error paths clear),
     /// so when the type and length already match this skips the O(n)
     /// `None` prefill a cleared slab would need — the difference between
     /// a replayed cycle doing two passes over the slab and three.
-    fn warm<M: Send + Sync + 'static>(&mut self, n: usize) -> &mut Vec<Option<(NodeId, M)>> {
+    fn warm<M: Send + Sync + 'static>(&mut self, n: usize) -> &mut Vec<Option<M>> {
         let reusable = match &self.0 {
             Some(b) => b
-                .downcast_ref::<Vec<Option<(NodeId, M)>>>()
+                .downcast_ref::<Vec<Option<M>>>()
                 .is_some_and(|v| v.len() == n),
             None => false,
         };
         if !reusable {
-            let v = self.cleared::<M>();
+            let v = self.cleared::<Option<M>>();
             v.resize_with(n, || None);
             return v;
         }
-        let v: &mut Vec<Option<(NodeId, M)>> = self
+        let v: &mut Vec<Option<M>> = self
             .0
             .as_mut()
             .expect("slot populated above")
@@ -135,23 +139,35 @@ impl LaneSlot {
 /// equality/trace semantics are unaffected.
 struct Scratch {
     /// `recv_from[dst]` = sending node during sequential validation
-    /// (`usize::MAX` = no sender yet).
-    recv_from: Vec<usize>,
+    /// ([`NO_SRC`] = no sender yet). `u32` — node ids fit by the
+    /// [`Machine::new`] construction bound, and halving the table keeps
+    /// D_10+ validation inside cache.
+    recv_from: Vec<u32>,
     /// The parallel validation passes' claim table: `claims[dst]` =
     /// lowest locally-valid sender targeting `dst` this cycle
-    /// (`usize::MAX` = none). Reset inside the plan dispatch, so the
+    /// ([`NO_SRC`] = none). Reset inside the plan dispatch, so the
     /// parallel path never pays a separate O(n) clearing pass.
-    claims: Vec<AtomicUsize>,
-    /// Pairwise partner choices, reused by `try_pairwise_sized`.
-    partners: Vec<Option<NodeId>>,
-    /// Plan-phase output slots, keyed by message type.
+    claims: Vec<AtomicU32>,
+    /// Pairwise partner choices, reused by `try_pairwise_sized`
+    /// ([`NO_PARTNER`] = the node sits out; see [`pack_partner`]).
+    partners: Vec<u32>,
+    /// Plan-phase output slots (`Option<(NodeId, M)>` per node), keyed by
+    /// message type.
     plans: TypedSlot,
-    /// Deliver-phase inbox (threaded and replay paths), keyed by message
-    /// type.
-    inbox: TypedSlot,
+    /// Staged message sources for the deliver phase: `inbox_src[dst]` is
+    /// the packed sender id, [`NO_SRC`] when nothing was staged. The
+    /// presence gate of the split inbox layout — the payload slab is only
+    /// read where a source is set (full/replay paths additionally keep
+    /// the payload `Option` as the move-out gate).
+    inbox_src: Vec<u32>,
+    /// Deliver-phase message payloads (`Option<M>` per node, threaded and
+    /// replay paths), keyed by message type. Split from the sources so a
+    /// small `M` costs `4 + sizeof(Option<M>)` bytes per node instead of
+    /// a 16–24-byte `Option<(usize, M)>` slot.
+    payload: TypedSlot,
     /// Staged lane senders: `lane_src[dst]` names the node whose lane
-    /// window was filled for `dst` this cycle (`usize::MAX` = silent).
-    lane_src: Vec<usize>,
+    /// window was filled for `dst` this cycle ([`NO_SRC`] = silent).
+    lane_src: Vec<u32>,
     /// Lane payload windows (`lanes` values per node), keyed by value
     /// type.
     lanebuf: LaneSlot,
@@ -164,10 +180,27 @@ impl Scratch {
             claims: Vec::new(),
             partners: Vec::new(),
             plans: TypedSlot::new(),
-            inbox: TypedSlot::new(),
+            inbox_src: Vec::new(),
+            payload: TypedSlot::new(),
             lane_src: Vec::new(),
             lanebuf: LaneSlot::new(),
         }
+    }
+}
+
+/// `Scratch::partners` sentinel for "no partner this cycle".
+const NO_PARTNER: u32 = u32::MAX;
+
+/// Packs a pairwise partner choice into the dense `u32` table.
+/// Out-of-range ids (possible only from a buggy partner function on a
+/// sub-4G topology, since construction bounds `n`) are clamped to a value
+/// that is still `≥ num_nodes`, so validation keeps reporting
+/// [`SimError::OutOfRange`] for them.
+#[inline]
+fn pack_partner(p: Option<NodeId>) -> u32 {
+    match p {
+        None => NO_PARTNER,
+        Some(v) => v.min(NO_PARTNER as usize - 1) as u32,
     }
 }
 
@@ -370,6 +403,25 @@ pub struct Machine<'t, T: Topology + ?Sized, S> {
     replay: bool,
     faults: FaultState,
     recorder: Option<Recorder>,
+    /// Cached [`Topology::max_ports`] — the stride of the recorder's flat
+    /// port-indexed link table. Computed at most once per machine, and
+    /// only on the first recorded delivery (the trait's default sweeps
+    /// the whole graph, so unrecorded runs never pay it).
+    link_ports: Option<u32>,
+}
+
+/// The flat link-table slot of the undirected link `{src, dst}`:
+/// `min · ports + port_of(min, max)` — dense, collision-free (ports are
+/// injective per endpoint), and computed with two integer ops plus one
+/// closed-form port lookup instead of the hash-map probe the recorder's
+/// old keyed rollup paid per message (§E25's ~28 ns/msg tax).
+#[inline]
+fn link_slot<T: Topology + ?Sized>(topo: &T, ports: u32, src: NodeId, dst: NodeId) -> usize {
+    let (a, b) = if src < dst { (src, dst) } else { (dst, src) };
+    let port = topo
+        .port_of(a, b)
+        .expect("validated delivery runs along a live edge");
+    a * ports as usize + port as usize
 }
 
 impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
@@ -384,6 +436,18 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             "need exactly one state per node of {}",
             topo.name()
         );
+        // Node ids are packed into `u32` machine-wide (compiled
+        // schedules, the split inbox's source array, claim tables), with
+        // the top bit reserved for schedule flags: 2^31 − 1 nodes is the
+        // hard ceiling, far above D_12's 8.4M.
+        assert!(
+            states.len() < NO_SRC as usize,
+            "{} has {} nodes; this machine packs node ids into u32 and \
+             supports at most {} nodes",
+            topo.name(),
+            states.len(),
+            NO_SRC - 1
+        );
         Machine {
             topo,
             states,
@@ -395,6 +459,21 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             replay: schedule::replay_default(),
             faults: FaultState::new(),
             recorder: crate::obs::default_recorder(),
+            link_ports: None,
+        }
+    }
+
+    /// The flat link-table stride, computed lazily (only recorded cycles
+    /// call this). `max(1)` so degenerate single-node topologies still
+    /// index safely.
+    fn link_ports(&mut self) -> u32 {
+        match self.link_ports {
+            Some(p) => p,
+            None => {
+                let p = self.topo.max_ports().max(1);
+                self.link_ports = Some(p);
+                p
+            }
         }
     }
 
@@ -480,12 +559,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
 
     /// Ids of the nodes that have crashed so far, ascending.
     pub fn failed_nodes(&self) -> Vec<NodeId> {
-        self.faults
-            .failed_mask()
-            .iter()
-            .enumerate()
-            .filter_map(|(u, &dead)| dead.then_some(u))
-            .collect()
+        self.faults.failed_nodes()
     }
 
     /// The links taken down so far, endpoint-normalised (`a < b`).
@@ -903,22 +977,26 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         self.advance_faults();
         let n = self.states.len();
         let threaded = self.threaded();
+        let record_links = self.recorder.is_some();
+        // Resolve the flat link-table stride before scratch is borrowed
+        // (lazy: unrecorded machines never compute it).
+        let ports = if record_links { self.link_ports() } else { 0 };
 
         // Phase 1 — plan: read-only over the states, one slot per node,
         // written into the reusable scratch buffer. The threaded path
         // also resets the claim table inside the same dispatch (each node
         // resets its own cell), so validation needs no clearing pass.
-        let plans = self.scratch.plans.cleared::<M>();
+        let plans = self.scratch.plans.cleared::<Option<(NodeId, M)>>();
         if threaded {
             let claims = &mut self.scratch.claims;
             if claims.len() != n {
                 claims.clear();
-                claims.resize_with(n, || AtomicUsize::new(usize::MAX));
+                claims.resize_with(n, || AtomicU32::new(NO_SRC));
             }
-            let claims: &[AtomicUsize] = claims;
+            let claims: &[AtomicU32] = claims;
             plans.resize_with(n, || None);
             par_zip_apply(plans, &self.states, &|u, slot, s| {
-                claims[u].store(usize::MAX, Ordering::Relaxed);
+                claims[u].store(NO_SRC, Ordering::Relaxed);
                 *slot = plan(u, s);
             });
         } else {
@@ -971,10 +1049,8 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         // plans (only on a keyed cycle's first sighting — the one place
         // a steady-state cycle is allowed to allocate).
         let compiled = capture.map(|key| {
-            assert!(
-                n < NO_SRC as usize,
-                "schedule capture supports machines below 2^31 - 1 nodes"
-            );
+            // Construction already bounds node counts below `NO_SRC`.
+            debug_assert!(n < NO_SRC as usize);
             let mut enc = vec![NO_SRC; n];
             for (src, p) in plans.iter().enumerate() {
                 if let Some((dst, _)) = p {
@@ -1002,11 +1078,19 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         // Link accounting (simulated utilization, not wall-clock) runs
         // only while a recorder is installed — the `false` branch keeps
         // the common path to one boolean test per delivered message.
-        let record_links = self.recorder.is_some();
         let mut dropped = 0u64;
         let mut dropped_words = 0u64;
         if threaded {
-            let inbox = self.scratch.inbox.warm::<M>(n);
+            // Split inbox: packed `u32` sources + payload slab. The
+            // staging loop runs on this thread, so the source array needs
+            // no clearing — delivery gates on the payload `Option`, which
+            // the warm-slab discipline keeps all-`None` between cycles.
+            let srcs = &mut self.scratch.inbox_src;
+            if srcs.len() != n {
+                srcs.clear();
+                srcs.resize(n, NO_SRC);
+            }
+            let payload = self.scratch.payload.warm::<M>(n);
             for (src, p) in plans.iter_mut().enumerate() {
                 if let Some((dst, msg)) = p.take() {
                     if drops_active && self.faults.dropped(dst) {
@@ -1017,17 +1101,20 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                             let w = words(&msg);
                             let cross = self.topo.is_cross_edge(src, dst);
                             self.metrics.link_util.record(cross, w);
+                            let slot = link_slot(self.topo, ports, src, dst);
                             if let Some(rec) = self.recorder.as_mut() {
-                                rec.record_link(src, dst, w, cross);
+                                rec.record_link(slot, w, cross);
                             }
                         }
-                        inbox[dst] = Some((src, msg));
+                        srcs[dst] = src as u32;
+                        payload[dst] = Some(msg);
                     }
                 }
             }
-            par_zip_apply_mut(&mut self.states, inbox, &|_, s, slot| {
-                if let Some((src, msg)) = slot.take() {
-                    deliver(s, src, msg);
+            let srcs: &[u32] = srcs;
+            par_zip_apply_mut(&mut self.states, payload, &|u, s, slot| {
+                if let Some(msg) = slot.take() {
+                    deliver(s, srcs[u] as usize, msg);
                 }
             });
         } else {
@@ -1041,8 +1128,9 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                             let w = words(&msg);
                             let cross = self.topo.is_cross_edge(src, dst);
                             self.metrics.link_util.record(cross, w);
+                            let slot = link_slot(self.topo, ports, src, dst);
                             if let Some(rec) = self.recorder.as_mut() {
-                                rec.record_link(src, dst, w, cross);
+                                rec.record_link(slot, w, cross);
                             }
                         }
                         deliver(&mut self.states[dst], src, msg);
@@ -1076,13 +1164,13 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     fn validate_sequential<M: Send + Sync + 'static>(
         topo: &T,
         plans: &[Option<(NodeId, M)>],
-        recv_from: &mut Vec<usize>,
+        recv_from: &mut Vec<u32>,
         faults: &FaultState,
         words: &(impl Fn(&M) -> u64 + Sync),
         n: usize,
     ) -> CycleAcc {
         recv_from.clear();
-        recv_from.resize(n, usize::MAX);
+        recv_from.resize(n, NO_SRC);
         let mut acc = CycleAcc::EMPTY;
         for (src, p) in plans.iter().enumerate() {
             if let Some((dst, msg)) = p {
@@ -1105,12 +1193,12 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                     acc.violate(src, SimError::NotAdjacent { src, dst });
                 } else if faults.link_is_down(src, dst) {
                     acc.violate(src, SimError::LinkDown { src, dst });
-                } else if recv_from[dst] != usize::MAX {
+                } else if recv_from[dst] != NO_SRC {
                     acc.violate(
                         src,
                         SimError::RecvConflict {
                             node: dst,
-                            first_src: recv_from[dst],
+                            first_src: recv_from[dst] as usize,
                             second_src: src,
                         },
                     );
@@ -1118,7 +1206,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                 if acc.violation.is_some() {
                     break;
                 }
-                recv_from[dst] = src;
+                recv_from[dst] = src as u32;
                 acc.delivered += 1;
                 acc.words += words(msg);
             }
@@ -1156,7 +1244,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     fn validate_parallel<M: Send + Sync + 'static>(
         topo: &T,
         plans: &[Option<(NodeId, M)>],
-        claims: &[AtomicUsize],
+        claims: &[AtomicU32],
         faults: &FaultState,
         words: &(impl Fn(&M) -> u64 + Sync),
         n: usize,
@@ -1186,7 +1274,9 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                     } else if faults.link_is_down(src, dst) {
                         acc.violate(src, SimError::LinkDown { src, dst });
                     } else {
-                        claims[dst].fetch_min(src, Ordering::Relaxed);
+                        // `src < n < NO_SRC` by the construction bound,
+                        // so packed claims order exactly like node ids.
+                        claims[dst].fetch_min(src as u32, Ordering::Relaxed);
                         acc.delivered += 1;
                         acc.words += words(msg);
                     }
@@ -1205,7 +1295,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                 if let Some((dst, _)) = &plans[src] {
                     let dst = *dst;
                     if dst < n && dst != src {
-                        let first = claims[dst].load(Ordering::Relaxed);
+                        let first = claims[dst].load(Ordering::Relaxed) as usize;
                         if first != src {
                             acc.violate(
                                 src,
@@ -1245,8 +1335,20 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     {
         let n = self.states.len();
         let threaded = self.threaded();
+        let record_links = self.recorder.is_some();
+        let ports = if record_links { self.link_ports() } else { 0 };
         let sched = self.schedules.get(key).expect("caller checked the cache");
-        let inbox = self.scratch.inbox.warm::<M>(n);
+        // Split inbox: `srcs[u]` carries the packed sender (`NO_SRC` =
+        // silent), written unconditionally by every receiver's fused
+        // pass, so stale values never leak across cycles (and the array
+        // needs no per-cycle clearing); the payload slab holds the
+        // message and stays the move-out gate.
+        let srcs = &mut self.scratch.inbox_src;
+        if srcs.len() != n {
+            srcs.clear();
+            srcs.resize(n, NO_SRC);
+        }
+        let payload = self.scratch.payload.warm::<M>(n);
         let states = &self.states;
         let faults = &self.faults;
         // Crashes and link cuts bump the epoch, which evicts the
@@ -1255,7 +1357,8 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         // handling: the dropped message is validated but never staged.
         let drops_active = faults.has_drops();
         let enc = &sched.enc[..];
-        let eval = |u: usize, slot: &mut Option<(NodeId, M)>, acc: &mut CycleAcc| {
+        let eval = |u: usize, src_slot: &mut u32, slot: &mut Option<M>, acc: &mut CycleAcc| {
+            *src_slot = NO_SRC;
             let e = enc[u];
             let src = (e & NO_SRC) as usize;
             if src != NO_SRC as usize {
@@ -1266,7 +1369,8 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                         } else {
                             acc.delivered += 1;
                             acc.words += words(&msg);
-                            *slot = Some((src, msg));
+                            *src_slot = src as u32;
+                            *slot = Some(msg);
                         }
                     }
                     _ => acc.violate(src, SimError::ScheduleDeviation { key, node: src }),
@@ -1277,22 +1381,27 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             }
         };
         let acc = if threaded {
-            par_apply_reduce(
-                inbox,
+            par_lane_reduce(
+                srcs,
+                1,
+                payload,
                 CycleAcc::EMPTY,
-                &|u, slot, acc| eval(u, slot, acc),
+                &|u, src_slot, window, acc| eval(u, src_slot, &mut window[0], acc),
                 CycleAcc::merge,
             )
         } else {
             let mut acc = CycleAcc::EMPTY;
-            for (u, slot) in inbox.iter_mut().enumerate() {
-                eval(u, slot, &mut acc);
+            for (u, (src_slot, slot)) in srcs.iter_mut().zip(payload.iter_mut()).enumerate() {
+                eval(u, src_slot, slot, &mut acc);
             }
             acc
         };
         if let Some((_, e)) = acc.violation {
-            // The deviating cycle is not applied: drop anything staged.
-            inbox.clear();
+            // The deviating cycle is not applied: drop anything staged
+            // (restoring the payload slab's all-`None` warm invariant).
+            for slot in payload.iter_mut() {
+                *slot = None;
+            }
             return Err(e);
         }
         if let Some(trace) = self.trace.as_mut() {
@@ -1302,28 +1411,31 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         // Link accounting over the staged inbox (one slot per delivered
         // message — drops were excluded during the fused pass), mirroring
         // the full path's per-delivery accounting exactly.
-        if self.recorder.is_some() {
-            for (dst, slot) in inbox.iter().enumerate() {
-                if let Some((src, msg)) = slot {
+        if record_links {
+            for (dst, slot) in payload.iter().enumerate() {
+                if let Some(msg) = slot {
+                    let src = srcs[dst] as usize;
                     let w = words(msg);
-                    let cross = self.topo.is_cross_edge(*src, dst);
+                    let cross = self.topo.is_cross_edge(src, dst);
                     self.metrics.link_util.record(cross, w);
+                    let slot = link_slot(self.topo, ports, src, dst);
                     if let Some(rec) = self.recorder.as_mut() {
-                        rec.record_link(*src, dst, w, cross);
+                        rec.record_link(slot, w, cross);
                     }
                 }
             }
         }
+        let srcs: &[u32] = srcs;
         if threaded {
-            par_zip_apply_mut(&mut self.states, inbox, &|_, s, slot| {
-                if let Some((src, msg)) = slot.take() {
-                    deliver(s, src, msg);
+            par_zip_apply_mut(&mut self.states, payload, &|u, s, slot| {
+                if let Some(msg) = slot.take() {
+                    deliver(s, srcs[u] as usize, msg);
                 }
             });
         } else {
-            for (u, slot) in inbox.iter_mut().enumerate() {
-                if let Some((src, msg)) = slot.take() {
-                    deliver(&mut self.states[u], src, msg);
+            for (u, slot) in payload.iter_mut().enumerate() {
+                if let Some(msg) = slot.take() {
+                    deliver(&mut self.states[u], srcs[u] as usize, msg);
                 }
             }
         }
@@ -1357,24 +1469,30 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         }
     }
 
-    /// Fills `out` with each node's chosen partner, in parallel when
-    /// threaded. (`out` is the reusable scratch buffer, moved out of
-    /// `self` during the call so the state borrow stays clean.)
+    /// Fills `out` with each node's chosen partner, packed via
+    /// [`pack_partner`], in parallel when threaded. (`out` is the
+    /// reusable scratch buffer, moved out of `self` during the call so
+    /// the state borrow stays clean.)
     fn collect_partners_into(
         &self,
         pair: &(impl Fn(NodeId, &S) -> Option<NodeId> + Sync),
-        out: &mut Vec<Option<NodeId>>,
+        out: &mut Vec<u32>,
     ) where
         S: Send + Sync,
     {
         out.clear();
         if self.threaded() {
-            out.resize(self.states.len(), None);
+            out.resize(self.states.len(), NO_PARTNER);
             par_zip_apply(out, &self.states, &|u, slot, s| {
-                *slot = pair(u, s);
+                *slot = pack_partner(pair(u, s));
             });
         } else {
-            out.extend(self.states.iter().enumerate().map(|(u, s)| pair(u, s)));
+            out.extend(
+                self.states
+                    .iter()
+                    .enumerate()
+                    .map(|(u, s)| pack_partner(pair(u, s))),
+            );
         }
     }
 
@@ -1564,18 +1682,16 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     /// back. The threaded form is pure reads of the shared partner table
     /// reduced to the lowest-index violation — identical to the
     /// sequential first-hit-in-node-order report.
-    fn validate_symmetry(
-        partners: &[Option<NodeId>],
-        n: usize,
-        threaded: bool,
-    ) -> Result<(), SimError> {
+    fn validate_symmetry(partners: &[u32], n: usize, threaded: bool) -> Result<(), SimError> {
         if threaded {
             let table = partners;
             let acc = par_for_reduce(
                 n,
                 CycleAcc::EMPTY,
                 &|u, acc| {
-                    if let Some(v) = table[u] {
+                    let p = table[u];
+                    if p != NO_PARTNER {
+                        let v = p as usize;
                         if v >= n {
                             acc.violate(
                                 u,
@@ -1584,7 +1700,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                                     num_nodes: n,
                                 },
                             );
-                        } else if table[v] != Some(u) {
+                        } else if table[v] != u as u32 {
                             acc.violate(u, SimError::AsymmetricPair { a: u, b: v });
                         }
                     }
@@ -1597,14 +1713,15 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             }
         } else {
             for (u, &p) in partners.iter().enumerate() {
-                if let Some(v) = p {
+                if p != NO_PARTNER {
+                    let v = p as usize;
                     if v >= n {
                         return Err(SimError::OutOfRange {
                             node: v,
                             num_nodes: n,
                         });
                     }
-                    if partners[v] != Some(u) {
+                    if partners[v] != u as u32 {
                         return Err(SimError::AsymmetricPair { a: u, b: v });
                     }
                 }
@@ -1638,7 +1755,10 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         let symmetric = Self::validate_symmetry(&partners, n, self.threaded());
         let result = match symmetric {
             Ok(()) => self.exchange_inner(
-                |u, s| partners[u].map(|v| (v, msg(u, s))),
+                |u, s| {
+                    let p = partners[u];
+                    (p != NO_PARTNER).then(|| (p as usize, msg(u, s)))
+                },
                 |s, from, m| deliver(s, from, m),
                 words,
                 capture,
@@ -1990,9 +2110,18 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         self.collect_partners_into(&pair, &mut partners);
         let symmetric = Self::validate_symmetry(&partners, n, self.threaded());
         let result = match symmetric {
-            Ok(()) => {
-                self.lanes_inner(lanes, seed, |u, _| partners[u], fill, deliver, capture, obs)
-            }
+            Ok(()) => self.lanes_inner(
+                lanes,
+                seed,
+                |u, _| {
+                    let p = partners[u];
+                    (p != NO_PARTNER).then_some(p as usize)
+                },
+                fill,
+                deliver,
+                capture,
+                obs,
+            ),
             Err(e) => Err(e),
         };
         self.scratch.partners = partners;
@@ -2025,21 +2154,23 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         let n = self.states.len();
         let threaded = self.threaded();
         let lane_words = lanes as u64;
+        let record_links = self.recorder.is_some();
+        let ports = if record_links { self.link_ports() } else { 0 };
 
         // Phase 1 — plan. Destinations only: payloads go straight into
         // the lane windows after validation, so the plan slab carries
         // unit messages.
-        let plans = self.scratch.plans.cleared::<()>();
+        let plans = self.scratch.plans.cleared::<Option<(NodeId, ())>>();
         if threaded {
             let claims = &mut self.scratch.claims;
             if claims.len() != n {
                 claims.clear();
-                claims.resize_with(n, || AtomicUsize::new(usize::MAX));
+                claims.resize_with(n, || AtomicU32::new(NO_SRC));
             }
-            let claims: &[AtomicUsize] = claims;
+            let claims: &[AtomicU32] = claims;
             plans.resize_with(n, || None);
             par_zip_apply(plans, &self.states, &|u, slot, s| {
-                claims[u].store(usize::MAX, Ordering::Relaxed);
+                claims[u].store(NO_SRC, Ordering::Relaxed);
                 *slot = plan(u, s).map(|dst| (dst, ()));
             });
         } else {
@@ -2087,10 +2218,8 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             ));
         }
         let compiled = capture.map(|key| {
-            assert!(
-                n < NO_SRC as usize,
-                "schedule capture supports machines below 2^31 - 1 nodes"
-            );
+            // Construction already bounds node counts below `NO_SRC`.
+            debug_assert!(n < NO_SRC as usize);
             let mut enc = vec![NO_SRC; n];
             for (src, p) in plans.iter().enumerate() {
                 if let Some((dst, _)) = p {
@@ -2111,11 +2240,10 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         // read here); delivery then folds the windows in, each worker
         // touching only its own node's state and window.
         let drops_active = self.faults.has_drops();
-        let record_links = self.recorder.is_some();
         let mut dropped = 0u64;
         let lane_src = &mut self.scratch.lane_src;
         lane_src.clear();
-        lane_src.resize(n, usize::MAX);
+        lane_src.resize(n, NO_SRC);
         let lanebuf = self.scratch.lanebuf.strided::<V>(n * lanes, seed);
         for (src, p) in plans.iter_mut().enumerate() {
             if let Some((dst, ())) = p.take() {
@@ -2125,8 +2253,9 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                     if record_links {
                         let cross = self.topo.is_cross_edge(src, dst);
                         self.metrics.link_util.record(cross, lane_words);
+                        let slot = link_slot(self.topo, ports, src, dst);
                         if let Some(rec) = self.recorder.as_mut() {
-                            rec.record_link(src, dst, lane_words, cross);
+                            rec.record_link(slot, lane_words, cross);
                         }
                     }
                     fill(
@@ -2134,15 +2263,15 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                         &self.states[src],
                         &mut lanebuf[dst * lanes..(dst + 1) * lanes],
                     );
-                    lane_src[dst] = src;
+                    lane_src[dst] = src as u32;
                 }
             }
         }
         if threaded {
-            let srcs: &[usize] = lane_src;
+            let srcs: &[u32] = lane_src;
             par_lane_apply(&mut self.states, lanes, lanebuf, &|u, s, window| {
-                if srcs[u] != usize::MAX {
-                    deliver(s, srcs[u], window);
+                if srcs[u] != NO_SRC {
+                    deliver(s, srcs[u] as usize, window);
                 }
             });
         } else {
@@ -2152,8 +2281,8 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                 .zip(lanebuf.chunks_exact_mut(lanes))
                 .enumerate()
             {
-                if lane_src[u] != usize::MAX {
-                    deliver(s, lane_src[u], window);
+                if lane_src[u] != NO_SRC {
+                    deliver(s, lane_src[u] as usize, window);
                 }
             }
         }
@@ -2201,18 +2330,20 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         let n = self.states.len();
         let threaded = self.threaded();
         let lane_words = lanes as u64;
+        let record_links = self.recorder.is_some();
+        let ports = if record_links { self.link_ports() } else { 0 };
         let sched = self.schedules.get(key).expect("caller checked the cache");
         let lane_src = &mut self.scratch.lane_src;
         // Every entry is written by the fused pass below, so only the
         // length matters — no clearing pass.
-        lane_src.resize(n, usize::MAX);
+        lane_src.resize(n, NO_SRC);
         let lanebuf = self.scratch.lanebuf.strided::<V>(n * lanes, seed);
         let states = &self.states;
         let faults = &self.faults;
         let drops_active = faults.has_drops();
         let enc = &sched.enc[..];
-        let eval = |u: usize, src_slot: &mut usize, window: &mut [V], acc: &mut CycleAcc| {
-            *src_slot = usize::MAX;
+        let eval = |u: usize, src_slot: &mut u32, window: &mut [V], acc: &mut CycleAcc| {
+            *src_slot = NO_SRC;
             let e = enc[u];
             let src = (e & NO_SRC) as usize;
             if src != NO_SRC as usize {
@@ -2224,7 +2355,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                             acc.delivered += 1;
                             acc.words += lane_words;
                             fill(src, &states[src], window);
-                            *src_slot = src;
+                            *src_slot = src as u32;
                         }
                     }
                     _ => acc.violate(src, SimError::ScheduleDeviation { key, node: src }),
@@ -2266,22 +2397,24 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         }
         // Link accounting over the staged senders (drops were excluded
         // during the fused pass), mirroring the full path exactly.
-        if self.recorder.is_some() {
+        if record_links {
             for (dst, &src) in lane_src.iter().enumerate() {
-                if src != usize::MAX {
+                if src != NO_SRC {
+                    let src = src as usize;
                     let cross = self.topo.is_cross_edge(src, dst);
                     self.metrics.link_util.record(cross, lane_words);
+                    let slot = link_slot(self.topo, ports, src, dst);
                     if let Some(rec) = self.recorder.as_mut() {
-                        rec.record_link(src, dst, lane_words, cross);
+                        rec.record_link(slot, lane_words, cross);
                     }
                 }
             }
         }
         if threaded {
-            let srcs: &[usize] = lane_src;
+            let srcs: &[u32] = lane_src;
             par_lane_apply(&mut self.states, lanes, lanebuf, &|u, s, window| {
-                if srcs[u] != usize::MAX {
-                    deliver(s, srcs[u], window);
+                if srcs[u] != NO_SRC {
+                    deliver(s, srcs[u] as usize, window);
                 }
             });
         } else {
@@ -2291,8 +2424,8 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                 .zip(lanebuf.chunks_exact_mut(lanes))
                 .enumerate()
             {
-                if lane_src[u] != usize::MAX {
-                    deliver(s, lane_src[u], window);
+                if lane_src[u] != NO_SRC {
+                    deliver(s, lane_src[u] as usize, window);
                 }
             }
         }
@@ -3393,5 +3526,29 @@ mod tests {
         let m = machine(2);
         assert!(!m.is_recording(), "scope ended, new machines are bare");
         assert_eq!(sink.lock().unwrap().len(), 1);
+    }
+
+    /// Node ids are packed into `u32` everywhere (compiled schedules,
+    /// the split inbox's source array, claim tables); a topology past
+    /// the 2³¹ − 1 ceiling must be rejected at construction, before any
+    /// per-node structure is sized. States are zero-sized so the `Vec`
+    /// never actually allocates 2³¹ elements.
+    #[test]
+    #[should_panic(expected = "packs node ids into u32")]
+    fn construction_rejects_topologies_past_the_u32_ceiling() {
+        struct Huge;
+        impl Topology for Huge {
+            fn num_nodes(&self) -> usize {
+                1 << 31
+            }
+            fn neighbors_into(&self, _u: NodeId, out: &mut Vec<NodeId>) {
+                out.clear();
+            }
+            fn name(&self) -> String {
+                "Huge(2^31)".into()
+            }
+        }
+        static HUGE: Huge = Huge;
+        let _ = Machine::new(&HUGE, vec![(); 1 << 31]);
     }
 }

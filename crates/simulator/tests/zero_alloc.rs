@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use dc_simulator::{set_worker_threads, with_default_exec, ExecMode, Machine, ScheduleKey};
 use dc_topology::faulty::Faulty;
-use dc_topology::{Hypercube, Topology};
+use dc_topology::{DualCube, Hypercube, Topology};
 
 /// Counts every allocator call that hands out (or moves) memory.
 /// Deallocations are free of interest: a steady-state cycle that
@@ -325,5 +325,48 @@ fn steady_state_cycles_do_not_allocate() {
             par_replay_delta, 0,
             "threaded steady-state replay cycles allocated {par_replay_delta} times"
         );
+    });
+}
+
+/// The same hard-zero guarantee at `D_10` scale: 524,288 nodes, the
+/// smallest dual-cube past the exhaustive-test band. Once the split
+/// inbox (`u32` source array + payload slab), claim table, and compiled
+/// cross schedule are warm, keyed cycles over half a million nodes must
+/// not touch the allocator — the scaling claim of the dense-layout PR,
+/// not derivable from the 64-node leg above (resize-on-demand bugs only
+/// show up when `n` actually changes the buffer sizes).
+///
+/// Sequential backend on purpose: the pool's dispatch machinery is
+/// covered at small `n` above, and a single-threaded sweep keeps this
+/// `--ignored` leg's wall-clock within a debug-build test budget.
+/// Run with: `cargo test -p dc-simulator --test zero_alloc --release -- --ignored`.
+#[test]
+#[ignore = "D_10 scale (524k nodes); run explicitly with --ignored, ideally --release"]
+fn d10_steady_state_cycles_do_not_allocate() {
+    let d = DualCube::new(10);
+    let init: Vec<u64> = (0..d.num_nodes() as u64).collect();
+    with_default_exec(ExecMode::Sequential, || {
+        let mut m = Machine::with_exec(&d, init, ExecMode::Sequential);
+        let cross = |m: &mut Machine<'_, DualCube, u64>| {
+            m.pairwise_keyed(
+                ScheduleKey::Cross,
+                |u, _| Some(d.cross_neighbor(u)),
+                |_, &s| s,
+                |s, _, v: u64| *s = s.wrapping_add(v),
+            );
+        };
+        for _ in 0..2 {
+            cross(&mut m); // compile + replay warm-up sizes every buffer
+        }
+        let delta = steady_delta(3, || {
+            for _ in 0..5 {
+                cross(&mut m);
+            }
+        });
+        assert_eq!(
+            delta, 0,
+            "D_10 steady-state replay cycles allocated {delta} times"
+        );
+        assert!(m.metrics().schedule_hits >= 16, "replays actually hit");
     });
 }

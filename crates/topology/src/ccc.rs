@@ -107,6 +107,28 @@ impl Topology for CubeConnectedCycles {
         3 * self.num_nodes() / 2
     }
 
+    fn max_ports(&self) -> u32 {
+        3
+    }
+
+    /// [`Topology::neighbors_into`] order: port 0 cycle-forward, port 1
+    /// cycle-backward, port 2 rung. (`d ≥ 3`, so forward and backward
+    /// never coincide.)
+    fn port_of(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        if !self.is_edge(u, v) {
+            return None;
+        }
+        let (x, p) = self.coords(u);
+        let (y, q) = self.coords(v);
+        Some(if x != y {
+            2
+        } else if (p + 1) % self.d == q {
+            0
+        } else {
+            1
+        })
+    }
+
     fn name(&self) -> String {
         format!("CCC({})", self.d)
     }

@@ -304,6 +304,27 @@ impl Topology for DualCube {
         u ^ v == 1usize << self.class_bit()
     }
 
+    fn max_ports(&self) -> u32 {
+        self.n
+    }
+
+    /// Ports follow [`Topology::neighbors_into`] order: cluster dimension
+    /// `i` is port `i` (the flipped raw bit is `i` for class 0, `n−1+i`
+    /// for class 1), the cross edge is port `n−1`.
+    fn port_of(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        if !self.is_edge(u, v) {
+            return None;
+        }
+        let i = (u ^ v).trailing_zeros();
+        Some(if i == self.class_bit() {
+            self.cluster_dim()
+        } else if i < self.cluster_dim() {
+            i
+        } else {
+            i - self.cluster_dim()
+        })
+    }
+
     fn name(&self) -> String {
         format!("D_{}", self.n)
     }

@@ -202,6 +202,22 @@ impl Topology for RecDualCube {
         r ^ s == 1
     }
 
+    fn max_ports(&self) -> u32 {
+        self.inner.n()
+    }
+
+    /// The port of a direct dimension-`j` edge is the rank of `j` among
+    /// the direct dimensions at `r` — exactly the position
+    /// [`Topology::neighbors_into`] emits it at. `O(2n−1)` bit tests,
+    /// allocation-free.
+    fn port_of(&self, r: NodeId, s: NodeId) -> Option<u32> {
+        if !self.is_edge(r, s) {
+            return None;
+        }
+        let j = (r ^ s).trailing_zeros();
+        Some((0..j).filter(|&i| self.has_direct_edge(r, i)).count() as u32)
+    }
+
     fn name(&self) -> String {
         format!("D_{} (recursive presentation)", self.inner.n())
     }

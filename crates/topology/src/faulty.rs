@@ -191,6 +191,21 @@ impl<T: Topology> Topology for Faulty<T> {
         self.inner.is_cross_edge(u, v)
     }
 
+    fn max_ports(&self) -> u32 {
+        // Ports are inherited from the fault-free graph so a link keeps
+        // its slot across fault sets; faults only remove edges, never
+        // widen the port space.
+        self.inner.max_ports()
+    }
+
+    fn port_of(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        if self.is_edge(u, v) {
+            self.inner.port_of(u, v)
+        } else {
+            None
+        }
+    }
+
     fn name(&self) -> String {
         if self.dead_links.is_empty() {
             format!("{} − {} faults", self.inner.name(), self.num_failed)

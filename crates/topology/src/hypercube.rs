@@ -72,6 +72,16 @@ impl Topology for Hypercube {
         (self.dim as usize) << (self.dim - 1)
     }
 
+    fn max_ports(&self) -> u32 {
+        self.dim
+    }
+
+    /// Port `i` is dimension `i` — the position of `flip(u, i)` in
+    /// [`Topology::neighbors_into`]'s output.
+    fn port_of(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        (hamming(u, v) == 1).then(|| (u ^ v).trailing_zeros())
+    }
+
     fn name(&self) -> String {
         format!("Q_{}", self.dim)
     }

@@ -159,6 +159,25 @@ impl Topology for Metacube {
         d.count_ones() == 1 && d.trailing_zeros() < self.k
     }
 
+    fn max_ports(&self) -> u32 {
+        self.m + self.k
+    }
+
+    /// [`Topology::neighbors_into`] order: cube dimension `j` is port `j`
+    /// (the flipped raw bit sits at `k + class·m + j`), cross dimension
+    /// `i` is port `m + i`.
+    fn port_of(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        if !self.is_edge(u, v) {
+            return None;
+        }
+        let i = (u ^ v).trailing_zeros();
+        Some(if i < self.k {
+            self.m + i
+        } else {
+            i - self.k - self.class_of(u) as u32 * self.m
+        })
+    }
+
     fn name(&self) -> String {
         format!("MC({},{})", self.k, self.m)
     }

@@ -2,7 +2,32 @@
 //! interconnection network in this crate.
 
 /// A node identifier. Nodes of an `N`-node topology are `0..N`.
+///
+/// Ids are `usize` at API boundaries for ergonomic indexing, but the
+/// simulator packs them into `u32` end-to-end (compiled schedules, inbox
+/// source arrays, flat link tables), so machines reject topologies with
+/// `2^31` nodes or more — far above the D_12 (8.4M node) ceiling any
+/// in-memory run can hold anyway.
 pub type NodeId = usize;
+
+/// Runs `f` with this thread's reusable neighbour buffer — the
+/// allocation-free path behind the trait's default `degree` / `is_edge` /
+/// `port_of`. Take/put via `Cell` (not `RefCell`) so a nested call — e.g.
+/// a wrapper topology whose `neighbors_into` consults the inner graph's
+/// `is_edge` — sees a fresh empty buffer instead of panicking; only the
+/// outermost frame keeps the warm allocation.
+fn with_neighbor_scratch<R>(f: impl FnOnce(&mut Vec<NodeId>) -> R) -> R {
+    use std::cell::Cell;
+    thread_local! {
+        static SCRATCH: Cell<Vec<NodeId>> = const { Cell::new(Vec::new()) };
+    }
+    SCRATCH.with(|cell| {
+        let mut buf = cell.take();
+        let r = f(&mut buf);
+        cell.set(buf);
+        r
+    })
+}
 
 /// A static, undirected interconnection network.
 ///
@@ -29,13 +54,54 @@ pub trait Topology {
     }
 
     /// Degree of node `u`.
+    ///
+    /// The default enumerates neighbours into a shared thread-local
+    /// scratch buffer — allocation-free after the first call per thread.
+    /// Topologies with a closed form (all the cube families here)
+    /// override it.
     fn degree(&self, u: NodeId) -> usize {
-        self.neighbors(u).len()
+        with_neighbor_scratch(|buf| {
+            self.neighbors_into(u, buf);
+            buf.len()
+        })
     }
 
-    /// Whether `{u, v}` is an edge.
+    /// Whether `{u, v}` is an edge. Same scratch-buffer default as
+    /// [`Topology::degree`]; cube families override with bit tests.
     fn is_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.neighbors(u).contains(&v)
+        with_neighbor_scratch(|buf| {
+            self.neighbors_into(u, buf);
+            buf.contains(&v)
+        })
+    }
+
+    /// Upper bound on [`Topology::degree`] over all nodes — the stride of
+    /// the simulator's flat port-indexed link tables (slot
+    /// `u · max_ports() + port_of(u, v)`). The default sweeps every node
+    /// once; regular topologies override with their constant degree.
+    /// Callers cache the result (the simulator computes it at most once
+    /// per machine, and only when link recording is on).
+    fn max_ports(&self) -> u32 {
+        (0..self.num_nodes())
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0) as u32
+    }
+
+    /// The **port** of edge `{u, v}` at endpoint `u`: the position of `v`
+    /// in `neighbors(u)`. `None` when `{u, v}` is not an edge.
+    ///
+    /// Contract: for a fixed `u`, ports of distinct neighbours are
+    /// distinct and `< max_ports()`; the numbering is stable for the
+    /// lifetime of the topology value. Ports are *per-endpoint* —
+    /// `port_of(u, v)` and `port_of(v, u)` need not agree. Overrides must
+    /// be allocation-free (the simulator calls this once per recorded
+    /// message); the default walks the scratch neighbour buffer.
+    fn port_of(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        with_neighbor_scratch(|buf| {
+            self.neighbors_into(u, buf);
+            buf.iter().position(|&w| w == v).map(|p| p as u32)
+        })
     }
 
     /// Total number of undirected edges (default: handshake lemma).
@@ -121,5 +187,50 @@ mod tests {
             c.neighbors_into(u, &mut buf);
             assert_eq!(buf, c.neighbors(u));
         }
+    }
+
+    #[test]
+    fn default_ports_follow_neighbor_order() {
+        let c = C4;
+        assert_eq!(c.max_ports(), 2);
+        for u in 0..4 {
+            for (p, v) in c.neighbors(u).into_iter().enumerate() {
+                assert_eq!(c.port_of(u, v), Some(p as u32));
+            }
+            assert_eq!(c.port_of(u, (u + 2) % 4), None);
+            assert_eq!(c.port_of(u, u), None);
+        }
+    }
+
+    /// A topology whose `neighbors_into` itself calls a default trait
+    /// method of another topology — the scratch buffer must tolerate the
+    /// nesting (each frame takes the cell, inner frames see it empty).
+    struct FilteredC4;
+
+    impl Topology for FilteredC4 {
+        fn num_nodes(&self) -> usize {
+            4
+        }
+        fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+            out.clear();
+            for v in 0..4 {
+                if v != u && C4.is_edge(u, v) {
+                    out.push(v);
+                }
+            }
+        }
+        fn name(&self) -> String {
+            "C_4/filter".into()
+        }
+    }
+
+    #[test]
+    fn scratch_defaults_survive_reentrancy() {
+        let f = FilteredC4;
+        assert_eq!(f.degree(0), 2);
+        assert!(f.is_edge(0, 1));
+        assert!(!f.is_edge(0, 2));
+        assert_eq!(f.port_of(2, 3), Some(1));
+        assert_eq!(f.num_edges(), 4);
     }
 }

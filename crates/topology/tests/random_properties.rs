@@ -97,3 +97,88 @@ proptest! {
         }
     }
 }
+
+/// Satellite check for the non-allocating trait work: every closed-form
+/// override of `degree` / `is_edge` / `max_ports` / `port_of` must agree
+/// exactly with the answers the trait defaults derive from
+/// `neighbors_into`, and ports must be a proper injective numbering
+/// (`< max_ports()`, distinct per endpoint), exhaustively over small
+/// instances of every topology in the crate.
+#[test]
+fn closed_form_overrides_agree_with_neighbor_defaults() {
+    use dc_topology::{faulty::Faulty, CubeConnectedCycles, Hypercube};
+
+    fn check(label: &str, t: &impl Topology) {
+        check_inner(label, t, true)
+    }
+
+    // `Faulty` inherits its ports from the fault-free inner graph so a
+    // link keeps its slot across fault sets — injective and bounded, but
+    // not positional in the *survivor* adjacency once faults punch gaps.
+    fn check_inherited(label: &str, t: &impl Topology) {
+        check_inner(label, t, false)
+    }
+
+    fn check_inner(label: &str, t: &impl Topology, positional: bool) {
+        let n = t.num_nodes();
+        let mut max_degree = 0;
+        for u in 0..n {
+            let nbrs = t.neighbors(u);
+            max_degree = max_degree.max(nbrs.len());
+            assert_eq!(t.degree(u), nbrs.len(), "{label}: degree({u})");
+            let mut ports = Vec::new();
+            for (pos, &v) in nbrs.iter().enumerate() {
+                assert!(t.is_edge(u, v), "{label}: is_edge({u}, {v})");
+                let p = t
+                    .port_of(u, v)
+                    .unwrap_or_else(|| panic!("{label}: port_of({u}, {v}) is None on an edge"));
+                assert!(p < t.max_ports(), "{label}: port {p} ≥ max_ports");
+                if positional {
+                    assert_eq!(
+                        p as usize, pos,
+                        "{label}: port_of({u}, {v}) disagrees with neighbour order"
+                    );
+                }
+                ports.push(p);
+            }
+            ports.sort_unstable();
+            ports.dedup();
+            assert_eq!(ports.len(), nbrs.len(), "{label}: duplicate ports at {u}");
+            for v in 0..n {
+                if !nbrs.contains(&v) {
+                    assert!(!t.is_edge(u, v), "{label}: phantom edge ({u}, {v})");
+                    assert_eq!(
+                        t.port_of(u, v),
+                        None,
+                        "{label}: port on non-edge ({u}, {v})"
+                    );
+                }
+            }
+        }
+        assert!(
+            max_degree as u32 <= t.max_ports(),
+            "{label}: max_ports below max degree"
+        );
+    }
+
+    for m in 1..=4 {
+        check("hypercube", &Hypercube::new(m));
+    }
+    for n in 1..=3 {
+        check("dual-cube", &DualCube::new(n));
+        check("rec-dual-cube", &RecDualCube::new(n));
+    }
+    check("metacube k=0", &Metacube::new(0, 3));
+    check("metacube k=1", &Metacube::new(1, 3));
+    check("metacube k=2", &Metacube::new(2, 2));
+    for d in 3..=4 {
+        check("ccc", &CubeConnectedCycles::new(d));
+    }
+    let d2 = DualCube::new(2);
+    check("faulty fault-free", &Faulty::new(d2, &[]));
+    check_inherited("faulty nodes", &Faulty::new(d2, &[1, 5]));
+    check_inherited(
+        "faulty links",
+        &Faulty::with_link_faults(d2, &[3], &[(0, 1)]),
+    );
+}
