@@ -3,20 +3,22 @@
 
 use crate::error::SimError;
 use crate::fault::{FaultKind, FaultPlan, FaultState};
+use crate::metrics::LinkUtil;
 use crate::metrics::Metrics;
 use crate::obs::{
     Backend, CacheStatus, CycleEvent, CycleKind, Event, LinkReport, PhaseEvent, PoolDispatchStats,
     Recorder, SharedSink,
 };
 use crate::parallel::{
-    par_apply_forced, par_for_reduce, par_lane_apply, par_lane_reduce, par_zip_apply,
-    par_zip_apply_mut, ExecMode,
+    par_apply_forced, par_for_reduce, par_lane_apply_bounds, par_lane_reduce_bounds,
+    par_slab_reduce, par_zip_apply, ExecMode,
 };
-use crate::schedule::{self, CompiledSchedule, ScheduleCache, ScheduleKey, NO_SRC, SENDS_BIT};
-use dc_topology::{NodeId, Topology};
+use crate::schedule::{
+    self, AcctPlan, CompiledSchedule, ScheduleCache, ScheduleKey, NO_SRC, SENDS_BIT,
+};
+use dc_topology::{NodeId, ShardMap, Topology};
 use std::any::Any;
 use std::fmt;
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Instant;
 
 /// A reusable, type-erased `Vec<E>`: one allocation that survives across
@@ -143,11 +145,22 @@ struct Scratch {
     /// [`Machine::new`] construction bound, and halving the table keeps
     /// D_10+ validation inside cache.
     recv_from: Vec<u32>,
-    /// The parallel validation passes' claim table: `claims[dst]` =
+    /// The sharded validation passes' claim table: `claims[dst]` =
     /// lowest locally-valid sender targeting `dst` this cycle
-    /// ([`NO_SRC`] = none). Reset inside the plan dispatch, so the
-    /// parallel path never pays a separate O(n) clearing pass.
-    claims: Vec<AtomicU32>,
+    /// ([`NO_SRC`] = none). Plain `u32`, **not** atomic: each dispatch
+    /// slot owns a contiguous shard range and min-merges only inside it;
+    /// cross-shard claims travel through [`ExchangeRow`] bins instead of
+    /// `fetch_min` contention.
+    claims: Vec<u32>,
+    /// Shard-aligned dispatch bounds for the current cycle (slot `k`
+    /// owns nodes `shard_bounds[k]..shard_bounds[k+1]`), rebuilt each
+    /// threaded cycle from the shard map and worker count (≤ 33 entries
+    /// — the rebuild is noise, the reuse keeps it allocation-free).
+    shard_bounds: Vec<usize>,
+    /// Per-slot staging rows for cross-shard claims (`exchange[k]` is
+    /// written only by dispatch slot `k` during pass A and drained
+    /// read-only during pass B). Bins keep their capacity across cycles.
+    exchange: Vec<ExchangeRow>,
     /// Pairwise partner choices, reused by `try_pairwise_sized`
     /// ([`NO_PARTNER`] = the node sits out; see [`pack_partner`]).
     partners: Vec<u32>,
@@ -178,6 +191,8 @@ impl Scratch {
         Scratch {
             recv_from: Vec::new(),
             claims: Vec::new(),
+            shard_bounds: Vec::new(),
+            exchange: Vec::new(),
             partners: Vec::new(),
             plans: TypedSlot::new(),
             inbox_src: Vec::new(),
@@ -186,6 +201,20 @@ impl Scratch {
             lanebuf: LaneSlot::new(),
         }
     }
+}
+
+/// One dispatch slot's SPSC staging area for **cross-shard claims**
+/// during the sharded validation pass. In pass A slot `k` appends the
+/// `(src, dst)` pairs whose destination lives outside its own shard
+/// range to `bins[slot_of(dst)]` (single producer); in pass B the
+/// destination slot drains every row's bin for itself (single consumer,
+/// min-merging into its own claim range). No atomics anywhere — the
+/// fork-join barrier between the passes is the only synchronisation.
+/// Rows and bins keep their capacity across cycles, so the steady state
+/// stays allocation-free.
+#[derive(Default)]
+struct ExchangeRow {
+    bins: Vec<Vec<(u32, u32)>>,
 }
 
 /// `Scratch::partners` sentinel for "no partner this cycle".
@@ -408,6 +437,13 @@ pub struct Machine<'t, T: Topology + ?Sized, S> {
     /// only on the first recorded delivery (the trait's default sweeps
     /// the whole graph, so unrecorded runs never pay it).
     link_ports: Option<u32>,
+    /// Requested shard count (`0` = derive from the worker count). See
+    /// [`Machine::set_shards`].
+    shard_req: usize,
+    /// The resolved shard map — sticky once computed (like `link_ports`)
+    /// so the partition, and with it every first-touch allocation and
+    /// worker affinity, stays fixed for the life of the machine.
+    shard_map: Option<ShardMap>,
 }
 
 /// The flat link-table slot of the undirected link `{src, dst}`:
@@ -422,6 +458,32 @@ fn link_slot<T: Topology + ?Sized>(topo: &T, ports: u32, src: NodeId, dst: NodeI
         .port_of(a, b)
         .expect("validated delivery runs along a live edge");
     a * ports as usize + port as usize
+}
+
+/// Flushes one compiled schedule's deferred replay accounting (see
+/// `schedule::AcctPlan`) into the recorder's link table: per-dst counts
+/// map through the compiled pattern to link slots — one `link_slot`
+/// resolution per *touched receiver per flush*, not per message per
+/// cycle. Free function so the machine can destructure its fields
+/// (recorder, schedule cache, topology) without aliasing.
+fn flush_acct_into<T: Topology + ?Sized>(
+    topo: &T,
+    ports: u32,
+    rec: &mut Recorder,
+    enc: &[u32],
+    acct: &mut AcctPlan,
+) {
+    if !acct.dirty {
+        return;
+    }
+    for (dst, &m) in acct.msgs.iter().enumerate() {
+        if m > 0 {
+            let src = (enc[dst] & NO_SRC) as usize;
+            let slot = link_slot(topo, ports, src, dst);
+            rec.record_link_bulk(slot, m as u64, acct.words[dst], acct.is_cross(dst));
+        }
+    }
+    acct.reset_counts();
 }
 
 impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
@@ -460,21 +522,90 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             faults: FaultState::new(),
             recorder: crate::obs::default_recorder(),
             link_ports: None,
+            shard_req: 0,
+            shard_map: None,
         }
     }
 
     /// The flat link-table stride, computed lazily (only recorded cycles
     /// call this). `max(1)` so degenerate single-node topologies still
-    /// index safely.
+    /// index safely. Also the recorder's cue to segment its link table
+    /// along the shard map (one segment per shard's min-endpoint slot
+    /// range), so segment allocation is first-touch per shard.
     fn link_ports(&mut self) -> u32 {
-        match self.link_ports {
+        let p = match self.link_ports {
             Some(p) => p,
             None => {
                 let p = self.topo.max_ports().max(1);
                 self.link_ports = Some(p);
                 p
             }
+        };
+        let chunk = self.shard_map().chunk();
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.configure_links(chunk.saturating_mul(p as usize));
         }
+        p
+    }
+
+    /// Sets the shard count for the sharded cycle engine: `0` derives it
+    /// from the worker count (the default), otherwise `count` must be 1
+    /// or a power of 4 — the paper's Section-4 recursion splits `D_n`
+    /// into four `D_(n-1)` copies per level, and the shard map keys off
+    /// the same top address bits (see `dc_topology::ShardMap`).
+    ///
+    /// Sharding is an execution-layout knob like [`Machine::set_exec`]:
+    /// states, metrics, traces, and error reports are bit-identical at
+    /// every `S` (pinned by `tests/shard_determinism.rs`); only memory
+    /// locality and wall-clock change. Takes effect from the next cycle;
+    /// the map resolves once and then stays fixed for the machine's life.
+    pub fn set_shards(&mut self, count: usize) {
+        assert!(
+            count == 0 || (count.is_power_of_two() && count.trailing_zeros().is_multiple_of(2)),
+            "shard count must be 0 (auto), 1, or a power of 4, got {count}"
+        );
+        self.shard_req = count;
+        self.shard_map = None;
+    }
+
+    /// The resolved shard count (resolving the map if needed).
+    pub fn shards(&mut self) -> usize {
+        self.shard_map().count()
+    }
+
+    /// The machine's shard map, resolved on first use and sticky after:
+    /// the requested count, or — in auto mode — the smallest power of 4
+    /// covering the worker count (capped at 64), so every pool worker
+    /// can own at least one whole shard.
+    fn shard_map(&mut self) -> ShardMap {
+        match self.shard_map {
+            Some(map) => map,
+            None => {
+                let count = match self.shard_req {
+                    0 => {
+                        let workers = crate::parallel::available_threads();
+                        let mut s = 1usize;
+                        while s < workers && s < 64 {
+                            s *= 4;
+                        }
+                        s
+                    }
+                    c => c,
+                };
+                let map = ShardMap::new(self.states.len(), count);
+                self.shard_map = Some(map);
+                map
+            }
+        }
+    }
+
+    /// Rebuilds `scratch.shard_bounds` for the current worker count and
+    /// returns the number of dispatch slots it describes.
+    fn shard_bounds(&mut self) -> usize {
+        let map = self.shard_map();
+        let workers = crate::parallel::available_threads();
+        map.slot_bounds_into(workers, &mut self.scratch.shard_bounds);
+        self.scratch.shard_bounds.len() - 1
     }
 
     /// [`Machine::new`] with an explicit execution backend.
@@ -523,7 +654,46 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     /// needed for correctness — replay re-checks the pattern every cycle
     /// — but useful to re-measure cold-cache behaviour.
     pub fn clear_schedules(&mut self) {
+        self.flush_deferred_links();
         self.schedules.clear();
+    }
+
+    /// Drains every schedule's deferred replay accounting into the live
+    /// recorder's link table (no-op without one). Called wherever a
+    /// schedule — or the recorder — is about to leave the machine.
+    fn flush_deferred_links(&mut self) {
+        let Some(rec) = self.recorder.as_mut() else {
+            return;
+        };
+        // Deferred counts only accumulate on recorded replays, which
+        // resolve `link_ports` first — so `None` here means no counts.
+        let Some(ports) = self.link_ports else {
+            return;
+        };
+        let topo = self.topo;
+        for entry in self.schedules.entries_mut() {
+            let CompiledSchedule { enc, acct, .. } = entry;
+            if let Some(acct) = acct.as_deref_mut() {
+                flush_acct_into(topo, ports, rec, enc, acct);
+            }
+        }
+    }
+
+    /// Flushes one schedule's deferred accounting right before the entry
+    /// is dropped — the stale-epoch eviction path on cache insert.
+    fn flush_evicted(&mut self, mut evicted: CompiledSchedule) {
+        let CompiledSchedule { enc, acct, .. } = &mut evicted;
+        let Some(acct) = acct.as_deref_mut() else {
+            return;
+        };
+        if !acct.dirty || self.recorder.is_none() {
+            return;
+        }
+        let ports = self.link_ports();
+        let topo = self.topo;
+        if let Some(rec) = self.recorder.as_mut() {
+            flush_acct_into(topo, ports, rec, enc, acct);
+        }
     }
 
     /// Arms a scripted [`FaultPlan`]: its events apply at the
@@ -608,8 +778,11 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     /// Installs a recorder: every subsequent phase boundary and cycle
     /// emits one structured [`Event`] into `sink`, and per-link
     /// utilization counters start accumulating (see the [`crate::obs`]
-    /// module docs). Replaces any previously installed recorder.
+    /// module docs). Replaces any previously installed recorder (whose
+    /// pending deferred accounting is flushed into it first, so the old
+    /// recorder leaves complete).
     pub fn record_into(&mut self, sink: SharedSink) {
+        self.flush_deferred_links();
         self.recorder = Some(Recorder::new(sink));
     }
 
@@ -621,17 +794,43 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     }
 
     /// Uninstalls the recorder and returns it, so callers can still ask
-    /// the detached recorder for its [`Recorder::link_report`]. Returns
-    /// `None` if no recorder was installed.
+    /// the detached recorder for its [`Recorder::link_report`]. Any
+    /// deferred replay accounting is flushed into it first, so the
+    /// detached report is complete. Returns `None` if no recorder was
+    /// installed.
     pub fn stop_recording(&mut self) -> Option<Recorder> {
+        self.flush_deferred_links();
         self.recorder.take()
     }
 
     /// The per-link utilization report accumulated so far, or `None` if
     /// no recorder is installed (link accounting only runs while
-    /// recording — see [`crate::obs::LinkReport`]).
+    /// recording — see [`crate::obs::LinkReport`]). Not-yet-flushed
+    /// deferred replay accounting is overlaid on a temporary copy, so
+    /// the report is exact at any observation point without mutating
+    /// the machine.
     pub fn link_report(&self) -> Option<LinkReport> {
-        self.recorder.as_ref().map(Recorder::link_report)
+        let rec = self.recorder.as_ref()?;
+        let Some(ports) = self.link_ports else {
+            return Some(rec.link_report());
+        };
+        let topo = self.topo;
+        Some(rec.link_report_with(|add| {
+            for entry in self.schedules.entries() {
+                if let Some(acct) = entry.acct.as_deref() {
+                    if !acct.dirty {
+                        continue;
+                    }
+                    for (dst, &m) in acct.msgs.iter().enumerate() {
+                        if m > 0 {
+                            let src = (entry.enc[dst] & NO_SRC) as usize;
+                            let slot = link_slot(topo, ports, src, dst);
+                            add(slot, m as u64, acct.words[dst], acct.is_cross(dst));
+                        }
+                    }
+                }
+            }
+        }))
     }
 
     /// The underlying topology.
@@ -982,21 +1181,20 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         // (lazy: unrecorded machines never compute it).
         let ports = if record_links { self.link_ports() } else { 0 };
 
+        // Resolve the shard-aligned dispatch bounds before scratch is
+        // borrowed field-by-field below (the rebuild needs `&mut self`).
+        if threaded {
+            self.shard_bounds();
+        }
+
         // Phase 1 — plan: read-only over the states, one slot per node,
-        // written into the reusable scratch buffer. The threaded path
-        // also resets the claim table inside the same dispatch (each node
-        // resets its own cell), so validation needs no clearing pass.
+        // written into the reusable scratch buffer. The claim table is
+        // reset shard-locally inside validation pass A, so the plan
+        // dispatch stays a pure read of the states.
         let plans = self.scratch.plans.cleared::<Option<(NodeId, M)>>();
         if threaded {
-            let claims = &mut self.scratch.claims;
-            if claims.len() != n {
-                claims.clear();
-                claims.resize_with(n, || AtomicU32::new(NO_SRC));
-            }
-            let claims: &[AtomicU32] = claims;
             plans.resize_with(n, || None);
             par_zip_apply(plans, &self.states, &|u, slot, s| {
-                claims[u].store(NO_SRC, Ordering::Relaxed);
                 *slot = plan(u, s);
             });
         } else {
@@ -1005,14 +1203,16 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
 
         // Phase 2 — validate the cycle before touching any state. The
         // sequential backend walks the plans in node order and stops at
-        // the first violation. The threaded backend runs two parallel
-        // reduction passes and reports the lowest-index violation, which
-        // is provably the same one (see the doc of `validate_parallel`).
+        // the first violation. The threaded backend runs the sharded
+        // claim passes and reports the lowest-index violation, which
+        // is provably the same one (see the doc of `validate_sharded`).
         let acc = if threaded {
-            Self::validate_parallel(
+            Self::validate_sharded(
                 self.topo,
                 plans,
-                &self.scratch.claims,
+                &mut self.scratch.claims,
+                &mut self.scratch.exchange,
+                &self.scratch.shard_bounds,
                 &self.faults,
                 &words,
                 n,
@@ -1063,6 +1263,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                 enc,
                 delivered: acc.delivered,
                 epoch: self.faults.epoch(),
+                acct: None,
             }
         });
 
@@ -1112,11 +1313,17 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                 }
             }
             let srcs: &[u32] = srcs;
-            par_zip_apply_mut(&mut self.states, payload, &|u, s, slot| {
-                if let Some(msg) = slot.take() {
-                    deliver(s, srcs[u] as usize, msg);
-                }
-            });
+            par_lane_apply_bounds(
+                &self.scratch.shard_bounds,
+                &mut self.states,
+                1,
+                payload,
+                &|u, s, slot| {
+                    if let Some(msg) = slot[0].take() {
+                        deliver(s, srcs[u] as usize, msg);
+                    }
+                },
+            );
         } else {
             for (src, p) in plans.iter_mut().enumerate() {
                 if let Some((dst, msg)) = p.take() {
@@ -1145,7 +1352,9 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             self.faults.clear_drops();
         }
         if let Some(c) = compiled {
-            self.schedules.insert(c);
+            if let Some(evicted) = self.schedules.insert(c) {
+                self.flush_evicted(evicted);
+            }
         }
         self.emit_comm(
             obs,
@@ -1214,46 +1423,81 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         acc
     }
 
-    /// The threaded backend's deterministic validation: two parallel
-    /// reduction passes over the plans.
+    /// The threaded backend's deterministic validation, sharded: claim
+    /// passes with **no cross-shard atomics** anywhere.
     ///
-    /// **Pass 1 (local checks + claims).** Each sender checks, in the
-    /// sequential order, out-of-range → self-message → failed endpoint →
-    /// non-adjacent → downed link (all position-independent); a
-    /// locally *valid* sender also publishes itself into its receiver's
-    /// claim cell with an atomic `fetch_min`, so after the pass
-    /// `claims[dst]` holds the lowest locally-valid sender targeting
-    /// `dst`. **Pass 2 (conflicts).** Every sender whose claim cell names
-    /// someone else records a receive conflict. The passes reduce the
+    /// **Pass A (local checks + shard-local claims).** Each dispatch slot
+    /// owns a shard-aligned node range (see `ShardMap::slot_bounds_into`):
+    /// it resets its own claim range, clears its own exchange row, then
+    /// checks its senders in the sequential order — out-of-range →
+    /// self-message → failed endpoint → non-adjacent → downed link (all
+    /// position-independent). A locally *valid* sender whose receiver
+    /// lives in the same range min-merges into the plain claim cell
+    /// directly; a cross-shard receiver is staged as `(src, dst)` into the
+    /// owning row's bin for the destination slot (single producer).
+    /// **Pass B (drain).** Each slot drains every row's bin addressed to
+    /// it (single consumer) and min-merges into its own claim range, so
+    /// after the barrier `claims[dst]` holds the exact minimum
+    /// locally-valid sender targeting `dst` — the same value the old
+    /// atomic `fetch_min` converged to, now with plain `u32` stores.
+    /// **Pass C (conflicts).** Every sender whose claim cell names someone
+    /// else records a receive conflict. All passes reduce the
     /// lowest-sender-index violation (counters summing alongside), folded
-    /// in slot order, then pass 1's result merges before pass 2's.
+    /// in slot order, then pass A's result merges before pass C's.
     ///
     /// Why this reproduces the sequential report bit-identically: the
     /// sequential walk surfaces the violation with the lowest sender
     /// index, checking locally before conflicts at each sender. Local
-    /// violations are position-independent, so pass 1 finds the same set.
+    /// violations are position-independent, so pass A finds the same set.
     /// For conflicts, the sequential walk fingers the *second-lowest*
     /// sender of the contested receiver and names the lowest as
-    /// `first_src` — exactly what `fetch_min` + "am I the claimant?"
-    /// yields, at any worker count, because the claim cell converges to
-    /// the minimum regardless of scheduling. A locally-invalid sender
-    /// never claims, and any bogus conflict pass 2 records for it sits at
-    /// the same index as its pass-1 local violation, which the
-    /// merge-order tiebreak (pass 1 first) discards — mirroring the
+    /// `first_src` — exactly what the exact-min claim cell + "am I the
+    /// claimant?" yields, at any slot count, because pass A + B compute
+    /// the true minimum regardless of scheduling. A locally-invalid
+    /// sender never claims, and any bogus conflict pass C records for it
+    /// sits at the same index as its pass-A local violation, which the
+    /// merge-order tiebreak (pass A first) discards — mirroring the
     /// sequential per-sender check order.
-    fn validate_parallel<M: Send + Sync + 'static>(
+    #[allow(clippy::too_many_arguments)]
+    fn validate_sharded<M: Send + Sync + 'static>(
         topo: &T,
         plans: &[Option<(NodeId, M)>],
-        claims: &[AtomicU32],
+        claims: &mut Vec<u32>,
+        exchange: &mut Vec<ExchangeRow>,
+        bounds: &[usize],
         faults: &FaultState,
         words: &(impl Fn(&M) -> u64 + Sync),
         n: usize,
     ) -> CycleAcc {
-        let local = par_for_reduce(
-            n,
+        let slots = bounds.len() - 1;
+        if claims.len() != n {
+            claims.clear();
+            claims.resize(n, NO_SRC);
+        }
+        if exchange.len() != slots {
+            exchange.resize_with(slots, ExchangeRow::default);
+        }
+        for row in exchange.iter_mut() {
+            if row.bins.len() != slots {
+                row.bins.resize_with(slots, Vec::new);
+            }
+        }
+        let local = par_slab_reduce(
+            bounds,
+            claims.as_mut_slice(),
+            exchange.as_mut_slice(),
             CycleAcc::EMPTY,
-            &|src, acc| {
-                if let Some((dst, msg)) = &plans[src] {
+            &|_slot, start, chunk, row, acc| {
+                chunk.fill(NO_SRC);
+                for bin in row.bins.iter_mut() {
+                    bin.clear();
+                }
+                let end = start + chunk.len();
+                for (off, p) in plans[start..end].iter().enumerate() {
+                    let src = start + off;
+                    let Some((dst, msg)) = p else {
+                        continue;
+                    };
                     let dst = *dst;
                     if dst >= n {
                         acc.violate(
@@ -1276,7 +1520,15 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                     } else {
                         // `src < n < NO_SRC` by the construction bound,
                         // so packed claims order exactly like node ids.
-                        claims[dst].fetch_min(src as u32, Ordering::Relaxed);
+                        if dst >= start && dst < end {
+                            let c = &mut chunk[dst - start];
+                            if (src as u32) < *c {
+                                *c = src as u32;
+                            }
+                        } else {
+                            let dst_slot = bounds.partition_point(|&b| b <= dst) - 1;
+                            row.bins[dst_slot].push((src as u32, dst as u32));
+                        }
                         acc.delivered += 1;
                         acc.words += words(msg);
                     }
@@ -1288,6 +1540,35 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             // Nobody spoke: no claims were made, so no conflicts exist.
             return local;
         }
+        if exchange
+            .iter()
+            .any(|row| row.bins.iter().any(|b| !b.is_empty()))
+        {
+            // Pass B runs only when pass A actually staged a cross-shard
+            // claim. The rows are read-only here (captured shared); the
+            // per-slot slabs are unit placeholders since each slot's
+            // exclusive write target is its claim range.
+            let rows: &[ExchangeRow] = exchange;
+            let mut units = [(); 32];
+            par_slab_reduce(
+                bounds,
+                claims.as_mut_slice(),
+                &mut units[..slots],
+                (),
+                &|slot, start, chunk, _unit, _acc| {
+                    for row in rows {
+                        for &(src, dst) in &row.bins[slot] {
+                            let c = &mut chunk[dst as usize - start];
+                            if src < *c {
+                                *c = src;
+                            }
+                        }
+                    }
+                },
+                |(), ()| (),
+            );
+        }
+        let claims: &[u32] = claims;
         let conflicts = par_for_reduce(
             n,
             CycleAcc::EMPTY,
@@ -1295,7 +1576,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                 if let Some((dst, _)) = &plans[src] {
                     let dst = *dst;
                     if dst < n && dst != src {
-                        let first = claims[dst].load(Ordering::Relaxed) as usize;
+                        let first = claims[dst] as usize;
                         if first != src {
                             acc.violate(
                                 src,
@@ -1336,8 +1617,38 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         let n = self.states.len();
         let threaded = self.threaded();
         let record_links = self.recorder.is_some();
-        let ports = if record_links { self.link_ports() } else { 0 };
-        let sched = self.schedules.get(key).expect("caller checked the cache");
+        if record_links {
+            // Resolve the link-table stride eagerly: the deferred flush
+            // helpers treat an unresolved stride as "no counts pending".
+            self.link_ports();
+            // Lazily attach the deferred-accounting plan on a recorded
+            // replay's first sighting of this schedule. The cross-edge
+            // bitset is schedule-determined, so it is computed once here
+            // and the per-cycle loop below never calls into the topology.
+            let topo = self.topo;
+            let sched = self
+                .schedules
+                .get_mut(key)
+                .expect("caller checked the cache");
+            if sched.acct.is_none() {
+                let mut acct = Box::new(AcctPlan::new(n));
+                for (dst, &e) in sched.enc.iter().enumerate() {
+                    let src = (e & NO_SRC) as usize;
+                    if src != NO_SRC as usize && topo.is_cross_edge(src, dst) {
+                        acct.set_cross(dst);
+                    }
+                }
+                sched.acct = Some(acct);
+            }
+        }
+        if threaded {
+            self.shard_bounds();
+        }
+        let sched = self
+            .schedules
+            .get_mut(key)
+            .expect("caller checked the cache");
+        let sched_delivered = sched.delivered;
         // Split inbox: `srcs[u]` carries the packed sender (`NO_SRC` =
         // silent), written unconditionally by every receiver's fused
         // pass, so stale values never leak across cycles (and the array
@@ -1381,7 +1692,8 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             }
         };
         let acc = if threaded {
-            par_lane_reduce(
+            par_lane_reduce_bounds(
+                &self.scratch.shard_bounds,
                 srcs,
                 1,
                 payload,
@@ -1408,30 +1720,39 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             let phase = self.metrics.phases.len().checked_sub(1).map(|i| i as u32);
             trace.push((phase, sched.trace_pairs()));
         }
-        // Link accounting over the staged inbox (one slot per delivered
-        // message — drops were excluded during the fused pass), mirroring
-        // the full path's per-delivery accounting exactly.
+        // Deferred link accounting over the staged inbox (one slot per
+        // delivered message — drops were excluded during the fused pass).
+        // Replay schedules are fixed, so the per-dst counts accumulate in
+        // the schedule's `AcctPlan` and resolve to link slots only at the
+        // flush points; the cycle itself pays two plain increments and a
+        // precomputed cross bit per message — no `port_of` resolution.
         if record_links {
+            let acct = sched.acct.as_deref_mut().expect("attached above");
+            let mut util = LinkUtil::default();
             for (dst, slot) in payload.iter().enumerate() {
                 if let Some(msg) = slot {
-                    let src = srcs[dst] as usize;
                     let w = words(msg);
-                    let cross = self.topo.is_cross_edge(src, dst);
-                    self.metrics.link_util.record(cross, w);
-                    let slot = link_slot(self.topo, ports, src, dst);
-                    if let Some(rec) = self.recorder.as_mut() {
-                        rec.record_link(slot, w, cross);
-                    }
+                    acct.msgs[dst] += 1;
+                    acct.words[dst] += w;
+                    util.record(acct.is_cross(dst), w);
                 }
             }
+            acct.dirty = true;
+            self.metrics.link_util.add_bulk(util);
         }
         let srcs: &[u32] = srcs;
         if threaded {
-            par_zip_apply_mut(&mut self.states, payload, &|u, s, slot| {
-                if let Some(msg) = slot.take() {
-                    deliver(s, srcs[u] as usize, msg);
-                }
-            });
+            par_lane_apply_bounds(
+                &self.scratch.shard_bounds,
+                &mut self.states,
+                1,
+                payload,
+                &|u, s, slot| {
+                    if let Some(msg) = slot[0].take() {
+                        deliver(s, srcs[u] as usize, msg);
+                    }
+                },
+            );
         } else {
             for (u, slot) in payload.iter_mut().enumerate() {
                 if let Some(msg) = slot.take() {
@@ -1440,7 +1761,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             }
         }
         let delivered = acc.delivered;
-        let dropped = (sched.delivered - delivered) as u64;
+        let dropped = (sched_delivered - delivered) as u64;
         self.metrics.record_comm_words(delivered as u64, acc.words);
         self.metrics.dropped_messages += dropped;
         if drops_active {
@@ -2157,20 +2478,19 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         let record_links = self.recorder.is_some();
         let ports = if record_links { self.link_ports() } else { 0 };
 
+        // Resolve the shard-aligned dispatch bounds before scratch is
+        // borrowed field-by-field below (the rebuild needs `&mut self`).
+        if threaded {
+            self.shard_bounds();
+        }
+
         // Phase 1 — plan. Destinations only: payloads go straight into
         // the lane windows after validation, so the plan slab carries
         // unit messages.
         let plans = self.scratch.plans.cleared::<Option<(NodeId, ())>>();
         if threaded {
-            let claims = &mut self.scratch.claims;
-            if claims.len() != n {
-                claims.clear();
-                claims.resize_with(n, || AtomicU32::new(NO_SRC));
-            }
-            let claims: &[AtomicU32] = claims;
             plans.resize_with(n, || None);
             par_zip_apply(plans, &self.states, &|u, slot, s| {
-                claims[u].store(NO_SRC, Ordering::Relaxed);
                 *slot = plan(u, s).map(|dst| (dst, ()));
             });
         } else {
@@ -2184,10 +2504,12 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
 
         // Phase 2 — validate, with every message charged `lanes` words.
         let acc = if threaded {
-            Self::validate_parallel(
+            Self::validate_sharded(
                 self.topo,
                 plans,
-                &self.scratch.claims,
+                &mut self.scratch.claims,
+                &mut self.scratch.exchange,
+                &self.scratch.shard_bounds,
                 &self.faults,
                 &|_: &()| lane_words,
                 n,
@@ -2232,6 +2554,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
                 enc,
                 delivered: acc.delivered,
                 epoch: self.faults.epoch(),
+                acct: None,
             }
         });
 
@@ -2269,11 +2592,17 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         }
         if threaded {
             let srcs: &[u32] = lane_src;
-            par_lane_apply(&mut self.states, lanes, lanebuf, &|u, s, window| {
-                if srcs[u] != NO_SRC {
-                    deliver(s, srcs[u] as usize, window);
-                }
-            });
+            par_lane_apply_bounds(
+                &self.scratch.shard_bounds,
+                &mut self.states,
+                lanes,
+                lanebuf,
+                &|u, s, window| {
+                    if srcs[u] != NO_SRC {
+                        deliver(s, srcs[u] as usize, window);
+                    }
+                },
+            );
         } else {
             for (u, (s, window)) in self
                 .states
@@ -2294,7 +2623,9 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             self.faults.clear_drops();
         }
         if let Some(c) = compiled {
-            self.schedules.insert(c);
+            if let Some(evicted) = self.schedules.insert(c) {
+                self.flush_evicted(evicted);
+            }
         }
         self.emit_comm(
             obs,
@@ -2331,8 +2662,35 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         let threaded = self.threaded();
         let lane_words = lanes as u64;
         let record_links = self.recorder.is_some();
-        let ports = if record_links { self.link_ports() } else { 0 };
-        let sched = self.schedules.get(key).expect("caller checked the cache");
+        if record_links {
+            // Same deferred-accounting setup as `replay_cycle`: resolve
+            // the stride (flush helpers treat `None` as "nothing
+            // pending") and attach the plan with its cross-edge bitset.
+            self.link_ports();
+            let topo = self.topo;
+            let sched = self
+                .schedules
+                .get_mut(key)
+                .expect("caller checked the cache");
+            if sched.acct.is_none() {
+                let mut acct = Box::new(AcctPlan::new(n));
+                for (dst, &e) in sched.enc.iter().enumerate() {
+                    let src = (e & NO_SRC) as usize;
+                    if src != NO_SRC as usize && topo.is_cross_edge(src, dst) {
+                        acct.set_cross(dst);
+                    }
+                }
+                sched.acct = Some(acct);
+            }
+        }
+        if threaded {
+            self.shard_bounds();
+        }
+        let sched = self
+            .schedules
+            .get_mut(key)
+            .expect("caller checked the cache");
+        let sched_delivered = sched.delivered;
         let lane_src = &mut self.scratch.lane_src;
         // Every entry is written by the fused pass below, so only the
         // length matters — no clearing pass.
@@ -2366,7 +2724,8 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             }
         };
         let acc = if threaded {
-            par_lane_reduce(
+            par_lane_reduce_bounds(
+                &self.scratch.shard_bounds,
                 lane_src,
                 lanes,
                 lanebuf,
@@ -2395,28 +2754,34 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             let phase = self.metrics.phases.len().checked_sub(1).map(|i| i as u32);
             trace.push((phase, sched.trace_pairs()));
         }
-        // Link accounting over the staged senders (drops were excluded
-        // during the fused pass), mirroring the full path exactly.
+        // Deferred link accounting over the staged senders (drops were
+        // excluded during the fused pass) — see `replay_cycle`.
         if record_links {
+            let acct = sched.acct.as_deref_mut().expect("attached above");
+            let mut util = LinkUtil::default();
             for (dst, &src) in lane_src.iter().enumerate() {
                 if src != NO_SRC {
-                    let src = src as usize;
-                    let cross = self.topo.is_cross_edge(src, dst);
-                    self.metrics.link_util.record(cross, lane_words);
-                    let slot = link_slot(self.topo, ports, src, dst);
-                    if let Some(rec) = self.recorder.as_mut() {
-                        rec.record_link(slot, lane_words, cross);
-                    }
+                    acct.msgs[dst] += 1;
+                    acct.words[dst] += lane_words;
+                    util.record(acct.is_cross(dst), lane_words);
                 }
             }
+            acct.dirty = true;
+            self.metrics.link_util.add_bulk(util);
         }
         if threaded {
             let srcs: &[u32] = lane_src;
-            par_lane_apply(&mut self.states, lanes, lanebuf, &|u, s, window| {
-                if srcs[u] != NO_SRC {
-                    deliver(s, srcs[u] as usize, window);
-                }
-            });
+            par_lane_apply_bounds(
+                &self.scratch.shard_bounds,
+                &mut self.states,
+                lanes,
+                lanebuf,
+                &|u, s, window| {
+                    if srcs[u] != NO_SRC {
+                        deliver(s, srcs[u] as usize, window);
+                    }
+                },
+            );
         } else {
             for (u, (s, window)) in self
                 .states
@@ -2430,7 +2795,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             }
         }
         let delivered = acc.delivered;
-        let dropped = (sched.delivered - delivered) as u64;
+        let dropped = (sched_delivered - delivered) as u64;
         self.metrics.record_comm_words(delivered as u64, acc.words);
         self.metrics.dropped_messages += dropped;
         if drops_active {

@@ -70,6 +70,17 @@ impl LinkUtil {
         }
     }
 
+    /// Folds a batch of pre-classified counts in — the sharded replay
+    /// path accumulates a whole cycle's cross/cube totals in locals and
+    /// flushes them here once, instead of calling [`LinkUtil::record`]
+    /// per message.
+    pub fn add_bulk(&mut self, other: LinkUtil) {
+        self.cross_messages += other.cross_messages;
+        self.cross_words += other.cross_words;
+        self.cube_messages += other.cube_messages;
+        self.cube_words += other.cube_words;
+    }
+
     /// Whether nothing has been recorded (the unrecorded-run state).
     pub fn is_empty(&self) -> bool {
         *self == LinkUtil::default()

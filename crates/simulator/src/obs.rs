@@ -363,6 +363,103 @@ struct LinkCounter {
     cross: bool,
 }
 
+/// The recorder's link-counter store: the flat port-indexed slot space
+/// split into fixed-size **segments** allocated on first touch.
+///
+/// A single flat `Vec` indexed by `min · max_ports + port` must grow to
+/// the highest slot touched — at `D_12` (8.4 M nodes × 13 ports) that is
+/// GB-scale before the run records a single event, even when the run
+/// only ever touches a thin band of links. Segmenting the slot space
+/// (the machine configures `seg_slots = shard_chunk · max_ports`, so one
+/// segment holds exactly the links whose **min endpoint** lives in one
+/// shard) makes allocation proportional to the shards actually traffic-
+/// carrying, and makes each segment's first touch happen on the worker
+/// that owns the shard — first-touch locality for the sharded engine.
+///
+/// Unconfigured (`seg_slots == 0`) the table degenerates to the old
+/// single growing segment, which standalone recorders (no machine
+/// attached) still use. Slot order is preserved either way: iterating
+/// segments in order then slots in order visits the global slot space
+/// ascending, so reports are bit-identical to the flat layout.
+#[derive(Debug, Clone, Default)]
+struct LinkTable {
+    /// Slots per segment; `0` = unsegmented single-segment fallback.
+    seg_slots: usize,
+    /// `segs[s]` covers global slots `[s · seg_slots, (s+1) · seg_slots)`,
+    /// grown lazily to the highest local slot touched.
+    segs: Vec<Vec<LinkCounter>>,
+}
+
+impl LinkTable {
+    /// Whether no counter has been touched yet (configuration window).
+    fn is_untouched(&self) -> bool {
+        self.segs.iter().all(|s| s.is_empty())
+    }
+
+    /// Sets the segment width. Only effective while the table is
+    /// untouched — re-bucketing live counters is never worth it, and the
+    /// totals are layout-independent anyway.
+    fn configure(&mut self, seg_slots: usize) {
+        if seg_slots > 0 && self.seg_slots != seg_slots && self.is_untouched() {
+            self.seg_slots = seg_slots;
+            self.segs.clear();
+        }
+    }
+
+    /// Folds `messages`/`words` into `slot`'s counter, growing the
+    /// owning segment (and the segment directory) on first touch.
+    #[inline]
+    fn add(&mut self, slot: usize, messages: u64, words: u64, cross: bool) {
+        // `checked_div` gates the unsegmented fallback (`seg_slots == 0`).
+        let (seg, local) = match slot.checked_div(self.seg_slots) {
+            Some(seg) => (seg, slot % self.seg_slots),
+            None => (0, slot),
+        };
+        if self.segs.len() <= seg {
+            self.segs.resize(seg + 1, Vec::new());
+        }
+        let s = &mut self.segs[seg];
+        if s.len() <= local {
+            s.resize(local + 1, LinkCounter::default());
+        }
+        let c = &mut s[local];
+        c.messages += messages;
+        c.words += words;
+        c.cross = cross;
+    }
+
+    /// Every allocated counter in ascending global-slot order.
+    fn counters(&self) -> impl Iterator<Item = &LinkCounter> {
+        self.segs.iter().flat_map(|s| s.iter())
+    }
+
+    /// Rolls the counters up into the cross-vs-cube utilization report.
+    fn report(&self) -> LinkReport {
+        let mut r = LinkReport::default();
+        for c in self.counters().filter(|c| c.messages > 0) {
+            let bucket = (63 - c.messages.leading_zeros()) as usize; // ⌊log₂⌋; messages ≥ 1
+            if c.cross {
+                r.cross_links += 1;
+                r.cross_messages += c.messages;
+                r.cross_words += c.words;
+                if r.cross_hist.len() <= bucket {
+                    r.cross_hist.resize(bucket + 1, 0);
+                }
+                r.cross_hist[bucket] += 1;
+            } else {
+                r.cube_links += 1;
+                r.cube_messages += c.messages;
+                r.cube_words += c.words;
+                if r.cube_hist.len() <= bucket {
+                    r.cube_hist.resize(bucket + 1, 0);
+                }
+                r.cube_hist[bucket] += 1;
+            }
+        }
+        r
+    }
+}
+
 /// Cross-edge vs. cube-edge utilization rollup of a recorded run's
 /// per-link send counters (see [`Recorder::link_report`]).
 ///
@@ -423,10 +520,10 @@ pub struct Recorder {
     sink: SharedSink,
     origin: Instant,
     seq: u64,
-    /// Flat port-indexed per-link counters; grows on demand to the
-    /// highest slot touched (≤ `num_nodes · max_ports`, and in practice
-    /// bounded by the links the run actually uses).
-    links: Vec<LinkCounter>,
+    /// Segmented port-indexed per-link counters (see [`LinkTable`]);
+    /// segments allocate on first touch, so the footprint follows the
+    /// links the run actually uses, never `num_nodes · max_ports`.
+    links: LinkTable,
 }
 
 impl Recorder {
@@ -437,8 +534,15 @@ impl Recorder {
             sink,
             origin: Instant::now(),
             seq: 0,
-            links: Vec::new(),
+            links: LinkTable::default(),
         }
+    }
+
+    /// Sets the link table's segment width (the machine passes
+    /// `shard_chunk · max_ports`, aligning segment ownership with its
+    /// shard map). Only effective before the first counter is touched.
+    pub(crate) fn configure_links(&mut self, seg_slots: usize) {
+        self.links.configure(seg_slots);
     }
 
     pub(crate) fn next_seq(&mut self) -> u64 {
@@ -466,45 +570,40 @@ impl Recorder {
     /// steady-state recording never reallocates once the run's highest
     /// slot has been touched.
     pub(crate) fn record_link(&mut self, slot: usize, words: u64, cross: bool) {
-        if self.links.len() <= slot {
-            self.links.resize(slot + 1, LinkCounter::default());
-        }
-        let c = &mut self.links[slot];
-        c.messages += 1;
-        c.words += words;
-        c.cross = cross;
+        self.links.add(slot, 1, words, cross);
+    }
+
+    /// Folds a whole batch of messages into one link slot at once — the
+    /// flush path of the machine's deferred replay accounting (see
+    /// `schedule::AcctPlan`).
+    pub(crate) fn record_link_bulk(&mut self, slot: usize, messages: u64, words: u64, cross: bool) {
+        self.links.add(slot, messages, words, cross);
     }
 
     /// Number of distinct links that carried at least one message.
     fn touched_links(&self) -> usize {
-        self.links.iter().filter(|c| c.messages > 0).count()
+        self.links.counters().filter(|c| c.messages > 0).count()
     }
 
     /// Rolls the per-link counters up into the cross-vs-cube utilization
     /// report.
     pub fn link_report(&self) -> LinkReport {
-        let mut r = LinkReport::default();
-        for c in self.links.iter().filter(|c| c.messages > 0) {
-            let bucket = (63 - c.messages.leading_zeros()) as usize; // ⌊log₂⌋; messages ≥ 1
-            if c.cross {
-                r.cross_links += 1;
-                r.cross_messages += c.messages;
-                r.cross_words += c.words;
-                if r.cross_hist.len() <= bucket {
-                    r.cross_hist.resize(bucket + 1, 0);
-                }
-                r.cross_hist[bucket] += 1;
-            } else {
-                r.cube_links += 1;
-                r.cube_messages += c.messages;
-                r.cube_words += c.words;
-                if r.cube_hist.len() <= bucket {
-                    r.cube_hist.resize(bucket + 1, 0);
-                }
-                r.cube_hist[bucket] += 1;
-            }
-        }
-        r
+        self.links.report()
+    }
+
+    /// [`Recorder::link_report`] with not-yet-flushed deferred counts
+    /// overlaid: `feed` is handed a `add(slot, messages, words, cross)`
+    /// callback and may fold in any pending per-link deltas; the report
+    /// is computed from a temporary copy, leaving the live table (and
+    /// the pending deltas) untouched. This keeps `Machine::link_report`
+    /// a `&self` observation even while replay accounting is deferred.
+    pub(crate) fn link_report_with<F>(&self, feed: F) -> LinkReport
+    where
+        F: FnOnce(&mut dyn FnMut(usize, u64, u64, bool)),
+    {
+        let mut table = self.links.clone();
+        feed(&mut |slot, messages, words, cross| table.add(slot, messages, words, cross));
+        table.report()
     }
 }
 

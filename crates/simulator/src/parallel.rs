@@ -335,6 +335,100 @@ pub fn par_lane_apply<A: Send, V: Send>(
     par_lane_reduce(a, stride, lanes, (), &|i, x, w, _| f(i, x, w), |_, _| ());
 }
 
+/// [`par_lane_reduce`] with an explicit slot → element-range partition
+/// instead of the uniform chunking: slot `k` owns
+/// `a[bounds[k]..bounds[k+1]]` (and the stride-scaled window of
+/// `lanes`). The machine passes shard-aligned bounds so each dispatch
+/// slot touches whole shards — see `ShardMap::slot_bounds_into`. Bounds
+/// ascend, so the slot-order fold is still a fold in ascending node
+/// order: bit-identical to the sequential loop at any slot count.
+pub(crate) fn par_lane_reduce_bounds<A: Send, V: Send, R: Copy + Send + Sync>(
+    bounds: &[usize],
+    a: &mut [A],
+    stride: usize,
+    lanes: &mut [V],
+    init: R,
+    f: &(impl Fn(usize, &mut A, &mut [V], &mut R) + Sync),
+    fold: impl Fn(R, R) -> R,
+) -> R {
+    let slots = bounds.len() - 1;
+    debug_assert!(slots <= MAX_THREADS);
+    assert_eq!(
+        lanes.len(),
+        a.len() * stride,
+        "lane buffer must be len*stride"
+    );
+    if available_threads() == 1 || slots <= 1 || a.len() <= 1 {
+        let mut acc = init;
+        for (i, (x, w)) in a.iter_mut().zip(lanes.chunks_exact_mut(stride)).enumerate() {
+            f(i, x, w, &mut acc);
+        }
+        return acc;
+    }
+    let mut out = [init; MAX_THREADS];
+    pool::zip_strided_reduce_bounds(bounds, a, stride, lanes, init, f, &mut out[..slots]);
+    out[..slots]
+        .iter()
+        .copied()
+        .reduce(fold)
+        .expect("slots >= 2")
+}
+
+/// [`par_lane_reduce_bounds`] without the accumulator — the sharded
+/// delivery phases' shape.
+pub(crate) fn par_lane_apply_bounds<A: Send, V: Send>(
+    bounds: &[usize],
+    a: &mut [A],
+    stride: usize,
+    lanes: &mut [V],
+    f: &(impl Fn(usize, &mut A, &mut [V]) + Sync),
+) {
+    par_lane_reduce_bounds(
+        bounds,
+        a,
+        stride,
+        lanes,
+        (),
+        &|i, x, w, _| f(i, x, w),
+        |_, _| (),
+    );
+}
+
+/// Chunk-granular sharded pass: slot `k` receives its whole bounds range
+/// of `a` as one `&mut` slice plus exclusive ownership of `slabs[k]`,
+/// folding into a per-slot accumulator reduced in slot order. The shape
+/// of the sharded claim passes (reset + local min-merge + exchange-bin
+/// staging, then the drain pass). Falls back to a sequential slot loop
+/// on a single-threaded host, so the per-slot semantics are identical on
+/// both backends.
+pub(crate) fn par_slab_reduce<A: Send, B: Send, R: Copy + Send + Sync>(
+    bounds: &[usize],
+    a: &mut [A],
+    slabs: &mut [B],
+    init: R,
+    f: &(impl Fn(usize, usize, &mut [A], &mut B, &mut R) + Sync),
+    fold: impl Fn(R, R) -> R,
+) -> R {
+    let slots = bounds.len() - 1;
+    debug_assert!(slots <= MAX_THREADS);
+    debug_assert_eq!(slabs.len(), slots);
+    if available_threads() == 1 || slots <= 1 {
+        let mut acc = init;
+        for (slot, slab) in slabs.iter_mut().enumerate() {
+            let (start, end) = (bounds[slot], bounds[slot + 1]);
+            f(slot, start, &mut a[start..end], slab, &mut acc);
+        }
+        return acc;
+    }
+    let mut out = [init; MAX_THREADS];
+    pool::slab_reduce_bounds(bounds, a, slabs, init, f, &mut out[..slots]);
+    out[..slots]
+        .iter()
+        .copied()
+        .reduce(fold)
+        .expect("slots >= 2")
+}
+
 /// Upper bound on worker threads, so huge hosts (or careless overrides)
 /// don't oversubscribe.
 const MAX_THREADS: usize = 32;

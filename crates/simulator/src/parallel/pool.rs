@@ -587,6 +587,106 @@ pub(super) fn zip_apply_mut_chunked<A: Send, B: Send>(
     });
 }
 
+/// Bounds-based form of [`zip_strided_reduce_chunked`]: instead of the
+/// uniform `len.div_ceil(slots)` split, slot `k` owns the element range
+/// `bounds[k]..bounds[k+1]` (strictly ascending, `bounds[0] == 0`, last
+/// entry `== a.len()`), with the companion buffer `v` scaled by `stride`
+/// as before. The machine builds the bounds from its shard map so every
+/// dispatch slot owns whole shards — the same worker touches the same
+/// contiguous state/inbox slices cycle after cycle (stable affinity,
+/// first-touch allocation), and the slot-order fold of `out` remains a
+/// fold in ascending node order, preserving the determinism contract of
+/// the chunked form at any slot count.
+pub(super) fn zip_strided_reduce_bounds<A: Send, V: Send, R: Copy + Send + Sync>(
+    bounds: &[usize],
+    a: &mut [A],
+    stride: usize,
+    v: &mut [V],
+    init: R,
+    f: &(impl Fn(usize, &mut A, &mut [V], &mut R) + Sync),
+    out: &mut [R],
+) {
+    let slots = bounds.len() - 1;
+    debug_assert_eq!(out.len(), slots);
+    debug_assert_eq!(bounds[0], 0);
+    debug_assert_eq!(bounds[slots], a.len());
+    debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert_eq!(v.len(), a.len() * stride);
+    let base_a = SendPtr(a.as_mut_ptr());
+    let base_v = SendPtr(v.as_mut_ptr());
+    let out_base = SendPtr(out.as_mut_ptr());
+    fork_join(slots, &|slot| {
+        let (start, end) = (bounds[slot], bounds[slot + 1]);
+        let mut acc = init;
+        if start < end {
+            // SAFETY: the asserted-ascending bounds make the element
+            // ranges (and their stride-scaled `v` images) disjoint
+            // across slots; the fork-join barrier keeps both borrows
+            // alive until every slot is done.
+            let (pa, pv) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(base_a.get().add(start), end - start),
+                    std::slice::from_raw_parts_mut(
+                        base_v.get().add(start * stride),
+                        (end - start) * stride,
+                    ),
+                )
+            };
+            for (i, (x, lanes)) in pa.iter_mut().zip(pv.chunks_exact_mut(stride)).enumerate() {
+                f(start + i, x, lanes, &mut acc);
+            }
+        }
+        // SAFETY: slot-private `out` cell, as in `for_reduce_chunked`.
+        unsafe {
+            *out_base.get().add(slot) = acc;
+        }
+    });
+}
+
+/// Bounds-based chunk-granular pass: slot `k` receives its **whole**
+/// element range `a[bounds[k]..bounds[k+1]]` as one mutable slice plus
+/// exclusive ownership of the per-slot slab `slabs[k]`, and folds into a
+/// per-slot accumulator deposited at `out[k]`. This is the shape of the
+/// sharded validation passes: pass A resets and min-merges the slot's
+/// own claim range while staging boundary claims into its slab's
+/// exchange bins; pass B drains every slab's bin for the slot into the
+/// slot's own claim range. `f` gets `(slot, start, chunk, slab, acc)`.
+pub(super) fn slab_reduce_bounds<A: Send, B: Send, R: Copy + Send + Sync>(
+    bounds: &[usize],
+    a: &mut [A],
+    slabs: &mut [B],
+    init: R,
+    f: &(impl Fn(usize, usize, &mut [A], &mut B, &mut R) + Sync),
+    out: &mut [R],
+) {
+    let slots = bounds.len() - 1;
+    debug_assert_eq!(out.len(), slots);
+    debug_assert_eq!(slabs.len(), slots);
+    debug_assert_eq!(bounds[0], 0);
+    debug_assert_eq!(bounds[slots], a.len());
+    debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+    let base_a = SendPtr(a.as_mut_ptr());
+    let base_s = SendPtr(slabs.as_mut_ptr());
+    let out_base = SendPtr(out.as_mut_ptr());
+    fork_join(slots, &|slot| {
+        let (start, end) = (bounds[slot], bounds[slot + 1]);
+        let mut acc = init;
+        {
+            // SAFETY: ascending bounds give disjoint `a` ranges; slot
+            // `k` touches only `slabs[k]` and deposits only `out[k]`.
+            // The fork-join barrier outlives every slot.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut(base_a.get().add(start), end - start) };
+            let slab = unsafe { &mut *base_s.get().add(slot) };
+            f(slot, start, chunk, slab, &mut acc);
+        }
+        // SAFETY: slot-private `out` cell, as in `for_reduce_chunked`.
+        unsafe {
+            *out_base.get().add(slot) = acc;
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

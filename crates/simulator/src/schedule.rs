@@ -101,7 +101,9 @@ pub(crate) struct CompiledSchedule {
     /// `enc[u]`: low 31 bits = index of the node whose message `u`
     /// receives ([`NO_SRC`] = nothing inbound); [`SENDS_BIT`] = `u`
     /// sends this cycle. Capped at `2³¹ − 1` nodes — 5 orders of
-    /// magnitude above the paper's headline machine.
+    /// magnitude above the paper's headline machine. Because shards are
+    /// contiguous id ranges, this dense dst-indexed layout is already
+    /// **shard-major**: a shard's receivers occupy one contiguous slice.
     pub enc: Vec<u32>,
     /// Messages the pattern delivers.
     pub delivered: usize,
@@ -109,6 +111,12 @@ pub(crate) struct CompiledSchedule {
     /// cache whose epoch has moved on refuses to serve it (see
     /// [`ScheduleCache::get`]).
     pub epoch: u64,
+    /// Deferred link accounting for recorded replays ([`AcctPlan`]),
+    /// created lazily on the first recorded replay of this schedule and
+    /// flushed into the recorder's link table at the observation points
+    /// (`link_report`, `stop_recording`, eviction). `None` while the
+    /// schedule has never replayed under a recorder.
+    pub acct: Option<Box<AcctPlan>>,
 }
 
 impl CompiledSchedule {
@@ -127,6 +135,69 @@ impl CompiledSchedule {
             .collect();
         pairs.sort_unstable();
         pairs
+    }
+}
+
+/// Deferred per-schedule link accounting for **recorded replay** cycles.
+///
+/// A replayed schedule delivers the same fixed `(src → dst)` pattern
+/// every cycle, so which link each message crosses — and whether that
+/// link is a cross-edge — is schedule-determined, not cycle-determined.
+/// Instead of resolving `link_slot` and writing a counter per message
+/// per cycle (a random-access walk over a table that outgrows the cache
+/// by `D_10` — the 8.8 ms recorded-cycle cliff of §E27), a recorded
+/// replay streams one sequential pass over the receivers, bumping a
+/// per-dst message/word counter here and folding cross/cube totals from
+/// a precomputed bitset. The link-slot resolution happens **once per
+/// observation** instead of once per message: at `link_report`,
+/// `stop_recording`, or eviction, the accumulated per-dst counts are
+/// mapped through `enc` to link slots and merged into the recorder's
+/// segmented table. Totals, per-link counts, and histograms are
+/// bit-identical to eager accounting — only *when* the table is written
+/// changes, which no observation point can distinguish.
+#[derive(Debug, Clone)]
+pub(crate) struct AcctPlan {
+    /// Messages delivered to `dst` since the last flush.
+    pub msgs: Vec<u32>,
+    /// Payload words delivered to `dst` since the last flush.
+    pub words: Vec<u64>,
+    /// Bitset over `dst`: whether the compiled inbound edge of `dst` is
+    /// a cross-edge. Fixed by the schedule + topology, computed once.
+    pub cross: Vec<u64>,
+    /// Whether any counts have accumulated since the last flush (an
+    /// `O(1)` skip for the observation points).
+    pub dirty: bool,
+}
+
+impl AcctPlan {
+    /// Zeroed accounting state for an `n`-node schedule; the caller
+    /// fills the cross bitset from the compiled pattern.
+    pub fn new(n: usize) -> Self {
+        AcctPlan {
+            msgs: vec![0; n],
+            words: vec![0; n],
+            cross: vec![0; n.div_ceil(64)],
+            dirty: false,
+        }
+    }
+
+    /// Marks `dst`'s compiled inbound edge as a cross-edge.
+    pub fn set_cross(&mut self, dst: usize) {
+        self.cross[dst >> 6] |= 1 << (dst & 63);
+    }
+
+    /// Whether `dst`'s compiled inbound edge is a cross-edge.
+    #[inline]
+    pub fn is_cross(&self, dst: usize) -> bool {
+        (self.cross[dst >> 6] >> (dst & 63)) & 1 == 1
+    }
+
+    /// Zeroes the accumulated counts (after a flush); the cross bitset
+    /// is schedule-determined and survives.
+    pub fn reset_counts(&mut self) {
+        self.msgs.fill(0);
+        self.words.fill(0);
+        self.dirty = false;
     }
 }
 
@@ -172,14 +243,37 @@ impl ScheduleCache {
             .find(|e| e.key == key && e.epoch == self.epoch)
     }
 
+    /// Mutable access to `key`'s current-epoch schedule — the replay
+    /// path's handle for updating the deferred [`AcctPlan`].
+    pub fn get_mut(&mut self, key: ScheduleKey) -> Option<&mut CompiledSchedule> {
+        let epoch = self.epoch;
+        self.entries
+            .iter_mut()
+            .find(|e| e.key == key && e.epoch == epoch)
+    }
+
     pub fn contains(&self, key: ScheduleKey) -> bool {
         self.get(key).is_some()
     }
 
+    /// Every stored entry, current-epoch or stale — the observation
+    /// points walk this to overlay deferred accounting (stale entries
+    /// may still carry unflushed counts from before the fault that
+    /// retired them).
+    pub fn entries(&self) -> &[CompiledSchedule] {
+        &self.entries
+    }
+
+    /// Mutable form of [`ScheduleCache::entries`], for the flush points.
+    pub fn entries_mut(&mut self) -> &mut [CompiledSchedule] {
+        &mut self.entries
+    }
+
     /// Stores a freshly compiled schedule, evicting any stale-epoch
     /// entry under the same key (recompiling after a fault replaces the
-    /// pre-fault schedule).
-    pub fn insert(&mut self, compiled: CompiledSchedule) {
+    /// pre-fault schedule). The evicted entry is returned so the machine
+    /// can flush its deferred accounting before it is dropped.
+    pub fn insert(&mut self, compiled: CompiledSchedule) -> Option<CompiledSchedule> {
         debug_assert!(
             compiled.epoch == self.epoch,
             "schedule {} compiled under epoch {} but cache is at {}",
@@ -193,9 +287,10 @@ impl ScheduleCache {
             compiled.key
         );
         if let Some(stale) = self.entries.iter_mut().find(|e| e.key == compiled.key) {
-            *stale = compiled;
+            Some(std::mem::replace(stale, compiled))
         } else {
             self.entries.push(compiled);
+            None
         }
     }
 
@@ -275,6 +370,7 @@ mod tests {
             enc: vec![SENDS_BIT | 1, SENDS_BIT], // 0 ↔ 1 swap
             delivered: 2,
             epoch: 0,
+            acct: None,
         });
         assert!(cache.contains(ScheduleKey::Cross));
         assert!(!cache.contains(ScheduleKey::Dim(0)));
@@ -297,6 +393,7 @@ mod tests {
             enc: vec![SENDS_BIT | 1, SENDS_BIT],
             delivered: 2,
             epoch: 0,
+            acct: None,
         });
         assert!(cache.contains(ScheduleKey::Dim(0)));
         cache.set_epoch(1);
@@ -311,6 +408,7 @@ mod tests {
             enc: vec![NO_SRC, NO_SRC],
             delivered: 0,
             epoch: 1,
+            acct: None,
         });
         let got = cache.get(ScheduleKey::Dim(0)).unwrap();
         assert_eq!(got.delivered, 0, "must serve the new compilation");

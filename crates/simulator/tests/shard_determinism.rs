@@ -1,0 +1,304 @@
+//! Shard determinism matrix: the sharded cycle engine must be
+//! **bit-identical** to the unsharded reference at every shard count.
+//!
+//! `Machine::set_shards(1)` keeps one shard per machine — the bitwise
+//! reference the engine treats as ground truth — while `S ∈ {4, 16}`
+//! partitions every hot table into the Section-4 recursion's contiguous
+//! ranges, with cross-shard claims staged through per-slot exchange bins
+//! instead of atomics. None of that is allowed to be observable: final
+//! states, metrics (message/word counters, schedule hits/misses),
+//! space-time traces, link reports, and *error sites* (which node a
+//! violation is blamed on) must match the reference exactly across
+//! sequential × threaded backends, replay on/off, single-lane and
+//! lane-batched cycles, and crash faults that straddle a shard boundary.
+
+use dc_simulator::obs::{self, MemorySink};
+use dc_simulator::{
+    set_worker_threads, with_default_exec, with_schedule_replay, ExecMode, FaultPlan, Machine,
+    ScheduleKey, SimError,
+};
+use dc_topology::{DualCube, Topology};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Forces the threaded code path regardless of machine size.
+const FORCE_PARALLEL: ExecMode = ExecMode::Parallel { threshold: 1 };
+
+/// Pins the executor worker count, restoring the automatic count on drop
+/// (also on assertion panic).
+struct PinnedWorkers;
+
+impl PinnedWorkers {
+    fn pin(n: usize) -> Self {
+        set_worker_threads(n);
+        PinnedWorkers
+    }
+}
+
+impl Drop for PinnedWorkers {
+    fn drop(&mut self) {
+        set_worker_threads(0);
+    }
+}
+
+/// Every (backend, replay, workers, shards) configuration the matrix
+/// runs. Shard counts only engage on the threaded backend (`S = 1` is
+/// the bitwise reference; the sequential rows pin the baseline).
+fn configs() -> Vec<(ExecMode, bool, usize, usize)> {
+    vec![
+        (ExecMode::Sequential, false, 0, 1),
+        (ExecMode::Sequential, true, 0, 1),
+        (FORCE_PARALLEL, true, 2, 1),
+        (FORCE_PARALLEL, false, 2, 4),
+        (FORCE_PARALLEL, true, 2, 4),
+        (FORCE_PARALLEL, true, 4, 4),
+        (FORCE_PARALLEL, true, 2, 16),
+        (FORCE_PARALLEL, false, 4, 16),
+        (FORCE_PARALLEL, true, 4, 16),
+    ]
+}
+
+/// One run of `scenario` on a fresh machine under a configuration,
+/// returning everything observable: final states, the space-time trace,
+/// the link report, and the end-of-run metrics snapshot.
+#[allow(clippy::type_complexity)]
+fn run(
+    mode: ExecMode,
+    replay: bool,
+    workers: usize,
+    shards: usize,
+    n: u32,
+    scenario: impl Fn(&mut Machine<'_, DualCube, u64>),
+) -> (
+    Vec<u64>,
+    Vec<dc_simulator::TraceEntry>,
+    Option<obs::LinkReport>,
+    u64,
+    u64,
+) {
+    with_default_exec(mode, || {
+        with_schedule_replay(replay, || {
+            let _pin = (workers > 0).then(|| PinnedWorkers::pin(workers));
+            let d = DualCube::new(n);
+            let mut m = Machine::new(&d, (0..d.num_nodes() as u64).collect());
+            m.set_shards(shards);
+            m.enable_trace();
+            m.record_into(obs::shared(MemorySink::ring(64)));
+            scenario(&mut m);
+            let trace = m.phased_trace().to_vec();
+            let report = m.link_report();
+            let (states, metrics) = m.into_parts();
+            (
+                states,
+                trace,
+                report,
+                metrics.messages,
+                metrics.message_words,
+            )
+        })
+    })
+}
+
+/// Interprets one random byte as a machine operation, mixing every
+/// sharded code path: keyed cross/dimension replays (cross-edges are
+/// *always* shard-boundary traffic at `S ≥ 4`), unkeyed full-validation
+/// exchanges, lane-batched keyed cycles, compute steps, and phase
+/// boundaries.
+fn step(m: &mut Machine<'_, DualCube, u64>, d: &DualCube, op: u8, phase_no: &mut u32) {
+    let dims = d.cluster_dim();
+    let dim = (op >> 3) as u32 % dims;
+    match op % 6 {
+        0 => {
+            m.pairwise_keyed(
+                ScheduleKey::Cross,
+                |u, _| Some(d.cross_neighbor(u)),
+                |_, &s| s,
+                |s, _, v: u64| *s = s.wrapping_mul(0x9E37_79B9).wrapping_add(v),
+            );
+        }
+        1 => {
+            // Half-speaking keyed exchange on a cluster edge: the lower
+            // endpoint speaks, structurally (never state-dependent, so
+            // replay-on and replay-off runs see the same plan).
+            m.exchange_keyed(
+                ScheduleKey::Window { j: dim, hop: 0 },
+                move |u, &s| {
+                    let v = d.cluster_neighbor(u, dim);
+                    (u < v).then_some((v, s))
+                },
+                |s, _, v| *s ^= v,
+            );
+        }
+        2 => {
+            // Unkeyed: full sharded validation (claims + exchange bins)
+            // every cycle.
+            m.pairwise(
+                |u, _| Some(d.cross_neighbor(u)),
+                |_, &s| (s, 1u64),
+                |s, _, v: (u64, u64)| *s = s.rotate_left(1).wrapping_add(v.0 + v.1),
+            );
+        }
+        3 => {
+            m.compute(1 + (op % 3) as u64, |u, s| {
+                *s = s.rotate_left((u % 13) as u32);
+            });
+        }
+        4 => {
+            let lanes = 2 + (op >> 6) as usize; // 2..=5
+            m.pairwise_lanes_keyed(
+                ScheduleKey::Cross,
+                lanes,
+                &0u64,
+                |u, _| Some(d.cross_neighbor(u)),
+                |_, &s, window| {
+                    for (k, w) in window.iter_mut().enumerate() {
+                        *w = s.wrapping_add(k as u64);
+                    }
+                },
+                |s, _, window| {
+                    for w in window.iter() {
+                        *s = s.rotate_left(3) ^ w;
+                    }
+                },
+            );
+        }
+        _ => {
+            *phase_no += 1;
+            m.begin_phase(format!("phase {phase_no}"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random programs over `D_3` (32 nodes — every shard at `S = 16`
+    /// holds a two-node sliver, maximising seam traffic) produce
+    /// identical states, traces, link reports, and counters at every
+    /// shard count.
+    #[test]
+    fn sharded_runs_match_the_unsharded_reference(ops in vec(any::<u8>(), 1..32)) {
+        let scenario = |m: &mut Machine<'_, DualCube, u64>| {
+            let d = *m.topology();
+            let mut phase_no = 0;
+            for &op in &ops {
+                step(m, &d, op, &mut phase_no);
+            }
+        };
+        let baseline = run(ExecMode::Sequential, true, 0, 1, 3, scenario);
+        for (mode, replay, workers, shards) in configs() {
+            let got = run(mode, replay, workers, shards, 3, scenario);
+            prop_assert_eq!(
+                &got.0, &baseline.0,
+                "states diverged ({:?}, replay={}, workers={}, shards={})",
+                mode, replay, workers, shards
+            );
+            prop_assert_eq!(
+                &got.1, &baseline.1,
+                "traces diverged ({:?}, replay={}, workers={}, shards={})",
+                mode, replay, workers, shards
+            );
+            prop_assert_eq!(
+                &got.2, &baseline.2,
+                "link reports diverged ({:?}, replay={}, workers={}, shards={})",
+                mode, replay, workers, shards
+            );
+            prop_assert_eq!(
+                (got.3, got.4), (baseline.3, baseline.4),
+                "message/word counters diverged ({:?}, replay={}, workers={}, shards={})",
+                mode, replay, workers, shards
+            );
+        }
+    }
+
+    /// A receive conflict is blamed on the same `(node, first, second)`
+    /// triple at every shard count — the sharded validator's exchange
+    /// bins must reproduce the sequential walk's error site even when
+    /// the contested receiver sits in another shard than both senders.
+    #[test]
+    fn conflict_error_sites_match_across_shard_counts(target in 0usize..32) {
+        // Everyone sends to `target` (via illegal non-edges for most
+        // senders — the lowest violation wins deterministically).
+        let d = DualCube::new(3);
+        let expect = with_default_exec(ExecMode::Sequential, || {
+            let mut m = Machine::new(&d, vec![0u64; d.num_nodes()]);
+            m.set_shards(1);
+            m.try_exchange(
+                |u, _| (u != target).then_some((target, u as u64)),
+                |s, _, v: u64| *s = s.wrapping_add(v),
+            )
+            .expect_err("fan-in to one node cannot be a matching")
+        });
+        for (mode, _replay, workers, shards) in configs() {
+            let got = with_default_exec(mode, || {
+                let _pin = (workers > 0).then(|| PinnedWorkers::pin(workers));
+                let mut m = Machine::new(&d, vec![0u64; d.num_nodes()]);
+                m.set_shards(shards);
+                m.try_exchange(
+                    |u, _| (u != target).then_some((target, u as u64)),
+                    |s, _, v: u64| *s = s.wrapping_add(v),
+                )
+                .expect_err("fan-in to one node cannot be a matching")
+            });
+            prop_assert_eq!(
+                format!("{got}"), format!("{expect}"),
+                "error site diverged ({:?}, workers={}, shards={})", mode, workers, shards
+            );
+        }
+    }
+}
+
+/// A scripted crash on a node whose cross-neighbor lives in another
+/// shard: the post-crash violation must blame the same node, the fault
+/// epoch must bump identically, and rerouted traffic must produce the
+/// same states at every shard count. (At `S = 4` the class bit is a
+/// shard-selector bit, so *every* cross pair straddles a boundary —
+/// node 3's crash is seam-adjacent by construction.)
+#[test]
+fn boundary_crash_is_identical_across_shard_counts() {
+    let n = 3u32;
+    let scenario = |m: &mut Machine<'_, DualCube, u64>| {
+        let d = *m.topology();
+        m.set_fault_plan(FaultPlan::new().node_crash(2, 3));
+        for _ in 0..2 {
+            m.pairwise_keyed(
+                ScheduleKey::Cross,
+                |u, _| Some(d.cross_neighbor(u)),
+                |_, &s| s,
+                |s, _, v: u64| *s = s.wrapping_add(v),
+            );
+        }
+        // Node 3 is now dead: the old pattern must fail, blaming node 3.
+        let err = m.try_pairwise_keyed(
+            ScheduleKey::Cross,
+            |u, _| Some(d.cross_neighbor(u)),
+            |_, &s| s,
+            |s, _, v: u64| *s = s.wrapping_add(v),
+        );
+        match err {
+            Err(SimError::NodeFailed { node }) => assert_eq!(node, 3),
+            other => panic!("expected NodeFailed for node 3, got {other:?}"),
+        }
+        // Reroute around the corpse and keep going under the new epoch.
+        for _ in 0..2 {
+            m.pairwise_keyed(
+                ScheduleKey::Custom(7),
+                |u, _| {
+                    let v = d.cross_neighbor(u);
+                    (u != 3 && v != 3).then_some(v)
+                },
+                |_, &s| s,
+                |s, _, v: u64| *s = s.wrapping_add(v),
+            );
+        }
+        m.compute(1, |_, s| *s = s.wrapping_add(1));
+    };
+    let baseline = run(ExecMode::Sequential, true, 0, 1, n, scenario);
+    for (mode, replay, workers, shards) in configs() {
+        let got = run(mode, replay, workers, shards, n, scenario);
+        assert_eq!(
+            got, baseline,
+            "boundary-crash run diverged ({mode:?}, replay={replay}, workers={workers}, shards={shards})"
+        );
+    }
+}

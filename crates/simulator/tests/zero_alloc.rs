@@ -325,6 +325,63 @@ fn steady_state_cycles_do_not_allocate() {
             par_replay_delta, 0,
             "threaded steady-state replay cycles allocated {par_replay_delta} times"
         );
+
+        // --- Sharded engine, full validation path: an explicit 16-shard
+        // map over a 4-worker pool (each dispatch slot owns four whole
+        // shards). Dimension exchanges at bits ≥ 2 are pure seam traffic
+        // here (chunk 4), so every cycle routes claims through the
+        // exchange bins — which must retain their capacity across cycles
+        // once every dimension's pattern has been seen. ---
+        set_worker_threads(4);
+        let mut sm = Machine::with_exec(&q, init.clone(), ExecMode::Parallel { threshold: 1 });
+        sm.set_shards(16);
+        assert_eq!(sm.shards(), 16);
+        let seam = |m: &mut Machine<'_, Hypercube, u64>, dim: u32| {
+            m.exchange(
+                move |u, s: &u64| Some((u ^ (1usize << dim), *s)),
+                |s, _, v: u64| *s = s.wrapping_add(v),
+            );
+        };
+        for dim in 0..6 {
+            seam(&mut sm, dim); // warm every dimension's seam pattern
+        }
+        let shard_delta = steady_delta(3, || {
+            for round in 0..100u32 {
+                seam(&mut sm, round % 6);
+            }
+        });
+        assert_eq!(
+            shard_delta, 0,
+            "sharded steady-state cycles allocated {shard_delta} times"
+        );
+
+        // --- Sharded keyed replay: the shard-aligned bounds dispatch
+        // (fused verify+stage, then shard-local delivery) is free too. ---
+        let mut sk = Machine::with_exec(&q, init.clone(), ExecMode::Parallel { threshold: 1 });
+        sk.set_shards(16);
+        for _ in 0..2 {
+            sk.pairwise_keyed(
+                ScheduleKey::Dim(2),
+                |u, _| Some(u ^ 4),
+                |_, &s| s,
+                |s, _, v: u64| *s = s.wrapping_add(v),
+            );
+        }
+        let shard_replay_delta = steady_delta(3, || {
+            for _ in 0..100 {
+                sk.pairwise_keyed(
+                    ScheduleKey::Dim(2),
+                    |u, _| Some(u ^ 4),
+                    |_, &s| s,
+                    |s, _, v: u64| *s = s.wrapping_add(v),
+                );
+            }
+        });
+        set_worker_threads(0);
+        assert_eq!(
+            shard_replay_delta, 0,
+            "sharded steady-state replay cycles allocated {shard_replay_delta} times"
+        );
     });
 }
 

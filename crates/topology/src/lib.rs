@@ -43,10 +43,12 @@ pub mod hamiltonian;
 pub mod hypercube;
 pub mod metacube;
 pub mod properties;
+pub mod shard;
 pub mod traits;
 
 pub use ccc::CubeConnectedCycles;
 pub use dualcube::{Address, Class, DualCube, RecDualCube};
 pub use hypercube::Hypercube;
 pub use metacube::Metacube;
+pub use shard::ShardMap;
 pub use traits::{NodeId, Routed, Topology};

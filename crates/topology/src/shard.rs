@@ -1,0 +1,200 @@
+//! Shard maps: contiguous node-range partitions along the dual-cube's
+//! Section-4 recursion.
+//!
+//! Section 4 of the paper presents `D_n` recursively: four vertex-disjoint
+//! copies of `D_(n-1)`, glued by cross-edges and the two interleaved
+//! dimensions introduced at level `n`. Applied `k` times, the recursion
+//! partitions the machine into `S = 4^k` equal node ranges keyed by the
+//! **top class/cube-id address bits** — every dimension edge below the
+//! selector bits stays inside one copy, so shard-local traffic dominates
+//! and only cross-edges plus the interleaved top dimensions ever leave a
+//! shard. (The locality argument mirrors Wang & Wu's Hales-numbered
+//! hypercube sharding and the bounded boundary connectivity of Zhao, Hao
+//! & Cheng — see PAPERS.md.) Because node ids are plain binary addresses,
+//! "top address bits" means *contiguous id ranges*: a [`ShardMap`] is
+//! just `len` split into `count` equal chunks, which keeps `shard_of` a
+//! single division and keeps compiled schedules (dense, dst-indexed)
+//! shard-major for free.
+//!
+//! The simulator uses a shard map to give each pool worker a fixed,
+//! contiguous slice of every hot table (states, inbox, claims, link
+//! counters) — stable affinity with first-touch allocation — and to stage
+//! the thin seam traffic into per-shard-pair exchange buffers instead of
+//! contending on atomics. `ShardMap::new(len, 1)` is the degenerate
+//! single-shard map, which the engine treats as the bitwise reference.
+
+use crate::traits::NodeId;
+
+/// A partition of `0..len` into `count` contiguous, equal-size shards
+/// (the last may be short; trailing shards may be empty when
+/// `count > len`).
+///
+/// `count` must be `1` or a power of four, matching the paper's
+/// four-copies recursion — see the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    len: usize,
+    count: usize,
+    chunk: usize,
+}
+
+impl ShardMap {
+    /// Partition `0..len` into `count` shards. Panics unless `count` is
+    /// `1` or a power of four (`4^k` for `k ≥ 1`).
+    pub fn new(len: usize, count: usize) -> Self {
+        assert!(
+            count >= 1 && count.is_power_of_two() && count.trailing_zeros().is_multiple_of(2),
+            "shard count must be 1 or a power of 4, got {count}"
+        );
+        let chunk = len.div_ceil(count).max(1);
+        ShardMap { len, count, chunk }
+    }
+
+    /// Number of elements partitioned.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the map covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards (`1` or `4^k`).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Elements per shard (the last shard may hold fewer).
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// The shard owning node `u`. One division — the hot-path cost of
+    /// binning a boundary message.
+    #[inline]
+    pub fn shard_of(&self, u: NodeId) -> usize {
+        u / self.chunk
+    }
+
+    /// The node range shard `s` owns (possibly empty for trailing shards
+    /// when `count > len`).
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        let start = (s * self.chunk).min(self.len);
+        let end = ((s + 1) * self.chunk).min(self.len);
+        start..end
+    }
+
+    /// Whether the edge `(u, v)` crosses a shard boundary — seam traffic
+    /// that must be staged through an exchange buffer rather than written
+    /// shard-locally.
+    #[inline]
+    pub fn is_boundary(&self, u: NodeId, v: NodeId) -> bool {
+        self.shard_of(u) != self.shard_of(v)
+    }
+
+    /// Shard-aligned dispatch bounds for `slots` workers: ascending
+    /// offsets `b_0 = 0 < b_1 < … < b_m = len` (one entry more than the
+    /// number of non-empty dispatch slots, `m ≤ min(slots, count)`),
+    /// where every `[b_i, b_{i+1})` is a whole number of shards. Workers
+    /// get maximally even *shard* counts, so worker `k` touches the same
+    /// shards every cycle (stable affinity). Consecutive duplicate
+    /// bounds (empty trailing shards) are elided, so the result is
+    /// strictly ascending; a map with `len == 0` yields `[0, 0]`'s
+    /// degenerate single empty slot — callers gate on `m < 2` and run
+    /// inline.
+    pub fn slot_bounds_into(&self, slots: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let m = slots.clamp(1, self.count);
+        out.push(0);
+        for k in 1..=m {
+            let shard = k * self.count / m;
+            let b = (shard * self.chunk).min(self.len);
+            if b > *out.last().expect("seeded with 0") {
+                out.push(b);
+            }
+        }
+        if out.len() == 1 {
+            // All shards empty (len == 0): keep the two-entry shape.
+            out.push(self.len);
+        }
+    }
+
+    /// Allocating convenience form of [`ShardMap::slot_bounds_into`].
+    pub fn slot_bounds(&self, slots: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.slot_bounds_into(slots, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_tile_the_node_range_exactly() {
+        for &(len, count) in &[(128usize, 4usize), (128, 16), (100, 4), (5, 16), (1, 1)] {
+            let map = ShardMap::new(len, count);
+            let mut covered = 0;
+            for s in 0..map.count() {
+                let r = map.range(s);
+                assert_eq!(r.start, covered, "shard {s} of ({len},{count})");
+                for u in r.clone() {
+                    assert_eq!(map.shard_of(u), s);
+                }
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of 4")]
+    fn rejects_non_power_of_four_counts() {
+        ShardMap::new(64, 8);
+    }
+
+    #[test]
+    fn slot_bounds_are_shard_aligned_and_cover() {
+        let map = ShardMap::new(100, 16); // chunk 7, last shard short
+        for slots in 1..=20 {
+            let b = map.slot_bounds(slots);
+            assert_eq!(*b.first().unwrap(), 0, "at {slots} slots");
+            assert_eq!(*b.last().unwrap(), 100, "at {slots} slots");
+            assert!(b.windows(2).all(|w| w[0] < w[1]), "ascending at {slots}");
+            assert!(b.len() - 1 <= slots.min(16));
+            for &x in &b[..b.len() - 1] {
+                assert_eq!(x % map.chunk(), 0, "bound {x} not shard-aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn dual_cube_cross_edges_are_class_boundary_seams() {
+        use crate::{DualCube, Topology};
+        // With S = 4 the top two address bits select the shard, so the
+        // class bit (the topmost) differs exactly on cross-edges: every
+        // cross-edge is seam traffic, and dimension edges below the
+        // selector bits never are. (Class-1 cluster edges can touch the
+        // second selector bit, so *some* cluster traffic is seam too —
+        // but past the smallest sizes locality dominates.)
+        let d = DualCube::new(4); // 128 nodes
+        let map = ShardMap::new(d.num_nodes(), 4);
+        let mut seam = 0usize;
+        let mut local = 0usize;
+        for u in 0..d.num_nodes() {
+            for v in d.neighbors(u) {
+                if d.is_cross_edge(u, v) {
+                    assert!(map.is_boundary(u, v), "cross edge {u}-{v} intra-shard?");
+                }
+                if map.is_boundary(u, v) {
+                    seam += 1;
+                } else {
+                    local += 1;
+                }
+            }
+        }
+        assert!(seam > 0 && local > seam, "seams must be the thin side");
+    }
+}

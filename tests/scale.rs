@@ -160,3 +160,38 @@ fn d10_sort_within_memory_ceiling() {
     );
     println!("D_10 d_sort peak RSS: {} MB", hwm_kb / 1024);
 }
+
+/// The scale acceptance run of the sharded-engine PR: a full `D_11`
+/// `d_sort` (2 097 152 keys) on the threaded sharded backend within a
+/// 2 GiB peak-RSS ceiling. The per-node residents are the same as the
+/// `D_10` run above — key states, split-inbox scratch, compiled-schedule
+/// cache — plus the shard exchange bins, which must stay `O(seam)` per
+/// shard pair rather than `O(n)`; a bins regression (or any layout
+/// regression) would blow straight through the ceiling at this size.
+/// See DESIGN.md §12 and the `D_11` leg in EXPERIMENTS.md §E28.
+///
+/// Run with: `cargo test --release --test scale -- --ignored`
+#[test]
+#[ignore = "D_11 scale (2M nodes, ~a minute in release); run with --release -- --ignored"]
+fn d11_sort_within_memory_ceiling() {
+    let rec = RecDualCube::new(11);
+    let n = rec.num_nodes();
+    assert_eq!(n, 2_097_152);
+    let keys: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let run = with_default_exec(ExecMode::parallel(), || {
+        d_sort(&rec, &keys, SortOrder::Ascending, Recording::Off)
+    });
+    assert_eq!(run.metrics.comm_steps, theory::sort_comm_exact(11));
+    assert_eq!(run.metrics.comp_steps, theory::sort_comp_exact(11));
+    let mut expect = keys;
+    expect.sort_unstable();
+    assert_eq!(run.output, expect, "D_11 output must be the sorted input");
+    let hwm_kb = vm_hwm_kb();
+    assert!(
+        hwm_kb < 2 * 1024 * 1024,
+        "D_11 d_sort peak RSS {hwm_kb} KiB breached the 2 GiB ceiling"
+    );
+    println!("D_11 d_sort peak RSS: {} MB", hwm_kb / 1024);
+}
