@@ -1,0 +1,245 @@
+//! Serving-throughput bench: requests/sec and latency percentiles for
+//! the dc-serve frontend on the §E24 reference machine size
+//! (`D_8` = 32 768 nodes, prefix-sum requests, sequential cycle
+//! backend).
+//!
+//! Three legs:
+//!
+//! * **single** — closed loop, 1 client, `max_lanes = 1`: the
+//!   one-request-at-a-time baseline every serving claim is judged
+//!   against;
+//! * **batched** — closed loop, many clients, `max_lanes = K`: clients
+//!   keep the admission queue deep enough that the shape batcher packs
+//!   every machine run, so the schedule sweep amortises across K
+//!   requests;
+//! * **open** — open loop at ~70 % of the measured batched throughput:
+//!   latency under load with headroom, the operating point a service
+//!   would actually run at (tickets are collected and awaited, so the
+//!   leg also exercises the submit/wait split).
+//!
+//! Protocol: the seven-run-median discipline of EXPERIMENTS.md §E24 —
+//! each leg runs `--runs` times on a fresh server and the reported leg
+//! is the run with the **median throughput**; its service report
+//! supplies the p50/p95/p99 latencies, so throughput and latency come
+//! from the same run rather than a mongrel of several.
+//!
+//! Output: a human table on stdout and JSON at `--out` (default
+//! `BENCH_serve.json`) — consumed by CI's serve smoke (which gates the
+//! batched-vs-single ratio) and EXPERIMENTS.md §E29.
+//!
+//! Flags: `--runs R` (default 7), `--requests Q` (default 64, per
+//! run per leg), `--n N` (default 8), `--clients C` (default 32),
+//! `--lanes K` (default 16), `--out PATH`.
+
+use dc_serve::{OpKind, Payload, Request, Server, ServerConfig, ServiceReport, Shape};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+struct Leg {
+    name: &'static str,
+    clients: usize,
+    max_lanes: usize,
+    rps: f64,
+    target_rps: Option<f64>,
+    report: ServiceReport,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let runs: usize = flag("--runs").map_or(7, |v| v.parse().expect("--runs"));
+    let requests: u64 = flag("--requests").map_or(64, |v| v.parse().expect("--requests"));
+    let n: u32 = flag("--n").map_or(8, |v| v.parse().expect("--n"));
+    let clients: usize = flag("--clients").map_or(32, |v| v.parse().expect("--clients"));
+    let lanes: usize = flag("--lanes").map_or(16, |v| v.parse().expect("--lanes"));
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_serve.json".into());
+    assert!(
+        runs >= 1 && requests >= 1,
+        "need at least one run and request"
+    );
+
+    let shape = Shape {
+        op: OpKind::PrefixSum,
+        n,
+    };
+    println!(
+        "serve bench on D_{n} ({} nodes), {} requests/leg, median of {runs} runs",
+        shape.num_nodes(),
+        requests
+    );
+
+    let single = median_leg(runs, || closed_loop(shape, requests, 1, 1));
+    print_leg(&single);
+    let batched = median_leg(runs, || closed_loop(shape, requests, clients, lanes));
+    print_leg(&batched);
+    // Open loop at ~70 % of the batched capacity: enough load for the
+    // batcher to matter, enough headroom that the queue stays shallow.
+    let target = batched.rps * 0.7;
+    let open = median_leg(runs, || open_loop(shape, requests, lanes, target));
+    print_leg(&open);
+
+    let ratio = batched.rps / single.rps;
+    println!("batched vs single: {ratio:.2}× requests/sec");
+
+    let mut json = String::new();
+    write!(
+        json,
+        "{{\"bench\":\"serve/throughput\",\"topology\":\"D_{n}\",\"nodes\":{},\
+         \"op\":\"{}\",\"workers\":1,\"backend\":\"sequential\",\
+         \"protocol\":\"median-throughput run of {runs} x {requests} requests per leg\",\
+         \"batched_vs_single_rps\":{ratio:.4},\"legs\":[",
+        shape.num_nodes(),
+        shape.op.name()
+    )
+    .unwrap();
+    for (i, leg) in [&single, &batched, &open].into_iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let r = &leg.report;
+        write!(
+            json,
+            "{{\"leg\":\"{}\",\"clients\":{},\"max_lanes\":{},\"rps\":{:.3},\
+             \"target_rps\":{},\"served\":{},\"rejected\":{},\"batches\":{},\
+             \"mean_lanes\":{:.3},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\
+             \"schedule_misses\":{},\"schedule_hits\":{}}}",
+            leg.name,
+            leg.clients,
+            leg.max_lanes,
+            leg.rps,
+            leg.target_rps.map_or("null".into(), |t| format!("{t:.3}")),
+            r.served,
+            r.rejected,
+            r.batches,
+            r.mean_lanes(),
+            micros(r.latency_quantile(0.50)),
+            micros(r.latency_quantile(0.95)),
+            micros(r.latency_quantile(0.99)),
+            r.metrics.schedule_misses,
+            r.metrics.schedule_hits,
+        )
+        .unwrap();
+    }
+    json.push_str("]}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// Runs `make_leg` `runs` times, returns the run with median throughput.
+fn median_leg(runs: usize, make_leg: impl Fn() -> Leg) -> Leg {
+    let mut done: Vec<Leg> = (0..runs).map(|_| make_leg()).collect();
+    done.sort_by(|a, b| a.rps.total_cmp(&b.rps));
+    done.swap_remove(done.len() / 2)
+}
+
+/// Closed loop: `clients` threads issue seeded requests back-to-back
+/// until `requests` have been admitted; throughput is wall-clock over
+/// the whole drain.
+fn closed_loop(shape: Shape, requests: u64, clients: usize, max_lanes: usize) -> Leg {
+    let server = Server::start(
+        ServerConfig::default()
+            .workers(1)
+            .max_lanes(max_lanes)
+            .queue_capacity(requests as usize + clients),
+    );
+    let issued = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            scope.spawn(|| loop {
+                let i = issued.fetch_add(1, Ordering::Relaxed);
+                if i >= requests {
+                    break;
+                }
+                let response = server
+                    .call(Request {
+                        shape,
+                        payload: Payload::Seeded(i),
+                    })
+                    .expect("queue sized for the whole workload");
+                assert_eq!(response.output.len(), shape.num_nodes());
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let report = server.shutdown();
+    assert_eq!(report.served, requests);
+    Leg {
+        name: if clients == 1 && max_lanes == 1 {
+            "single"
+        } else {
+            "batched"
+        },
+        clients,
+        max_lanes,
+        rps: requests as f64 / elapsed.as_secs_f64(),
+        target_rps: None,
+        report,
+    }
+}
+
+/// Open loop: one dispatcher submits on a fixed timer and collects
+/// tickets; throughput is what the fleet actually sustained.
+fn open_loop(shape: Shape, requests: u64, max_lanes: usize, target_rps: f64) -> Leg {
+    let server = Server::start(
+        ServerConfig::default()
+            .workers(1)
+            .max_lanes(max_lanes)
+            .queue_capacity(requests as usize),
+    );
+    let interval = Duration::from_secs_f64(1.0 / target_rps.max(1e-6));
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(requests as usize);
+    for i in 0..requests {
+        let due = interval * i as u32;
+        if let Some(wait) = due.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        match server.submit(Request {
+            shape,
+            payload: Payload::Seeded(i),
+        }) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(rejection) => panic!("open loop at 70% capacity must not shed: {rejection}"),
+        }
+    }
+    for ticket in tickets {
+        ticket.wait();
+    }
+    let elapsed = start.elapsed();
+    let report = server.shutdown();
+    Leg {
+        name: "open",
+        clients: 1,
+        max_lanes,
+        rps: report.served as f64 / elapsed.as_secs_f64(),
+        target_rps: Some(target_rps),
+        report,
+    }
+}
+
+fn print_leg(leg: &Leg) {
+    let r = &leg.report;
+    println!(
+        "{:>8}: {:>8.1} req/s  lanes {:>5.1}  p50 {:>8.0} µs  p95 {:>8.0} µs  p99 {:>8.0} µs  \
+         ({} batches, {} misses, {} hits)",
+        leg.name,
+        leg.rps,
+        r.mean_lanes(),
+        micros(r.latency_quantile(0.50)),
+        micros(r.latency_quantile(0.95)),
+        micros(r.latency_quantile(0.99)),
+        r.batches,
+        r.metrics.schedule_misses,
+        r.metrics.schedule_hits,
+    );
+}

@@ -44,6 +44,19 @@ pub enum Command {
         out: Option<String>,
         format: TraceFormat,
     },
+    /// `serve <n> [--requests R] [--workers W] [--lanes L]
+    /// [--op prefix|sort|allreduce] [--seed S] [--metrics-json]` — push a
+    /// seeded workload through the dc-serve frontend and report
+    /// throughput and latency.
+    Serve {
+        n: u32,
+        op: ServeOp,
+        requests: u64,
+        workers: usize,
+        lanes: usize,
+        seed: u64,
+        metrics_json: bool,
+    },
     /// `experiments [id…]` — print experiment reports (all by default).
     Experiments { ids: Vec<String> },
     /// `diagram <n> <prefix|sort>` — space-time diagram of a schedule.
@@ -83,6 +96,17 @@ pub enum OpKind {
     Max,
     /// String concatenation (non-commutative demo).
     Concat,
+}
+
+/// Operations the `serve` subcommand can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOp {
+    /// Inclusive prefix sums (Algorithm 2).
+    Prefix,
+    /// Ascending key sort (Algorithm 3).
+    Sort,
+    /// Global-sum all-reduce.
+    Allreduce,
 }
 
 /// Sorting algorithm choices.
@@ -253,6 +277,40 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 format,
             })
         }
+        "serve" => {
+            let n = req(args, 1, "n")?;
+            let op = match flag(args, "--op")?.as_deref() {
+                None | Some("prefix") => ServeOp::Prefix,
+                Some("sort") => ServeOp::Sort,
+                Some("allreduce") => ServeOp::Allreduce,
+                Some(other) => return Err(ParseError(format!("unknown --op: {other}"))),
+            };
+            let numeric = |name: &str, default: u64| -> Result<u64, ParseError> {
+                flag(args, name)?
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| ParseError(format!("invalid {name}: {v}")))
+                    })
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            let requests = numeric("--requests", 32)?;
+            let workers = numeric("--workers", 2)?.max(1) as usize;
+            let lanes = parse_lanes(args)?;
+            let seed = numeric("--seed", 2008)?;
+            if requests == 0 {
+                return Err(ParseError("--requests must be at least 1".into()));
+            }
+            Ok(Command::Serve {
+                n,
+                op,
+                requests,
+                workers,
+                lanes,
+                seed,
+                metrics_json: switch(args, "--metrics-json"),
+            })
+        }
         "experiments" => Ok(Command::Experiments {
             ids: args[1..].to_vec(),
         }),
@@ -292,6 +350,12 @@ USAGE:
                                               instances share one schedule)
   dual-cube broadcast <n> <root> [--metrics-json]
                                               broadcast from a root node
+  dual-cube serve <n> [--requests R] [--workers W] [--lanes L] [--op prefix|sort|allreduce]
+                      [--seed S] [--metrics-json]
+                                              push R seeded requests through the
+                                              dc-serve frontend (W warm workers,
+                                              batches up to L lanes wide) and
+                                              report throughput and latency
   dual-cube experiments [E1 E4 …]             print experiment reports
   dual-cube diagram <n> [prefix|sort]         space-time diagram of a schedule
   dual-cube trace <prefix|sort> [--n N] [--out FILE] [--format perfetto|jsonl]
@@ -448,6 +512,45 @@ mod tests {
         assert!(p("diagram 2 pie").is_err());
         assert_eq!(p("hamiltonian 4"), Ok(Command::Hamiltonian { n: 4 }));
         assert_eq!(p("dot 2"), Ok(Command::Dot { n: 2 }));
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            p("serve 4"),
+            Ok(Command::Serve {
+                n: 4,
+                op: ServeOp::Prefix,
+                requests: 32,
+                workers: 2,
+                lanes: 1,
+                seed: 2008,
+                metrics_json: false
+            })
+        );
+        assert_eq!(
+            p("serve 3 --op sort --requests 100 --workers 4 --lanes 8 --seed 5 --metrics-json"),
+            Ok(Command::Serve {
+                n: 3,
+                op: ServeOp::Sort,
+                requests: 100,
+                workers: 4,
+                lanes: 8,
+                seed: 5,
+                metrics_json: true
+            })
+        );
+        assert_eq!(
+            p("serve 2 --op allreduce").map(|c| match c {
+                Command::Serve { op, .. } => op,
+                _ => unreachable!(),
+            }),
+            Ok(ServeOp::Allreduce)
+        );
+        assert!(p("serve").is_err());
+        assert!(p("serve 3 --op pie").is_err());
+        assert!(p("serve 3 --requests 0").is_err());
+        assert!(p("serve 3 --lanes 0").is_err());
     }
 
     #[test]

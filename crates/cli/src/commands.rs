@@ -1,7 +1,7 @@
 //! Command implementations: each returns the text to print, so the whole
 //! surface is unit-testable without capturing stdout.
 
-use crate::args::{Command, DiagramKind, OpKind, SortAlgo, TraceFormat, HELP};
+use crate::args::{Command, DiagramKind, OpKind, ServeOp, SortAlgo, TraceFormat, HELP};
 use dc_core::apps::radix_sort;
 use dc_core::collectives::broadcast;
 use dc_core::ops::{Concat, Max, Sum};
@@ -52,6 +52,15 @@ pub fn run(cmd: Command) -> Result<String, String> {
             out,
             format,
         } => trace_cmd(n, which, out, format),
+        Command::Serve {
+            n,
+            op,
+            requests,
+            workers,
+            lanes,
+            seed,
+            metrics_json,
+        } => serve(n, op, requests, workers, lanes, seed, metrics_json),
         Command::Experiments { ids } => experiments(&ids),
         Command::Diagram { n, which } => diagram(n, which),
         Command::Hamiltonian { n } => hamiltonian(n),
@@ -479,6 +488,95 @@ fn bcast(n: u32, root: usize, metrics_json: bool) -> Result<String, String> {
 /// exports the event stream (Perfetto trace JSON or JSONL). With
 /// `--out` the payload is written to disk and a one-line summary is
 /// printed; otherwise the payload itself goes to stdout.
+/// `serve`: push a seeded same-shape workload through the dc-serve
+/// frontend — open-loop submit, then wait on every ticket — and report
+/// what the service did. The demo counterpart of `bench_serve` (which
+/// owns the measurement protocol); this one is for poking at batching
+/// and warmth interactively.
+fn serve(
+    n: u32,
+    op: ServeOp,
+    requests: u64,
+    workers: usize,
+    lanes: usize,
+    seed: u64,
+    metrics_json: bool,
+) -> Result<String, String> {
+    use dc_serve::{Payload, Request, Server, ServerConfig, Shape};
+    check_n(n)?;
+    if requests > 100_000 {
+        return Err("--requests must be in 1..=100000".into());
+    }
+    let shape = Shape {
+        op: match op {
+            ServeOp::Prefix => dc_serve::OpKind::PrefixSum,
+            ServeOp::Sort => dc_serve::OpKind::SortI64,
+            ServeOp::Allreduce => dc_serve::OpKind::AllReduceSum,
+        },
+        n,
+    };
+    let server = Server::start(
+        ServerConfig::default()
+            .workers(workers)
+            .max_lanes(lanes)
+            .queue_capacity(requests as usize),
+    );
+    let start = std::time::Instant::now();
+    let tickets: Vec<_> = (0..requests)
+        .map(|i| {
+            server
+                .submit(Request {
+                    shape,
+                    payload: Payload::Seeded(seed.wrapping_add(i)),
+                })
+                .map_err(|e| format!("request {i} rejected: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut max_lanes_seen = 0;
+    for ticket in tickets {
+        max_lanes_seen = max_lanes_seen.max(ticket.wait().lanes);
+    }
+    let elapsed = start.elapsed();
+    let report = server.shutdown();
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "served {} {} requests on D_{n} ({} nodes/request) in {:.3} s — {:.1} req/s",
+        report.served,
+        shape.op.name(),
+        shape.num_nodes(),
+        elapsed.as_secs_f64(),
+        report.served as f64 / elapsed.as_secs_f64()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  fleet: {workers} workers, {} machine runs, mean {:.1} lanes/run (widest batch {max_lanes_seen})",
+        report.batches,
+        report.mean_lanes()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  latency: p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+        report.latency_quantile(0.50).as_secs_f64() * 1e3,
+        report.latency_quantile(0.95).as_secs_f64() * 1e3,
+        report.latency_quantile(0.99).as_secs_f64() * 1e3
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  schedules: {} compiled, {} replayed (warm banks make repeats free)",
+        report.metrics.schedule_misses, report.metrics.schedule_hits
+    )
+    .unwrap();
+    if metrics_json {
+        writeln!(out, "{}", dc_simulator::obs::metrics_json(&report.metrics)).unwrap();
+    }
+    Ok(out)
+}
+
 fn trace_cmd(
     n: u32,
     which: DiagramKind,
@@ -686,6 +784,20 @@ mod tests {
             let out = exec(&format!("sort 3 --algo {algo}")).unwrap();
             assert!(out.contains("✓ sorted"), "{algo}: {out}");
         }
+    }
+
+    #[test]
+    fn serve_reports_throughput_for_every_op() {
+        for op in ["prefix", "sort", "allreduce"] {
+            let out = exec(&format!("serve 2 --op {op} --requests 12 --lanes 4")).unwrap();
+            assert!(out.contains("served 12"), "{op}: {out}");
+            assert!(out.contains("req/s"), "{op}: {out}");
+            assert!(out.contains("p99"), "{op}: {out}");
+            assert!(out.contains("compiled"), "{op}: {out}");
+        }
+        let json = exec("serve 2 --requests 3 --metrics-json").unwrap();
+        assert!(json.contains("\"comm_steps\""), "{json}");
+        assert!(exec("serve 99").is_err());
     }
 
     #[test]

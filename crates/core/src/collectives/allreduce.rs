@@ -19,7 +19,7 @@
 //! hypercube butterfly (`6n−5` steps): experiment E9 measures all three.
 
 use crate::ops::Commutative;
-use dc_simulator::{Machine, Metrics, ScheduleKey};
+use dc_simulator::{ExecMode, Machine, Metrics, ScheduleBank, ScheduleKey};
 use dc_topology::{DualCube, Topology};
 
 #[derive(Debug, Clone)]
@@ -55,6 +55,22 @@ pub struct AllReduceRun<M> {
 /// assert_eq!(run.metrics.comm_steps, 6); // 2n
 /// ```
 pub fn allreduce<M: Commutative>(d: &DualCube, values: &[M]) -> AllReduceRun<M> {
+    allreduce_reusing(d, values, ExecMode::default(), &mut ScheduleBank::new())
+}
+
+/// [`allreduce`] with an explicit backend and a [`ScheduleBank`]: the
+/// machine adopts the bank's compiled schedules before its first cycle
+/// and donates them back (plus anything newly compiled) when the run
+/// ends, so a *sequence* of all-reduces — a serving fleet draining a
+/// request queue — validates each pattern once ever instead of once per
+/// run. Results are bit-identical to [`allreduce`]; only
+/// `schedule_misses` and wall-clock differ.
+pub fn allreduce_reusing<M: Commutative>(
+    d: &DualCube,
+    values: &[M],
+    exec: ExecMode,
+    bank: &mut ScheduleBank,
+) -> AllReduceRun<M> {
     assert_eq!(
         values.len(),
         d.num_nodes(),
@@ -69,7 +85,8 @@ pub fn allreduce<M: Commutative>(d: &DualCube, values: &[M]) -> AllReduceRun<M> 
             temp: None,
         })
         .collect();
-    let mut machine = Machine::new(d, states);
+    let mut machine = Machine::with_exec(d, states, exec);
+    machine.adopt_schedules(bank);
 
     // Phase 1: butterfly all-reduce of `own` inside every cluster.
     // Phases 3 and 4 repeat the communication patterns of phases 1 and 2
@@ -131,6 +148,7 @@ pub fn allreduce<M: Commutative>(d: &DualCube, values: &[M]) -> AllReduceRun<M> 
         st.own = own_class_total.combine(&st.other);
     });
 
+    machine.donate_schedules(bank);
     let (states, metrics) = machine.into_parts();
     AllReduceRun {
         values: states.into_iter().map(|st| st.own).collect(),
@@ -181,5 +199,28 @@ mod tests {
     #[should_panic(expected = "one contribution per node")]
     fn wrong_length_rejected() {
         allreduce(&DualCube::new(2), &[Sum(1); 4]);
+    }
+
+    #[test]
+    fn schedule_bank_reuse_is_bit_identical_and_skips_revalidation() {
+        let d = DualCube::new(3);
+        let values: Vec<Sum> = (0..d.num_nodes() as i64).map(|x| Sum(x * 11 - 9)).collect();
+        let baseline = allreduce(&d, &values);
+
+        let mut bank = ScheduleBank::new();
+        let first = allreduce_reusing(&d, &values, ExecMode::Sequential, &mut bank);
+        assert_eq!(first.values, baseline.values);
+        assert!(first.metrics.schedule_misses > 0, "cold run compiles");
+
+        let second = allreduce_reusing(&d, &values, ExecMode::Sequential, &mut bank);
+        assert_eq!(second.values, baseline.values);
+        assert_eq!(
+            second.metrics.schedule_misses, 0,
+            "warm run revalidates nothing"
+        );
+        assert_eq!(
+            second.metrics.schedule_hits,
+            first.metrics.schedule_hits + first.metrics.schedule_misses
+        );
     }
 }

@@ -32,7 +32,7 @@ pub mod generic;
 pub mod reduce;
 pub mod scatter;
 
-pub use allreduce::allreduce;
+pub use allreduce::{allreduce, allreduce_reusing};
 pub use alltoall::all_to_all;
 pub use broadcast::broadcast;
 pub use gather::{all_gather, gather};

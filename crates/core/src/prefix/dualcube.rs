@@ -37,7 +37,7 @@
 use crate::ops::Monoid;
 use crate::prefix::PrefixKind;
 use crate::run::{PhaseSnapshot, Recording};
-use dc_simulator::{Machine, Metrics, ScheduleKey};
+use dc_simulator::{ExecMode, Machine, Metrics, ScheduleBank, ScheduleKey};
 use dc_topology::{bits::bit, Class, DualCube, Topology};
 
 /// How to realise step 5 of Algorithm 2 (see the module docs).
@@ -289,6 +289,33 @@ pub fn batched_d_prefix<M: Monoid>(
     kind: PrefixKind,
     step5: Step5Mode,
 ) -> BatchedDPrefixRun<M> {
+    batched_d_prefix_reusing(
+        d,
+        inputs,
+        kind,
+        step5,
+        ExecMode::default(),
+        &mut ScheduleBank::new(),
+    )
+}
+
+/// [`batched_d_prefix`] with an explicit backend and a [`ScheduleBank`]:
+/// the machine adopts the bank's compiled schedules before its first
+/// cycle and donates them back (plus anything newly compiled) when the
+/// run ends. A serving fleet draining a request queue therefore
+/// validates each communication pattern once ever, not once per
+/// request; because compiled schedules are destination-only, a bank
+/// warmed at one lane count serves any other. Results are bit-identical
+/// to [`batched_d_prefix`]; only `schedule_misses` and wall-clock
+/// differ.
+pub fn batched_d_prefix_reusing<M: Monoid>(
+    d: &DualCube,
+    inputs: &[Vec<M>],
+    kind: PrefixKind,
+    step5: Step5Mode,
+    exec: ExecMode,
+    bank: &mut ScheduleBank,
+) -> BatchedDPrefixRun<M> {
     let lanes = inputs.len();
     assert!(lanes > 0, "a batched prefix needs at least one instance");
     for (k, input) in inputs.iter().enumerate() {
@@ -319,7 +346,8 @@ pub fn batched_d_prefix<M: Monoid>(
             }
         })
         .collect();
-    let mut machine = Machine::new(d, states);
+    let mut machine = Machine::with_exec(d, states, exec);
+    machine.adopt_schedules(bank);
     let seed = M::identity();
 
     // Step 1: Cube_prefix inside every cluster, all lanes at once.
@@ -398,6 +426,7 @@ pub fn batched_d_prefix<M: Monoid>(
         }
     });
 
+    machine.donate_schedules(bank);
     let (states, metrics) = machine.into_parts();
     let mut prefixes = vec![Vec::new(); lanes];
     for p in &mut prefixes {
@@ -705,6 +734,49 @@ mod tests {
             PrefixKind::Inclusive,
             Step5Mode::PaperFaithful,
             Recording::Off,
+        );
+    }
+
+    #[test]
+    fn schedule_bank_reuse_is_bit_identical_and_skips_revalidation() {
+        let d = DualCube::new(3);
+        let inputs: Vec<Vec<Sum>> = (0..4)
+            .map(|k| (0..d.num_nodes() as i64).map(|i| Sum(i * 7 - k)).collect())
+            .collect();
+        let baseline =
+            batched_d_prefix(&d, &inputs, PrefixKind::Inclusive, Step5Mode::PaperFaithful);
+
+        let mut bank = ScheduleBank::new();
+        let first = batched_d_prefix_reusing(
+            &d,
+            &inputs,
+            PrefixKind::Inclusive,
+            Step5Mode::PaperFaithful,
+            ExecMode::Sequential,
+            &mut bank,
+        );
+        assert_eq!(first.prefixes, baseline.prefixes);
+        assert!(first.metrics.schedule_misses > 0, "cold run compiles");
+
+        // Second run adopts the warm bank: zero compilations, every cycle
+        // a replay, answers unchanged. Schedules are destination-only, so
+        // the warm bank serves a different lane count too.
+        let second = batched_d_prefix_reusing(
+            &d,
+            &inputs[..2],
+            PrefixKind::Inclusive,
+            Step5Mode::PaperFaithful,
+            ExecMode::Sequential,
+            &mut bank,
+        );
+        assert_eq!(second.prefixes, baseline.prefixes[..2]);
+        assert_eq!(
+            second.metrics.schedule_misses, 0,
+            "warm run revalidates nothing"
+        );
+        assert_eq!(
+            second.metrics.schedule_hits,
+            first.metrics.schedule_hits + first.metrics.schedule_misses
         );
     }
 

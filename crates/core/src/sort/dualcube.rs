@@ -42,7 +42,7 @@ use crate::emulate::{
 };
 use crate::run::{PhaseSnapshot, Recording, Run};
 use crate::sort::SortOrder;
-use dc_simulator::{Machine, Metrics};
+use dc_simulator::{ExecMode, Machine, Metrics, ScheduleBank};
 use dc_topology::{bits::bit, NodeId, RecDualCube, Topology};
 
 /// Sorts one key per node of `D_n` (recursive presentation) with
@@ -176,6 +176,30 @@ pub fn batched_d_sort<K: Ord + Clone + Send + Sync + 'static>(
     keys: &[Vec<K>],
     order: SortOrder,
 ) -> BatchedSortRun<K> {
+    batched_d_sort_reusing(
+        rec,
+        keys,
+        order,
+        ExecMode::default(),
+        &mut ScheduleBank::new(),
+    )
+}
+
+/// [`batched_d_sort`] with an explicit backend and a [`ScheduleBank`]:
+/// the machine adopts the bank's compiled schedules before its first
+/// cycle and donates them back (plus anything newly compiled) when the
+/// run ends, so a serving fleet validates each of the `O(n²)` emulated
+/// rounds once ever instead of once per request. Compiled schedules are
+/// destination-only, so a bank warmed at one lane count serves any
+/// other. Results are bit-identical to [`batched_d_sort`]; only
+/// `schedule_misses` and wall-clock differ.
+pub fn batched_d_sort_reusing<K: Ord + Clone + Send + Sync + 'static>(
+    rec: &RecDualCube,
+    keys: &[Vec<K>],
+    order: SortOrder,
+    exec: ExecMode,
+    bank: &mut ScheduleBank,
+) -> BatchedSortRun<K> {
     let lanes = keys.len();
     assert!(lanes > 0, "a batched sort needs at least one instance");
     for (k, instance) in keys.iter().enumerate() {
@@ -192,6 +216,8 @@ pub fn batched_d_sort<K: Ord + Clone + Send + Sync + 'static>(
         .map(|r| keys.iter().map(|inst| inst[r].clone()).collect())
         .collect();
     let mut machine = batched_emu_machine(rec, values, &seed);
+    machine.set_exec(exec);
+    machine.adopt_schedules(bank);
 
     for level in 1..=n {
         let top = 2 * level - 2;
@@ -217,6 +243,7 @@ pub fn batched_d_sort<K: Ord + Clone + Send + Sync + 'static>(
         }
     }
 
+    machine.donate_schedules(bank);
     let (states, metrics) = machine.into_parts();
     let mut outputs = vec![Vec::with_capacity(rec.num_nodes()); lanes];
     for st in states {
@@ -279,6 +306,40 @@ mod tests {
             v.reverse();
         }
         v
+    }
+
+    #[test]
+    fn schedule_bank_reuse_is_bit_identical_and_skips_revalidation() {
+        let rec = RecDualCube::new(2);
+        let keys = vec![
+            vec![13u32, 2, 8, 5, 1, 11, 3, 7],
+            vec![6, 6, 0, 9, 4, 12, 2, 10],
+        ];
+        let baseline = batched_d_sort(&rec, &keys, SortOrder::Ascending);
+
+        let mut bank = ScheduleBank::new();
+        let first = batched_d_sort_reusing(
+            &rec,
+            &keys,
+            SortOrder::Ascending,
+            ExecMode::Sequential,
+            &mut bank,
+        );
+        assert_eq!(first.outputs, baseline.outputs);
+        assert!(first.metrics.schedule_misses > 0, "cold run compiles");
+
+        let second = batched_d_sort_reusing(
+            &rec,
+            &keys,
+            SortOrder::Ascending,
+            ExecMode::Sequential,
+            &mut bank,
+        );
+        assert_eq!(second.outputs, baseline.outputs);
+        assert_eq!(
+            second.metrics.schedule_misses, 0,
+            "warm run revalidates nothing"
+        );
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! The admission queue and the shape batcher.
+//!
+//! One bounded queue admits requests of every shape; internally they
+//! are bucketed by [`Shape`] so a worker can drain up to `max_lanes`
+//! same-shape requests in one grab and ride them all on a single
+//! lane-batched machine run. Batch selection is **oldest-head-first**:
+//! the worker serves the shape whose front request has waited longest,
+//! which keeps one hot shape from starving a cold one while still
+//! packing every grab as wide as the traffic allows. Within a shape,
+//! requests leave in arrival order.
+
+use crate::request::{Rejected, Shape};
+use crate::ticket::Slot;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One admitted, not-yet-served request.
+pub(crate) struct Pending {
+    /// Admission order, totally ordered across shapes — the tiebreak-free
+    /// basis of oldest-head-first (two `Instant`s can be equal).
+    pub(crate) seq: u64,
+    pub(crate) values: Vec<i64>,
+    pub(crate) enqueued: Instant,
+    pub(crate) slot: Arc<Slot>,
+}
+
+/// The mutex-guarded heart of the server: per-shape FIFOs plus the
+/// counters admission control needs.
+pub(crate) struct QueueState {
+    buckets: HashMap<Shape, VecDeque<Pending>>,
+    len: usize,
+    next_seq: u64,
+    pub(crate) shutdown: bool,
+    pub(crate) rejected: u64,
+}
+
+impl QueueState {
+    pub(crate) fn new() -> Self {
+        QueueState {
+            buckets: HashMap::new(),
+            len: 0,
+            next_seq: 0,
+            shutdown: false,
+            rejected: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Admits one request or rejects it, never blocking.
+    pub(crate) fn push(
+        &mut self,
+        shape: Shape,
+        values: Vec<i64>,
+        slot: Arc<Slot>,
+        capacity: usize,
+    ) -> Result<(), Rejected> {
+        if self.shutdown {
+            self.rejected += 1;
+            return Err(Rejected::ShuttingDown);
+        }
+        if self.len >= capacity {
+            self.rejected += 1;
+            return Err(Rejected::QueueFull { capacity });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.buckets.entry(shape).or_default().push_back(Pending {
+            seq,
+            values,
+            enqueued: Instant::now(),
+            slot,
+        });
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Takes the next batch: up to `max_lanes` requests of the shape
+    /// whose front request is oldest. `None` when the queue is empty.
+    pub(crate) fn take_batch(&mut self, max_lanes: usize) -> Option<(Shape, Vec<Pending>)> {
+        let shape = *self
+            .buckets
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .min_by_key(|(_, q)| q.front().expect("filtered non-empty").seq)
+            .map(|(shape, _)| shape)?;
+        let queue = self.buckets.get_mut(&shape).expect("shape just seen");
+        let take = max_lanes.max(1).min(queue.len());
+        let batch: Vec<Pending> = queue.drain(..take).collect();
+        self.len -= batch.len();
+        if queue.is_empty() {
+            self.buckets.remove(&shape);
+        }
+        Some((shape, batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::OpKind;
+
+    fn shape(op: OpKind, n: u32) -> Shape {
+        Shape { op, n }
+    }
+
+    fn push(st: &mut QueueState, s: Shape, tag: i64, cap: usize) {
+        st.push(s, vec![tag], Arc::new(Slot::default()), cap)
+            .expect("capacity");
+    }
+
+    #[test]
+    fn batches_are_oldest_head_first_and_fifo_within_shape() {
+        let mut st = QueueState::new();
+        let a = shape(OpKind::PrefixSum, 3);
+        let b = shape(OpKind::SortI64, 3);
+        push(&mut st, a, 0, 16);
+        push(&mut st, b, 1, 16);
+        push(&mut st, a, 2, 16);
+        push(&mut st, a, 3, 16);
+
+        // Shape `a` arrived first: its whole bucket leaves, in order.
+        let (s1, batch1) = st.take_batch(16).expect("work queued");
+        assert_eq!(s1, a);
+        assert_eq!(
+            batch1.iter().map(|p| p.values[0]).collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+        // Then shape `b`.
+        let (s2, batch2) = st.take_batch(16).expect("work queued");
+        assert_eq!(s2, b);
+        assert_eq!(batch2.len(), 1);
+        assert!(st.take_batch(16).is_none());
+        assert_eq!(st.len(), 0);
+    }
+
+    #[test]
+    fn max_lanes_caps_a_grab_without_losing_the_tail() {
+        let mut st = QueueState::new();
+        let a = shape(OpKind::AllReduceSum, 2);
+        for tag in 0..5 {
+            push(&mut st, a, tag, 16);
+        }
+        let (_, first) = st.take_batch(2).expect("work queued");
+        assert_eq!(
+            first.iter().map(|p| p.values[0]).collect::<Vec<_>>(),
+            [0, 1]
+        );
+        let (_, second) = st.take_batch(2).expect("work queued");
+        assert_eq!(
+            second.iter().map(|p| p.values[0]).collect::<Vec<_>>(),
+            [2, 3]
+        );
+        let (_, third) = st.take_batch(2).expect("work queued");
+        assert_eq!(third.len(), 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_counts() {
+        let mut st = QueueState::new();
+        let a = shape(OpKind::PrefixSum, 2);
+        push(&mut st, a, 0, 2);
+        push(&mut st, a, 1, 2);
+        let err = st
+            .push(a, vec![2], Arc::new(Slot::default()), 2)
+            .expect_err("third must bounce");
+        assert_eq!(err, Rejected::QueueFull { capacity: 2 });
+        assert_eq!(st.rejected, 1);
+        // A drain makes room again.
+        st.take_batch(16).expect("work queued");
+        push(&mut st, a, 3, 2);
+    }
+
+    #[test]
+    fn shutdown_closes_the_door() {
+        let mut st = QueueState::new();
+        st.shutdown = true;
+        let err = st
+            .push(
+                shape(OpKind::PrefixSum, 2),
+                vec![0],
+                Arc::new(Slot::default()),
+                16,
+            )
+            .expect_err("no admissions after shutdown");
+        assert_eq!(err, Rejected::ShuttingDown);
+    }
+}

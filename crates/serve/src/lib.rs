@@ -1,0 +1,59 @@
+//! # dc-serve — a serving frontend over the dual-cube engine
+//!
+//! The engine crates answer "how many steps does one run take?"; this
+//! crate answers "how many runs per second can the simulator sustain
+//! when requests arrive as traffic?". A [`Server`] owns:
+//!
+//! * an **admission queue** — bounded; a full queue rejects with
+//!   [`Rejected::QueueFull`] instead of blocking, so open-loop load is
+//!   shed gracefully at the door;
+//! * a **shape batcher** — same-shape requests (equal [`Shape`]: same
+//!   operation, same `D_n`) are packed, oldest-head-first, into the K
+//!   payload lanes of one machine run, amortising schedule lookup,
+//!   validation, and delivery sweeps across the whole batch;
+//! * a **warm worker fleet** — each worker keeps one
+//!   [`ScheduleBank`](dc_simulator::ScheduleBank) per shape, adopted by
+//!   every batch's machine before its first cycle and donated back
+//!   after, so request N+1 never revalidates a communication pattern
+//!   request N already compiled.
+//!
+//! Serving is *bit-faithful*: each request's output is identical to a
+//! standalone single-run of the same operation on the same input (the
+//! `serve_determinism` suite pins this across backends and lane
+//! widths), and every cycle still runs under the simulator's 1-port
+//! model checking — batching and warmth change wall-clock, never
+//! results.
+//!
+//! ## Quick start
+//!
+//! This is the README's `serve` example, compiled as a doctest so the
+//! two cannot drift:
+//!
+//! ```
+//! use dc_serve::{OpKind, Payload, Request, Server, ServerConfig, Shape};
+//!
+//! let server = Server::start(ServerConfig::default().workers(2).max_lanes(8));
+//! let shape = Shape { op: OpKind::PrefixSum, n: 3 }; // D_3: 32 nodes
+//! let response = server
+//!     .call(Request { shape, payload: Payload::Values(vec![1; 32]) })
+//!     .expect("admitted");
+//! assert_eq!(response.output, (1..=32).collect::<Vec<i64>>());
+//!
+//! let report = server.shutdown();
+//! assert_eq!(report.served, 1);
+//! assert_eq!(report.rejected, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod batch;
+mod report;
+mod request;
+mod server;
+mod ticket;
+
+pub use report::ServiceReport;
+pub use request::{seeded_values, OpKind, Payload, Rejected, Request, Response, Shape, MAX_N};
+pub use server::{Server, ServerConfig};
+pub use ticket::Ticket;

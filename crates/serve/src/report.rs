@@ -1,0 +1,108 @@
+//! The service-level rollup a server hands back at shutdown.
+
+use dc_simulator::Metrics;
+use std::time::Duration;
+
+/// Everything one serving run did, merged across the worker fleet when
+/// [`Server::shutdown`](crate::Server::shutdown) joins it.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceReport {
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests refused at admission (queue full, bad shape, wrong
+    /// payload length, or submitted after shutdown began).
+    pub rejected: u64,
+    /// Machine runs executed; `served / batches` is the mean realised
+    /// lane count.
+    pub batches: u64,
+    /// Sum of batch widths, for the mean without re-deriving it.
+    pub total_lanes: u64,
+    /// Step counts absorbed batch-wise: each machine run's
+    /// [`Metrics`] is rolled up **once**, however many requests rode it —
+    /// so `comm_steps` here counts simulated cycles actually executed,
+    /// and dividing by `served` gives the amortised per-request cost.
+    pub metrics: Metrics,
+    /// Per-request end-to-end latencies (queueing + service), unsorted.
+    pub latencies: Vec<Duration>,
+}
+
+impl ServiceReport {
+    /// Mean lanes per batch (0.0 before any batch ran).
+    pub fn mean_lanes(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.total_lanes as f64 / self.batches as f64
+        }
+    }
+
+    /// The `q`-quantile latency (nearest-rank on the sorted samples);
+    /// `q` in `[0, 1]`. Zero before any request completed.
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(sorted.len() - 1);
+        sorted[rank]
+    }
+
+    /// Folds one worker's local tallies into the fleet total.
+    pub(crate) fn merge(&mut self, other: ServiceReport) {
+        self.served += other.served;
+        self.rejected += other.rejected;
+        self.batches += other.batches;
+        self.total_lanes += other.total_lanes;
+        self.metrics.absorb(&other.metrics);
+        self.latencies.extend(other.latencies);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let mut r = ServiceReport::default();
+        assert_eq!(r.latency_quantile(0.5), Duration::ZERO);
+        r.latencies = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(r.latency_quantile(0.5), Duration::from_millis(50));
+        assert_eq!(r.latency_quantile(0.95), Duration::from_millis(95));
+        assert_eq!(r.latency_quantile(0.99), Duration::from_millis(99));
+        assert_eq!(r.latency_quantile(1.0), Duration::from_millis(100));
+        assert_eq!(r.latency_quantile(0.0), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = ServiceReport {
+            served: 3,
+            rejected: 1,
+            batches: 2,
+            total_lanes: 3,
+            latencies: vec![Duration::from_millis(5)],
+            ..ServiceReport::default()
+        };
+        let mut m = Metrics::new();
+        m.record_comm(4);
+        let b = ServiceReport {
+            served: 2,
+            rejected: 0,
+            batches: 1,
+            total_lanes: 2,
+            metrics: m,
+            latencies: vec![Duration::from_millis(7)],
+        };
+        a.merge(b);
+        assert_eq!(a.served, 5);
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.total_lanes, 5);
+        assert_eq!(a.metrics.comm_steps, 1);
+        assert_eq!(a.latencies.len(), 2);
+        assert!((a.mean_lanes() - 5.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,229 @@
+//! The request/response vocabulary of the serving frontend.
+//!
+//! A [`Request`] names an engine entry point ([`OpKind`]), a machine
+//! size (the dual-cube parameter `n`), and a payload — one `i64` per
+//! node, given explicitly or generated from a seed. The `(op, n)` pair
+//! is the request's [`Shape`]: requests of equal shape drive the same
+//! compiled communication schedules, so the batcher packs them into the
+//! payload lanes of one machine run.
+
+use dc_simulator::Metrics;
+use std::time::Duration;
+
+/// Which engine entry point a request drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Inclusive prefix sums over every node, Algorithm 2 with the
+    /// paper-faithful step 5 (`2n+1` comm steps). The response output is
+    /// the full prefix vector in data-index order.
+    PrefixSum,
+    /// Ascending sort of one key per node, Algorithm 3 on the recursive
+    /// presentation (`6n²−7n+2` comm steps). The response output is the
+    /// sorted key vector in recursive-node order.
+    SortI64,
+    /// Global-sum all-reduce (`2n` comm steps). Every node ends with the
+    /// same total, so the response output is that single value.
+    AllReduceSum,
+}
+
+impl OpKind {
+    /// Stable lowercase name, used by the CLI and the bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::PrefixSum => "prefix-sum",
+            OpKind::SortI64 => "sort",
+            OpKind::AllReduceSum => "allreduce",
+        }
+    }
+}
+
+/// Largest accepted dual-cube parameter: `D_10` has `2^19` nodes, well
+/// past anything the benches drive, while still refusing shapes whose
+/// state alone would exhaust memory.
+pub const MAX_N: u32 = 10;
+
+/// The batching key: requests with equal shape ride one machine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// The engine entry point.
+    pub op: OpKind,
+    /// The dual-cube parameter; the machine has `2^(2n−1)` nodes.
+    pub n: u32,
+}
+
+impl Shape {
+    /// Number of nodes — and payload elements — of this shape.
+    pub fn num_nodes(&self) -> usize {
+        1usize << (2 * self.n - 1)
+    }
+
+    /// `Err` if `n` is outside `1..=`[`MAX_N`].
+    pub(crate) fn validate(&self) -> Result<(), Rejected> {
+        if self.n == 0 || self.n > MAX_N {
+            return Err(Rejected::BadShape { n: self.n });
+        }
+        Ok(())
+    }
+}
+
+/// One value per node, explicit or seeded.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Explicit payload; its length must equal the shape's node count.
+    Values(Vec<i64>),
+    /// Deterministic pseudo-random payload expanded at admission with
+    /// [`seeded_values`], so a client and a reference run can agree on
+    /// the data by exchanging eight bytes.
+    Seeded(u64),
+}
+
+/// One unit of work submitted to a [`Server`](crate::Server).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The batching key.
+    pub shape: Shape,
+    /// The per-node input values.
+    pub payload: Payload,
+}
+
+/// Expands a seed into `len` values via xorshift64* — the same
+/// generator regardless of which side (client, server, reference run)
+/// does the expanding.
+pub fn seeded_values(seed: u64, len: usize) -> Vec<i64> {
+    let mut x = seed.wrapping_mul(2685821657736338717).max(1) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 2003) as i64 - 1001
+        })
+        .collect()
+}
+
+/// Why the server refused a request at the door. Admission control is
+/// the *only* failure mode: a request that is accepted always completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// The admission queue is at capacity; retry later or shed load.
+    QueueFull {
+        /// The configured capacity the queue was at.
+        capacity: usize,
+    },
+    /// `n` outside `1..=`[`MAX_N`].
+    BadShape {
+        /// The offending parameter.
+        n: u32,
+    },
+    /// An explicit payload whose length is not the shape's node count.
+    WrongLength {
+        /// The shape's node count.
+        expected: usize,
+        /// The payload's actual length.
+        got: usize,
+    },
+    /// The server is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} requests)")
+            }
+            Rejected::BadShape { n } => write!(f, "shape n={n} outside 1..={MAX_N}"),
+            Rejected::WrongLength { expected, got } => {
+                write!(f, "payload has {got} values, shape needs {expected}")
+            }
+            Rejected::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// The served result of one request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The operation's output (see [`OpKind`] for each layout).
+    pub output: Vec<i64>,
+    /// How many requests shared the machine run that served this one —
+    /// the realised lane count of the batch.
+    pub lanes: usize,
+    /// Step counts of that shared run. Lane-batched cycles advance every
+    /// request in the batch at once, so these are *batch* costs, not a
+    /// per-request division; the service rollup absorbs each batch once.
+    pub metrics: Metrics,
+    /// Time spent in the admission queue before a worker picked the
+    /// request up.
+    pub queued: Duration,
+    /// Time from pickup to completion (the machine run itself).
+    pub service: Duration,
+}
+
+impl Response {
+    /// Queueing plus service time: the latency a closed-loop client sees.
+    pub fn latency(&self) -> Duration {
+        self.queued + self.service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_node_counts() {
+        assert_eq!(
+            Shape {
+                op: OpKind::PrefixSum,
+                n: 1
+            }
+            .num_nodes(),
+            2
+        );
+        assert_eq!(
+            Shape {
+                op: OpKind::SortI64,
+                n: 3
+            }
+            .num_nodes(),
+            32
+        );
+        assert_eq!(
+            Shape {
+                op: OpKind::AllReduceSum,
+                n: 8
+            }
+            .num_nodes(),
+            32768
+        );
+    }
+
+    #[test]
+    fn seeded_values_are_deterministic_and_seed_sensitive() {
+        assert_eq!(seeded_values(7, 32), seeded_values(7, 32));
+        assert_ne!(seeded_values(7, 32), seeded_values(8, 32));
+        // Seed 0 must not collapse to the all-zero fixed point.
+        assert!(seeded_values(0, 32).iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn rejections_render() {
+        let msgs = [
+            Rejected::QueueFull { capacity: 4 }.to_string(),
+            Rejected::BadShape { n: 99 }.to_string(),
+            Rejected::WrongLength {
+                expected: 32,
+                got: 3,
+            }
+            .to_string(),
+            Rejected::ShuttingDown.to_string(),
+        ];
+        assert!(msgs[0].contains("full"));
+        assert!(msgs[1].contains("99"));
+        assert!(msgs[2].contains("32"));
+        assert!(msgs[3].contains("shutting down"));
+    }
+}

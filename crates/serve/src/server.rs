@@ -1,0 +1,311 @@
+//! The server: admission control at the front, a warm worker fleet at
+//! the back.
+//!
+//! Each worker owns one [`ScheduleBank`] per request [`Shape`] it has
+//! ever served. A batch builds its machine, **adopts** the shape's bank
+//! before the first cycle, and **donates** the compiled schedules back
+//! when the run ends — so the expensive part of the simulator's model
+//! checking (validating a communication pattern against the 1-port
+//! rules) happens once per `(worker, shape, pattern)` for the life of
+//! the server, not once per request. Batched cycles are bit-identical
+//! to their single-run counterparts and replay still deviation-checks
+//! every cycle, so warmth changes wall-clock and `schedule_misses`,
+//! never results.
+
+use crate::batch::{Pending, QueueState};
+use crate::report::ServiceReport;
+use crate::request::{seeded_values, OpKind, Payload, Rejected, Request, Response, Shape};
+use crate::ticket::{Slot, Ticket};
+use dc_core::collectives::allreduce::allreduce_reusing;
+use dc_core::ops::Sum;
+use dc_core::prefix::dualcube::{batched_d_prefix_reusing, Step5Mode};
+use dc_core::prefix::PrefixKind;
+use dc_core::sort::dualcube::batched_d_sort_reusing;
+use dc_core::sort::SortOrder;
+use dc_simulator::{ExecMode, Metrics, ScheduleBank};
+use dc_topology::{DualCube, RecDualCube};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Knobs of a [`Server`], builder-style.
+///
+/// ```
+/// use dc_serve::ServerConfig;
+/// let cfg = ServerConfig::default().workers(4).max_lanes(8);
+/// assert_eq!(cfg.workers, 4);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Fleet size: worker threads, each with its own schedule banks.
+    pub workers: usize,
+    /// Widest batch one worker grabs — the K of the underlying payload
+    /// lanes.
+    pub max_lanes: usize,
+    /// Admission bound: requests queued but unserved before
+    /// [`Rejected::QueueFull`].
+    pub queue_capacity: usize,
+    /// Backend for each batch's machine cycles. Passed explicitly to
+    /// every run (workers never touch the process-global default, which
+    /// is guarded by a lock that would serialise the fleet).
+    pub exec: ExecMode,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 1,
+            max_lanes: 16,
+            queue_capacity: 1024,
+            exec: ExecMode::Sequential,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the fleet size (minimum 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the widest batch (minimum 1).
+    pub fn max_lanes(mut self, max_lanes: usize) -> Self {
+        self.max_lanes = max_lanes.max(1);
+        self
+    }
+
+    /// Sets the admission bound (minimum 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the cycle backend for every worker's machines.
+    pub fn exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    work_ready: Condvar,
+    capacity: usize,
+}
+
+/// A running serving frontend over the dual-cube engine.
+pub struct Server {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<ServiceReport>>,
+}
+
+impl Server {
+    /// Starts the worker fleet and opens admission.
+    pub fn start(config: ServerConfig) -> Server {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState::new()),
+            work_ready: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+        });
+        let handles = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, config.max_lanes.max(1), config.exec))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Server { shared, handles }
+    }
+
+    /// Admits one request, returning a [`Ticket`] to wait on — or a
+    /// [`Rejected`] immediately, without blocking, if the request is
+    /// malformed or the queue is at capacity (open-loop callers shed
+    /// load here).
+    pub fn submit(&self, request: Request) -> Result<Ticket, Rejected> {
+        let shape = request.shape;
+        let admission = shape.validate().and_then(|()| {
+            let nodes = shape.num_nodes();
+            match request.payload {
+                Payload::Values(values) if values.len() == nodes => Ok(values),
+                Payload::Values(values) => Err(Rejected::WrongLength {
+                    expected: nodes,
+                    got: values.len(),
+                }),
+                Payload::Seeded(seed) => Ok(seeded_values(seed, nodes)),
+            }
+        });
+        let mut state = self.shared.state.lock().expect("queue lock");
+        let values = match admission {
+            Ok(values) => values,
+            Err(rejection) => {
+                state.rejected += 1;
+                return Err(rejection);
+            }
+        };
+        let slot = Arc::new(Slot::default());
+        state.push(shape, values, Arc::clone(&slot), self.shared.capacity)?;
+        drop(state);
+        self.shared.work_ready.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Closed-loop convenience: submit and block for the response.
+    pub fn call(&self, request: Request) -> Result<Response, Rejected> {
+        Ok(self.submit(request)?.wait())
+    }
+
+    /// Requests currently admitted but unserved.
+    pub fn queue_len(&self) -> usize {
+        self.shared.state.lock().expect("queue lock").len()
+    }
+
+    /// Closes admission, drains every already-admitted request, joins
+    /// the fleet, and returns the merged [`ServiceReport`].
+    pub fn shutdown(self) -> ServiceReport {
+        {
+            let mut state = self.shared.state.lock().expect("queue lock");
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        let mut report = ServiceReport::default();
+        for handle in self.handles {
+            report.merge(handle.join().expect("worker panicked"));
+        }
+        report.rejected += self.shared.state.lock().expect("queue lock").rejected;
+        report
+    }
+}
+
+/// One worker: grab the oldest-head batch, serve it on a machine warmed
+/// from this worker's per-shape bank, repeat until shutdown drains the
+/// queue dry.
+fn worker_loop(shared: &Shared, max_lanes: usize, exec: ExecMode) -> ServiceReport {
+    let mut banks: HashMap<Shape, ScheduleBank> = HashMap::new();
+    let mut local = ServiceReport::default();
+    loop {
+        let grabbed = {
+            let mut state = shared.state.lock().expect("queue lock");
+            loop {
+                if let Some(batch) = state.take_batch(max_lanes) {
+                    break Some(batch);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.work_ready.wait(state).expect("queue lock");
+            }
+        };
+        let Some((shape, batch)) = grabbed else {
+            return local;
+        };
+        let bank = banks.entry(shape).or_default();
+        serve_batch(shape, batch, exec, bank, &mut local);
+    }
+}
+
+/// Runs one grabbed batch and fulfils its tickets. Lane-capable ops
+/// ride all requests on one machine run; all-reduce (no lane variant)
+/// runs per request, still through the warm bank, and counts one
+/// "batch" per run so `batches` always means machine runs.
+fn serve_batch(
+    shape: Shape,
+    batch: Vec<Pending>,
+    exec: ExecMode,
+    bank: &mut ScheduleBank,
+    local: &mut ServiceReport,
+) {
+    let picked_up = Instant::now();
+    if shape.op == OpKind::AllReduceSum {
+        let d = DualCube::new(shape.n);
+        for pending in batch {
+            let values: Vec<Sum> = pending.values.iter().copied().map(Sum).collect();
+            let started = Instant::now();
+            let run = allreduce_reusing(&d, &values, exec, bank);
+            local.batches += 1;
+            local.total_lanes += 1;
+            local.metrics.absorb(&run.metrics);
+            finish(
+                pending,
+                vec![run.values[0].0],
+                1,
+                run.metrics,
+                started,
+                local,
+            );
+        }
+        return;
+    }
+
+    let lanes = batch.len();
+    let mut inputs = Vec::with_capacity(lanes);
+    let mut waiters = Vec::with_capacity(lanes);
+    for mut pending in batch {
+        inputs.push(std::mem::take(&mut pending.values));
+        waiters.push(pending);
+    }
+
+    let (outputs, metrics): (Vec<Vec<i64>>, Metrics) = match shape.op {
+        OpKind::PrefixSum => {
+            let d = DualCube::new(shape.n);
+            let sums: Vec<Vec<Sum>> = inputs
+                .iter()
+                .map(|lane| lane.iter().copied().map(Sum).collect())
+                .collect();
+            let run = batched_d_prefix_reusing(
+                &d,
+                &sums,
+                PrefixKind::Inclusive,
+                Step5Mode::PaperFaithful,
+                exec,
+                bank,
+            );
+            (
+                run.prefixes
+                    .into_iter()
+                    .map(|lane| lane.into_iter().map(|s| s.0).collect())
+                    .collect(),
+                run.metrics,
+            )
+        }
+        OpKind::SortI64 => {
+            let rec = RecDualCube::new(shape.n);
+            let run = batched_d_sort_reusing(&rec, &inputs, SortOrder::Ascending, exec, bank);
+            (run.outputs, run.metrics)
+        }
+        OpKind::AllReduceSum => unreachable!("handled above"),
+    };
+    local.batches += 1;
+    local.total_lanes += lanes as u64;
+    local.metrics.absorb(&metrics);
+    for (pending, output) in waiters.into_iter().zip(outputs) {
+        finish(pending, output, lanes, metrics.clone(), picked_up, local);
+    }
+}
+
+/// Stamps, fulfils, and tallies one completed request. The caller has
+/// already absorbed the machine run's metrics into the rollup exactly
+/// once, so service totals count executed cycles, not lane copies; here
+/// each rider just gets its own copy and its latency sample.
+fn finish(
+    pending: Pending,
+    output: Vec<i64>,
+    lanes: usize,
+    metrics: Metrics,
+    picked_up: Instant,
+    local: &mut ServiceReport,
+) {
+    let response = Response {
+        output,
+        lanes,
+        queued: picked_up.duration_since(pending.enqueued),
+        service: picked_up.elapsed(),
+        metrics,
+    };
+    local.served += 1;
+    local.latencies.push(response.latency());
+    pending.slot.fulfil(response);
+}

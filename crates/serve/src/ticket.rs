@@ -1,0 +1,49 @@
+//! A one-shot completion slot: the worker fulfils it once, the client
+//! waits on it (or polls, or drops it — a dropped ticket just means
+//! nobody reads the response; the work still runs and still counts in
+//! the service rollup).
+
+use crate::request::Response;
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Debug, Default)]
+pub(crate) struct Slot {
+    filled: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    pub(crate) fn fulfil(&self, response: Response) {
+        let mut filled = self.filled.lock().expect("slot lock");
+        debug_assert!(filled.is_none(), "a ticket is fulfilled exactly once");
+        *filled = Some(response);
+        self.ready.notify_all();
+    }
+}
+
+/// A handle to one in-flight request, returned by
+/// [`Server::submit`](crate::Server::submit).
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes and returns its response.
+    /// Accepted requests always complete (shutdown drains the queue), so
+    /// this cannot block forever while the server lives.
+    pub fn wait(self) -> Response {
+        let mut filled = self.slot.filled.lock().expect("slot lock");
+        loop {
+            if let Some(response) = filled.take() {
+                return response;
+            }
+            filled = self.slot.ready.wait(filled).expect("slot lock");
+        }
+    }
+
+    /// Takes the response if the request has already completed.
+    pub fn try_take(&self) -> Option<Response> {
+        self.slot.filled.lock().expect("slot lock").take()
+    }
+}

@@ -1,0 +1,223 @@
+//! Serve-mode determinism: traffic through the server is bit-identical
+//! to standalone engine runs, whatever the fleet size, batch width, or
+//! cycle backend — batching and schedule warmth are pure wall-clock
+//! optimisations. Also pins the admission-control contract (malformed
+//! and overflow rejections are graceful and counted) and the warmth
+//! guarantee (each pattern compiles once per worker, ever).
+
+use dc_core::collectives::allreduce;
+use dc_core::ops::Sum;
+use dc_core::prefix::dualcube::{d_prefix, Step5Mode};
+use dc_core::prefix::PrefixKind;
+use dc_core::run::Recording;
+use dc_core::sort::dualcube::d_sort;
+use dc_core::sort::SortOrder;
+use dc_serve::{seeded_values, OpKind, Payload, Rejected, Request, Server, ServerConfig, Shape};
+use dc_simulator::ExecMode;
+use dc_topology::{DualCube, RecDualCube};
+
+/// A deterministic mixed-shape workload: five shapes interleaved, each
+/// request seeded from its index.
+fn workload(count: usize) -> Vec<(Shape, u64)> {
+    let shapes = [
+        Shape {
+            op: OpKind::PrefixSum,
+            n: 2,
+        },
+        Shape {
+            op: OpKind::SortI64,
+            n: 2,
+        },
+        Shape {
+            op: OpKind::AllReduceSum,
+            n: 2,
+        },
+        Shape {
+            op: OpKind::PrefixSum,
+            n: 3,
+        },
+        Shape {
+            op: OpKind::SortI64,
+            n: 3,
+        },
+    ];
+    (0..count)
+        .map(|i| (shapes[i % shapes.len()], i as u64 * 31 + 7))
+        .collect()
+}
+
+/// What a standalone (unbatched, unserved) engine run produces for one
+/// request — the server must match this bit for bit.
+fn standalone(shape: Shape, seed: u64) -> Vec<i64> {
+    let values = seeded_values(seed, shape.num_nodes());
+    match shape.op {
+        OpKind::PrefixSum => {
+            let d = DualCube::new(shape.n);
+            let input: Vec<Sum> = values.into_iter().map(Sum).collect();
+            let run = d_prefix(
+                &d,
+                &input,
+                PrefixKind::Inclusive,
+                Step5Mode::PaperFaithful,
+                Recording::Off,
+            );
+            run.prefixes.into_iter().map(|s| s.0).collect()
+        }
+        OpKind::SortI64 => {
+            let rec = RecDualCube::new(shape.n);
+            d_sort(&rec, &values, SortOrder::Ascending, Recording::Off).output
+        }
+        OpKind::AllReduceSum => {
+            let d = DualCube::new(shape.n);
+            let input: Vec<Sum> = values.into_iter().map(Sum).collect();
+            vec![allreduce(&d, &input).values[0].0]
+        }
+    }
+}
+
+#[test]
+fn mixed_traffic_is_bit_identical_to_standalone_runs() {
+    let requests = workload(40);
+    let expected: Vec<Vec<i64>> = requests
+        .iter()
+        .map(|&(shape, seed)| standalone(shape, seed))
+        .collect();
+
+    for workers in [1usize, 3] {
+        for max_lanes in [1usize, 7] {
+            for exec in [ExecMode::Sequential, ExecMode::Parallel { threshold: 1 }] {
+                let server = Server::start(
+                    ServerConfig::default()
+                        .workers(workers)
+                        .max_lanes(max_lanes)
+                        .exec(exec),
+                );
+                // Open-loop: submit everything, then wait on every ticket,
+                // so batches actually form.
+                let tickets: Vec<_> = requests
+                    .iter()
+                    .map(|&(shape, seed)| {
+                        server
+                            .submit(Request {
+                                shape,
+                                payload: Payload::Seeded(seed),
+                            })
+                            .expect("queue has room")
+                    })
+                    .collect();
+                for (i, ticket) in tickets.into_iter().enumerate() {
+                    let response = ticket.wait();
+                    assert_eq!(
+                        response.output, expected[i],
+                        "request {i} diverged (workers={workers}, lanes={max_lanes}, {exec:?})"
+                    );
+                    assert!(response.lanes >= 1 && response.lanes <= max_lanes);
+                }
+                let report = server.shutdown();
+                assert_eq!(report.served, requests.len() as u64);
+                assert_eq!(report.rejected, 0);
+                assert_eq!(report.latencies.len(), requests.len());
+                assert!(report.batches >= 1);
+                assert_eq!(
+                    report.total_lanes, report.served,
+                    "every request rides exactly one batch"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_fleet_compiles_each_pattern_once() {
+    // One worker, one shape: however many batches the traffic splits
+    // into, the fleet-wide miss count must equal a single cold run's —
+    // the bank means every batch after the first replays what the first
+    // compiled.
+    use dc_core::prefix::dualcube::batched_d_prefix_reusing;
+    use dc_simulator::ScheduleBank;
+
+    let shape = Shape {
+        op: OpKind::PrefixSum,
+        n: 3,
+    };
+    let d = DualCube::new(shape.n);
+    let cold_input = vec![seeded_values(0, shape.num_nodes())
+        .into_iter()
+        .map(Sum)
+        .collect::<Vec<Sum>>()];
+    let cold = batched_d_prefix_reusing(
+        &d,
+        &cold_input,
+        PrefixKind::Inclusive,
+        Step5Mode::PaperFaithful,
+        ExecMode::Sequential,
+        &mut ScheduleBank::new(),
+    );
+    assert!(cold.metrics.schedule_misses > 0);
+
+    let server = Server::start(ServerConfig::default().workers(1).max_lanes(4));
+    let tickets: Vec<_> = (0..24)
+        .map(|i| {
+            server
+                .submit(Request {
+                    shape,
+                    payload: Payload::Seeded(i),
+                })
+                .expect("queue has room")
+        })
+        .collect();
+    for ticket in tickets {
+        ticket.wait();
+    }
+    let report = server.shutdown();
+    assert_eq!(report.served, 24);
+    assert_eq!(
+        report.metrics.schedule_misses, cold.metrics.schedule_misses,
+        "request N+1 must never revalidate what request N compiled"
+    );
+    assert!(report.metrics.schedule_hits > 0, "warm batches replay");
+}
+
+#[test]
+fn malformed_requests_are_rejected_and_counted() {
+    let server = Server::start(ServerConfig::default());
+    let bad_shape = server.call(Request {
+        shape: Shape {
+            op: OpKind::PrefixSum,
+            n: 0,
+        },
+        payload: Payload::Seeded(1),
+    });
+    assert_eq!(bad_shape.unwrap_err(), Rejected::BadShape { n: 0 });
+
+    let wrong_len = server.call(Request {
+        shape: Shape {
+            op: OpKind::SortI64,
+            n: 3,
+        },
+        payload: Payload::Values(vec![1, 2, 3]),
+    });
+    assert_eq!(
+        wrong_len.unwrap_err(),
+        Rejected::WrongLength {
+            expected: 32,
+            got: 3
+        }
+    );
+
+    // A good request still goes through after the rejections.
+    let ok = server
+        .call(Request {
+            shape: Shape {
+                op: OpKind::AllReduceSum,
+                n: 2,
+            },
+            payload: Payload::Values(vec![2; 8]),
+        })
+        .expect("valid request");
+    assert_eq!(ok.output, vec![16]);
+
+    let report = server.shutdown();
+    assert_eq!(report.served, 1);
+    assert_eq!(report.rejected, 2);
+}

@@ -75,4 +75,4 @@ pub use obs::{
     SharedSink, Sink,
 };
 pub use parallel::{set_worker_threads, with_default_exec, ExecMode};
-pub use schedule::{with_schedule_replay, ScheduleKey};
+pub use schedule::{with_schedule_replay, ScheduleBank, ScheduleKey};

@@ -14,7 +14,7 @@ use crate::parallel::{
     par_slab_reduce, par_zip_apply, ExecMode,
 };
 use crate::schedule::{
-    self, AcctPlan, CompiledSchedule, ScheduleCache, ScheduleKey, NO_SRC, SENDS_BIT,
+    self, AcctPlan, CompiledSchedule, ScheduleBank, ScheduleCache, ScheduleKey, NO_SRC, SENDS_BIT,
 };
 use dc_topology::{NodeId, ShardMap, Topology};
 use std::any::Any;
@@ -568,31 +568,45 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         self.shard_map = None;
     }
 
-    /// The resolved shard count (resolving the map if needed).
-    pub fn shards(&mut self) -> usize {
-        self.shard_map().count()
+    /// The shard count: the sticky resolved value once a cycle (or
+    /// `Machine::shard_map`) has pinned the map, otherwise the value
+    /// auto mode *would* resolve to right now. A plain getter — shared
+    /// references (fleet introspection, report builders) can ask without
+    /// mutating the machine; resolution itself still happens lazily on
+    /// the first cycle.
+    pub fn shards(&self) -> usize {
+        match self.shard_map {
+            Some(map) => map.count(),
+            None => self.resolve_shard_count(),
+        }
     }
 
-    /// The machine's shard map, resolved on first use and sticky after:
-    /// the requested count, or — in auto mode — the smallest power of 4
-    /// covering the worker count (capped at 64), so every pool worker
-    /// can own at least one whole shard.
+    /// The shard count the next [`Machine::shard_map`] resolution will
+    /// pick: the requested count, or — in auto mode — the smallest power
+    /// of 4 covering the worker count (capped at 64), so every pool
+    /// worker can own at least one whole shard. Pure: reads, never
+    /// caches.
+    fn resolve_shard_count(&self) -> usize {
+        match self.shard_req {
+            0 => {
+                let workers = crate::parallel::available_threads();
+                let mut s = 1usize;
+                while s < workers && s < 64 {
+                    s *= 4;
+                }
+                s
+            }
+            c => c,
+        }
+    }
+
+    /// The machine's shard map, resolved on first use and sticky after
+    /// (see [`Machine::resolve_shard_count`] for the auto-mode rule).
     fn shard_map(&mut self) -> ShardMap {
         match self.shard_map {
             Some(map) => map,
             None => {
-                let count = match self.shard_req {
-                    0 => {
-                        let workers = crate::parallel::available_threads();
-                        let mut s = 1usize;
-                        while s < workers && s < 64 {
-                            s *= 4;
-                        }
-                        s
-                    }
-                    c => c,
-                };
-                let map = ShardMap::new(self.states.len(), count);
+                let map = ShardMap::new(self.states.len(), self.resolve_shard_count());
                 self.shard_map = Some(map);
                 map
             }
@@ -658,6 +672,73 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
         self.schedules.clear();
     }
 
+    /// Installs the compiled schedules of a [`ScheduleBank`] into this
+    /// machine, so its keyed cycles replay patterns a *previous* machine
+    /// over the same topology validated — the serving fleet's way of
+    /// keeping schedule warmth across requests whose state types differ.
+    /// The bank is drained; [`Machine::donate_schedules`] refills it when
+    /// this machine's run ends.
+    ///
+    /// Panics if the bank was warmed on a different node count, if this
+    /// machine has already compiled schedules of its own (merge order
+    /// would be ambiguous — adopt before the first keyed cycle), or if
+    /// its fault epoch has moved (banks carry fault-free compilations
+    /// only; epoch numbering is per-machine). Adopting a bank from a
+    /// different same-sized topology cannot corrupt results — replay
+    /// re-checks the pattern every cycle and deviations fail the cycle —
+    /// but the per-link accounting classification assumes the compiling
+    /// topology, so keep one bank per topology.
+    pub fn adopt_schedules(&mut self, bank: &mut ScheduleBank) {
+        if bank.entries.is_empty() {
+            return;
+        }
+        assert_eq!(
+            bank.nodes,
+            self.states.len(),
+            "schedule bank was warmed on {} nodes but this machine has {}",
+            bank.nodes,
+            self.states.len()
+        );
+        assert_eq!(
+            self.faults.epoch(),
+            0,
+            "schedule banks only serve machines whose fault epoch is 0"
+        );
+        assert_eq!(
+            self.schedules.len(),
+            0,
+            "adopt a schedule bank before the machine compiles its own schedules"
+        );
+        self.schedules
+            .install_entries(std::mem::take(&mut bank.entries));
+    }
+
+    /// Moves this machine's compiled schedules into `bank` (replacing the
+    /// bank's contents — the machine's set is a superset of anything it
+    /// adopted, since entries are only ever added within an epoch), after
+    /// flushing their deferred accounting into the live recorder so no
+    /// pending counts leave the machine. The machine's cache is left
+    /// empty; the machine itself remains usable (later keyed cycles
+    /// simply recompile).
+    ///
+    /// Panics if the machine's fault epoch has moved — post-fault
+    /// schedules are meaningless to other machines (see
+    /// [`ScheduleBank`]).
+    pub fn donate_schedules(&mut self, bank: &mut ScheduleBank) {
+        assert_eq!(
+            self.faults.epoch(),
+            0,
+            "schedule banks only accept fault-free (epoch-0) compilations"
+        );
+        self.flush_deferred_links();
+        let entries = self.schedules.take_entries();
+        if entries.is_empty() {
+            return;
+        }
+        bank.entries = entries;
+        bank.nodes = self.states.len();
+    }
+
     /// Drains every schedule's deferred replay accounting into the live
     /// recorder's link table (no-op without one). Called wherever a
     /// schedule — or the recorder — is about to leave the machine.
@@ -680,8 +761,8 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     }
 
     /// Flushes one schedule's deferred accounting right before the entry
-    /// is dropped — the stale-epoch eviction path on cache insert.
-    fn flush_evicted(&mut self, mut evicted: CompiledSchedule) {
+    /// is dropped — the stale-epoch eviction path of the epoch sweep.
+    fn flush_retired(&mut self, mut evicted: CompiledSchedule) {
         let CompiledSchedule { enc, acct, .. } = &mut evicted;
         let Some(acct) = acct.as_deref_mut() else {
             return;
@@ -711,7 +792,18 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
     /// for the next communication cycle only.
     pub fn inject_fault(&mut self, kind: FaultKind) {
         if self.faults.apply(kind, self.states.len()) {
-            self.schedules.set_epoch(self.faults.epoch());
+            self.sync_schedule_epoch();
+        }
+    }
+
+    /// Moves the schedule cache to the fault state's epoch, physically
+    /// evicting every schedule compiled under the old one and flushing
+    /// each dead entry's pending deferred accounting into the recorder
+    /// first. Keeping the sweep here (not in `ScheduleCache`) is what
+    /// lets the evicted entries meet the recorder before they drop.
+    fn sync_schedule_epoch(&mut self) {
+        for dead in self.schedules.set_epoch(self.faults.epoch()) {
+            self.flush_retired(dead);
         }
     }
 
@@ -747,7 +839,7 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             .faults
             .advance(self.metrics.comm_steps, self.states.len())
         {
-            self.schedules.set_epoch(self.faults.epoch());
+            self.sync_schedule_epoch();
         }
     }
 
@@ -1352,9 +1444,10 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             self.faults.clear_drops();
         }
         if let Some(c) = compiled {
-            if let Some(evicted) = self.schedules.insert(c) {
-                self.flush_evicted(evicted);
-            }
+            // No eviction to handle: stale same-key entries cannot exist
+            // (the epoch sweep in `sync_schedule_epoch` removed them
+            // before this cycle consulted the cache).
+            self.schedules.insert(c);
         }
         self.emit_comm(
             obs,
@@ -2623,9 +2716,9 @@ impl<'t, T: Topology + ?Sized + Sync, S> Machine<'t, T, S> {
             self.faults.clear_drops();
         }
         if let Some(c) = compiled {
-            if let Some(evicted) = self.schedules.insert(c) {
-                self.flush_evicted(evicted);
-            }
+            // No eviction to handle: the epoch sweep removed any stale
+            // same-key entry before this cycle consulted the cache.
+            self.schedules.insert(c);
         }
         self.emit_comm(
             obs,
@@ -3186,6 +3279,76 @@ mod tests {
             |s, _, v| *s += v,
         );
         assert_eq!(m.metrics().schedule_misses, 2);
+    }
+
+    #[test]
+    fn schedule_bank_round_trip_skips_recompilation() {
+        let mut bank = ScheduleBank::new();
+        assert!(bank.is_empty());
+        // First "request": compiles two keys, donates them.
+        let mut a = machine(2);
+        for key in [ScheduleKey::Cross, ScheduleKey::Custom(7)] {
+            for _ in 0..2 {
+                a.pairwise_keyed(key, |u, _| Some(u ^ 1), |_, &s| s, |s, _, v| *s += v);
+            }
+        }
+        assert_eq!(a.metrics().schedule_misses, 2);
+        a.donate_schedules(&mut bank);
+        assert_eq!(bank.len(), 2);
+        assert_eq!(a.compiled_schedules(), 0, "donation drains the machine");
+        // Second "request", fresh machine (even a different state type
+        // would do — schedules are destination-only): adopts and replays
+        // from the first cycle, zero misses.
+        let mut b = machine(2);
+        b.adopt_schedules(&mut bank);
+        assert!(bank.is_empty(), "adoption drains the bank");
+        for key in [ScheduleKey::Cross, ScheduleKey::Custom(7)] {
+            b.pairwise_keyed(key, |u, _| Some(u ^ 1), |_, &s| s, |s, _, v| *s += v);
+        }
+        assert_eq!(b.metrics().schedule_misses, 0, "warm bank: no recompiles");
+        assert_eq!(b.metrics().schedule_hits, 2);
+        // And a third key extends the set before donating back.
+        b.pairwise_keyed(
+            ScheduleKey::Dim(0),
+            |u, _| Some(u ^ 1),
+            |_, &s| s,
+            |s, _, v| *s += v,
+        );
+        b.donate_schedules(&mut bank);
+        assert_eq!(bank.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmed on")]
+    fn schedule_bank_rejects_mismatched_node_count() {
+        let mut bank = ScheduleBank::new();
+        let mut a = machine(2);
+        a.pairwise_keyed(
+            ScheduleKey::Cross,
+            |u, _| Some(u ^ 1),
+            |_, &s| s,
+            |s, _, v| *s += v,
+        );
+        a.donate_schedules(&mut bank);
+        let mut b = machine(3); // 8 nodes, bank warmed on 4
+        b.adopt_schedules(&mut bank);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault epoch is 0")]
+    fn schedule_bank_refuses_faulted_adopter() {
+        let mut bank = ScheduleBank::new();
+        let mut a = machine(2);
+        a.pairwise_keyed(
+            ScheduleKey::Cross,
+            |u, _| Some(u ^ 1),
+            |_, &s| s,
+            |s, _, v| *s += v,
+        );
+        a.donate_schedules(&mut bank);
+        let mut b = machine(2);
+        b.inject_fault(FaultKind::NodeCrash { node: 3 });
+        b.adopt_schedules(&mut bank);
     }
 
     #[test]

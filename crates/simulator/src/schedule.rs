@@ -207,13 +207,23 @@ impl AcctPlan {
 ///
 /// The cache carries the machine's current **fault epoch** (see the
 /// `fault` module): every entry is stamped with the epoch it was
-/// compiled under, and [`ScheduleCache::get`] refuses entries from an
-/// older epoch. A crash or link cut bumps the epoch, so every schedule
-/// whose legality proof predates the fault is invalidated *by
+/// compiled under. A crash or link cut bumps the epoch, so every
+/// schedule whose legality proof predates the fault is invalidated *by
 /// construction* — the next keyed cycle recompiles under full
 /// validation instead of replaying a pattern the damaged network may no
-/// longer support. Stale entries are physically evicted when their key
-/// recompiles.
+/// longer support.
+///
+/// # Invariant: every stored entry is current-epoch
+///
+/// [`ScheduleCache::set_epoch`] physically evicts every entry compiled
+/// under the old epoch (returning them so the machine can flush their
+/// deferred accounting), and [`ScheduleCache::insert`] only accepts
+/// entries stamped with the current epoch. So `entries()` and `len()`
+/// describe the same set, and the cache is bounded by the number of
+/// *live* keys regardless of how many epochs have passed — under
+/// fault-churn traffic whose keys never repeat across epochs, dead
+/// entries used to accumulate without bound (each waiting for a same-key
+/// recompile that never came, dragging its unflushed `AcctPlan` along).
 ///
 /// Cloning a machine clones the cache: compiled schedules depend only on
 /// the topology, node count, and fault history, which the clone shares.
@@ -221,7 +231,7 @@ impl AcctPlan {
 pub(crate) struct ScheduleCache {
     entries: Vec<CompiledSchedule>,
     /// Mirror of the machine's fault epoch ([`ScheduleCache::set_epoch`]
-    /// keeps it in sync). Entries stamped below this are dead.
+    /// keeps it in sync). Every stored entry is stamped with this value.
     epoch: u64,
 }
 
@@ -233,10 +243,11 @@ impl ScheduleCache {
         }
     }
 
-    /// The compiled schedule for `key`, **iff** it was compiled in the
-    /// current fault epoch. A hit from a previous epoch is treated as
-    /// absent — replayed schedules never outlive the fault state that
-    /// validated them.
+    /// The compiled schedule for `key`. The epoch comparison is belt and
+    /// braces: [`ScheduleCache::set_epoch`] already evicts stale entries,
+    /// so every stored entry matches — but replaying a pre-fault schedule
+    /// would be unsound, so the refusal stays structural rather than
+    /// relying on the sweep alone.
     pub fn get(&self, key: ScheduleKey) -> Option<&CompiledSchedule> {
         self.entries
             .iter()
@@ -256,10 +267,9 @@ impl ScheduleCache {
         self.get(key).is_some()
     }
 
-    /// Every stored entry, current-epoch or stale — the observation
-    /// points walk this to overlay deferred accounting (stale entries
-    /// may still carry unflushed counts from before the fault that
-    /// retired them).
+    /// Every stored entry — all current-epoch (see the invariant in the
+    /// type docs). The observation points walk this to overlay deferred
+    /// accounting.
     pub fn entries(&self) -> &[CompiledSchedule] {
         &self.entries
     }
@@ -269,11 +279,12 @@ impl ScheduleCache {
         &mut self.entries
     }
 
-    /// Stores a freshly compiled schedule, evicting any stale-epoch
-    /// entry under the same key (recompiling after a fault replaces the
-    /// pre-fault schedule). The evicted entry is returned so the machine
-    /// can flush its deferred accounting before it is dropped.
-    pub fn insert(&mut self, compiled: CompiledSchedule) -> Option<CompiledSchedule> {
+    /// Stores a freshly compiled schedule. The key must be absent and the
+    /// entry stamped with the current epoch — stale same-key entries
+    /// cannot exist (the epoch sweep removed them), and a same-epoch
+    /// duplicate would mean the caller compiled twice instead of
+    /// replaying.
+    pub fn insert(&mut self, compiled: CompiledSchedule) {
         debug_assert!(
             compiled.epoch == self.epoch,
             "schedule {} compiled under epoch {} but cache is at {}",
@@ -286,32 +297,103 @@ impl ScheduleCache {
             "schedule {} compiled twice in one epoch",
             compiled.key
         );
-        if let Some(stale) = self.entries.iter_mut().find(|e| e.key == compiled.key) {
-            Some(std::mem::replace(stale, compiled))
-        } else {
-            self.entries.push(compiled);
-            None
-        }
+        self.entries.push(compiled);
     }
 
     /// Moves the cache to `epoch` (monotone; called when the machine's
-    /// fault state bumps). All entries stamped earlier become invisible
-    /// to [`ScheduleCache::get`] at once.
-    pub fn set_epoch(&mut self, epoch: u64) {
+    /// fault state bumps) and **evicts every entry compiled earlier** —
+    /// under the invariant that is all of them. The dead entries are
+    /// returned so the caller can flush any pending deferred accounting
+    /// before they drop; a same-epoch call returns nothing and costs
+    /// nothing. Without this sweep, an entry whose key never recompiles
+    /// after the fault would sit in the cache forever (the old
+    /// eviction only fired on a same-key `insert`), growing the cache —
+    /// and its unflushed `AcctPlan`s — without bound under churn.
+    #[must_use = "evicted entries may carry unflushed deferred accounting"]
+    pub fn set_epoch(&mut self, epoch: u64) -> Vec<CompiledSchedule> {
         debug_assert!(epoch >= self.epoch, "fault epoch must be monotone");
+        if epoch == self.epoch {
+            return Vec::new();
+        }
         self.epoch = epoch;
+        std::mem::take(&mut self.entries)
     }
 
     pub fn clear(&mut self) {
         self.entries.clear();
     }
 
-    /// Number of entries valid in the current epoch.
+    /// Number of cached schedules. Equals `entries().len()` — the two
+    /// views describe the same set, because stale entries are evicted at
+    /// the epoch bump rather than lingering invisibly.
     pub fn len(&self) -> usize {
-        self.entries
-            .iter()
-            .filter(|e| e.epoch == self.epoch)
-            .count()
+        self.entries.len()
+    }
+
+    /// Removes and returns every entry (for donating to a
+    /// [`ScheduleBank`]); the epoch is left unchanged.
+    pub fn take_entries(&mut self) -> Vec<CompiledSchedule> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Installs `entries` into an empty cache (adopting from a
+    /// [`ScheduleBank`]). The entries must be epoch-0 compilations and
+    /// the cache must be at epoch 0 with nothing stored — callers
+    /// (machine-level `adopt_schedules`) enforce both with real asserts.
+    pub fn install_entries(&mut self, entries: Vec<CompiledSchedule>) {
+        debug_assert!(self.entries.is_empty() && self.epoch == 0);
+        debug_assert!(entries.iter().all(|e| e.epoch == 0));
+        self.entries = entries;
+    }
+}
+
+/// A portable store of compiled schedules, detached from any machine —
+/// the warmth a serving fleet keeps between requests.
+///
+/// A `CompiledSchedule` proves a *pattern* legal; nothing about it is
+/// specific to the machine that compiled it beyond the topology shape.
+/// A bank lets one machine [`donate`](crate::Machine::donate_schedules)
+/// its compiled schedules when its run ends and the next machine over
+/// the same topology [`adopt`](crate::Machine::adopt_schedules) them
+/// before its first cycle — so request N+1 replays what request N
+/// validated instead of recompiling, even though each request builds a
+/// fresh machine (state types differ per workload). Schedules are
+/// destination-only, so a bank warmed by a K-lane batched run serves
+/// scalar runs and other lane widths alike.
+///
+/// Banks only carry **fault-free** (epoch-0) compilations: both `adopt`
+/// and `donate` refuse machines whose fault epoch has moved (epoch
+/// numbering is per-machine, so cross-machine reuse of post-fault
+/// schedules would be meaningless). Adopting a bank into a machine over
+/// a *different* topology of the same size cannot corrupt a result:
+/// replay re-evaluates every node's plan each cycle and any deviation
+/// from the compiled pattern fails with
+/// [`SimError::ScheduleDeviation`](crate::SimError::ScheduleDeviation)
+/// before state is touched — but it is a misuse, and the
+/// deferred-accounting cross-edge bitsets would misclassify links, so
+/// keep one bank per topology.
+#[derive(Debug, Default)]
+pub struct ScheduleBank {
+    pub(crate) entries: Vec<CompiledSchedule>,
+    /// Node count of the machines this bank serves (0 = empty bank, not
+    /// yet pinned to a shape).
+    pub(crate) nodes: usize,
+}
+
+impl ScheduleBank {
+    /// An empty bank; the first donation pins its node count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of compiled schedules the bank holds.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bank holds no schedules.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -382,11 +464,12 @@ mod tests {
         assert_eq!(cache.len(), 0);
     }
 
-    /// The PR-4 invariant: bumping the fault epoch makes every earlier
-    /// compilation invisible, and recompiling under the new epoch
-    /// replaces (not duplicates) the stale entry.
+    /// The PR-4 invariant, strengthened by the stale-entry sweep: bumping
+    /// the fault epoch *physically evicts* every earlier compilation
+    /// (returning it for its deferred-accounting flush), so `len()` and
+    /// `entries()` always describe the same, bounded set.
     #[test]
-    fn epoch_bump_invalidates_compiled_schedules() {
+    fn epoch_bump_evicts_compiled_schedules() {
         let mut cache = ScheduleCache::new();
         cache.insert(CompiledSchedule {
             key: ScheduleKey::Dim(0),
@@ -396,13 +479,18 @@ mod tests {
             acct: None,
         });
         assert!(cache.contains(ScheduleKey::Dim(0)));
-        cache.set_epoch(1);
+        let dead = cache.set_epoch(1);
+        assert_eq!(dead.len(), 1, "the stale entry comes back for its flush");
+        assert_eq!(dead[0].key, ScheduleKey::Dim(0));
         assert!(
             !cache.contains(ScheduleKey::Dim(0)),
             "pre-fault schedule must not be served post-fault"
         );
         assert_eq!(cache.len(), 0);
-        // Recompile under the new epoch: visible again, stale entry gone.
+        assert!(cache.entries().is_empty(), "evicted, not merely hidden");
+        // A same-epoch sync is free and evicts nothing.
+        assert!(cache.set_epoch(1).is_empty());
+        // Recompile under the new epoch: visible again.
         cache.insert(CompiledSchedule {
             key: ScheduleKey::Dim(0),
             enc: vec![NO_SRC, NO_SRC],
@@ -413,6 +501,26 @@ mod tests {
         let got = cache.get(ScheduleKey::Dim(0)).unwrap();
         assert_eq!(got.delivered, 0, "must serve the new compilation");
         assert_eq!(cache.len(), 1);
+    }
+
+    /// The churn shape of the leak this sweep fixes: every epoch compiles
+    /// a *different* key, so the old same-key-replacement eviction never
+    /// fired and the cache grew one dead entry per epoch.
+    #[test]
+    fn disjoint_key_churn_stays_bounded() {
+        let mut cache = ScheduleCache::new();
+        for epoch in 0..100u64 {
+            let _ = cache.set_epoch(epoch);
+            cache.insert(CompiledSchedule {
+                key: ScheduleKey::Custom(epoch as u32),
+                enc: vec![SENDS_BIT | 1, SENDS_BIT],
+                delivered: 2,
+                epoch,
+                acct: None,
+            });
+            assert_eq!(cache.len(), 1, "exactly the live epoch's entry");
+            assert_eq!(cache.entries().len(), cache.len());
+        }
     }
 
     #[test]
