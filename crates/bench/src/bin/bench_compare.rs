@@ -1,0 +1,116 @@
+//! The perf-trajectory gate (ROADMAP item 5): diff a fresh
+//! `BENCH_<topic>.json` against the committed baseline and fail on
+//! regressions beyond per-metric noise thresholds.
+//!
+//! ```text
+//! bench_compare <baseline.json> <fresh.json> [--wall-tol F] [--ratio-tol F] [--quiet]
+//! ```
+//!
+//! Both files must follow the shared snapshot schema the harnesses
+//! emit (`bench_serve`, `bench_scale`, `bench_lanes`). Judgement rules
+//! live in `dc_bench::compare` — counters exact under an identical
+//! protocol, wall-clock within `--wall-tol` (default ±50 %),
+//! host-independent ratios within `--ratio-tol` (default ±35 %),
+//! everything directional so improvements never fail. Exit status 0 on
+//! pass, 1 on any regression, 2 on usage/parse errors.
+
+use dc_bench::compare::{compare, Status, Tolerance};
+use dc_bench::json;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut tol = Tolerance::default();
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--wall-tol" | "--ratio-tol" => {
+                let Some(value) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("{} needs a fractional value (e.g. 0.5)", args[i]);
+                    return ExitCode::from(2);
+                };
+                if args[i] == "--wall-tol" {
+                    tol.wall = value;
+                } else {
+                    tol.ratio = value;
+                }
+                i += 2;
+            }
+            "--quiet" => {
+                quiet = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bench_compare <baseline.json> <fresh.json> \
+                     [--wall-tol F] [--ratio-tol F] [--quiet]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                files.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let [baseline_path, fresh_path] = files.as_slice() else {
+        eprintln!(
+            "usage: bench_compare <baseline.json> <fresh.json> [--wall-tol F] [--ratio-tol F]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let load = |path: &str| -> Result<json::Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if baseline.get("bench") != fresh.get("bench") {
+        eprintln!(
+            "refusing to compare different benches: {:?} vs {:?}",
+            baseline.get("bench"),
+            fresh.get("bench")
+        );
+        return ExitCode::from(2);
+    }
+
+    let result = compare(&baseline, &fresh, tol);
+    let mut counts = [0usize; 3];
+    for finding in &result.findings {
+        counts[match finding.status {
+            Status::Ok => 0,
+            Status::Fail => 1,
+            Status::Skip => 2,
+        }] += 1;
+        if !quiet || finding.status == Status::Fail {
+            println!("{finding}");
+        }
+    }
+    println!(
+        "bench_compare {baseline_path} vs {fresh_path}: \
+         {} ok, {} failed, {} skipped{}",
+        counts[0],
+        counts[1],
+        counts[2],
+        if result.counters_exact {
+            ""
+        } else {
+            " (protocols differ: counters not gated)"
+        }
+    );
+    if result.passed() {
+        println!("PASS: within seven-run-median noise of the committed baseline");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL: regression beyond per-metric thresholds");
+        ExitCode::FAILURE
+    }
+}

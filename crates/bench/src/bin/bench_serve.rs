@@ -29,9 +29,15 @@
 //!
 //! Flags: `--runs R` (default 7), `--requests Q` (default 64, per
 //! run per leg), `--n N` (default 8), `--clients C` (default 32),
-//! `--lanes K` (default 16), `--out PATH`.
+//! `--lanes K` (default 16), `--out PATH`, `--stats-every MS`
+//! (default 0 = sampler off; nonzero attaches the live-telemetry
+//! sampler to a null sink, the telemetry-on arm of EXPERIMENTS.md
+//! §E30 — the registry itself is always on and is part of every
+//! number this bench has ever reported).
 
-use dc_serve::{OpKind, Payload, Request, Server, ServerConfig, ServiceReport, Shape};
+use dc_serve::{
+    OpKind, Payload, Request, Server, ServerConfig, ServiceReport, Shape, SnapshotFormat,
+};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -58,6 +64,8 @@ fn main() {
     let clients: usize = flag("--clients").map_or(32, |v| v.parse().expect("--clients"));
     let lanes: usize = flag("--lanes").map_or(16, |v| v.parse().expect("--lanes"));
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_serve.json".into());
+    let stats_every: u64 = flag("--stats-every").map_or(0, |v| v.parse().expect("--stats-every"));
+    let sampler = (stats_every > 0).then(|| Duration::from_millis(stats_every));
     assert!(
         runs >= 1 && requests >= 1,
         "need at least one run and request"
@@ -73,14 +81,19 @@ fn main() {
         requests
     );
 
-    let single = median_leg(runs, || closed_loop(shape, requests, 1, 1));
+    if let Some(every) = sampler {
+        println!("live-stats sampler attached, one snapshot per {every:?} (telemetry-on arm)");
+    }
+    let single = median_leg(runs, || closed_loop(shape, requests, 1, 1, sampler));
     print_leg(&single);
-    let batched = median_leg(runs, || closed_loop(shape, requests, clients, lanes));
+    let batched = median_leg(runs, || {
+        closed_loop(shape, requests, clients, lanes, sampler)
+    });
     print_leg(&batched);
     // Open loop at ~70 % of the batched capacity: enough load for the
     // batcher to matter, enough headroom that the queue stays shallow.
     let target = batched.rps * 0.7;
-    let open = median_leg(runs, || open_loop(shape, requests, lanes, target));
+    let open = median_leg(runs, || open_loop(shape, requests, lanes, target, sampler));
     print_leg(&open);
 
     let ratio = batched.rps / single.rps;
@@ -105,9 +118,9 @@ fn main() {
         write!(
             json,
             "{{\"leg\":\"{}\",\"clients\":{},\"max_lanes\":{},\"rps\":{:.3},\
-             \"target_rps\":{},\"served\":{},\"rejected\":{},\"batches\":{},\
-             \"mean_lanes\":{:.3},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\
-             \"schedule_misses\":{},\"schedule_hits\":{}}}",
+             \"target_rps\":{},\"served\":{},\"rejected\":{},\"rejected_by_cause\":{},\
+             \"batches\":{},\"mean_lanes\":{:.3},\"p50_us\":{:.1},\"p95_us\":{:.1},\
+             \"p99_us\":{:.1},\"schedule_misses\":{},\"schedule_hits\":{},\"latency\":{}}}",
             leg.name,
             leg.clients,
             leg.max_lanes,
@@ -115,6 +128,7 @@ fn main() {
             leg.target_rps.map_or("null".into(), |t| format!("{t:.3}")),
             r.served,
             r.rejected,
+            r.rejected_by_cause.to_json(),
             r.batches,
             r.mean_lanes(),
             micros(r.latency_quantile(0.50)),
@@ -122,6 +136,7 @@ fn main() {
             micros(r.latency_quantile(0.99)),
             r.metrics.schedule_misses,
             r.metrics.schedule_hits,
+            r.latency.summary_json(),
         )
         .unwrap();
     }
@@ -134,6 +149,14 @@ fn micros(d: Duration) -> f64 {
     d.as_secs_f64() * 1e6
 }
 
+/// The telemetry-on arm (§E30): snapshots stream to a null sink, so the
+/// measured tax is snapshot + serialisation, not disk.
+fn attach_sampler(server: &mut Server, sampler: Option<Duration>) {
+    if let Some(every) = sampler {
+        server.sample_stats(every, SnapshotFormat::Jsonl, Box::new(std::io::sink()));
+    }
+}
+
 /// Runs `make_leg` `runs` times, returns the run with median throughput.
 fn median_leg(runs: usize, make_leg: impl Fn() -> Leg) -> Leg {
     let mut done: Vec<Leg> = (0..runs).map(|_| make_leg()).collect();
@@ -144,13 +167,20 @@ fn median_leg(runs: usize, make_leg: impl Fn() -> Leg) -> Leg {
 /// Closed loop: `clients` threads issue seeded requests back-to-back
 /// until `requests` have been admitted; throughput is wall-clock over
 /// the whole drain.
-fn closed_loop(shape: Shape, requests: u64, clients: usize, max_lanes: usize) -> Leg {
-    let server = Server::start(
+fn closed_loop(
+    shape: Shape,
+    requests: u64,
+    clients: usize,
+    max_lanes: usize,
+    sampler: Option<Duration>,
+) -> Leg {
+    let mut server = Server::start(
         ServerConfig::default()
             .workers(1)
             .max_lanes(max_lanes)
             .queue_capacity(requests as usize + clients),
     );
+    attach_sampler(&mut server, sampler);
     let issued = AtomicU64::new(0);
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -189,13 +219,20 @@ fn closed_loop(shape: Shape, requests: u64, clients: usize, max_lanes: usize) ->
 
 /// Open loop: one dispatcher submits on a fixed timer and collects
 /// tickets; throughput is what the fleet actually sustained.
-fn open_loop(shape: Shape, requests: u64, max_lanes: usize, target_rps: f64) -> Leg {
-    let server = Server::start(
+fn open_loop(
+    shape: Shape,
+    requests: u64,
+    max_lanes: usize,
+    target_rps: f64,
+    sampler: Option<Duration>,
+) -> Leg {
+    let mut server = Server::start(
         ServerConfig::default()
             .workers(1)
             .max_lanes(max_lanes)
             .queue_capacity(requests as usize),
     );
+    attach_sampler(&mut server, sampler);
     let interval = Duration::from_secs_f64(1.0 / target_rps.max(1e-6));
     let start = Instant::now();
     let mut tickets = Vec::with_capacity(requests as usize);

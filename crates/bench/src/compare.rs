@@ -1,0 +1,406 @@
+//! The perf-trajectory gate: diff a fresh `BENCH_<topic>.json` against
+//! the committed baseline with per-metric, noise-tolerant thresholds.
+//!
+//! The committed snapshots follow the §E24 seven-run-median protocol,
+//! which tames scheduler noise but not hardware differences — so one
+//! tolerance cannot fit every field. Each numeric leaf is classified by
+//! its key:
+//!
+//! * **counters** (`served`, `rejected`, `schedule_misses`, …) are
+//!   deterministic for a given protocol: compared **exactly**, but only
+//!   when both files ran the same protocol (the `protocol` strings
+//!   match); otherwise they are reported and skipped.
+//! * **wall-clock** metrics (`rps`, `*_us`, `*_ns`, `*_kb`) move with
+//!   the host: compared with the wide `--wall-tol` (default ±50 %),
+//!   directionally — throughput may not drop below, latency may not
+//!   rise above.
+//! * **ratio** metrics (`batched_vs_single_rps`, `scale_ratio`,
+//!   `per_instance_vs_*`) divide out the host and are the real
+//!   regression signal: compared with the tighter `--ratio-tol`
+//!   (default ±35 %), also directionally.
+//! * **shape-dependent** tallies (`batches`, `schedule_hits`,
+//!   `mean_lanes`, `target_rps`) vary with thread timing even under a
+//!   fixed protocol: reported, never gating.
+//!
+//! Legs are matched by identity (`leg` name, `topology`, or `lanes`
+//! count), not position, so reordering a baseline is not a regression.
+
+use crate::json::Value;
+use std::fmt;
+
+/// How one metric key is judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Deterministic under a fixed protocol — exact match required
+    /// (when protocols match).
+    Counter,
+    /// Wall-clock, higher is better (throughput).
+    HigherWall,
+    /// Wall-clock, lower is better (latency, footprint).
+    LowerWall,
+    /// Host-independent ratio, higher is better.
+    HigherRatio,
+    /// Host-independent ratio, lower is better.
+    LowerRatio,
+    /// Reported but never gating.
+    Info,
+}
+
+/// Classifies a metric key. Unknown numeric keys default to [`Kind::Info`]
+/// — a new field never breaks the gate until it is classified here.
+pub fn kind_of(key: &str) -> Kind {
+    match key {
+        "served" | "rejected" | "rejected_total" | "schedule_misses" | "count" | "queue_full"
+        | "bad_shape" | "wrong_length" | "shutting_down" | "nodes" | "workers" | "shards"
+        | "clients" | "max_lanes" | "lanes" => Kind::Counter,
+        "rps" => Kind::HigherWall,
+        "batched_vs_single_rps" => Kind::HigherRatio,
+        "scale_ratio" | "per_instance_vs_single" | "per_instance_vs_e24_probe" => Kind::LowerRatio,
+        "batches" | "schedule_hits" | "mean_lanes" | "target_rps" | "uptime_ms" | "queue_depth"
+        | "in_flight_requests" | "in_flight_batches" => Kind::Info,
+        _ if key.ends_with("_us") || key.ends_with("_ns") || key.ends_with("_kb") => {
+            Kind::LowerWall
+        }
+        _ => Kind::Info,
+    }
+}
+
+/// Verdict on one compared leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Within threshold (or exact, for counters).
+    Ok,
+    /// Regressed beyond its threshold — the gate fails.
+    Fail,
+    /// Reported only (info metric, counter under a changed protocol,
+    /// zero baseline, or a leg present in just one file).
+    Skip,
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Dotted path to the leaf, legs keyed by identity
+    /// (e.g. `legs[batched].rps`).
+    pub path: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Fresh value.
+    pub fresh: f64,
+    /// How it was judged.
+    pub kind: Kind,
+    /// The verdict.
+    pub status: Status,
+    /// Human-readable detail (threshold applied, or why skipped).
+    pub note: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.status {
+            Status::Ok => "ok  ",
+            Status::Fail => "FAIL",
+            Status::Skip => "skip",
+        };
+        write!(
+            f,
+            "{tag}  {:<44} {:>12.3} -> {:>12.3}  {}",
+            self.path, self.base, self.fresh, self.note
+        )
+    }
+}
+
+/// Tolerances for the two noisy classes.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Relative band for wall-clock metrics (0.5 = ±50 %).
+    pub wall: f64,
+    /// Relative band for host-independent ratios (0.35 = ±35 %).
+    pub ratio: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            wall: 0.50,
+            ratio: 0.35,
+        }
+    }
+}
+
+/// The whole diff of one baseline/fresh pair.
+#[derive(Debug)]
+pub struct Comparison {
+    /// Every compared (or skipped) leaf, in walk order.
+    pub findings: Vec<Finding>,
+    /// Whether counters were compared exactly (same `protocol` string
+    /// in both files) or downgraded to skips.
+    pub counters_exact: bool,
+}
+
+impl Comparison {
+    /// Findings that failed their threshold.
+    pub fn failures(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.status == Status::Fail)
+    }
+
+    /// True when nothing regressed.
+    pub fn passed(&self) -> bool {
+        self.failures().next().is_none()
+    }
+}
+
+/// Diffs `fresh` against `base` with the given tolerances.
+pub fn compare(base: &Value, fresh: &Value, tol: Tolerance) -> Comparison {
+    let protocol = |v: &Value| v.get("protocol").and_then(|p| p.as_str()).map(String::from);
+    let counters_exact = protocol(base).is_some() && protocol(base) == protocol(fresh);
+    let mut findings = Vec::new();
+    walk(base, fresh, "", tol, counters_exact, &mut findings);
+    Comparison {
+        findings,
+        counters_exact,
+    }
+}
+
+fn walk(
+    base: &Value,
+    fresh: &Value,
+    path: &str,
+    tol: Tolerance,
+    counters_exact: bool,
+    out: &mut Vec<Finding>,
+) {
+    match (base, fresh) {
+        (Value::Obj(b), Value::Obj(_)) => {
+            for (key, bval) in b {
+                let sub = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                match fresh.get(key) {
+                    Some(fval) => walk(bval, fval, &sub, tol, counters_exact, out),
+                    None => {
+                        if bval.as_f64().is_some() {
+                            out.push(Finding {
+                                path: sub,
+                                base: bval.as_f64().unwrap_or(f64::NAN),
+                                fresh: f64::NAN,
+                                kind: kind_of(key),
+                                status: Status::Skip,
+                                note: "missing from fresh snapshot".into(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        (Value::Arr(b), Value::Arr(f)) => {
+            // Legs are matched by identity, not position.
+            let identity = ["leg", "topology", "lanes"]
+                .into_iter()
+                .find(|k| b.first().map(|leg| leg.get(k).is_some()).unwrap_or(false));
+            for (i, bleg) in b.iter().enumerate() {
+                let (label, fleg) = match identity {
+                    Some(key) => {
+                        let id = bleg.get(key).expect("identity probed on first leg");
+                        let label = id
+                            .as_str()
+                            .map(String::from)
+                            .unwrap_or_else(|| format!("{:?}", id.as_f64().unwrap_or(f64::NAN)));
+                        (label.clone(), f.iter().find(|leg| leg.get(key) == Some(id)))
+                    }
+                    None => (i.to_string(), f.get(i)),
+                };
+                let sub = format!("{path}[{label}]");
+                match fleg {
+                    Some(fleg) => walk(bleg, fleg, &sub, tol, counters_exact, out),
+                    None => out.push(Finding {
+                        path: sub,
+                        base: f64::NAN,
+                        fresh: f64::NAN,
+                        kind: Kind::Info,
+                        status: Status::Skip,
+                        note: "leg missing from fresh snapshot".into(),
+                    }),
+                }
+            }
+        }
+        (Value::Num(b), Value::Num(f)) => {
+            let key = path.rsplit('.').next().unwrap_or(path);
+            out.push(judge(path, key, *b, *f, tol, counters_exact));
+        }
+        // Strings/bools/nulls and type mismatches are identity context
+        // (bench tag, protocol line), not metrics — nothing to gate.
+        _ => {}
+    }
+}
+
+fn judge(path: &str, key: &str, base: f64, fresh: f64, tol: Tolerance, exact: bool) -> Finding {
+    let kind = kind_of(key);
+    let finding = |status, note| Finding {
+        path: path.to_string(),
+        base,
+        fresh,
+        kind,
+        status,
+        note,
+    };
+    let delta_pct = if base != 0.0 {
+        (fresh - base) / base.abs() * 100.0
+    } else {
+        0.0
+    };
+    match kind {
+        Kind::Info => finding(Status::Skip, format!("info ({delta_pct:+.1}%)")),
+        Kind::Counter => {
+            if !exact {
+                finding(Status::Skip, "counter; protocols differ".into())
+            } else if base == fresh {
+                finding(Status::Ok, "exact".into())
+            } else {
+                finding(
+                    Status::Fail,
+                    "counter changed under an identical protocol".into(),
+                )
+            }
+        }
+        Kind::HigherWall | Kind::LowerWall | Kind::HigherRatio | Kind::LowerRatio => {
+            if base == 0.0 {
+                return finding(Status::Skip, "zero baseline".into());
+            }
+            let (band, class) = match kind {
+                Kind::HigherWall | Kind::LowerWall => (tol.wall, "wall"),
+                _ => (tol.ratio, "ratio"),
+            };
+            let higher_better = matches!(kind, Kind::HigherWall | Kind::HigherRatio);
+            let regressed = if higher_better {
+                fresh < base * (1.0 - band)
+            } else {
+                fresh > base * (1.0 + band)
+            };
+            let note = format!("{delta_pct:+.1}% ({class} ±{:.0}%)", band * 100.0);
+            if regressed {
+                finding(Status::Fail, note)
+            } else {
+                finding(Status::Ok, note)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    const PROTO: &str = "median of 7 x 64";
+
+    fn snap(rps: f64, p99: f64, served: u64, ratio: f64, proto: &str) -> Value {
+        parse(&format!(
+            r#"{{"bench":"serve/throughput","protocol":"{proto}",
+                "batched_vs_single_rps":{ratio},
+                "legs":[{{"leg":"batched","rps":{rps},"p99_us":{p99},"served":{served},
+                          "batches":4,"mean_lanes":16.0}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let base = snap(230.0, 139_000.0, 64, 6.1, PROTO);
+        let cmp = compare(&base, &base, Tolerance::default());
+        assert!(cmp.passed(), "{:#?}", cmp.findings);
+        assert!(cmp.counters_exact);
+        // Info metrics are reported but skipped.
+        assert!(cmp
+            .findings
+            .iter()
+            .any(|f| f.path.ends_with("mean_lanes") && f.status == Status::Skip));
+    }
+
+    #[test]
+    fn wall_noise_within_band_passes_beyond_fails() {
+        let base = snap(230.0, 139_000.0, 64, 6.1, PROTO);
+        // −30 % throughput, +30 % latency: inside the ±50 % wall band.
+        let noisy = snap(161.0, 180_700.0, 64, 6.1, PROTO);
+        assert!(compare(&base, &noisy, Tolerance::default()).passed());
+        // −60 % throughput: outside it.
+        let slow = snap(92.0, 139_000.0, 64, 6.1, PROTO);
+        let cmp = compare(&base, &slow, Tolerance::default());
+        let fails: Vec<_> = cmp.failures().map(|f| f.path.clone()).collect();
+        assert_eq!(fails, vec!["legs[batched].rps"]);
+    }
+
+    #[test]
+    fn wall_direction_matters() {
+        let base = snap(230.0, 139_000.0, 64, 6.1, PROTO);
+        // Faster and lower-latency than baseline: an improvement, not a
+        // regression — passes however large the delta.
+        let better = snap(900.0, 10_000.0, 64, 6.1, PROTO);
+        assert!(compare(&base, &better, Tolerance::default()).passed());
+        // +60 % latency regresses even with throughput intact.
+        let laggy = snap(230.0, 225_000.0, 64, 6.1, PROTO);
+        assert!(!compare(&base, &laggy, Tolerance::default()).passed());
+    }
+
+    #[test]
+    fn ratios_use_the_tight_band() {
+        let base = snap(230.0, 139_000.0, 64, 6.1, PROTO);
+        // Ratio −40 %: within wall noise but outside the ±35 % ratio band.
+        let flat = snap(230.0, 139_000.0, 64, 3.6, PROTO);
+        let cmp = compare(&base, &flat, Tolerance::default());
+        let fails: Vec<_> = cmp.failures().map(|f| f.path.clone()).collect();
+        assert_eq!(fails, vec!["batched_vs_single_rps"]);
+    }
+
+    #[test]
+    fn counters_are_exact_only_under_the_same_protocol() {
+        let base = snap(230.0, 139_000.0, 64, 6.1, PROTO);
+        let drifted = snap(230.0, 139_000.0, 63, 6.1, PROTO);
+        let cmp = compare(&base, &drifted, Tolerance::default());
+        assert!(cmp.failures().any(|f| f.path.ends_with("served")));
+        // A different protocol (smoke run) downgrades counters to skips.
+        let smoke = snap(230.0, 139_000.0, 32, 6.1, "median of 3 x 32");
+        let cmp = compare(&base, &smoke, Tolerance::default());
+        assert!(!cmp.counters_exact);
+        assert!(cmp.passed(), "{:#?}", cmp.findings);
+    }
+
+    #[test]
+    fn legs_match_by_identity_not_position() {
+        let base =
+            parse(r#"{"protocol":"p","legs":[{"leg":"a","rps":100.0},{"leg":"b","rps":200.0}]}"#)
+                .unwrap();
+        let reordered =
+            parse(r#"{"protocol":"p","legs":[{"leg":"b","rps":200.0},{"leg":"a","rps":100.0}]}"#)
+                .unwrap();
+        assert!(compare(&base, &reordered, Tolerance::default()).passed());
+        let missing = parse(r#"{"protocol":"p","legs":[{"leg":"a","rps":100.0}]}"#).unwrap();
+        let cmp = compare(&base, &missing, Tolerance::default());
+        assert!(cmp.passed(), "missing leg is a skip, not a failure");
+        assert!(cmp
+            .findings
+            .iter()
+            .any(|f| f.path == "legs[b]" && f.status == Status::Skip));
+    }
+
+    #[test]
+    fn real_baselines_self_compare_clean() {
+        for name in ["BENCH_serve.json", "BENCH_scale.json", "BENCH_lanes.json"] {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string() + "/" + name;
+            let doc = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+            let cmp = compare(&doc, &doc, Tolerance::default());
+            assert!(cmp.passed(), "{name}: {:#?}", cmp.findings);
+            assert!(cmp.counters_exact, "{name} carries a protocol line");
+            assert!(
+                cmp.findings
+                    .iter()
+                    .filter(|f| f.status == Status::Ok)
+                    .count()
+                    >= 6,
+                "{name}: the gate actually compared something"
+            );
+        }
+    }
+}

@@ -8,6 +8,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compare;
 pub mod experiments;
+pub mod json;
 pub mod spacetime;
 pub mod table;

@@ -45,9 +45,11 @@ pub enum Command {
         format: TraceFormat,
     },
     /// `serve <n> [--requests R] [--workers W] [--lanes L]
-    /// [--op prefix|sort|allreduce] [--seed S] [--metrics-json]` — push a
-    /// seeded workload through the dc-serve frontend and report
-    /// throughput and latency.
+    /// [--op prefix|sort|allreduce] [--seed S] [--metrics-json]
+    /// [--stats-every MS [--stats-out FILE] [--stats-format jsonl|prom]]`
+    /// — push a seeded workload through the dc-serve frontend and report
+    /// throughput and latency, optionally streaming live telemetry
+    /// snapshots while the run is in flight.
     Serve {
         n: u32,
         op: ServeOp,
@@ -56,6 +58,11 @@ pub enum Command {
         lanes: usize,
         seed: u64,
         metrics_json: bool,
+        /// Sampling period in milliseconds; `None` leaves the sampler off.
+        stats_every: Option<u64>,
+        /// Snapshot sink; `None` streams to stdout.
+        stats_out: Option<String>,
+        stats_format: StatsFormat,
     },
     /// `experiments [id…]` — print experiment reports (all by default).
     Experiments { ids: Vec<String> },
@@ -96,6 +103,15 @@ pub enum OpKind {
     Max,
     /// String concatenation (non-commutative demo).
     Concat,
+}
+
+/// Live-stats export format for the `serve` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// One JSON snapshot per line — a replayable time series.
+    Jsonl,
+    /// Prometheus text exposition (node-exporter textfile convention).
+    Prom,
 }
 
 /// Operations the `serve` subcommand can drive.
@@ -301,6 +317,28 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             if requests == 0 {
                 return Err(ParseError("--requests must be at least 1".into()));
             }
+            let stats_every = flag(args, "--stats-every")?
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| ParseError(format!("invalid --stats-every: {v}")))
+                })
+                .transpose()?;
+            if stats_every == Some(0) {
+                return Err(ParseError("--stats-every must be at least 1 ms".into()));
+            }
+            let stats_out = flag(args, "--stats-out")?;
+            let stats_format = match flag(args, "--stats-format")?.as_deref() {
+                None | Some("jsonl") => StatsFormat::Jsonl,
+                Some("prom") => StatsFormat::Prom,
+                Some(other) => return Err(ParseError(format!("unknown --stats-format: {other}"))),
+            };
+            if stats_every.is_none()
+                && (stats_out.is_some() || flag(args, "--stats-format")?.is_some())
+            {
+                return Err(ParseError(
+                    "--stats-out/--stats-format need --stats-every <ms>".into(),
+                ));
+            }
             Ok(Command::Serve {
                 n,
                 op,
@@ -309,6 +347,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 lanes,
                 seed,
                 metrics_json: switch(args, "--metrics-json"),
+                stats_every,
+                stats_out,
+                stats_format,
             })
         }
         "experiments" => Ok(Command::Experiments {
@@ -352,10 +393,15 @@ USAGE:
                                               broadcast from a root node
   dual-cube serve <n> [--requests R] [--workers W] [--lanes L] [--op prefix|sort|allreduce]
                       [--seed S] [--metrics-json]
+                      [--stats-every MS [--stats-out FILE] [--stats-format jsonl|prom]]
                                               push R seeded requests through the
                                               dc-serve frontend (W warm workers,
                                               batches up to L lanes wide) and
-                                              report throughput and latency
+                                              report throughput and latency;
+                                              --stats-every streams live telemetry
+                                              snapshots (JSONL time series or a
+                                              Prometheus page) to --stats-out or
+                                              stdout while the run is in flight
   dual-cube experiments [E1 E4 …]             print experiment reports
   dual-cube diagram <n> [prefix|sort]         space-time diagram of a schedule
   dual-cube trace <prefix|sort> [--n N] [--out FILE] [--format perfetto|jsonl]
@@ -525,7 +571,10 @@ mod tests {
                 workers: 2,
                 lanes: 1,
                 seed: 2008,
-                metrics_json: false
+                metrics_json: false,
+                stats_every: None,
+                stats_out: None,
+                stats_format: StatsFormat::Jsonl
             })
         );
         assert_eq!(
@@ -537,7 +586,10 @@ mod tests {
                 workers: 4,
                 lanes: 8,
                 seed: 5,
-                metrics_json: true
+                metrics_json: true,
+                stats_every: None,
+                stats_out: None,
+                stats_format: StatsFormat::Jsonl
             })
         );
         assert_eq!(
@@ -551,6 +603,40 @@ mod tests {
         assert!(p("serve 3 --op pie").is_err());
         assert!(p("serve 3 --requests 0").is_err());
         assert!(p("serve 3 --lanes 0").is_err());
+    }
+
+    #[test]
+    fn parses_serve_stats_flags() {
+        assert_eq!(
+            p("serve 4 --stats-every 50 --stats-out stats.jsonl"),
+            Ok(Command::Serve {
+                n: 4,
+                op: ServeOp::Prefix,
+                requests: 32,
+                workers: 2,
+                lanes: 1,
+                seed: 2008,
+                metrics_json: false,
+                stats_every: Some(50),
+                stats_out: Some("stats.jsonl".into()),
+                stats_format: StatsFormat::Jsonl
+            })
+        );
+        assert_eq!(
+            p("serve 4 --stats-every 100 --stats-out m.prom --stats-format prom").map(|c| {
+                match c {
+                    Command::Serve { stats_format, .. } => stats_format,
+                    _ => unreachable!(),
+                }
+            }),
+            Ok(StatsFormat::Prom)
+        );
+        // The sampler flag enables the others.
+        assert!(p("serve 4 --stats-out stats.jsonl").is_err());
+        assert!(p("serve 4 --stats-format prom").is_err());
+        assert!(p("serve 4 --stats-every 0").is_err());
+        assert!(p("serve 4 --stats-every soon").is_err());
+        assert!(p("serve 4 --stats-every 50 --stats-format xml").is_err());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Command implementations: each returns the text to print, so the whole
 //! surface is unit-testable without capturing stdout.
 
-use crate::args::{Command, DiagramKind, OpKind, ServeOp, SortAlgo, TraceFormat, HELP};
+use crate::args::{
+    Command, DiagramKind, OpKind, ServeOp, SortAlgo, StatsFormat, TraceFormat, HELP,
+};
 use dc_core::apps::radix_sort;
 use dc_core::collectives::broadcast;
 use dc_core::ops::{Concat, Max, Sum};
@@ -60,7 +62,21 @@ pub fn run(cmd: Command) -> Result<String, String> {
             lanes,
             seed,
             metrics_json,
-        } => serve(n, op, requests, workers, lanes, seed, metrics_json),
+            stats_every,
+            stats_out,
+            stats_format,
+        } => serve(
+            n,
+            op,
+            requests,
+            workers,
+            lanes,
+            seed,
+            metrics_json,
+            stats_every,
+            stats_out,
+            stats_format,
+        ),
         Command::Experiments { ids } => experiments(&ids),
         Command::Diagram { n, which } => diagram(n, which),
         Command::Hamiltonian { n } => hamiltonian(n),
@@ -493,6 +509,7 @@ fn bcast(n: u32, root: usize, metrics_json: bool) -> Result<String, String> {
 /// what the service did. The demo counterpart of `bench_serve` (which
 /// owns the measurement protocol); this one is for poking at batching
 /// and warmth interactively.
+#[allow(clippy::too_many_arguments)] // mirrors the subcommand's flag list
 fn serve(
     n: u32,
     op: ServeOp,
@@ -501,8 +518,11 @@ fn serve(
     lanes: usize,
     seed: u64,
     metrics_json: bool,
+    stats_every: Option<u64>,
+    stats_out: Option<String>,
+    stats_format: StatsFormat,
 ) -> Result<String, String> {
-    use dc_serve::{Payload, Request, Server, ServerConfig, Shape};
+    use dc_serve::{Payload, Request, Server, ServerConfig, Shape, SnapshotFormat};
     check_n(n)?;
     if requests > 100_000 {
         return Err("--requests must be in 1..=100000".into());
@@ -515,12 +535,25 @@ fn serve(
         },
         n,
     };
-    let server = Server::start(
+    let mut server = Server::start(
         ServerConfig::default()
             .workers(workers)
             .max_lanes(lanes)
             .queue_capacity(requests as usize),
     );
+    if let Some(every_ms) = stats_every {
+        let every = std::time::Duration::from_millis(every_ms);
+        let format = match stats_format {
+            StatsFormat::Jsonl => SnapshotFormat::Jsonl,
+            StatsFormat::Prom => SnapshotFormat::Prometheus,
+        };
+        match &stats_out {
+            Some(path) => server
+                .sample_stats_to_file(every, format, std::path::Path::new(path))
+                .map_err(|e| format!("cannot write --stats-out {path}: {e}"))?,
+            None => server.sample_stats(every, format, Box::new(std::io::stdout())),
+        }
+    }
     let start = std::time::Instant::now();
     let tickets: Vec<_> = (0..requests)
         .map(|i| {
@@ -571,8 +604,26 @@ fn serve(
         report.metrics.schedule_misses, report.metrics.schedule_hits
     )
     .unwrap();
+    if report.rejected > 0 {
+        let causes = &report.rejected_by_cause;
+        writeln!(
+            out,
+            "  rejected: {} (queue_full {}, bad_shape {}, wrong_length {}, shutting_down {})",
+            report.rejected,
+            causes.queue_full,
+            causes.bad_shape,
+            causes.wrong_length,
+            causes.shutting_down
+        )
+        .unwrap();
+    }
+    if let (Some(every_ms), Some(path)) = (stats_every, &stats_out) {
+        writeln!(out, "  stats: sampled every {every_ms} ms into {path}").unwrap();
+    }
     if metrics_json {
-        writeln!(out, "{}", dc_simulator::obs::metrics_json(&report.metrics)).unwrap();
+        // The full service JSON: counters, rejected-by-cause breakdown,
+        // latency summary, and the engine metrics nested inside.
+        writeln!(out, "{}", report.to_json()).unwrap();
     }
     Ok(out)
 }
@@ -797,7 +848,51 @@ mod tests {
         }
         let json = exec("serve 2 --requests 3 --metrics-json").unwrap();
         assert!(json.contains("\"comm_steps\""), "{json}");
+        // --metrics-json now carries the full service object, including
+        // the rejected-by-cause breakdown.
+        assert!(json.contains("\"rejected_by_cause\""), "{json}");
+        assert!(json.contains("\"queue_full\":0"), "{json}");
         assert!(exec("serve 99").is_err());
+    }
+
+    #[test]
+    fn serve_stats_every_streams_snapshots() {
+        let dir = std::env::temp_dir().join("dc-cli-stats-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // JSONL: a time series whose final line is the shutdown totals.
+        let jsonl = dir.join("stats.jsonl");
+        let out = exec(&format!(
+            "serve 2 --requests 12 --lanes 4 --stats-every 1 --stats-out {}",
+            jsonl.display()
+        ))
+        .unwrap();
+        assert!(out.contains("stats: sampled every 1 ms"), "{out}");
+        let series = std::fs::read_to_string(&jsonl).unwrap();
+        let last = series.lines().last().expect("at least the final sample");
+        assert!(last.starts_with("{\"uptime_ms\":"), "{last}");
+        assert!(last.contains("\"served\":12"), "{last}");
+        assert!(last.contains("\"rejected_total\":0"), "{last}");
+
+        // Prometheus: the file holds one complete latest page.
+        let prom = dir.join("stats.prom");
+        exec(&format!(
+            "serve 2 --op sort --requests 6 --stats-every 1 --stats-out {} --stats-format prom",
+            prom.display()
+        ))
+        .unwrap();
+        let page = std::fs::read_to_string(&prom).unwrap();
+        assert!(page.contains("dc_serve_served_total 6"), "{page}");
+        assert!(
+            page.contains("dc_serve_rejected_total{cause=\"queue_full\"} 0"),
+            "{page}"
+        );
+        assert!(
+            page.contains("# TYPE dc_serve_latency_seconds summary"),
+            "{page}"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

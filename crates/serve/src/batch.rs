@@ -10,6 +10,7 @@
 //! requests leave in arrival order.
 
 use crate::request::{Rejected, Shape};
+use crate::telemetry::StatsRegistry;
 use crate::ticket::Slot;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -26,23 +27,26 @@ pub(crate) struct Pending {
 }
 
 /// The mutex-guarded heart of the server: per-shape FIFOs plus the
-/// counters admission control needs.
+/// shutdown flag admission control needs. Rejection tallies live in
+/// the lock-free [`StatsRegistry`], not here — the queue only counts
+/// what it holds, and publishes its depth to the registry's gauge on
+/// every push and drain.
 pub(crate) struct QueueState {
     buckets: HashMap<Shape, VecDeque<Pending>>,
     len: usize,
     next_seq: u64,
     pub(crate) shutdown: bool,
-    pub(crate) rejected: u64,
+    stats: Arc<StatsRegistry>,
 }
 
 impl QueueState {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(stats: Arc<StatsRegistry>) -> Self {
         QueueState {
             buckets: HashMap::new(),
             len: 0,
             next_seq: 0,
             shutdown: false,
-            rejected: 0,
+            stats,
         }
     }
 
@@ -50,7 +54,9 @@ impl QueueState {
         self.len
     }
 
-    /// Admits one request or rejects it, never blocking.
+    /// Admits one request or rejects it, never blocking. Rejections
+    /// are counted by cause in the registry; admissions bump the
+    /// in-flight gauge and the published queue depth.
     pub(crate) fn push(
         &mut self,
         shape: Shape,
@@ -59,12 +65,14 @@ impl QueueState {
         capacity: usize,
     ) -> Result<(), Rejected> {
         if self.shutdown {
-            self.rejected += 1;
-            return Err(Rejected::ShuttingDown);
+            let rejection = Rejected::ShuttingDown;
+            self.stats.count_rejected(&rejection);
+            return Err(rejection);
         }
         if self.len >= capacity {
-            self.rejected += 1;
-            return Err(Rejected::QueueFull { capacity });
+            let rejection = Rejected::QueueFull { capacity };
+            self.stats.count_rejected(&rejection);
+            return Err(rejection);
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -75,6 +83,8 @@ impl QueueState {
             slot,
         });
         self.len += 1;
+        self.stats.request_admitted();
+        self.stats.set_queue_depth(self.len as u64);
         Ok(())
     }
 
@@ -94,6 +104,7 @@ impl QueueState {
         if queue.is_empty() {
             self.buckets.remove(&shape);
         }
+        self.stats.set_queue_depth(self.len as u64);
         Some((shape, batch))
     }
 }
@@ -107,6 +118,10 @@ mod tests {
         Shape { op, n }
     }
 
+    fn state() -> QueueState {
+        QueueState::new(Arc::new(StatsRegistry::new(1)))
+    }
+
     fn push(st: &mut QueueState, s: Shape, tag: i64, cap: usize) {
         st.push(s, vec![tag], Arc::new(Slot::default()), cap)
             .expect("capacity");
@@ -114,7 +129,7 @@ mod tests {
 
     #[test]
     fn batches_are_oldest_head_first_and_fifo_within_shape() {
-        let mut st = QueueState::new();
+        let mut st = state();
         let a = shape(OpKind::PrefixSum, 3);
         let b = shape(OpKind::SortI64, 3);
         push(&mut st, a, 0, 16);
@@ -139,7 +154,7 @@ mod tests {
 
     #[test]
     fn max_lanes_caps_a_grab_without_losing_the_tail() {
-        let mut st = QueueState::new();
+        let mut st = state();
         let a = shape(OpKind::AllReduceSum, 2);
         for tag in 0..5 {
             push(&mut st, a, tag, 16);
@@ -160,7 +175,8 @@ mod tests {
 
     #[test]
     fn full_queue_rejects_and_counts() {
-        let mut st = QueueState::new();
+        let stats = Arc::new(StatsRegistry::new(1));
+        let mut st = QueueState::new(Arc::clone(&stats));
         let a = shape(OpKind::PrefixSum, 2);
         push(&mut st, a, 0, 2);
         push(&mut st, a, 1, 2);
@@ -168,15 +184,19 @@ mod tests {
             .push(a, vec![2], Arc::new(Slot::default()), 2)
             .expect_err("third must bounce");
         assert_eq!(err, Rejected::QueueFull { capacity: 2 });
-        assert_eq!(st.rejected, 1);
-        // A drain makes room again.
+        assert_eq!(stats.rejected().queue_full, 1);
+        assert_eq!(stats.snapshot().queue_depth, 2);
+        // A drain makes room again — and the depth gauge follows.
         st.take_batch(16).expect("work queued");
+        assert_eq!(stats.snapshot().queue_depth, 0);
         push(&mut st, a, 3, 2);
+        assert_eq!(stats.snapshot().queue_depth, 1);
     }
 
     #[test]
     fn shutdown_closes_the_door() {
-        let mut st = QueueState::new();
+        let stats = Arc::new(StatsRegistry::new(1));
+        let mut st = QueueState::new(Arc::clone(&stats));
         st.shutdown = true;
         let err = st
             .push(
@@ -187,5 +207,6 @@ mod tests {
             )
             .expect_err("no admissions after shutdown");
         assert_eq!(err, Rejected::ShuttingDown);
+        assert_eq!(stats.rejected().shutting_down, 1);
     }
 }

@@ -51,9 +51,13 @@ mod batch;
 mod report;
 mod request;
 mod server;
+pub mod telemetry;
 mod ticket;
 
 pub use report::ServiceReport;
 pub use request::{seeded_values, OpKind, Payload, Rejected, Request, Response, Shape, MAX_N};
 pub use server::{Server, ServerConfig};
+pub use telemetry::{
+    Histogram, RejectedCounts, SnapshotFormat, StatsRegistry, StatsSnapshot, WorkerSnapshot,
+};
 pub use ticket::Ticket;

@@ -11,10 +11,20 @@
 //! to their single-run counterparts and replay still deviation-checks
 //! every cycle, so warmth changes wall-clock and `schedule_misses`,
 //! never results.
+//!
+//! Every server carries a [`StatsRegistry`]: workers tally into their
+//! own cache-line-aligned shards, admission counts rejections by
+//! cause, and [`Server::stats`] reads a consistent-enough
+//! [`StatsSnapshot`] at any moment without stopping traffic. An
+//! optional background sampler ([`Server::sample_stats`]) turns those
+//! snapshots into a JSONL time series or a Prometheus page; the
+//! shutdown [`ServiceReport`] is built from the registry's final
+//! snapshot, so the live series and the report can never disagree.
 
 use crate::batch::{Pending, QueueState};
 use crate::report::ServiceReport;
 use crate::request::{seeded_values, OpKind, Payload, Rejected, Request, Response, Shape};
+use crate::telemetry::{Sampler, SnapshotFormat, StatsRegistry, StatsSnapshot};
 use crate::ticket::{Slot, Ticket};
 use dc_core::collectives::allreduce::allreduce_reusing;
 use dc_core::ops::Sum;
@@ -25,9 +35,11 @@ use dc_core::sort::SortOrder;
 use dc_simulator::{ExecMode, Metrics, ScheduleBank};
 use dc_topology::{DualCube, RecDualCube};
 use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Knobs of a [`Server`], builder-style.
 ///
@@ -93,32 +105,41 @@ struct Shared {
     state: Mutex<QueueState>,
     work_ready: Condvar,
     capacity: usize,
+    stats: Arc<StatsRegistry>,
 }
 
 /// A running serving frontend over the dual-cube engine.
 pub struct Server {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<ServiceReport>>,
+    handles: Vec<JoinHandle<Metrics>>,
+    sampler: Option<Sampler>,
 }
 
 impl Server {
     /// Starts the worker fleet and opens admission.
     pub fn start(config: ServerConfig) -> Server {
+        let workers = config.workers.max(1);
+        let stats = Arc::new(StatsRegistry::new(workers));
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState::new()),
+            state: Mutex::new(QueueState::new(Arc::clone(&stats))),
             work_ready: Condvar::new(),
             capacity: config.queue_capacity.max(1),
+            stats,
         });
-        let handles = (0..config.workers.max(1))
+        let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("dc-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, config.max_lanes.max(1), config.exec))
+                    .spawn(move || worker_loop(&shared, i, config.max_lanes.max(1), config.exec))
                     .expect("spawn worker thread")
             })
             .collect();
-        Server { shared, handles }
+        Server {
+            shared,
+            handles,
+            sampler: None,
+        }
     }
 
     /// Admits one request, returning a [`Ticket`] to wait on — or a
@@ -138,15 +159,17 @@ impl Server {
                 Payload::Seeded(seed) => Ok(seeded_values(seed, nodes)),
             }
         });
-        let mut state = self.shared.state.lock().expect("queue lock");
         let values = match admission {
             Ok(values) => values,
             Err(rejection) => {
-                state.rejected += 1;
+                // Malformed before it ever reaches the queue: counted
+                // here (the queue counts its own refusals in `push`).
+                self.shared.stats.count_rejected(&rejection);
                 return Err(rejection);
             }
         };
-        let slot = Arc::new(Slot::default());
+        let slot = Arc::new(Slot::tracked(Arc::clone(&self.shared.stats)));
+        let mut state = self.shared.state.lock().expect("queue lock");
         state.push(shape, values, Arc::clone(&slot), self.shared.capacity)?;
         drop(state);
         self.shared.work_ready.notify_one();
@@ -163,29 +186,90 @@ impl Server {
         self.shared.state.lock().expect("queue lock").len()
     }
 
+    /// One lock-free read of the live telemetry: fleet counters,
+    /// rejection causes, queue/in-flight gauges, and the merged latency
+    /// histogram. Safe to call from any thread at any rate; traffic is
+    /// never paused (see [`StatsRegistry::snapshot`] for the
+    /// consistency contract).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Attaches a background sampler that snapshots the registry every
+    /// `every` and writes each sample to `out` in `format` (JSONL lines
+    /// or Prometheus pages). One final sample is written at shutdown,
+    /// after the fleet is joined — so the tail of the stream always
+    /// equals the shutdown [`ServiceReport`] exactly. Attaching again
+    /// replaces the previous sampler (its stream is finalised first).
+    pub fn sample_stats(
+        &mut self,
+        every: Duration,
+        format: SnapshotFormat,
+        out: Box<dyn Write + Send>,
+    ) {
+        self.replace_sampler(Sampler::to_writer(
+            Arc::clone(&self.shared.stats),
+            every,
+            format,
+            out,
+        ));
+    }
+
+    /// File-backed [`sample_stats`](Self::sample_stats): JSONL appends
+    /// to `path` (truncated at attach), Prometheus rewrites `path`
+    /// whole each tick — the textfile-collector convention, so the
+    /// file always holds one complete, latest page. Fails fast if the
+    /// path cannot be created.
+    pub fn sample_stats_to_file(
+        &mut self,
+        every: Duration,
+        format: SnapshotFormat,
+        path: &Path,
+    ) -> io::Result<()> {
+        let sampler = Sampler::to_file(Arc::clone(&self.shared.stats), every, format, path)?;
+        self.replace_sampler(sampler);
+        Ok(())
+    }
+
+    fn replace_sampler(&mut self, sampler: Sampler) {
+        if let Some(previous) = self.sampler.replace(sampler) {
+            if let Err(err) = previous.stop() {
+                eprintln!("dc-serve: replaced stats sampler had failed: {err}");
+            }
+        }
+    }
+
     /// Closes admission, drains every already-admitted request, joins
-    /// the fleet, and returns the merged [`ServiceReport`].
-    pub fn shutdown(self) -> ServiceReport {
+    /// the fleet, and returns the [`ServiceReport`] built from the
+    /// registry's final snapshot.
+    pub fn shutdown(mut self) -> ServiceReport {
         {
             let mut state = self.shared.state.lock().expect("queue lock");
             state.shutdown = true;
         }
         self.shared.work_ready.notify_all();
-        let mut report = ServiceReport::default();
-        for handle in self.handles {
-            report.merge(handle.join().expect("worker panicked"));
+        let mut metrics = Metrics::new();
+        for handle in self.handles.drain(..) {
+            metrics.absorb(&handle.join().expect("worker panicked"));
         }
-        report.rejected += self.shared.state.lock().expect("queue lock").rejected;
-        report
+        // Stop the sampler only after the fleet is joined: its final
+        // sample then sees exactly the totals the report carries.
+        if let Some(sampler) = self.sampler.take() {
+            if let Err(err) = sampler.stop() {
+                eprintln!("dc-serve: stats sampler failed: {err}");
+            }
+        }
+        ServiceReport::from_snapshot(self.shared.stats.snapshot(), metrics)
     }
 }
 
 /// One worker: grab the oldest-head batch, serve it on a machine warmed
 /// from this worker's per-shape bank, repeat until shutdown drains the
-/// queue dry.
-fn worker_loop(shared: &Shared, max_lanes: usize, exec: ExecMode) -> ServiceReport {
+/// queue dry. Counters stream into the worker's registry shard as the
+/// traffic flows; only the engine [`Metrics`] rollup rides the join.
+fn worker_loop(shared: &Shared, worker: usize, max_lanes: usize, exec: ExecMode) -> Metrics {
     let mut banks: HashMap<Shape, ScheduleBank> = HashMap::new();
-    let mut local = ServiceReport::default();
+    let mut rollup = Metrics::new();
     loop {
         let grabbed = {
             let mut state = shared.state.lock().expect("queue lock");
@@ -200,10 +284,12 @@ fn worker_loop(shared: &Shared, max_lanes: usize, exec: ExecMode) -> ServiceRepo
             }
         };
         let Some((shape, batch)) = grabbed else {
-            return local;
+            return rollup;
         };
         let bank = banks.entry(shape).or_default();
-        serve_batch(shape, batch, exec, bank, &mut local);
+        shared.stats.set_worker_busy(worker, true);
+        serve_batch(shape, batch, exec, bank, &shared.stats, worker, &mut rollup);
+        shared.stats.set_worker_busy(worker, false);
     }
 }
 
@@ -216,7 +302,9 @@ fn serve_batch(
     batch: Vec<Pending>,
     exec: ExecMode,
     bank: &mut ScheduleBank,
-    local: &mut ServiceReport,
+    stats: &StatsRegistry,
+    worker: usize,
+    rollup: &mut Metrics,
 ) {
     let picked_up = Instant::now();
     if shape.op == OpKind::AllReduceSum {
@@ -225,16 +313,21 @@ fn serve_batch(
             let values: Vec<Sum> = pending.values.iter().copied().map(Sum).collect();
             let started = Instant::now();
             let run = allreduce_reusing(&d, &values, exec, bank);
-            local.batches += 1;
-            local.total_lanes += 1;
-            local.metrics.absorb(&run.metrics);
+            stats.record_run(
+                worker,
+                1,
+                run.metrics.schedule_hits,
+                run.metrics.schedule_misses,
+            );
+            rollup.absorb(&run.metrics);
             finish(
                 pending,
                 vec![run.values[0].0],
                 1,
                 run.metrics,
                 started,
-                local,
+                stats,
+                worker,
             );
         }
         return;
@@ -278,25 +371,40 @@ fn serve_batch(
         }
         OpKind::AllReduceSum => unreachable!("handled above"),
     };
-    local.batches += 1;
-    local.total_lanes += lanes as u64;
-    local.metrics.absorb(&metrics);
+    stats.record_run(
+        worker,
+        lanes as u64,
+        metrics.schedule_hits,
+        metrics.schedule_misses,
+    );
+    rollup.absorb(&metrics);
     for (pending, output) in waiters.into_iter().zip(outputs) {
-        finish(pending, output, lanes, metrics.clone(), picked_up, local);
+        finish(
+            pending,
+            output,
+            lanes,
+            metrics.clone(),
+            picked_up,
+            stats,
+            worker,
+        );
     }
 }
 
 /// Stamps, fulfils, and tallies one completed request. The caller has
-/// already absorbed the machine run's metrics into the rollup exactly
-/// once, so service totals count executed cycles, not lane copies; here
-/// each rider just gets its own copy and its latency sample.
+/// already recorded the machine run (batches, lanes, schedule cache)
+/// exactly once, so service totals count executed cycles, not lane
+/// copies; here each rider gets its own response copy and its latency
+/// sample — recorded *before* the slot is fulfilled, so a caller whose
+/// `wait()` returns always finds its request already counted.
 fn finish(
     pending: Pending,
     output: Vec<i64>,
     lanes: usize,
     metrics: Metrics,
     picked_up: Instant,
-    local: &mut ServiceReport,
+    stats: &StatsRegistry,
+    worker: usize,
 ) {
     let response = Response {
         output,
@@ -305,7 +413,6 @@ fn finish(
         service: picked_up.elapsed(),
         metrics,
     };
-    local.served += 1;
-    local.latencies.push(response.latency());
+    stats.record_served(worker, response.latency());
     pending.slot.fulfil(response);
 }

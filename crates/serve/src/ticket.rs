@@ -4,19 +4,37 @@
 //! the service rollup).
 
 use crate::request::Response;
+use crate::telemetry::StatsRegistry;
 use std::sync::{Arc, Condvar, Mutex};
 
 #[derive(Debug, Default)]
 pub(crate) struct Slot {
     filled: Mutex<Option<Response>>,
     ready: Condvar,
+    /// The registry whose in-flight gauge this request sits in. Tied to
+    /// the slot, not the ticket, so the gauge retires when the *work*
+    /// completes — even if the caller dropped the ticket and nobody
+    /// ever reads the response.
+    stats: Option<Arc<StatsRegistry>>,
 }
 
 impl Slot {
+    /// A slot wired to the server's registry: fulfilment retires one
+    /// request from the in-flight gauge.
+    pub(crate) fn tracked(stats: Arc<StatsRegistry>) -> Self {
+        Slot {
+            stats: Some(stats),
+            ..Slot::default()
+        }
+    }
+
     pub(crate) fn fulfil(&self, response: Response) {
         let mut filled = self.filled.lock().expect("slot lock");
         debug_assert!(filled.is_none(), "a ticket is fulfilled exactly once");
         *filled = Some(response);
+        if let Some(stats) = &self.stats {
+            stats.request_done();
+        }
         self.ready.notify_all();
     }
 }

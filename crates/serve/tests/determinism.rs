@@ -116,7 +116,7 @@ fn mixed_traffic_is_bit_identical_to_standalone_runs() {
                 let report = server.shutdown();
                 assert_eq!(report.served, requests.len() as u64);
                 assert_eq!(report.rejected, 0);
-                assert_eq!(report.latencies.len(), requests.len());
+                assert_eq!(report.latency.count(), requests.len() as u64);
                 assert!(report.batches >= 1);
                 assert_eq!(
                     report.total_lanes, report.served,
@@ -220,4 +220,9 @@ fn malformed_requests_are_rejected_and_counted() {
     let report = server.shutdown();
     assert_eq!(report.served, 1);
     assert_eq!(report.rejected, 2);
+    assert_eq!(report.rejected_by_cause.bad_shape, 1);
+    assert_eq!(report.rejected_by_cause.wrong_length, 1);
+    assert_eq!(report.rejected_by_cause.queue_full, 0);
+    assert_eq!(report.rejected_by_cause.shutting_down, 0);
+    assert_eq!(report.rejected_by_cause.total(), report.rejected);
 }

@@ -1,0 +1,317 @@
+//! Telemetry contracts: histogram merges are exact and
+//! order-independent, quantiles stay within one bucket of the true
+//! nearest-rank answer, and the snapshot stream agrees with the
+//! shutdown report — the final sample IS the report, field for field.
+
+use dc_serve::{Histogram, OpKind, Payload, Request, Server, ServerConfig, Shape, SnapshotFormat};
+use dc_simulator::ExecMode;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Nanosecond samples spread across the bucket range: sub-µs to ~80 ms.
+fn sample_strategy() -> impl Strategy<Value = Vec<u64>> {
+    vec(1u64..80_000_000, 1..200)
+}
+
+fn fill(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &ns in samples {
+        h.record(Duration::from_nanos(ns));
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging per-worker histograms is order-independent and
+    /// bit-identical to one histogram fed the concatenated samples —
+    /// whatever the shard count and however samples land on shards.
+    #[test]
+    fn merge_is_order_independent_and_exact(
+        samples in sample_strategy(),
+        workers in 1usize..=3,
+        seed: u64,
+    ) {
+        let whole = fill(&samples);
+        // Deterministic pseudo-random shard assignment from the seed.
+        let mut shards = vec![Vec::new(); workers];
+        let mut state = seed | 1;
+        for &ns in &samples {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shards[(state >> 33) as usize % workers].push(ns);
+        }
+        let parts: Vec<Histogram> = shards.iter().map(|s| fill(s)).collect();
+
+        // Forward order, reverse order, and fold-into-first all agree
+        // with the concatenated whole, bit for bit.
+        let mut fwd = Histogram::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Histogram::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        let mut folded = parts[0].clone();
+        for p in &parts[1..] {
+            folded.merge(p);
+        }
+        prop_assert_eq!(&fwd, &whole);
+        prop_assert_eq!(&rev, &whole);
+        prop_assert_eq!(&folded, &whole);
+        prop_assert_eq!(fwd.count(), samples.len() as u64);
+    }
+
+    /// Histogram quantiles match exact nearest-rank to within one
+    /// bucket's relative error (1/16), never undershooting.
+    #[test]
+    fn quantile_error_is_bounded_by_one_bucket(
+        mut samples in sample_strategy(),
+        q_permille in 0u64..=1000,
+    ) {
+        let q = q_permille as f64 / 1000.0;
+        let h = fill(&samples);
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let exact = samples[rank - 1];
+        let got = h.quantile(q).as_nanos() as u64;
+        prop_assert!(got >= exact, "q={q}: {got} under exact {exact}");
+        prop_assert!(
+            got <= exact + exact / 16,
+            "q={q}: {got} beyond one bucket over exact {exact}"
+        );
+        prop_assert!(got <= *samples.last().unwrap(), "clamped to the true max");
+    }
+}
+
+/// The fleet-merged snapshot histogram is bit-identical to merging the
+/// per-worker shard histograms — under real traffic, across fleet
+/// sizes and both cycle backends.
+#[test]
+fn fleet_histogram_is_the_exact_shard_merge() {
+    for workers in [1usize, 3] {
+        for exec in [ExecMode::Sequential, ExecMode::Parallel { threshold: 1 }] {
+            let server = Server::start(
+                ServerConfig::default()
+                    .workers(workers)
+                    .max_lanes(4)
+                    .exec(exec),
+            );
+            let shape = Shape {
+                op: OpKind::PrefixSum,
+                n: 2,
+            };
+            let tickets: Vec<_> = (0..30)
+                .map(|i| {
+                    server
+                        .submit(Request {
+                            shape,
+                            payload: Payload::Seeded(i),
+                        })
+                        .expect("queue has room")
+                })
+                .collect();
+            for t in tickets {
+                t.wait();
+            }
+            let snap = server.stats();
+            assert_eq!(snap.latency.count(), 30, "workers={workers}, {exec:?}");
+            assert_eq!(snap.per_worker.len(), workers);
+            let mut fwd = Histogram::new();
+            for w in &snap.per_worker {
+                fwd.merge(&w.latency);
+            }
+            let mut rev = Histogram::new();
+            for w in snap.per_worker.iter().rev() {
+                rev.merge(&w.latency);
+            }
+            assert_eq!(fwd, snap.latency, "workers={workers}, {exec:?}");
+            assert_eq!(rev, snap.latency, "workers={workers}, {exec:?}");
+            server.shutdown();
+        }
+    }
+}
+
+/// A writer the test can read back after the server is gone.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The acceptance criterion of the telemetry PR: the sampler's final
+/// JSONL sample carries exactly the totals the shutdown report does —
+/// served, rejected by cause, batches, schedule misses.
+#[test]
+fn final_jsonl_sample_equals_the_shutdown_report() {
+    let buf = SharedBuf::default();
+    let mut server = Server::start(ServerConfig::default().workers(2).max_lanes(4));
+    server.sample_stats(
+        Duration::from_millis(2),
+        SnapshotFormat::Jsonl,
+        Box::new(buf.clone()),
+    );
+
+    let shape = Shape {
+        op: OpKind::SortI64,
+        n: 2,
+    };
+    let tickets: Vec<_> = (0..20)
+        .map(|i| {
+            server
+                .submit(Request {
+                    shape,
+                    payload: Payload::Seeded(i),
+                })
+                .expect("queue has room")
+        })
+        .collect();
+    // Two malformed submissions, distinct causes.
+    assert!(server
+        .submit(Request {
+            shape: Shape {
+                op: OpKind::PrefixSum,
+                n: 0
+            },
+            payload: Payload::Seeded(0),
+        })
+        .is_err());
+    assert!(server
+        .submit(Request {
+            shape,
+            payload: Payload::Values(vec![1, 2, 3]),
+        })
+        .is_err());
+    for t in tickets {
+        t.wait();
+    }
+    let report = server.shutdown();
+    assert_eq!(report.served, 20);
+    assert_eq!(report.rejected, 2);
+
+    let series = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let last = series.lines().last().expect("final sample always emitted");
+    for needle in [
+        format!("\"served\":{}", report.served),
+        format!("\"batches\":{}", report.batches),
+        format!("\"lanes\":{}", report.total_lanes),
+        format!("\"schedule_misses\":{}", report.metrics.schedule_misses),
+        format!("\"schedule_hits\":{}", report.metrics.schedule_hits),
+        format!("\"rejected_total\":{}", report.rejected),
+        report.rejected_by_cause.to_json(),
+        format!("\"latency\":{{\"count\":{}", report.latency.count()),
+        "\"queue_depth\":0".to_string(),
+        "\"in_flight_requests\":0".to_string(),
+    ] {
+        assert!(last.contains(&needle), "{needle} missing from {last}");
+    }
+    // Earlier samples exist too (the run takes longer than one tick) —
+    // every line is a JSON object in the same schema.
+    for line in series.lines() {
+        assert!(line.starts_with("{\"uptime_ms\":"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+}
+
+/// Same acceptance criterion, Prometheus side: after shutdown the file
+/// holds one final page whose counters equal the report exactly.
+#[test]
+fn final_prometheus_page_equals_the_shutdown_report() {
+    let dir = std::env::temp_dir().join("dc-serve-telemetry-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("final.prom");
+
+    let mut server = Server::start(ServerConfig::default().workers(2).max_lanes(4));
+    server
+        .sample_stats_to_file(Duration::from_millis(2), SnapshotFormat::Prometheus, &path)
+        .expect("temp file is writable");
+    let shape = Shape {
+        op: OpKind::AllReduceSum,
+        n: 2,
+    };
+    let tickets: Vec<_> = (0..10)
+        .map(|i| {
+            server
+                .submit(Request {
+                    shape,
+                    payload: Payload::Seeded(i),
+                })
+                .expect("queue has room")
+        })
+        .collect();
+    for t in tickets {
+        t.wait();
+    }
+    let report = server.shutdown();
+
+    let page = std::fs::read_to_string(&path).unwrap();
+    for needle in [
+        format!("dc_serve_served_total {}", report.served),
+        format!("dc_serve_batches_total {}", report.batches),
+        format!("dc_serve_lanes_total {}", report.total_lanes),
+        format!(
+            "dc_serve_schedule_misses_total {}",
+            report.metrics.schedule_misses
+        ),
+        format!(
+            "dc_serve_rejected_total{{cause=\"queue_full\"}} {}",
+            report.rejected_by_cause.queue_full
+        ),
+        format!("dc_serve_latency_seconds_count {}", report.latency.count()),
+        "dc_serve_queue_depth 0".to_string(),
+        "dc_serve_in_flight_requests 0".to_string(),
+    ] {
+        assert!(
+            page.contains(&needle),
+            "{needle} missing from page:\n{page}"
+        );
+    }
+    // Truncate-per-tick: exactly one page in the file (one HELP line
+    // per metric).
+    assert_eq!(page.matches("# HELP dc_serve_served_total").count(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Live polling mid-run never panics and only moves forward: a gauge
+/// may wobble but the counters are monotone.
+#[test]
+fn live_snapshots_are_monotone_in_counters() {
+    let server = Server::start(ServerConfig::default().workers(2).max_lanes(2));
+    let shape = Shape {
+        op: OpKind::PrefixSum,
+        n: 3,
+    };
+    let tickets: Vec<_> = (0..16)
+        .map(|i| {
+            server
+                .submit(Request {
+                    shape,
+                    payload: Payload::Seeded(i),
+                })
+                .expect("queue has room")
+        })
+        .collect();
+    let mut last_served = 0u64;
+    let mut last_batches = 0u64;
+    for t in tickets {
+        t.wait();
+        let snap = server.stats();
+        assert!(snap.served >= last_served, "served went backwards");
+        assert!(snap.batches >= last_batches, "batches went backwards");
+        last_served = snap.served;
+        last_batches = snap.batches;
+    }
+    let report = server.shutdown();
+    assert_eq!(report.served, 16);
+}

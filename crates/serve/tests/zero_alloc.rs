@@ -1,0 +1,140 @@
+//! The telemetry record path is allocation-free: once a
+//! [`StatsRegistry`] exists, every operation the serving hot path
+//! performs on it — counter bumps, histogram records, gauge stores,
+//! rejection tallies — must hit the global allocator **zero** times.
+//! That is the serve-side extension of the zero-cost-when-off contract
+//! the engine recorder established: the registry is always on, so the
+//! whole registry must cost nothing but a few relaxed atomic adds.
+//!
+//! Scope is deliberate: *serving a request* allocates by design (the
+//! response vector, the batch staging), with or without telemetry — so
+//! "telemetry-off serve path makes no allocator calls" is pinned as
+//! "the telemetry layer adds zero allocator calls to that path". The
+//! snapshot/export side (`snapshot()`, JSONL, Prometheus) allocates
+//! freely; it runs on the sampler thread at human timescales, never on
+//! the worker hot path.
+//!
+//! Same harness discipline as the simulator's `zero_alloc` suite: a
+//! counting wrapper around the system allocator, one `#[test]` per
+//! binary so the process-wide counter stays single-threaded, and the
+//! min over repetitions so one-shot lazy init elsewhere in the process
+//! cannot pollute the verdict (a real per-record allocation would show
+//! up in every repetition).
+
+use dc_serve::{Histogram, Rejected, StatsRegistry};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocator calls observed while running `f`, minimised over `reps`
+/// repetitions (see module docs for why the min).
+fn steady_delta(reps: u32, mut f: impl FnMut()) -> u64 {
+    (0..reps)
+        .map(|_| {
+            let before = ALLOC_CALLS.load(Ordering::SeqCst);
+            f();
+            ALLOC_CALLS.load(Ordering::SeqCst) - before
+        })
+        .min()
+        .expect("reps > 0")
+}
+
+#[test]
+fn telemetry_record_path_does_not_allocate() {
+    // --- The registry: everything a worker or the admission side ever
+    // calls under load. Construction allocates (the shards and bucket
+    // arrays are sized once); recording must not.
+    let registry = StatsRegistry::new(3);
+    let causes = [
+        Rejected::QueueFull { capacity: 8 },
+        Rejected::BadShape { n: 0 },
+        Rejected::WrongLength {
+            expected: 32,
+            got: 3,
+        },
+        Rejected::ShuttingDown,
+    ];
+    let registry_delta = steady_delta(3, || {
+        for i in 0..1000u64 {
+            let worker = (i % 3) as usize;
+            registry.set_worker_busy(worker, true);
+            registry.record_run(worker, 4, 16, 1);
+            registry.record_served(worker, Duration::from_nanos(i * 977 + 13));
+            registry.set_worker_busy(worker, false);
+            registry.count_rejected(&causes[(i % 4) as usize]);
+            registry.set_queue_depth(i % 31);
+            registry.request_admitted();
+            registry.request_done();
+        }
+    });
+    assert_eq!(
+        registry_delta, 0,
+        "registry record path allocated {registry_delta} times over 1000 iterations"
+    );
+
+    // --- The plain histogram (what ServiceReport carries): record and
+    // quantile are both allocation-free after construction.
+    let mut h = Histogram::new();
+    h.record(Duration::from_micros(50)); // non-empty before quantiles
+    let histogram_delta = steady_delta(3, || {
+        for i in 0..1000u64 {
+            h.record(Duration::from_nanos(i * 7919 + 1));
+        }
+        for q in [0.5, 0.9, 0.99] {
+            std::hint::black_box(h.quantile(q));
+        }
+        std::hint::black_box(h.mean());
+    });
+    assert_eq!(
+        histogram_delta, 0,
+        "histogram record/quantile allocated {histogram_delta} times"
+    );
+
+    // --- Merge into a pre-sized histogram is also free (the shutdown
+    // rollup path).
+    let shard = {
+        let mut s = Histogram::new();
+        for i in 0..100u64 {
+            s.record(Duration::from_nanos(i * 31 + 5));
+        }
+        s
+    };
+    let mut fleet = Histogram::new();
+    let merge_delta = steady_delta(3, || {
+        for _ in 0..100 {
+            fleet.merge(&shard);
+        }
+    });
+    assert_eq!(
+        merge_delta, 0,
+        "histogram merge allocated {merge_delta} times"
+    );
+}
